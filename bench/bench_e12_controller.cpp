@@ -1,0 +1,57 @@
+// E12 — controller styles: hardwired FSM encodings vs microcode.
+//
+// Section 2: hardwired control ("a control step corresponds to a state in
+// the controlling finite state machine ... state encoding and optimization
+// of the combinational logic") against microcoded control ("the
+// microprogram can be optimized using encoding techniques for the
+// microcontrol word"). Three state encodings and two microword formats on
+// every design.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/designs.h"
+#include "core/synthesizer.h"
+#include "ctrl/encode.h"
+
+using namespace mphls;
+
+int main() {
+  std::printf("== E12: controller implementation styles ==\n\n");
+  std::printf(
+      "%-8s %7s | %22s | %22s | %22s | %12s %12s\n", "", "", "binary",
+      "gray", "one-hot", "uCode-horiz", "uCode-enc");
+  std::printf("%-8s %7s | %7s %6s %7s | %7s %6s %7s | %7s %6s %7s | %12s %12s\n",
+              "design", "states", "bits", "terms", "area", "bits", "terms",
+              "area", "bits", "terms", "area", "bits total", "bits total");
+
+  bool encodedAlwaysNarrower = true;
+  bool minNeverWorse = true;
+  for (const auto& d : designs::all()) {
+    SynthesisOptions o;
+    o.scheduler = SchedulerKind::List;
+    o.resources = ResourceLimits::universalSet(2);
+    Synthesizer synth(o);
+    SynthesisResult r = synth.synthesizeSource(d.source);
+
+    std::printf("%-8s %7zu |", d.name, r.design.ctrl.numStates());
+    for (auto enc : {StateEncoding::Binary, StateEncoding::Gray,
+                     StateEncoding::OneHot}) {
+      auto e = encodeController(r.design.ctrl, r.design.ic,
+                                r.design.binding, enc);
+      std::printf(" %7d %6d %7.0f |", e.stateBits,
+                  e.minimizedLogic.termCount(), e.minimizedLogic.plaArea());
+      if (e.minimizedLogic.termCount() > e.logic.termCount())
+        minNeverWorse = false;
+    }
+    std::printf(" %12.0f %12.0f\n", r.microHorizontal.storeBits(),
+                r.microEncoded.storeBits());
+    if (r.microEncoded.wordWidth >= r.microHorizontal.wordWidth)
+      encodedAlwaysNarrower = false;
+  }
+  std::printf("\n");
+  bench::claim("encoded microwords always narrower than horizontal",
+               encodedAlwaysNarrower);
+  bench::claim("logic minimization never increases product terms",
+               minNeverWorse);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// E13 — design-space exploration.
+//
+// Section 1.2 ("the ability to search the design space") and Section
+// 3.1.1's scheduling/allocation interaction styles: fixed-limit sweep,
+// Chippe-style feedback, and HAL-style time-constrained scheduling, with
+// the area/latency curve and its Pareto set for three designs.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/designs.h"
+#include "core/dse.h"
+
+using namespace mphls;
+
+int main() {
+  std::printf("== E13: design-space exploration ==\n");
+
+  bool monotoneLatency = true;
+  for (const char* name : {"sqrt", "diffeq", "ewf"}) {
+    const char* src = nullptr;
+    for (const auto& d : designs::all())
+      if (std::string(d.name) == name) src = d.source;
+
+    std::printf("\n--- %s: fixed-limit sweep (1..5 universal FUs) ---\n",
+                name);
+    auto sweep = exploreResourceSweep(src, 5);
+    std::printf("  %-8s %8s %12s %12s %8s\n", "FUs", "latency", "cycle",
+                "area", "pareto");
+    for (const auto& p : sweep) {
+      std::printf("  %-8d %8d %12.2f %12.1f %8s\n", p.limit,
+                  p.latencySteps, p.cycleTime, p.area, p.pareto ? "*" : "");
+    }
+    for (std::size_t i = 1; i < sweep.size(); ++i)
+      if (sweep[i].latencySteps > sweep[i - 1].latencySteps)
+        monotoneLatency = false;
+
+    int target = sweep[sweep.size() / 2].latencySteps;
+    auto chippe = chippeIterate(src, target);
+    std::printf("  Chippe feedback toward <= %d steps:", target);
+    for (const auto& p : chippe) std::printf(" %d->%d", p.limit, p.latencySteps);
+    std::printf("  (accepted %s)\n", chippe.back().label.c_str());
+
+    auto times = exploreTimeSweep(src, 3);
+    std::printf("  HAL time sweep:");
+    for (const auto& p : times)
+      std::printf("  %d steps/%.0f area", p.limit, p.area);
+    std::printf("\n");
+  }
+
+  std::printf("\n");
+  bench::claim("latency never increases with more functional units",
+               monotoneLatency);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// E16 — algorithm runtimes (google-benchmark).
+//
+// Section 2: "Many synthesis subtasks, including scheduling with a
+// limitation on the number of resources and register allocation given a
+// fixed number of registers, are known to be NP-hard." The polynomial
+// heuristics (list scheduling, left edge, greedy clique) scale gracefully
+// with graph size; exhaustive branch-and-bound blows up — measured here.
+#include <benchmark/benchmark.h>
+
+#include "alloc/lifetime.h"
+#include "alloc/reg_alloc.h"
+#include "bench/bench_util.h"
+#include "core/designs.h"
+#include "core/synthesizer.h"
+#include "sched/bnb.h"
+#include "sched/force_directed.h"
+#include "sched/list_sched.h"
+#include "sched/sched_util.h"
+
+using namespace mphls;
+
+namespace {
+
+void BM_ListSchedule(benchmark::State& state) {
+  Function fn = bench::randomDfg((std::size_t)state.range(0), 42);
+  BlockDeps deps(fn, fn.block(fn.entry()));
+  auto limits = ResourceLimits::universalSet(2);
+  for (auto _ : state) {
+    auto s = listSchedule(deps, limits, ListPriority::PathLength);
+    benchmark::DoNotOptimize(s.numSteps);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ListSchedule)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_ForceDirected(benchmark::State& state) {
+  Function fn = bench::randomDfg((std::size_t)state.range(0), 42);
+  BlockDeps deps(fn, fn.block(fn.entry()));
+  for (auto _ : state) {
+    auto s = forceDirectedSchedule(deps, 0);
+    benchmark::DoNotOptimize(s.numSteps);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ForceDirected)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+
+void BM_BranchBound(benchmark::State& state) {
+  Function fn = bench::randomDfg((std::size_t)state.range(0), 42);
+  BlockDeps deps(fn, fn.block(fn.entry()));
+  auto limits = ResourceLimits::universalSet(2);
+  for (auto _ : state) {
+    auto r = branchBoundSchedule(deps, limits, 2'000'000);
+    benchmark::DoNotOptimize(r.schedule.numSteps);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BranchBound)->DenseRange(8, 20, 4);
+
+void BM_LeftEdge(benchmark::State& state) {
+  Function fn = bench::randomDfg((std::size_t)state.range(0), 42);
+  auto limits = ResourceLimits::universalSet(2);
+  Schedule sched = scheduleFunction(fn, [&](const BlockDeps& d) {
+    return listSchedule(d, limits, ListPriority::PathLength);
+  });
+  LifetimeInfo lt = computeLifetimes(fn, sched);
+  for (auto _ : state) {
+    auto regs = allocateRegisters(lt, RegAllocMethod::LeftEdge);
+    benchmark::DoNotOptimize(regs.numRegs);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LeftEdge)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_CliqueRegAlloc(benchmark::State& state) {
+  Function fn = bench::randomDfg((std::size_t)state.range(0), 42);
+  auto limits = ResourceLimits::universalSet(2);
+  Schedule sched = scheduleFunction(fn, [&](const BlockDeps& d) {
+    return listSchedule(d, limits, ListPriority::PathLength);
+  });
+  LifetimeInfo lt = computeLifetimes(fn, sched);
+  for (auto _ : state) {
+    auto regs = allocateRegisters(lt, RegAllocMethod::Clique);
+    benchmark::DoNotOptimize(regs.numRegs);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CliqueRegAlloc)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_FullSynthesis(benchmark::State& state) {
+  const auto& d = designs::all()[(std::size_t)state.range(0)];
+  SynthesisOptions o;
+  o.scheduler = SchedulerKind::List;
+  o.resources = ResourceLimits::universalSet(2);
+  for (auto _ : state) {
+    Synthesizer synth(o);
+    auto r = synth.synthesizeSource(d.source);
+    benchmark::DoNotOptimize(r.staticLatency());
+  }
+  state.SetLabel(d.name);
+}
+BENCHMARK(BM_FullSynthesis)->DenseRange(0, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

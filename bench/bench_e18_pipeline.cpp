@@ -1,0 +1,65 @@
+// E18 — pipeline synthesis (Sehwa).
+//
+// Section 3.3: "Synthesis of pipelined data paths is a design domain which
+// has now been characterized by a foundation of theory [20] and
+// implemented by the program Sehwa." Sehwa's signature output is the
+// cost/performance curve of a pipelined datapath: each initiation interval
+// (II) trades throughput against the number of functional units the
+// overlapped samples demand. Regenerated here for the FIR filter body —
+// the classic pipelining workload.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/designs.h"
+#include "lang/frontend.h"
+#include "lib/library.h"
+#include "opt/pass.h"
+#include "sched/pipeline.h"
+
+using namespace mphls;
+
+int main() {
+  std::printf("== E18: Sehwa-style pipeline cost/performance curve ==\n\n");
+
+  Function fn = compileBdlOrThrow(designs::fir8Source());
+  optimize(fn);
+  BlockDeps deps(fn, fn.block(fn.entry()));
+  HwLibrary lib = HwLibrary::defaultLibrary();
+
+  auto curve = explorePipelines(deps);
+  std::printf("8-tap FIR body, one new sample every II steps:\n\n");
+  std::printf("  %-4s %10s %10s %8s %8s %12s %14s\n", "II", "throughput",
+              "latency", "mults", "adders", "FU area", "area/sample-rate");
+  bool allValid = true;
+  int prevMuls = INT32_MAX;
+  bool monotone = true;
+  for (const auto& pr : curve) {
+    if (!pr.feasible) continue;
+    allValid = allValid && validatePipelineSchedule(deps, pr).empty();
+    int muls = pr.unitsRequired.count(FuClass::Multiplier)
+                   ? pr.unitsRequired.at(FuClass::Multiplier)
+                   : 0;
+    int adds = pr.unitsRequired.count(FuClass::Adder)
+                   ? pr.unitsRequired.at(FuClass::Adder)
+                   : 0;
+    double area =
+        muls * lib.component(lib.cheapestFor(OpKind::Mul, 32)).area(32) +
+        adds * lib.component(lib.cheapestFor(OpKind::Add, 32)).area(32);
+    std::printf("  %-4d %10.3f %10d %8d %8d %12.1f %14.1f\n",
+                pr.initiationInterval, pr.throughput(),
+                pr.schedule.numSteps, muls, adds, area,
+                area * pr.initiationInterval);
+    if (muls > prevMuls) monotone = false;
+    prevMuls = muls;
+  }
+  std::printf("\n");
+  bench::claim("every pipeline schedule valid (modulo conflicts respected)",
+               allValid);
+  bench::claim("unit demand decreases monotonically with II (Sehwa curve)",
+               monotone);
+  bench::claim(
+      "fully sequential II equals one multiplier (maximal sharing)",
+      curve.back().feasible &&
+          curve.back().unitsRequired.at(FuClass::Multiplier) == 1);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E5 / Fig. 5 — "A Distribution Graph".
+//
+// "Addition a1 must be scheduled in step 1, so it contributes 1 to that
+// step. Similarly addition a2 adds 1 to control step 2. Addition a3 could
+// be scheduled in either step 2 or step 3, so it contributes 1/2 to each
+// ... a3 would first be scheduled into step 3, since that would have the
+// greatest effect in balancing the graph."
+// (Steps are numbered from 0 here; the paper numbers from 1.)
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sched/force_directed.h"
+#include "sched/schedule.h"
+
+using namespace mphls;
+
+namespace {
+
+/// a1 -> a2 -> m (a multiply pinning the chain), a3 dependent on a1; time
+/// constraint three steps.
+Function buildGraph() {
+  Function fn("fig5");
+  BlockId b = fn.addBlock("entry");
+  ValueId va = fn.emitRead(b, fn.addInput("a", 8));
+  ValueId vb = fn.emitRead(b, fn.addInput("b", 8));
+  ValueId vc = fn.emitRead(b, fn.addInput("c", 8));
+  ValueId a1 = fn.emitBinary(b, OpKind::Add, va, vb);
+  ValueId a2 = fn.emitBinary(b, OpKind::Add, a1, vc);
+  ValueId a3 = fn.emitBinary(b, OpKind::Add, a1, va);
+  ValueId m = fn.emitBinary(b, OpKind::Mul, a2, vc);
+  fn.emitWrite(b, fn.addOutput("y", 8), m);
+  fn.emitWrite(b, fn.addOutput("z", 8), a3);
+  fn.setReturn(b);
+  return fn;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E5 / Fig. 5: distribution graph + force-directed ==\n\n");
+  Function fn = buildGraph();
+  BlockDeps deps(fn, fn.block(fn.entry()));
+
+  auto dgs = distributionGraphs(deps, 3);
+  const DistributionGraph& addDg = dgs.at(FuClass::Adder);
+  std::printf("addition distribution graph under a 3-step constraint:\n");
+  for (int s = 0; s < 3; ++s) {
+    std::printf("  step %d: %.2f  ", s, addDg.at(s));
+    int bars = (int)(addDg.at(s) * 8 + 0.5);
+    for (int k = 0; k < bars; ++k) std::printf("#");
+    std::printf("\n");
+  }
+  std::printf("\n");
+  bench::claim("DG matches the paper's {1, 1.5, 0.5}",
+               addDg.at(0) == 1.0 && addDg.at(1) == 1.5 && addDg.at(2) == 0.5);
+
+  BlockSchedule s = forceDirectedSchedule(deps, 3);
+  std::printf("\nforce-directed schedule:\n%s\n",
+              renderBlockSchedule(deps, s).c_str());
+  auto peak = peakUsage(deps, s);
+  bench::verdict("adders required after balancing", 1,
+                 peak.at(FuClass::Adder));
+  bench::claim("a3 placed to balance (last step)", [&] {
+    // a3 is the add with slack; it must not share a step with a1 or a2.
+    std::vector<int> addSteps;
+    for (std::size_t i = 0; i < deps.numOps(); ++i)
+      if (deps.op(i).kind == OpKind::Add) addSteps.push_back(s.step[i]);
+    return addSteps.size() == 3 && addSteps[0] != addSteps[1] &&
+           addSteps[1] != addSteps[2] && addSteps[0] != addSteps[2];
+  }());
+  return 0;
+}

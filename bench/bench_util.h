@@ -1,0 +1,82 @@
+// Shared helpers for the experiment benches: table formatting, the paper-vs-
+// measured verdict line, and a deterministic random-DFG generator used by
+// the scheduler-quality and runtime experiments.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "ir/cdfg.h"
+
+namespace mphls::bench {
+
+/// Print a PASS/FAIL verdict comparing a measured value with the paper's.
+inline void verdict(const std::string& what, long paper, long measured) {
+  std::printf("  %-58s paper=%-6ld measured=%-6ld %s\n", what.c_str(), paper,
+              measured, paper == measured ? "PASS" : "FAIL");
+}
+
+/// Qualitative verdict: `holds` asserts the paper's claim shape.
+inline void claim(const std::string& what, bool holds) {
+  std::printf("  %-58s %s\n", what.c_str(), holds ? "HOLDS" : "VIOLATED");
+}
+
+/// Deterministic xorshift PRNG (no global state, reproducible benches).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : s_(seed ? seed : 0x9E3779B97F4A7C15ull) {}
+  std::uint64_t next() {
+    s_ ^= s_ << 13;
+    s_ ^= s_ >> 7;
+    s_ ^= s_ << 17;
+    return s_;
+  }
+  /// Uniform in [0, n).
+  std::size_t below(std::size_t n) { return (std::size_t)(next() % n); }
+
+ private:
+  std::uint64_t s_;
+};
+
+/// Build a random straight-line dataflow block: `n` operations drawing
+/// operands from ports and earlier results, with a given multiplier share.
+/// Every result feeds either a later op or an output write, so nothing is
+/// dead. Deterministic in `seed`.
+inline Function randomDfg(std::size_t n, std::uint64_t seed,
+                          int mulPercent = 25, int width = 16) {
+  Rng rng(seed);
+  Function fn("rand" + std::to_string(seed));
+  BlockId b = fn.addBlock("entry");
+  std::vector<ValueId> pool;
+  for (int i = 0; i < 4; ++i) {
+    PortId p = fn.addInput("p" + std::to_string(i), width);
+    pool.push_back(fn.emitRead(b, p));
+  }
+  std::vector<ValueId> results;
+  for (std::size_t i = 0; i < n; ++i) {
+    ValueId a = pool[rng.below(pool.size())];
+    ValueId c = pool[rng.below(pool.size())];
+    OpKind k;
+    std::size_t roll = rng.below(100);
+    if (roll < (std::size_t)mulPercent) {
+      k = OpKind::Mul;
+    } else if (roll < (std::size_t)mulPercent + 50) {
+      k = OpKind::Add;
+    } else if (roll < (std::size_t)mulPercent + 65) {
+      k = OpKind::Sub;
+    } else {
+      k = OpKind::Xor;
+    }
+    ValueId r = fn.emitBinary(b, k, a, c);
+    pool.push_back(r);
+    results.push_back(r);
+  }
+  // Sink the last few results so the block has outputs.
+  PortId out = fn.addOutput("y", width);
+  ValueId acc = results.back();
+  fn.emitWrite(b, out, acc);
+  fn.setReturn(b);
+  return fn;
+}
+
+}  // namespace mphls::bench

@@ -1,0 +1,69 @@
+// Synthesis + exhaustive verification of a GCD processor, and Verilog
+// output to a file.
+//
+//   $ ./gcd_verify [out.v]
+//
+// GCD exercises what the paper's toy examples do not: data-dependent
+// control flow (the loop trip count depends on the inputs), a modulo
+// operator, and an algorithm where the datapath is trivial but control
+// dominates. The example sweeps several hundred input pairs comparing the
+// synthesized RTL against Euclid's algorithm computed in C++ — the
+// "design verification" discipline of the paper's Section 4.
+#include <fstream>
+#include <iostream>
+#include <numeric>
+
+#include "core/designs.h"
+#include "core/synthesizer.h"
+#include "rtl/rtlsim.h"
+#include "rtl/verilog.h"
+
+using namespace mphls;
+
+int main(int argc, char** argv) {
+  std::cout << "=== gcd processor: synthesize + verify ===\n";
+
+  SynthesisOptions opts;
+  opts.scheduler = SchedulerKind::List;
+  opts.resources = ResourceLimits::universalSet(1);
+  Synthesizer synth(opts);
+  SynthesisResult r = synth.synthesizeSource(designs::gcdSource());
+
+  std::cout << "controller: " << r.design.ctrl.numStates() << " states; "
+            << "datapath: " << r.design.regs.numRegs << " registers, "
+            << r.design.binding.numFus() << " FUs; area "
+            << r.area.total() << "\n";
+
+  RtlSimulator sim(r.design);
+  long tested = 0, failed = 0;
+  long totalCycles = 0;
+  std::uint64_t seed = 0xC0FFEE;
+  for (int trial = 0; trial < 400; ++trial) {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    std::uint64_t a = (seed >> 24) & 0xFFFF;
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    std::uint64_t b = (seed >> 24) & 0xFFFF;
+    auto res = sim.run({{"a0", a}, {"b0", b}});
+    if (!res.finished) {
+      ++failed;
+      continue;
+    }
+    std::uint64_t want = std::gcd(a, b);
+    if (res.outputs.at("g") != want) {
+      std::cout << "  MISMATCH gcd(" << a << ", " << b << ") = "
+                << res.outputs.at("g") << ", want " << want << "\n";
+      ++failed;
+    }
+    totalCycles += res.cycles;
+    ++tested;
+  }
+  std::cout << "verified " << tested << " random input pairs, " << failed
+            << " failures; mean latency "
+            << (tested ? totalCycles / tested : 0) << " cycles\n";
+
+  const char* path = argc > 1 ? argv[1] : "gcd.v";
+  std::ofstream out(path);
+  out << emitVerilog(r.design);
+  std::cout << "wrote Verilog to " << path << "\n";
+  return failed == 0 ? 0 : 1;
+}

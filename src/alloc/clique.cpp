@@ -1,0 +1,157 @@
+#include "alloc/clique.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/diag.h"
+
+namespace mphls {
+
+std::size_t CompatGraph::edgeCount() const {
+  std::size_t e = 0;
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = i + 1; j < n_; ++j)
+      if (adj_[i][j]) ++e;
+  return e;
+}
+
+std::vector<std::vector<std::size_t>> CliqueCover::cliques() const {
+  std::vector<std::vector<std::size_t>> out(count);
+  for (std::size_t i = 0; i < group.size(); ++i) out[group[i]].push_back(i);
+  return out;
+}
+
+bool coverIsValid(const CompatGraph& g, const CliqueCover& c) {
+  if (c.group.size() != g.size()) return false;
+  for (std::size_t i = 0; i < g.size(); ++i)
+    for (std::size_t j = i + 1; j < g.size(); ++j)
+      if (c.group[i] == c.group[j] && !g.compatible(i, j)) return false;
+  return true;
+}
+
+CliqueCover cliquePartition(const CompatGraph& g) {
+  const std::size_t n = g.size();
+  // Work on super-nodes: each starts as one node; merging a super-node
+  // pair requires pairwise compatibility of all members (kept implicitly:
+  // super-nodes stay connected to x only when all members connect to x).
+  std::vector<std::vector<std::size_t>> members(n);
+  std::vector<std::vector<bool>> adj(n, std::vector<bool>(n));
+  std::vector<bool> alive(n, true);
+  for (std::size_t i = 0; i < n; ++i) members[i] = {i};
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j) adj[i][j] = g.compatible(i, j);
+
+  for (;;) {
+    // Pick the compatible pair with the most common neighbors
+    // (Tseng–Siewiorek selection rule).
+    std::size_t bestA = n, bestB = n;
+    int bestCommon = -1;
+    for (std::size_t a = 0; a < n; ++a) {
+      if (!alive[a]) continue;
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (!alive[b] || !adj[a][b]) continue;
+        int common = 0;
+        for (std::size_t x = 0; x < n; ++x)
+          if (alive[x] && x != a && x != b && adj[a][x] && adj[b][x])
+            ++common;
+        if (common > bestCommon) {
+          bestCommon = common;
+          bestA = a;
+          bestB = b;
+        }
+      }
+    }
+    if (bestA == n) break;  // no compatible pair remains
+
+    // Merge b into a: the merged super-node is adjacent to x only when
+    // both were (so its members remain a clique after future merges).
+    for (std::size_t x = 0; x < n; ++x) {
+      adj[bestA][x] = adj[bestA][x] && adj[bestB][x];
+      adj[x][bestA] = adj[bestA][x];
+    }
+    members[bestA].insert(members[bestA].end(), members[bestB].begin(),
+                          members[bestB].end());
+    alive[bestB] = false;
+  }
+
+  CliqueCover cover;
+  cover.group.assign(n, 0);
+  for (std::size_t a = 0; a < n; ++a) {
+    if (!alive[a]) continue;
+    for (std::size_t m : members[a]) cover.group[m] = cover.count;
+    ++cover.count;
+  }
+  MPHLS_CHECK(coverIsValid(g, cover), "greedy clique cover invalid");
+  return cover;
+}
+
+namespace {
+
+struct ExactSearcher {
+  const CompatGraph& g;
+  long budget;
+  long nodes = 0;
+  bool exhausted = false;
+
+  std::vector<std::size_t> assign;       // clique per node (partial)
+  std::vector<std::size_t> best;
+  std::size_t bestCount;
+
+  explicit ExactSearcher(const CompatGraph& graph, long b, std::size_t ub)
+      : g(graph), budget(b), bestCount(ub) {
+    assign.assign(g.size(), 0);
+    best.assign(g.size(), 0);
+  }
+
+  void dfs(std::size_t idx, std::size_t used) {
+    if (exhausted || ++nodes > budget) {
+      exhausted = true;
+      return;
+    }
+    if (used >= bestCount) return;  // bound
+    if (idx == g.size()) {
+      bestCount = used;
+      best = assign;
+      return;
+    }
+    // Try existing cliques.
+    for (std::size_t c = 0; c < used; ++c) {
+      bool ok = true;
+      for (std::size_t j = 0; j < idx; ++j) {
+        if (assign[j] == c && !g.compatible(idx, j)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        assign[idx] = c;
+        dfs(idx + 1, used);
+      }
+    }
+    // Open a new clique.
+    assign[idx] = used;
+    dfs(idx + 1, used + 1);
+  }
+};
+
+}  // namespace
+
+CliqueCover cliquePartitionExact(const CompatGraph& g, long nodeBudget) {
+  CliqueCover greedy = cliquePartition(g);
+  if (g.size() == 0) return greedy;
+
+  ExactSearcher sr(g, nodeBudget, greedy.count + 1);
+  // Seed with the greedy solution as the incumbent.
+  sr.best = greedy.group;
+  sr.bestCount = greedy.count;
+  sr.dfs(0, 0);
+
+  CliqueCover cover;
+  cover.group = sr.best;
+  cover.count = sr.bestCount;
+  MPHLS_CHECK(coverIsValid(g, cover), "exact clique cover invalid");
+  return cover;
+}
+
+}  // namespace mphls

@@ -1,0 +1,61 @@
+// Clique partitioning (Section 3.2.2, Fig. 7, after Tseng & Siewiorek):
+// "creating graphs in which the elements to be assigned to hardware ...
+// are represented by nodes, and there is an arc between two nodes if and
+// only if the corresponding elements can share the same hardware. The
+// problem then becomes one of finding those sets of nodes in the graph all
+// of whose members are connected to one another ... If the objective is to
+// minimize the number of hardware units, then we would want to find the
+// minimal number of cliques that cover the graph."
+//
+// Finding maximal cliques is NP-hard, "so in practice, greedy heuristics
+// are employed" — the heuristic here merges the edge whose endpoints share
+// the most common neighbors (Tseng–Siewiorek); an exact branch-and-bound
+// cover is provided for small graphs so the heuristic can be audited.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mphls {
+
+/// Undirected compatibility graph over n nodes.
+class CompatGraph {
+ public:
+  explicit CompatGraph(std::size_t n) : n_(n), adj_(n, std::vector<bool>(n)) {}
+
+  void addEdge(std::size_t a, std::size_t b) {
+    if (a == b) return;
+    adj_[a][b] = adj_[b][a] = true;
+  }
+  [[nodiscard]] bool compatible(std::size_t a, std::size_t b) const {
+    return adj_[a][b];
+  }
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] std::size_t edgeCount() const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::vector<bool>> adj_;
+};
+
+/// A clique cover: `group[i]` is the clique index of node i; `count` the
+/// number of cliques.
+struct CliqueCover {
+  std::vector<std::size_t> group;
+  std::size_t count = 0;
+
+  [[nodiscard]] std::vector<std::vector<std::size_t>> cliques() const;
+};
+
+/// Tseng–Siewiorek greedy clique partitioning.
+[[nodiscard]] CliqueCover cliquePartition(const CompatGraph& g);
+
+/// Exact minimum clique cover by branch and bound (practical to ~20 nodes;
+/// node budget guards larger inputs, falling back to the heuristic).
+[[nodiscard]] CliqueCover cliquePartitionExact(const CompatGraph& g,
+                                               long nodeBudget = 1'000'000);
+
+/// Check that every group of `cover` is a clique of `g`.
+[[nodiscard]] bool coverIsValid(const CompatGraph& g, const CliqueCover& c);
+
+}  // namespace mphls

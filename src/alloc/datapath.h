@@ -1,0 +1,87 @@
+// Shared data-path allocation types: operand sources, functional-unit
+// instances and the op->FU binding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/ids.h"
+#include "ir/cdfg.h"
+#include "lib/library.h"
+
+namespace mphls {
+
+/// One free wiring operation applied between a datapath source and its
+/// consumer: a width cast or a constant shift. In hardware this is pure
+/// wiring (bit selection / padding), but distinct transforms of the same
+/// root are distinct multiplexer legs.
+struct WireXform {
+  OpKind kind = OpKind::ZExt;
+  std::int64_t imm = 0;  ///< constant shift amount
+  int width = 0;         ///< result width of this stage
+
+  friend bool operator==(const WireXform& a, const WireXform& b) {
+    return a.kind == b.kind && a.imm == b.imm && a.width == b.width;
+  }
+  friend bool operator<(const WireXform& a, const WireXform& b) {
+    return std::tie(a.kind, a.imm, a.width) < std::tie(b.kind, b.imm, b.width);
+  }
+};
+
+/// Where an operand (or a register/port input) comes from in the datapath.
+struct Source {
+  enum class Kind { Reg, Port, Const, Fu };
+  Kind kind = Kind::Const;
+  int id = 0;            ///< register index / port id / fu index
+  std::int64_t imm = 0;  ///< constant payload
+  /// Wiring applied root-to-consumer, in application order.
+  std::vector<WireXform> xform;
+  /// Width of the root (before transforms).
+  int rootWidth = 0;
+
+  // rootWidth participates in identity: two reads of the same (shared)
+  // register at different widths are different wire slices and must be
+  // separate multiplexer legs.
+  friend bool operator==(const Source& a, const Source& b) {
+    return a.kind == b.kind && a.id == b.id && a.imm == b.imm &&
+           a.rootWidth == b.rootWidth && a.xform == b.xform;
+  }
+  friend bool operator<(const Source& a, const Source& b) {
+    return std::tie(a.kind, a.id, a.imm, a.rootWidth, a.xform) <
+           std::tie(b.kind, b.id, b.imm, b.rootWidth, b.xform);
+  }
+  [[nodiscard]] std::string str() const;
+  /// Width after all transforms (rootWidth when none).
+  [[nodiscard]] int finalWidth() const {
+    return xform.empty() ? rootWidth : xform.back().width;
+  }
+};
+
+/// One allocated functional-unit instance.
+struct FuInstance {
+  std::vector<OpKind> kinds;  ///< operation kinds mapped onto it
+  int width = 0;              ///< widest operation it executes
+  CompId comp;                ///< bound library component
+
+  [[nodiscard]] bool performs(OpKind k) const {
+    for (OpKind x : kinds)
+      if (x == k) return true;
+    return false;
+  }
+};
+
+/// Result of functional-unit allocation for a whole function.
+struct FuBinding {
+  std::vector<FuInstance> fus;
+  /// Per block (by BlockId), per op index: FU index or -1 (no FU needed).
+  std::vector<std::vector<int>> fuOfOp;
+  /// Per block, per op index: operands presented in swapped order (chosen
+  /// by the allocator for commutative ops to reduce multiplexing).
+  std::vector<std::vector<bool>> swappedOfOp;
+
+  [[nodiscard]] int numFus() const { return (int)fus.size(); }
+};
+
+}  // namespace mphls

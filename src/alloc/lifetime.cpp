@@ -1,0 +1,179 @@
+#include "alloc/lifetime.h"
+
+#include <algorithm>
+#include <map>
+
+#include "ir/analysis.h"
+#include "ir/deps.h"
+
+namespace mphls {
+
+int LifetimeInfo::maxOverlap() const {
+  // Sweep event counts over global steps.
+  std::vector<int> delta(static_cast<std::size_t>(totalSteps) + 2, 0);
+  for (const auto& it : items) {
+    if (it.live.empty()) continue;
+    delta[static_cast<std::size_t>(std::max(it.live.birth, 0))] += 1;
+    delta[static_cast<std::size_t>(
+        std::min(it.live.death, totalSteps + 1))] -= 1;
+  }
+  int cur = 0, best = 0;
+  for (int d : delta) {
+    cur += d;
+    best = std::max(best, cur);
+  }
+  return best;
+}
+
+LifetimeInfo computeLifetimes(const Function& fn, const Schedule& sched,
+                              const OpLatencyModel& latencies) {
+  LifetimeInfo info;
+  info.itemOfValue.assign(fn.numValues(), -1);
+  info.itemOfVar.assign(fn.vars().size(), -1);
+  info.blockBase.assign(fn.numBlocks(), 0);
+
+  // Lay blocks out in reverse post-order.
+  auto rpo = reversePostOrder(fn);
+  int base = 0;
+  for (BlockId b : rpo) {
+    info.blockBase[b.index()] = base;
+    base += std::max(sched.of(b).numSteps, 0);
+  }
+  info.totalSteps = base;
+
+  // ---- temporaries -------------------------------------------------------
+  for (const auto& blk : fn.blocks()) {
+    const BlockSchedule& bs = sched.of(blk.id);
+    const int blockBase = info.blockBase[blk.id.index()];
+
+    // Step of each op in this block (by op index).
+    // Def step and last-use step per root value.
+    std::vector<int> opStep(blk.ops.size());
+    for (std::size_t i = 0; i < blk.ops.size(); ++i) opStep[i] = bs.step[i];
+
+    // Map value -> defining op index within the block.
+    std::vector<int> defIndexOfValue(fn.numValues(), -1);
+    for (std::size_t i = 0; i < blk.ops.size(); ++i) {
+      const Op& o = fn.op(blk.ops[i]);
+      if (o.result.valid()) defIndexOfValue[o.result.index()] = (int)i;
+    }
+
+    struct RootUse {
+      int defStep = 0;
+      int lastUse = -1;
+    };
+    std::map<std::uint32_t, RootUse> roots;
+
+    for (std::size_t i = 0; i < blk.ops.size(); ++i) {
+      const Op& o = fn.op(blk.ops[i]);
+      for (ValueId a : o.args) {
+        ValueId r = rootValue(fn, a);
+        const Op& rdef = fn.defOf(r);
+        // Const and port reads are wiring; variable loads use the
+        // variable's own register.
+        if (rdef.kind == OpKind::Const || rdef.kind == OpKind::ReadPort ||
+            rdef.kind == OpKind::LoadVar)
+          continue;
+        int defIdx = defIndexOfValue[r.index()];
+        MPHLS_CHECK(defIdx >= 0, "root value not defined in block");
+        auto& ru = roots[r.get()];
+        // The value is latched at the producer's completion step.
+        ru.defStep = opStep[static_cast<std::size_t>(defIdx)] +
+                     latencies.of(fn.defOf(r).kind) - 1;
+        ru.lastUse = std::max(ru.lastUse, opStep[i]);
+      }
+    }
+    if (blk.term.kind == Terminator::Kind::Branch) {
+      ValueId r = rootValue(fn, blk.term.cond);
+      const Op& rdef = fn.defOf(r);
+      if (rdef.kind != OpKind::Const && rdef.kind != OpKind::ReadPort &&
+          rdef.kind != OpKind::LoadVar) {
+        int defIdx = defIndexOfValue[r.index()];
+        MPHLS_CHECK(defIdx >= 0, "branch cond root not in block");
+        auto& ru = roots[r.get()];
+        ru.defStep = opStep[static_cast<std::size_t>(defIdx)] +
+                     latencies.of(rdef.kind) - 1;
+        // The condition is consumed in the block's final step.
+        ru.lastUse = std::max(ru.lastUse,
+                              std::max(bs.numSteps - 1, ru.defStep));
+      }
+    }
+
+    for (const auto& [vid, ru] : roots) {
+      if (ru.lastUse <= ru.defStep) continue;  // same-step: combinational
+      StorageItem item;
+      item.kind = StorageItem::Kind::Temp;
+      item.value = ValueId(vid);
+      item.width = fn.value(ValueId(vid)).width;
+      item.live = {blockBase + ru.defStep, blockBase + ru.lastUse};
+      item.name = "t" + std::to_string(vid);
+      info.itemOfValue[item.value.index()] = (int)info.items.size();
+      info.items.push_back(std::move(item));
+    }
+  }
+
+  // ---- variables ----------------------------------------------------------
+  VarLiveness lv = computeVarLiveness(fn);
+  for (const auto& var : fn.vars()) {
+    int lo = INT32_MAX, hi = INT32_MIN;
+    bool stored = false;
+    for (const auto& blk : fn.blocks()) {
+      const int bb = info.blockBase[blk.id.index()];
+      const BlockSchedule& bs = sched.of(blk.id);
+      if (lv.liveIn[blk.id.index()][var.id.index()]) {
+        lo = std::min(lo, bb);
+        hi = std::max(hi, bb + 1);
+      }
+      if (lv.liveOut[blk.id.index()][var.id.index()]) {
+        lo = std::min(lo, bb);  // conservative: written somewhere within
+        hi = std::max(hi, bb + std::max(bs.numSteps, 1));
+      }
+      for (std::size_t i = 0; i < blk.ops.size(); ++i) {
+        const Op& o = fn.op(blk.ops[i]);
+        if (o.kind == OpKind::StoreVar && o.var == var.id) {
+          stored = true;
+          lo = std::min(lo, bb + bs.step[i]);
+          hi = std::max(hi, bb + bs.step[i] + 1);
+        } else if (o.kind == OpKind::LoadVar && o.var == var.id) {
+          lo = std::min(lo, bb + bs.step[i]);
+          hi = std::max(hi, bb + bs.step[i] + 1);
+        }
+        // Loads are transparent wiring: the variable's register is actually
+        // read when a *consumer* of a load-rooted value executes, which may
+        // be later than the load's own position. Extend the lifetime to
+        // every such consumer.
+        for (ValueId a : o.args) {
+          ValueId r = rootValue(fn, a);
+          const Op& rdef = fn.defOf(r);
+          if (rdef.kind == OpKind::LoadVar && rdef.var == var.id) {
+            lo = std::min(lo, bb + bs.step[i]);
+            hi = std::max(hi, bb + bs.step[i] + 1);
+          }
+        }
+      }
+      // A branch condition rooted at a load of this variable is consumed
+      // in the block's final step.
+      if (blk.term.kind == Terminator::Kind::Branch) {
+        ValueId r = rootValue(fn, blk.term.cond);
+        const Op& rdef = fn.defOf(r);
+        if (rdef.kind == OpKind::LoadVar && rdef.var == var.id) {
+          lo = std::min(lo, bb);
+          hi = std::max(hi, bb + std::max(bs.numSteps, 1));
+        }
+      }
+    }
+    if (!stored || lo >= hi) continue;  // never written: no register
+    StorageItem item;
+    item.kind = StorageItem::Kind::Variable;
+    item.var = var.id;
+    item.width = var.width;
+    item.live = {lo, hi};
+    item.name = var.name;
+    info.itemOfVar[var.id.index()] = (int)info.items.size();
+    info.items.push_back(std::move(item));
+  }
+
+  return info;
+}
+
+}  // namespace mphls

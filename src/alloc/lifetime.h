@@ -1,0 +1,58 @@
+// Storage lifetime analysis (Section 3.2): "In memory allocation, values
+// that are generated in one control step and used in another must be
+// assigned to storage. Values may be assigned to the same register when
+// their lifetimes do not overlap."
+//
+// Lifetimes are computed over a *global* control-step space: blocks are
+// laid out consecutively in reverse post-order, so step `s` of block `b`
+// becomes global step base(b) + s. Two storage item families exist:
+//   - temporaries: values produced by an operation in one step and consumed
+//     in a later step of the same block;
+//   - variables: named storage live within and across blocks (loop-carried
+//     variables stay live across their whole loop span).
+// Free ops (casts, constant shifts) alias their root producer: wiring is
+// applied at the consumer, so only the root value occupies a register.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "ir/cdfg.h"
+#include "sched/schedule.h"
+
+namespace mphls {
+
+struct StorageItem {
+  enum class Kind { Temp, Variable };
+  Kind kind = Kind::Temp;
+  ValueId value;  ///< root value (Temp)
+  VarId var;      ///< variable (Variable)
+  int width = 0;
+  LiveInterval live;  ///< half-open [birth, death) in global steps
+  std::string name;
+};
+
+struct LifetimeInfo {
+  std::vector<StorageItem> items;
+  std::vector<int> blockBase;  ///< global base step per block (by BlockId)
+  int totalSteps = 0;
+  /// Item index for each value id; -1 when the value needs no register
+  /// (const/port wiring, same-step consumption, or alias of another item).
+  std::vector<int> itemOfValue;
+  /// Item index for each variable id; -1 when the variable is never stored.
+  std::vector<int> itemOfVar;
+
+  /// Maximum number of simultaneously live items — the lower bound on
+  /// register count any allocation can achieve.
+  [[nodiscard]] int maxOverlap() const;
+};
+
+/// With a multicycle `latencies` model, a temporary's birth is its
+/// producer's completion step (issue + cycles - 1), where the value is
+/// first latched.
+[[nodiscard]] LifetimeInfo computeLifetimes(
+    const Function& fn, const Schedule& sched,
+    const OpLatencyModel& latencies = OpLatencyModel::unit());
+
+}  // namespace mphls

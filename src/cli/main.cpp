@@ -1,0 +1,285 @@
+// mphls — command-line driver for the high-level synthesis system.
+//
+// Usage:
+//   mphls [options] design.bdl
+//
+// Options:
+//   --top NAME             top procedure (default: last in file)
+//   --scheduler KIND       serial|asap|list|force|freedom|bnb|transform
+//   --fus N                universal functional-unit limit (default 2)
+//   --priority P           list priority: path|mobility|urgency|program
+//   --opt LEVEL            none|standard|aggressive (default standard)
+//   --fu-alloc M           greedy|global|blind|clique (default greedy)
+//   --reg-alloc M          leftedge|clique|naive (default leftedge)
+//   --encoding E           binary|gray|onehot (default binary)
+//   --time-constraint N    steps for force-directed scheduling
+//   --verilog FILE         write generated Verilog
+//   --dot FILE             write the CFG (and per-block DFGs) as DOT
+//   --verify a=1,b=2       simulate RTL vs behavior on given inputs
+//                          (repeatable)
+//   --sweep N              print an area/latency sweep over 1..N FUs
+//   --multicycle           2-step multipliers / 4-step dividers
+//   --quiet                suppress the report
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/dse.h"
+#include "core/synthesizer.h"
+#include "ir/dot.h"
+#include "lang/frontend.h"
+#include "rtl/rtlsim.h"
+#include "rtl/verilog.h"
+#include "sched/schedule.h"
+
+using namespace mphls;
+
+namespace {
+
+struct CliArgs {
+  std::string file;
+  std::string top;
+  std::string verilogOut;
+  std::string dotOut;
+  std::vector<std::map<std::string, std::uint64_t>> verifyRuns;
+  int sweep = 0;
+  bool quiet = false;
+  SynthesisOptions opts;
+};
+
+void usage() {
+  std::cerr <<
+      "usage: mphls [options] design.bdl\n"
+      "  --top NAME  --scheduler serial|asap|list|force|freedom|bnb|transform\n"
+      "  --fus N  --priority path|mobility|urgency|program\n"
+      "  --opt none|standard|aggressive  --fu-alloc greedy|global|blind|clique\n"
+      "  --reg-alloc leftedge|clique|naive  --encoding binary|gray|onehot\n"
+      "  --time-constraint N  --verilog FILE  --dot FILE\n"
+      "  --verify a=1,b=2  --sweep N  --multicycle  --quiet\n";
+}
+
+bool parseInputs(const std::string& spec,
+                 std::map<std::string, std::uint64_t>& out) {
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    auto eq = item.find('=');
+    if (eq == std::string::npos) return false;
+    out[item.substr(0, eq)] =
+        std::strtoull(item.c_str() + eq + 1, nullptr, 0);
+  }
+  return true;
+}
+
+int fail(const std::string& msg) {
+  std::cerr << "mphls: " << msg << "\n";
+  return 1;
+}
+
+std::optional<CliArgs> parseArgs(int argc, char** argv) {
+  CliArgs a;
+  a.opts.resources = ResourceLimits::universalSet(2);
+  int fus = 2;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--top") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.top = v;
+    } else if (arg == "--scheduler") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      std::string s = v;
+      if (s == "serial") a.opts.scheduler = SchedulerKind::Serial;
+      else if (s == "asap") a.opts.scheduler = SchedulerKind::Asap;
+      else if (s == "list") a.opts.scheduler = SchedulerKind::List;
+      else if (s == "force") a.opts.scheduler = SchedulerKind::ForceDirected;
+      else if (s == "freedom") a.opts.scheduler = SchedulerKind::Freedom;
+      else if (s == "bnb") a.opts.scheduler = SchedulerKind::BranchBound;
+      else if (s == "transform") a.opts.scheduler = SchedulerKind::Transform;
+      else return std::nullopt;
+    } else if (arg == "--fus") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      fus = std::atoi(v);
+      if (fus < 1) return std::nullopt;
+    } else if (arg == "--priority") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      std::string s = v;
+      if (s == "path") a.opts.listPriority = ListPriority::PathLength;
+      else if (s == "mobility") a.opts.listPriority = ListPriority::Mobility;
+      else if (s == "urgency") a.opts.listPriority = ListPriority::Urgency;
+      else if (s == "program") a.opts.listPriority = ListPriority::ProgramOrder;
+      else return std::nullopt;
+    } else if (arg == "--opt") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      std::string s = v;
+      if (s == "none") a.opts.opt = OptLevel::None;
+      else if (s == "standard") a.opts.opt = OptLevel::Standard;
+      else if (s == "aggressive") a.opts.opt = OptLevel::Aggressive;
+      else return std::nullopt;
+    } else if (arg == "--fu-alloc") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      std::string s = v;
+      if (s == "greedy") a.opts.fuMethod = FuAllocMethod::GreedyLocal;
+      else if (s == "global") a.opts.fuMethod = FuAllocMethod::GreedyGlobal;
+      else if (s == "blind") a.opts.fuMethod = FuAllocMethod::InterconnectBlind;
+      else if (s == "clique") a.opts.fuMethod = FuAllocMethod::Clique;
+      else return std::nullopt;
+    } else if (arg == "--reg-alloc") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      std::string s = v;
+      if (s == "leftedge") a.opts.regMethod = RegAllocMethod::LeftEdge;
+      else if (s == "clique") a.opts.regMethod = RegAllocMethod::Clique;
+      else if (s == "naive") a.opts.regMethod = RegAllocMethod::Naive;
+      else return std::nullopt;
+    } else if (arg == "--encoding") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      std::string s = v;
+      if (s == "binary") a.opts.encoding = StateEncoding::Binary;
+      else if (s == "gray") a.opts.encoding = StateEncoding::Gray;
+      else if (s == "onehot") a.opts.encoding = StateEncoding::OneHot;
+      else return std::nullopt;
+    } else if (arg == "--time-constraint") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.opts.timeConstraint = std::atoi(v);
+    } else if (arg == "--verilog") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.verilogOut = v;
+    } else if (arg == "--dot") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.dotOut = v;
+    } else if (arg == "--verify") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      std::map<std::string, std::uint64_t> in;
+      if (!parseInputs(v, in)) return std::nullopt;
+      a.verifyRuns.push_back(std::move(in));
+    } else if (arg == "--sweep") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.sweep = std::atoi(v);
+    } else if (arg == "--multicycle") {
+      a.opts.latencies = OpLatencyModel::multiCycle();
+    } else if (arg == "--quiet") {
+      a.quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return std::nullopt;
+    } else {
+      a.file = arg;
+    }
+  }
+  a.opts.resources = ResourceLimits::universalSet(fus);
+  if (a.file.empty()) return std::nullopt;
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = parseArgs(argc, argv);
+  if (!parsed) {
+    usage();
+    return 2;
+  }
+  CliArgs& a = *parsed;
+
+  std::ifstream in(a.file);
+  if (!in) return fail("cannot open " + a.file);
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  DiagEngine diags;
+  auto fn = compileBdl(buf.str(), diags, a.top);
+  for (const auto& d : diags.all()) std::cerr << a.file << ":" << d.str() << "\n";
+  if (!fn) return 1;
+
+  Synthesizer synth(a.opts);
+  SynthesisResult result = synth.synthesize(std::move(*fn));
+  const RtlDesign& d = result.design;
+
+  if (!a.quiet) {
+    std::cout << "design '" << d.fn.name() << "': " << d.fn.numLiveOps()
+              << " ops in " << d.fn.numBlocks() << " blocks after "
+              << "optimization\n";
+    std::cout << "scheduler: " << schedulerName(a.opts.scheduler)
+              << "; static latency " << result.staticLatency()
+              << " control steps\n";
+    for (const auto& blk : d.fn.blocks()) {
+      if (blk.ops.empty()) continue;
+      BlockDeps deps(d.fn, blk);
+      std::cout << "  " << blk.name << " (" << d.sched.of(blk.id).numSteps
+                << " steps)\n"
+                << renderBlockSchedule(deps, d.sched.of(blk.id));
+    }
+    std::cout << "datapath: " << d.regs.numRegs << " registers, "
+              << d.binding.numFus() << " functional units (";
+    for (int f = 0; f < d.binding.numFus(); ++f)
+      std::cout << (f ? ", " : "")
+                << d.lib.component(d.binding.fus[(std::size_t)f].comp).name;
+    std::cout << "), " << d.ic.mux2to1Count << " 2:1 muxes\n";
+    std::cout << "controller: " << d.ctrl.numStates() << " states ("
+              << stateEncodingName(a.opts.encoding) << ", "
+              << result.fsm.minimizedLogic.termCount()
+              << " PLA terms); microcode "
+              << result.microEncoded.wordWidth << "b/word encoded vs "
+              << result.microHorizontal.wordWidth << "b horizontal\n";
+    std::cout << "estimates: area " << result.area.total() << ", cycle time "
+              << result.timing.cycleTime << "\n";
+  }
+
+  if (!a.dotOut.empty()) {
+    std::ofstream out(a.dotOut);
+    if (!out) return fail("cannot write " + a.dotOut);
+    out << controlFlowDot(d.fn);
+    for (const auto& blk : d.fn.blocks())
+      if (!blk.ops.empty()) out << dataFlowDot(d.fn, blk.id);
+    if (!a.quiet) std::cout << "wrote DOT to " << a.dotOut << "\n";
+  }
+  if (!a.verilogOut.empty()) {
+    std::ofstream out(a.verilogOut);
+    if (!out) return fail("cannot write " + a.verilogOut);
+    out << emitVerilog(d);
+    if (!a.quiet) std::cout << "wrote Verilog to " << a.verilogOut << "\n";
+  }
+
+  int failures = 0;
+  for (const auto& inputs : a.verifyRuns) {
+    std::string msg = verifyAgainstBehavior(result, inputs);
+    RtlSimulator sim(d);
+    auto res = sim.run(inputs);
+    std::cout << "verify";
+    for (const auto& [k, v] : inputs) std::cout << " " << k << "=" << v;
+    if (msg.empty()) {
+      std::cout << " -> OK (" << res.cycles << " cycles;";
+      for (const auto& [k, v] : res.outputs) std::cout << " " << k << "=" << v;
+      std::cout << ")\n";
+    } else {
+      std::cout << " -> " << msg << "\n";
+      ++failures;
+    }
+  }
+
+  if (a.sweep > 0) {
+    auto points = exploreResourceSweep(buf.str(), a.sweep, a.opts);
+    std::cout << "sweep (list scheduling, 1.." << a.sweep << " FUs):\n";
+    std::printf("  %-8s %8s %12s %12s %8s\n", "FUs", "latency", "cycle",
+                "area", "pareto");
+    for (const auto& p : points)
+      std::printf("  %-8d %8d %12.2f %12.1f %8s\n", p.limit, p.latencySteps,
+                  p.cycleTime, p.area, p.pareto ? "*" : "");
+  }
+  return failures == 0 ? 0 : 1;
+}

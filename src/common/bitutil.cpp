@@ -1,0 +1,53 @@
+#include "common/bitutil.h"
+
+#include "common/diag.h"
+
+namespace mphls {
+
+int bitsForStates(std::uint64_t n) {
+  if (n <= 1) return 1;
+  int bits = 0;
+  std::uint64_t cap = 1;
+  while (cap < n) {
+    cap <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+bool isPowerOfTwo(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+int log2Floor(std::uint64_t v) {
+  MPHLS_CHECK(v > 0, "log2Floor of zero");
+  int r = 0;
+  while (v >>= 1) ++r;
+  return r;
+}
+
+std::uint64_t maskBits(int width) {
+  MPHLS_CHECK(width >= 1 && width <= kMaxWidth, "bad width " << width);
+  if (width == 64) return ~0ULL;
+  return (1ULL << width) - 1;
+}
+
+std::uint64_t truncBits(std::uint64_t v, int width) {
+  return v & maskBits(width);
+}
+
+std::int64_t signExtend(std::uint64_t v, int width) {
+  MPHLS_CHECK(width >= 1 && width <= kMaxWidth, "bad width " << width);
+  v = truncBits(v, width);
+  if (width == 64) return static_cast<std::int64_t>(v);
+  const std::uint64_t signBit = 1ULL << (width - 1);
+  if (v & signBit) v |= ~maskBits(width);
+  return static_cast<std::int64_t>(v);
+}
+
+std::string toBinary(std::uint64_t v, int width) {
+  std::string s(static_cast<std::size_t>(width), '0');
+  for (int i = 0; i < width; ++i)
+    if (v & (1ULL << i)) s[static_cast<std::size_t>(width - 1 - i)] = '1';
+  return s;
+}
+
+}  // namespace mphls

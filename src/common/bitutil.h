@@ -1,0 +1,36 @@
+// Bit-level helpers shared by the IR interpreter, the RTL simulator and
+// the controller encoders. All datapath arithmetic in mphls is performed
+// on two's-complement values truncated to a declared bit width, exactly
+// as the synthesized hardware would compute it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mphls {
+
+/// Maximum supported operand width. 64 keeps host arithmetic exact.
+inline constexpr int kMaxWidth = 64;
+
+/// Number of bits needed to represent `n` distinct states (>= 1).
+[[nodiscard]] int bitsForStates(std::uint64_t n);
+
+/// True when `v` is a (positive) power of two.
+[[nodiscard]] bool isPowerOfTwo(std::uint64_t v);
+
+/// floor(log2(v)); requires v > 0.
+[[nodiscard]] int log2Floor(std::uint64_t v);
+
+/// All-ones mask of `width` bits (width in [1, 64]).
+[[nodiscard]] std::uint64_t maskBits(int width);
+
+/// Truncate `v` to `width` bits (unsigned view).
+[[nodiscard]] std::uint64_t truncBits(std::uint64_t v, int width);
+
+/// Sign-extend the low `width` bits of `v` to a signed 64-bit value.
+[[nodiscard]] std::int64_t signExtend(std::uint64_t v, int width);
+
+/// Render the low `width` bits of `v` as a binary string, MSB first.
+[[nodiscard]] std::string toBinary(std::uint64_t v, int width);
+
+}  // namespace mphls

@@ -1,0 +1,29 @@
+#include "common/diag.h"
+
+namespace mphls {
+
+std::string SourceLoc::str() const {
+  if (!known()) return "<unknown>";
+  std::ostringstream oss;
+  oss << line << ":" << column;
+  return oss.str();
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream oss;
+  switch (severity) {
+    case Severity::Note: oss << "note"; break;
+    case Severity::Warning: oss << "warning"; break;
+    case Severity::Error: oss << "error"; break;
+  }
+  oss << " at " << loc.str() << ": " << message;
+  return oss.str();
+}
+
+std::string DiagEngine::summary() const {
+  std::ostringstream oss;
+  for (const auto& d : diags_) oss << d.str() << "\n";
+  return oss.str();
+}
+
+}  // namespace mphls

@@ -1,0 +1,83 @@
+// Diagnostics: source locations and error reporting for the BDL frontend
+// and internal consistency checks.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mphls {
+
+/// A position in a BDL source text (1-based line/column; 0 means unknown).
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  [[nodiscard]] bool known() const { return line > 0; }
+  [[nodiscard]] std::string str() const;
+};
+
+enum class Severity { Note, Warning, Error };
+
+/// One reported message.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Collects diagnostics produced while compiling a specification.
+///
+/// The frontend reports problems here instead of throwing so a single run
+/// can surface every error in the input. `ok()` gates the pipeline.
+class DiagEngine {
+ public:
+  void error(SourceLoc loc, std::string msg) {
+    diags_.push_back({Severity::Error, loc, std::move(msg)});
+  }
+  void warning(SourceLoc loc, std::string msg) {
+    diags_.push_back({Severity::Warning, loc, std::move(msg)});
+  }
+  void note(SourceLoc loc, std::string msg) {
+    diags_.push_back({Severity::Note, loc, std::move(msg)});
+  }
+
+  [[nodiscard]] bool ok() const {
+    for (const auto& d : diags_)
+      if (d.severity == Severity::Error) return false;
+    return true;
+  }
+  [[nodiscard]] std::size_t errorCount() const {
+    std::size_t n = 0;
+    for (const auto& d : diags_)
+      if (d.severity == Severity::Error) ++n;
+    return n;
+  }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+/// Thrown on violated internal invariants (never on bad user input).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// MPHLS_CHECK(cond, msg): internal invariant check that survives NDEBUG.
+#define MPHLS_CHECK(cond, msg)                                       \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream oss_;                                       \
+      oss_ << "internal error at " << __FILE__ << ":" << __LINE__    \
+           << ": " << msg;                                           \
+      throw ::mphls::InternalError(oss_.str());                      \
+    }                                                                \
+  } while (false)
+
+}  // namespace mphls

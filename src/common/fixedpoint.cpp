@@ -1,0 +1,30 @@
+#include "common/fixedpoint.h"
+
+#include <cmath>
+
+#include "common/diag.h"
+
+namespace mphls {
+
+std::uint64_t toFixed(double x, int fracBits) {
+  MPHLS_CHECK(x >= 0.0, "toFixed requires non-negative input");
+  MPHLS_CHECK(fracBits >= 0 && fracBits < 63, "bad fracBits");
+  return static_cast<std::uint64_t>(
+      std::llround(x * static_cast<double>(1ULL << fracBits)));
+}
+
+double fromFixed(std::uint64_t raw, int fracBits) {
+  MPHLS_CHECK(fracBits >= 0 && fracBits < 63, "bad fracBits");
+  return static_cast<double>(raw) / static_cast<double>(1ULL << fracBits);
+}
+
+std::uint64_t fixedMul(std::uint64_t a, std::uint64_t b, int fracBits) {
+  return (a * b) >> fracBits;
+}
+
+std::uint64_t fixedDiv(std::uint64_t a, std::uint64_t b, int fracBits) {
+  MPHLS_CHECK(b != 0, "fixedDiv by zero");
+  return (a << fracBits) / b;
+}
+
+}  // namespace mphls

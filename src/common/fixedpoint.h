@@ -1,0 +1,31 @@
+// Fixed-point helpers.
+//
+// The paper's square-root example works on fractional values in <1/16, 1>
+// (Newton's method with a first-degree minimax polynomial seed). BDL and the
+// synthesized datapaths operate on integers, so the example designs encode
+// such fractions as unsigned fixed point with a compile-time number of
+// fraction bits. These helpers convert between doubles and raw encodings for
+// building stimulus and checking results.
+#pragma once
+
+#include <cstdint>
+
+namespace mphls {
+
+/// Encode `x` as unsigned fixed point with `fracBits` fraction bits,
+/// rounding to nearest. Requires x >= 0.
+[[nodiscard]] std::uint64_t toFixed(double x, int fracBits);
+
+/// Decode an unsigned fixed-point raw value.
+[[nodiscard]] double fromFixed(std::uint64_t raw, int fracBits);
+
+/// Fixed-point multiply with truncation: (a*b) >> fracBits, as hardware
+/// with a full-width product and a constant shift would compute it.
+[[nodiscard]] std::uint64_t fixedMul(std::uint64_t a, std::uint64_t b,
+                                     int fracBits);
+
+/// Fixed-point divide: (a << fracBits) / b. Requires b != 0.
+[[nodiscard]] std::uint64_t fixedDiv(std::uint64_t a, std::uint64_t b,
+                                     int fracBits);
+
+}  // namespace mphls

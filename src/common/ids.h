@@ -1,0 +1,92 @@
+// Strongly-typed integer identifiers.
+//
+// Every IR entity (operation, value, block, variable, port, ...) is referred
+// to by index into an owning container. Raw `int` indices are error prone:
+// passing an OpId where a ValueId is expected compiles silently. The Id<Tag>
+// template makes each id family a distinct type while keeping the cost of a
+// plain integer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace mphls {
+
+/// A strongly typed, index-like identifier. `Tag` is any (possibly
+/// incomplete) type used purely to distinguish id families.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint32_t;
+  static constexpr underlying_type kInvalid =
+      std::numeric_limits<underlying_type>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type v) : value_(v) {}
+  constexpr explicit Id(std::size_t v)
+      : value_(static_cast<underlying_type>(v)) {}
+  constexpr explicit Id(int v) : value_(static_cast<underlying_type>(v)) {}
+
+  /// True when this id refers to an actual entity.
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+  [[nodiscard]] constexpr underlying_type get() const { return value_; }
+  /// Index form, for use with operator[] on vectors.
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+
+  static constexpr Id invalid() { return Id(); }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+  friend constexpr bool operator>(Id a, Id b) { return a.value_ > b.value_; }
+  friend constexpr bool operator<=(Id a, Id b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>=(Id a, Id b) { return a.value_ >= b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value_;
+  }
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+struct OpTag;
+struct ValueTag;
+struct BlockTag;
+struct VarTag;
+struct PortTag;
+struct FuTag;
+struct RegTag;
+struct MuxTag;
+struct BusTag;
+struct NetTag;
+struct StateTag;
+struct CompTag;
+
+using OpId = Id<OpTag>;        ///< An operation node in a CDFG block.
+using ValueId = Id<ValueTag>;  ///< An SSA-like temporary inside a block.
+using BlockId = Id<BlockTag>;  ///< A basic block.
+using VarId = Id<VarTag>;      ///< A named storage location (variable).
+using PortId = Id<PortTag>;    ///< A top-level input/output port.
+using FuId = Id<FuTag>;        ///< An allocated functional-unit instance.
+using RegId = Id<RegTag>;      ///< An allocated register instance.
+using MuxId = Id<MuxTag>;      ///< A multiplexer instance.
+using BusId = Id<BusTag>;      ///< A shared bus instance.
+using NetId = Id<NetTag>;      ///< A net in the RTL netlist.
+using StateId = Id<StateTag>;  ///< A controller FSM state.
+using CompId = Id<CompTag>;    ///< A hardware-library component kind.
+
+}  // namespace mphls
+
+namespace std {
+template <typename Tag>
+struct hash<mphls::Id<Tag>> {
+  size_t operator()(mphls::Id<Tag> id) const noexcept {
+    return std::hash<typename mphls::Id<Tag>::underlying_type>()(id.get());
+  }
+};
+}  // namespace std

@@ -1,0 +1,31 @@
+// Half-open lifetime intervals over global control steps, used by the
+// register allocators (REAL-style left edge and clique partitioning).
+#pragma once
+
+#include <algorithm>
+
+namespace mphls {
+
+/// A value's lifetime [birth, death): the value is produced at step `birth`
+/// and last consumed at step `death - 1`. Two values can share a register
+/// exactly when their intervals do not overlap.
+struct LiveInterval {
+  int birth = 0;
+  int death = 0;  // exclusive
+
+  [[nodiscard]] bool empty() const { return death <= birth; }
+  [[nodiscard]] int length() const { return std::max(0, death - birth); }
+
+  [[nodiscard]] bool overlaps(const LiveInterval& o) const {
+    return birth < o.death && o.birth < death;
+  }
+  [[nodiscard]] bool contains(int step) const {
+    return step >= birth && step < death;
+  }
+
+  friend bool operator==(const LiveInterval& a, const LiveInterval& b) {
+    return a.birth == b.birth && a.death == b.death;
+  }
+};
+
+}  // namespace mphls

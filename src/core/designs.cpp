@@ -1,0 +1,139 @@
+#include "core/designs.h"
+
+namespace mphls::designs {
+
+const char* sqrtSource() {
+  // Paper Fig. 1: Y := 0.222222 + 0.888889*X; 4 Newton iterations with a
+  // 2-bit counter whose wraparound is the exit test (the paper's optimized
+  // form). Fixed point Q4.12; X in <1/16, 1>.
+  return R"(
+    proc sqrt(in x: uint<16>, out y: uint<16>) {
+      var i: uint<2>;
+      y = trunc<16>((zext<32>(x) * 3641) >> 12) + 910;   # minimax seed
+      i = 0;
+      do {
+        y = (y + trunc<16>((zext<32>(x) << 12) / zext<32>(y))) >> 1;
+        i = i + 1;
+      } until (i == 0);
+    }
+  )";
+}
+
+const char* diffeqSource() {
+  // The HAL differential-equation benchmark: integrate y'' + 3xy' + 3y = 0
+  // with forward Euler from x to a with step dx. Q8.8 fixed point.
+  return R"(
+    proc diffeq(in x0: uint<16>, in y0: uint<16>, in u0: uint<16>,
+                in dx: uint<16>, in a: uint<16>,
+                out xo: uint<16>, out yo: uint<16>, out uo: uint<16>) {
+      var x: uint<16>; var y: uint<16>; var u: uint<16>;
+      x = x0; y = y0; u = u0;
+      while (x < a) {
+        var xdx: uint<32>;   # x * dx, Q16.16
+        var udx: uint<16>;
+        xdx = zext<32>(x) * zext<32>(dx);
+        udx = trunc<16>((zext<32>(u) * zext<32>(dx)) >> 8);
+        # u1 = u - 3*x*u*dx - 3*y*dx
+        var t1: uint<16>; var t2: uint<16>;
+        t1 = trunc<16>((zext<32>(3 * u) * trunc<32>(xdx >> 8)) >> 16);
+        t2 = trunc<16>((zext<32>(3 * y) * zext<32>(dx)) >> 8);
+        u = u - t1 - t2;
+        y = y + udx;
+        x = x + dx;
+      }
+      xo = x; yo = y; uo = u;
+    }
+  )";
+}
+
+const char* ewfSource() {
+  // Fifth-order elliptic wave filter body: the standard EWF dataflow shape
+  // (26 additions, 8 multiplications by fixed Q12 coefficients, two long
+  // re-convergent adder chains). State s1..s5 carries between samples.
+  return R"(
+    proc ewf(in xin: uint<16>, in n: uint<8>,
+             out yout: uint<16>) {
+      var s1: uint<16>; var s2: uint<16>; var s3: uint<16>;
+      var s4: uint<16>; var s5: uint<16>;
+      var k: uint<8>;
+      s1 = 0; s2 = 0; s3 = 0; s4 = 0; s5 = 0;
+      k = 0;
+      yout = 0;
+      while (k < n) {
+        var a1: uint<16>; var a2: uint<16>; var a3: uint<16>;
+        var a4: uint<16>; var a5: uint<16>; var a6: uint<16>;
+        var m1: uint<16>; var m2: uint<16>; var m3: uint<16>;
+        var m4: uint<16>; var m5: uint<16>; var m6: uint<16>;
+        var m7: uint<16>; var m8: uint<16>;
+        a1 = xin + s1;
+        a2 = a1 + s2;
+        m1 = trunc<16>((zext<32>(a2) * 1799) >> 12);
+        a3 = m1 + s3;
+        m2 = trunc<16>((zext<32>(a3) * 3037) >> 12);
+        a4 = m2 + s4;
+        m3 = trunc<16>((zext<32>(a4) * 1540) >> 12);
+        a5 = m3 + s5;
+        m4 = trunc<16>((zext<32>(a5) * 2819) >> 12);
+        a6 = a2 + a4;
+        m5 = trunc<16>((zext<32>(a6) * 905) >> 12);
+        m6 = trunc<16>((zext<32>(a1 + a3) * 1453) >> 12);
+        m7 = trunc<16>((zext<32>(a5 + m5) * 2222) >> 12);
+        m8 = trunc<16>((zext<32>(m6 + m7) * 611) >> 12);
+        s1 = a2 + m8;
+        s2 = a3 + m7 + (a1 + m5);
+        s3 = a4 + m6 + (a2 + m4);
+        s4 = a5 + m5 + (a3 + m3);
+        s5 = m4 + m8 + (a4 + m2);
+        yout = m8 + a6 + (a5 + m1);
+        k = k + 1;
+      }
+    }
+  )";
+}
+
+const char* fir8Source() {
+  return R"(
+    proc fir8(in x0: uint<16>, in x1: uint<16>, in x2: uint<16>,
+              in x3: uint<16>, in x4: uint<16>, in x5: uint<16>,
+              in x6: uint<16>, in x7: uint<16>,
+              out y: uint<32>) {
+      y = zext<32>(x0) * 7  + zext<32>(x1) * 23 + zext<32>(x2) * 61
+        + zext<32>(x3) * 94 + zext<32>(x4) * 94 + zext<32>(x5) * 61
+        + zext<32>(x6) * 23 + zext<32>(x7) * 7;
+    }
+  )";
+}
+
+const char* gcdSource() {
+  return R"(
+    proc gcd(in a0: uint<16>, in b0: uint<16>, out g: uint<16>) {
+      var a: uint<16>; var b: uint<16>;
+      a = a0; b = b0;
+      while (b != 0) {
+        var t: uint<16>;
+        t = a % b;
+        a = b;
+        b = t;
+      }
+      g = a;
+    }
+  )";
+}
+
+const std::vector<NamedDesign>& all() {
+  static const std::vector<NamedDesign> kAll = {
+      {"sqrt", sqrtSource(), {{"x", 2048}}},
+      {"diffeq",
+       diffeqSource(),
+       {{"x0", 0}, {"y0", 256}, {"u0", 256}, {"dx", 32}, {"a", 256}}},
+      {"ewf", ewfSource(), {{"xin", 1000}, {"n", 4}}},
+      {"fir8",
+       fir8Source(),
+       {{"x0", 10}, {"x1", 20}, {"x2", 30}, {"x3", 40},
+        {"x4", 50}, {"x5", 60}, {"x6", 70}, {"x7", 80}}},
+      {"gcd", gcdSource(), {{"a0", 1071}, {"b0", 462}}},
+  };
+  return kAll;
+}
+
+}  // namespace mphls::designs

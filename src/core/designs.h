@@ -1,0 +1,36 @@
+// Built-in benchmark designs (BDL sources), used by the examples, the test
+// suite and every bench binary:
+//   - sqrt:   the paper's Fig. 1 Newton's-method square root;
+//   - diffeq: the HAL differential-equation solver (y'' + 3xy' + 3y = 0),
+//             the classic benchmark of the paper's force-directed
+//             scheduling reference [22];
+//   - ewf:    a fifth-order elliptic wave filter body (representative
+//             dataflow: long adder chains with a few multiplies — the
+//             standard "EWF" workload shape of the era's literature);
+//   - fir8:   an 8-tap FIR filter (wide, flat parallelism);
+//   - gcd:    Euclid's algorithm (data-dependent control flow).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mphls::designs {
+
+[[nodiscard]] const char* sqrtSource();
+[[nodiscard]] const char* diffeqSource();
+[[nodiscard]] const char* ewfSource();
+[[nodiscard]] const char* fir8Source();
+[[nodiscard]] const char* gcdSource();
+
+struct NamedDesign {
+  const char* name;
+  const char* source;
+  /// A representative input assignment (port name -> value).
+  std::map<std::string, std::uint64_t> sampleInputs;
+};
+
+/// All built-in designs with representative stimulus.
+[[nodiscard]] const std::vector<NamedDesign>& all();
+
+}  // namespace mphls::designs

@@ -1,0 +1,105 @@
+#include "core/dse.h"
+
+#include <algorithm>
+
+namespace mphls {
+
+void markPareto(std::vector<DsePoint>& points) {
+  for (auto& p : points) {
+    p.pareto = true;
+    for (const auto& q : points) {
+      if (&p == &q) continue;
+      const bool qNoWorse =
+          q.latencySteps <= p.latencySteps && q.area <= p.area;
+      const bool qBetter =
+          q.latencySteps < p.latencySteps || q.area < p.area;
+      if (qNoWorse && qBetter) {
+        p.pareto = false;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<DsePoint> exploreResourceSweep(const std::string& source,
+                                           int maxUniversalFus,
+                                           SynthesisOptions base) {
+  std::vector<DsePoint> points;
+  for (int n = 1; n <= maxUniversalFus; ++n) {
+    SynthesisOptions opts = base;
+    opts.scheduler = SchedulerKind::List;
+    opts.resources = ResourceLimits::universalSet(n);
+    Synthesizer synth(opts);
+    SynthesisResult r = synth.synthesizeSource(source);
+    DsePoint p;
+    p.label = std::to_string(n) + " FUs";
+    p.limit = n;
+    p.latencySteps = r.staticLatency();
+    p.cycleTime = r.timing.cycleTime;
+    p.area = r.area.total();
+    points.push_back(p);
+  }
+  markPareto(points);
+  return points;
+}
+
+std::vector<DsePoint> exploreTimeSweep(const std::string& source,
+                                       int extraSlack,
+                                       SynthesisOptions base) {
+  // Discover the longest block's critical length with an unconstrained
+  // force-directed run, then sweep uniform horizons upward from there
+  // (forceDirectedSchedule clamps per block to its own critical length).
+  SynthesisOptions probeOpts = base;
+  probeOpts.scheduler = SchedulerKind::ForceDirected;
+  probeOpts.timeConstraint = 0;
+  Synthesizer probe(probeOpts);
+  SynthesisResult r0 = probe.synthesizeSource(source);
+  int maxBlockSteps = 0;
+  for (const auto& bs : r0.design.sched.blocks)
+    maxBlockSteps = std::max(maxBlockSteps, bs.numSteps);
+
+  std::vector<DsePoint> points;
+  for (int slack = 0; slack <= extraSlack; ++slack) {
+    SynthesisOptions opts = base;
+    opts.scheduler = SchedulerKind::ForceDirected;
+    opts.timeConstraint = maxBlockSteps + slack;
+    Synthesizer synth(opts);
+    SynthesisResult r = synth.synthesizeSource(source);
+    DsePoint p;
+    p.label = std::to_string(opts.timeConstraint) + " steps";
+    p.limit = opts.timeConstraint;
+    p.latencySteps = r.staticLatency();
+    p.cycleTime = r.timing.cycleTime;
+    p.area = r.area.total();
+    points.push_back(p);
+  }
+  markPareto(points);
+  return points;
+}
+
+std::vector<DsePoint> chippeIterate(const std::string& source,
+                                    int targetLatency, int maxUniversalFus,
+                                    SynthesisOptions base) {
+  std::vector<DsePoint> points;
+  for (int n = 1; n <= maxUniversalFus; ++n) {
+    SynthesisOptions opts = base;
+    opts.scheduler = SchedulerKind::List;
+    opts.resources = ResourceLimits::universalSet(n);
+    Synthesizer synth(opts);
+    SynthesisResult r = synth.synthesizeSource(source);
+    DsePoint p;
+    p.label = std::to_string(n) + " FUs";
+    p.limit = n;
+    p.latencySteps = r.staticLatency();
+    p.cycleTime = r.timing.cycleTime;
+    p.area = r.area.total();
+    points.push_back(p);
+    if (p.latencySteps <= targetLatency) break;  // constraint satisfied
+    if (n > 1 && points[points.size() - 2].latencySteps == p.latencySteps)
+      break;  // more hardware no longer helps: accept
+  }
+  markPareto(points);
+  return points;
+}
+
+}  // namespace mphls

@@ -1,0 +1,60 @@
+// Design-space exploration (Sections 1.2 and 3.1.1).
+//
+// "A good synthesis system can produce several designs for the same
+// specification in a reasonable amount of time. This allows the developer
+// to explore different trade-offs between cost, speed, power and so on."
+//
+// Three interaction styles between scheduling and allocation are provided,
+// mirroring the paper's taxonomy:
+//   - fixed-limit sweep: "set some limit on the number of functional units
+//     available and then schedule" (Facet / early DAA / Flamel), swept over
+//     a range of limits;
+//   - Chippe-style feedback: "first choosing a resource limit, then
+//     scheduling, then changing the limit based on the results of the
+//     scheduling, rescheduling and so on until a satisfactory design has
+//     been found";
+//   - HAL-style time sweep: force-directed scheduling under successively
+//     relaxed time constraints, reading off the implied allocation.
+#pragma once
+
+#include <vector>
+
+#include "core/synthesizer.h"
+
+namespace mphls {
+
+struct DsePoint {
+  std::string label;       ///< e.g. "2 FUs" or "11 steps"
+  int limit = 0;           ///< FU limit or time constraint driving the point
+  int latencySteps = 0;    ///< static one-pass latency
+  double cycleTime = 0;
+  double area = 0;
+  bool pareto = false;     ///< on the area/latency Pareto front
+
+  [[nodiscard]] double executionTime() const {
+    return latencySteps * cycleTime;
+  }
+};
+
+/// Mark the Pareto-optimal points (minimal area for their latency class).
+void markPareto(std::vector<DsePoint>& points);
+
+/// Fixed-limit sweep: synthesize with 1..maxUniversalFus universal units.
+[[nodiscard]] std::vector<DsePoint> exploreResourceSweep(
+    const std::string& source, int maxUniversalFus,
+    SynthesisOptions base = {});
+
+/// HAL-style: force-directed with time constraints from the critical
+/// length to critical + extraSlack steps (per block, applied uniformly).
+[[nodiscard]] std::vector<DsePoint> exploreTimeSweep(
+    const std::string& source, int extraSlack, SynthesisOptions base = {});
+
+/// Chippe-style feedback: grow the FU budget until the latency target is
+/// met (or the budget cap is reached); returns the visited points, last
+/// one being the accepted design.
+[[nodiscard]] std::vector<DsePoint> chippeIterate(const std::string& source,
+                                                  int targetLatency,
+                                                  int maxUniversalFus = 8,
+                                                  SynthesisOptions base = {});
+
+}  // namespace mphls

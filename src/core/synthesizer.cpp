@@ -1,0 +1,168 @@
+#include "core/synthesizer.h"
+
+#include <sstream>
+
+#include "alloc/interconnect.h"
+#include "ir/interp.h"
+#include "ir/verify.h"
+#include "lang/frontend.h"
+#include "opt/pass.h"
+#include "rtl/rtlsim.h"
+#include "sched/asap.h"
+#include "sched/bnb.h"
+#include "sched/force_directed.h"
+#include "sched/freedom.h"
+#include "sched/sched_util.h"
+#include "sched/schedule.h"
+#include "sched/transform_sched.h"
+
+namespace mphls {
+
+std::string_view schedulerName(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::Serial: return "serial";
+    case SchedulerKind::Asap: return "asap";
+    case SchedulerKind::List: return "list";
+    case SchedulerKind::ForceDirected: return "force-directed";
+    case SchedulerKind::Freedom: return "freedom";
+    case SchedulerKind::BranchBound: return "branch-and-bound";
+    case SchedulerKind::Transform: return "transformational";
+  }
+  return "?";
+}
+
+long SynthesisResult::latencyFor(
+    const std::map<std::string, std::uint64_t>& inputs) const {
+  Interpreter interp(design.fn);
+  auto res = interp.run(inputs);
+  MPHLS_CHECK(res.finished, "behavioral execution did not finish");
+  return design.sched.stepsForTrace(res.blockTrace);
+}
+
+SynthesisResult Synthesizer::synthesizeSource(const std::string& source,
+                                              const std::string& top) {
+  return synthesize(compileBdlOrThrow(source, top));
+}
+
+SynthesisResult Synthesizer::synthesize(Function fn) {
+  verifyOrThrow(fn);
+
+  // 1. High-level transformations (Section 2).
+  switch (options_.opt) {
+    case OptLevel::None:
+      break;
+    case OptLevel::Standard: {
+      auto pm = PassManager::standardPipeline();
+      pm.run(fn);
+      break;
+    }
+    case OptLevel::Aggressive: {
+      auto pm = PassManager::aggressivePipeline();
+      pm.run(fn);
+      break;
+    }
+  }
+
+  // 2. Scheduling (Section 3.1).
+  MPHLS_CHECK(options_.latencies.isUnit() ||
+                  options_.scheduler != SchedulerKind::ForceDirected,
+              "force-directed scheduling supports unit latency only");
+  Schedule sched = scheduleFunction(fn, [&](const BlockDeps& deps) {
+    switch (options_.scheduler) {
+      case SchedulerKind::Serial:
+        return serialSchedule(deps);
+      case SchedulerKind::Asap:
+        return asapResourceSchedule(deps, options_.resources);
+      case SchedulerKind::List:
+        return listSchedule(deps, options_.resources, options_.listPriority);
+      case SchedulerKind::ForceDirected:
+        return forceDirectedSchedule(deps, options_.timeConstraint);
+      case SchedulerKind::Freedom:
+        return freedomSchedule(deps, options_.resources).schedule;
+      case SchedulerKind::BranchBound:
+        return branchBoundSchedule(deps, options_.resources).schedule;
+      case SchedulerKind::Transform:
+        return transformationalSchedule(deps, options_.resources).schedule;
+    }
+    return serialSchedule(deps);
+  }, options_.latencies);
+  if (options_.scheduler != SchedulerKind::ForceDirected &&
+      options_.scheduler != SchedulerKind::Serial) {
+    std::string msg =
+        validateSchedule(fn, sched, options_.resources, options_.latencies);
+    MPHLS_CHECK(msg.empty(), "invalid schedule: " << msg);
+  }
+
+  // 3. Data-path allocation (Section 3.2).
+  HwLibrary lib = HwLibrary::defaultLibrary();
+  LifetimeInfo lt = computeLifetimes(fn, sched, options_.latencies);
+  RegAssignment regs = allocateRegisters(lt, options_.regMethod);
+  {
+    std::string msg = validateRegAssignment(lt, regs);
+    MPHLS_CHECK(msg.empty(), "invalid register allocation: " << msg);
+  }
+  FuBinding binding = allocateFus(fn, sched, lt, regs, lib,
+                                  options_.fuMethod, options_.latencies);
+  {
+    std::string msg =
+        validateFuBinding(fn, sched, binding, lib, options_.latencies);
+    MPHLS_CHECK(msg.empty(), "invalid FU binding: " << msg);
+  }
+  InterconnectResult ic =
+      buildInterconnect(fn, sched, lt, regs, binding, lib,
+                        options_.latencies);
+  {
+    std::string msg = validateInterconnect(ic);
+    MPHLS_CHECK(msg.empty(), "invalid interconnect: " << msg);
+  }
+
+  // 4. Controller synthesis (Section 2).
+  Controller ctrl =
+      buildController(fn, sched, lt, regs, binding, ic, options_.latencies);
+  {
+    std::string msg = validateController(ctrl, ic, binding);
+    MPHLS_CHECK(msg.empty(), "invalid controller: " << msg);
+  }
+
+  SynthesisResult result{
+      RtlDesign{std::move(fn), std::move(sched), std::move(lt),
+                std::move(regs), std::move(binding), std::move(ic),
+                std::move(ctrl), std::move(lib)},
+      {}, {}, {}, {}, {}};
+  result.fsm = encodeController(result.design.ctrl, result.design.ic,
+                                result.design.binding, options_.encoding);
+  result.microHorizontal =
+      buildMicrocode(result.design.ctrl, result.design.ic,
+                     result.design.binding, MicrocodeStyle::Horizontal);
+  result.microEncoded =
+      buildMicrocode(result.design.ctrl, result.design.ic,
+                     result.design.binding, MicrocodeStyle::Encoded);
+  result.area = estimateArea(result.design, result.fsm);
+  result.timing = estimateTiming(result.design);
+  return result;
+}
+
+std::string verifyAgainstBehavior(
+    const SynthesisResult& result,
+    const std::map<std::string, std::uint64_t>& inputs) {
+  Interpreter interp(result.design.fn);
+  auto want = interp.run(inputs);
+  if (!want.finished) return "behavioral execution did not finish";
+
+  RtlSimulator sim(result.design);
+  auto got = sim.run(inputs);
+  if (!got.finished) return "RTL simulation did not reach the halt state";
+
+  if (want.outputs != got.outputs) {
+    std::ostringstream oss;
+    oss << "output mismatch:";
+    for (const auto& [name, v] : want.outputs)
+      oss << " " << name << " behavioral=" << v;
+    for (const auto& [name, v] : got.outputs)
+      oss << " " << name << " rtl=" << v;
+    return oss.str();
+  }
+  return {};
+}
+
+}  // namespace mphls

@@ -1,0 +1,102 @@
+// End-to-end synthesis driver: the pipeline the tutorial's Section 2 walks
+// through — compile, optimize, schedule, allocate (registers, functional
+// units, interconnect), bind, and synthesize control — with every task's
+// algorithm selectable, so the technique comparisons of Section 3 can be
+// run on real designs.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "alloc/fu_alloc.h"
+#include "alloc/reg_alloc.h"
+#include "ctrl/encode.h"
+#include "ctrl/microcode.h"
+#include "estim/estimate.h"
+#include "rtl/design.h"
+#include "sched/list_sched.h"
+#include "sched/resource.h"
+
+namespace mphls {
+
+enum class SchedulerKind {
+  Serial,         ///< one op per step (the paper's trivial case)
+  Asap,           ///< resource-constrained ASAP (Fig. 3)
+  List,           ///< list scheduling (Fig. 4)
+  ForceDirected,  ///< HAL (Fig. 5); time-constrained
+  Freedom,        ///< MAHA
+  BranchBound,    ///< EXPL-style exhaustive/B&B
+  Transform,      ///< YSC-style transformational
+};
+
+[[nodiscard]] std::string_view schedulerName(SchedulerKind k);
+
+enum class OptLevel { None, Standard, Aggressive };
+
+struct SynthesisOptions {
+  OptLevel opt = OptLevel::Standard;
+  SchedulerKind scheduler = SchedulerKind::List;
+  ListPriority listPriority = ListPriority::PathLength;
+  ResourceLimits resources;               ///< for resource-constrained kinds
+  int timeConstraint = 0;                 ///< for ForceDirected (0: critical)
+  RegAllocMethod regMethod = RegAllocMethod::LeftEdge;
+  FuAllocMethod fuMethod = FuAllocMethod::GreedyLocal;
+  StateEncoding encoding = StateEncoding::Binary;
+  /// Operation execution times. Multicycle models are supported by the
+  /// Serial, Asap, List, Freedom, BranchBound and Transform schedulers and
+  /// the FSM-driven RTL; the Verilog emitter and the microcode simulator
+  /// require unit latency.
+  OpLatencyModel latencies = OpLatencyModel::unit();
+};
+
+struct SynthesisResult {
+  RtlDesign design;
+  EncodedFsm fsm;
+  Microprogram microHorizontal;
+  Microprogram microEncoded;
+  AreaEstimate area;
+  TimingEstimate timing;
+
+  /// Latency in control steps for a given behavioral input (runs the
+  /// interpreter to obtain the block trace).
+  [[nodiscard]] long latencyFor(
+      const std::map<std::string, std::uint64_t>& inputs) const;
+
+  /// Static one-pass latency (sum of block step counts).
+  [[nodiscard]] int staticLatency() const { return design.sched.totalSteps(); }
+
+  [[nodiscard]] DesignPoint point() const {
+    return {staticLatency(), timing.cycleTime, area.total()};
+  }
+};
+
+class Synthesizer {
+ public:
+  explicit Synthesizer(SynthesisOptions options = {})
+      : options_(std::move(options)) {}
+
+  /// Full pipeline from BDL source. Throws InternalError on invalid input
+  /// (use compileBdl directly for diagnostics-friendly handling).
+  [[nodiscard]] SynthesisResult synthesizeSource(const std::string& source,
+                                                 const std::string& top = "");
+
+  /// Full pipeline from an already-built function (consumed by copy).
+  [[nodiscard]] SynthesisResult synthesize(Function fn);
+
+  [[nodiscard]] const SynthesisOptions& options() const { return options_; }
+  [[nodiscard]] SynthesisOptions& options() { return options_; }
+
+ private:
+  SynthesisOptions options_;
+};
+
+/// Check behavior preservation end to end: run the behavioral interpreter
+/// and the RTL simulator on the same inputs and compare outputs. Returns an
+/// empty string on agreement, else a description of the mismatch. This is
+/// the paper's "design verification" obligation (Section 4).
+[[nodiscard]] std::string verifyAgainstBehavior(
+    const SynthesisResult& result,
+    const std::map<std::string, std::uint64_t>& inputs);
+
+}  // namespace mphls

@@ -1,0 +1,207 @@
+#include "ctrl/encode.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+
+namespace mphls {
+
+std::string_view stateEncodingName(StateEncoding e) {
+  switch (e) {
+    case StateEncoding::Binary: return "binary";
+    case StateEncoding::Gray: return "gray";
+    case StateEncoding::OneHot: return "one-hot";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t grayCode(std::uint64_t n) { return n ^ (n >> 1); }
+
+/// Description of one control-signal group so states can set values.
+struct SignalLayout {
+  // Base column index (within the signal section) and width for:
+  std::vector<int> regEn, regSel, regSelW;
+  std::vector<int> portEn, portSel, portSelW;
+  std::vector<int> fuOp, fuOpW;
+  std::vector<std::array<int, 3>> fuMux;
+  std::vector<std::array<int, 3>> fuMuxW;
+  int total = 0;
+};
+
+SignalLayout layoutSignals(const InterconnectResult& ic,
+                           const FuBinding& binding,
+                           std::vector<std::string>& names) {
+  SignalLayout L;
+  auto alloc = [&](const std::string& base, int bits) {
+    int at = L.total;
+    for (int b = 0; b < bits; ++b)
+      names.push_back(bits == 1 ? base : base + "[" + std::to_string(b) + "]");
+    L.total += bits;
+    return at;
+  };
+
+  for (std::size_t r = 0; r < ic.regInput.size(); ++r) {
+    L.regEn.push_back(alloc("r" + std::to_string(r) + "_en", 1));
+    int legs = ic.regInput[r].legs();
+    int w = legs > 1 ? bitsForStates((std::uint64_t)legs) : 0;
+    L.regSel.push_back(w > 0 ? alloc("r" + std::to_string(r) + "_sel", w)
+                             : -1);
+    L.regSelW.push_back(w);
+  }
+  for (std::size_t p = 0; p < ic.outPortInput.size(); ++p) {
+    if (ic.outPortInput[p].legs() == 0) {
+      L.portEn.push_back(-1);
+      L.portSel.push_back(-1);
+      L.portSelW.push_back(0);
+      continue;
+    }
+    L.portEn.push_back(alloc("p" + std::to_string(p) + "_en", 1));
+    int legs = ic.outPortInput[p].legs();
+    int w = legs > 1 ? bitsForStates((std::uint64_t)legs) : 0;
+    L.portSel.push_back(w > 0 ? alloc("p" + std::to_string(p) + "_sel", w)
+                              : -1);
+    L.portSelW.push_back(w);
+  }
+  for (std::size_t f = 0; f < binding.fus.size(); ++f) {
+    int nk = (int)binding.fus[f].kinds.size();
+    int w = nk > 1 ? bitsForStates((std::uint64_t)nk) : 0;
+    L.fuOp.push_back(w > 0 ? alloc("fu" + std::to_string(f) + "_op", w) : -1);
+    L.fuOpW.push_back(w);
+    std::array<int, 3> mux{-1, -1, -1};
+    std::array<int, 3> muxw{0, 0, 0};
+    for (int q = 0; q < 3; ++q) {
+      int legs = ic.fuInput[f][(std::size_t)q].legs();
+      if (legs > 1) {
+        muxw[(std::size_t)q] = bitsForStates((std::uint64_t)legs);
+        mux[(std::size_t)q] =
+            alloc("fu" + std::to_string(f) + "_m" + std::to_string(q),
+                  muxw[(std::size_t)q]);
+      }
+    }
+    L.fuMux.push_back(mux);
+    L.fuMuxW.push_back(muxw);
+  }
+  return L;
+}
+
+/// Signal bit values asserted by one state.
+std::vector<bool> signalValues(const CtrlState& st, const SignalLayout& L,
+                               const FuBinding& binding) {
+  std::vector<bool> v((std::size_t)L.total, false);
+  auto setBits = [&](int base, int width, std::uint64_t value) {
+    for (int b = 0; b < width; ++b)
+      if ((value >> b) & 1) v[(std::size_t)(base + b)] = true;
+  };
+  for (const RegAction& ra : st.regActions) {
+    v[(std::size_t)L.regEn[(std::size_t)ra.reg]] = true;
+    if (L.regSelW[(std::size_t)ra.reg] > 0)
+      setBits(L.regSel[(std::size_t)ra.reg], L.regSelW[(std::size_t)ra.reg],
+              (std::uint64_t)ra.muxSel);
+  }
+  for (const PortAction& pa : st.portActions) {
+    v[(std::size_t)L.portEn[(std::size_t)pa.port]] = true;
+    if (L.portSelW[(std::size_t)pa.port] > 0)
+      setBits(L.portSel[(std::size_t)pa.port],
+              L.portSelW[(std::size_t)pa.port], (std::uint64_t)pa.muxSel);
+  }
+  for (const FuAction& fa : st.fuActions) {
+    const FuInstance& fu = binding.fus[(std::size_t)fa.fu];
+    if (L.fuOpW[(std::size_t)fa.fu] > 0) {
+      auto it = std::find(fu.kinds.begin(), fu.kinds.end(), fa.kind);
+      setBits(L.fuOp[(std::size_t)fa.fu], L.fuOpW[(std::size_t)fa.fu],
+              (std::uint64_t)(it - fu.kinds.begin()));
+    }
+    for (int q = 0; q < 3; ++q) {
+      if (fa.muxSel[q] >= 0 && L.fuMuxW[(std::size_t)fa.fu][(std::size_t)q] > 0)
+        setBits(L.fuMux[(std::size_t)fa.fu][(std::size_t)q],
+                L.fuMuxW[(std::size_t)fa.fu][(std::size_t)q],
+                (std::uint64_t)fa.muxSel[q]);
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+EncodedFsm encodeController(const Controller& ctrl,
+                            const InterconnectResult& ic,
+                            const FuBinding& binding,
+                            StateEncoding encoding) {
+  EncodedFsm out;
+  out.encoding = encoding;
+
+  const std::size_t n = ctrl.numStates();
+  out.codeOf.resize(n);
+  switch (encoding) {
+    case StateEncoding::Binary:
+      out.stateBits = bitsForStates(n);
+      for (std::size_t s = 0; s < n; ++s) out.codeOf[s] = s;
+      break;
+    case StateEncoding::Gray:
+      out.stateBits = bitsForStates(n);
+      for (std::size_t s = 0; s < n; ++s) out.codeOf[s] = grayCode(s);
+      break;
+    case StateEncoding::OneHot:
+      out.stateBits = (int)n;
+      for (std::size_t s = 0; s < n; ++s) out.codeOf[s] = 1ULL << s;
+      break;
+  }
+
+  SignalLayout L = layoutSignals(ic, binding, out.signalNames);
+
+  SopCover cover;
+  cover.numInputs = out.stateBits + 1;  // + branch condition
+  cover.numOutputs = out.stateBits + L.total;
+  const int condIndex = out.stateBits;
+
+  auto inputCube = [&](std::size_t state) {
+    std::vector<std::uint8_t> in((std::size_t)cover.numInputs, 2);
+    if (encoding == StateEncoding::OneHot) {
+      in[state] = 1;  // single-literal one-hot decode
+    } else {
+      for (int b = 0; b < out.stateBits; ++b)
+        in[(std::size_t)b] = (out.codeOf[state] >> b) & 1 ? 1 : 0;
+    }
+    return in;
+  };
+  auto outputBits = [&](StateId next, const std::vector<bool>& sig) {
+    std::vector<std::uint8_t> o((std::size_t)cover.numOutputs, 0);
+    std::uint64_t code = out.codeOf[next.index()];
+    for (int b = 0; b < out.stateBits; ++b)
+      if ((code >> b) & 1) o[(std::size_t)b] = 1;
+    for (std::size_t k = 0; k < sig.size(); ++k)
+      if (sig[k]) o[(std::size_t)out.stateBits + k] = 1;
+    return o;
+  };
+
+  for (std::size_t s = 0; s < n; ++s) {
+    const CtrlState& st = ctrl.states[s];
+    std::vector<bool> sig = signalValues(st, L, binding);
+    if (st.conditional) {
+      Cube c1;
+      c1.in = inputCube(s);
+      c1.in[(std::size_t)condIndex] = 1;
+      c1.out = outputBits(st.nextTaken, sig);
+      cover.cubes.push_back(std::move(c1));
+      Cube c0;
+      c0.in = inputCube(s);
+      c0.in[(std::size_t)condIndex] = 0;
+      c0.out = outputBits(st.nextNot, sig);
+      cover.cubes.push_back(std::move(c0));
+    } else {
+      StateId next = st.halt ? st.id : st.next;
+      Cube c;
+      c.in = inputCube(s);
+      c.out = outputBits(next, sig);
+      cover.cubes.push_back(std::move(c));
+    }
+  }
+
+  out.logic = cover;
+  out.minimizedLogic = minimizeCover(cover);
+  return out;
+}
+
+}  // namespace mphls

@@ -1,0 +1,54 @@
+// Two-level (sum-of-products) logic representation and minimization, used
+// to synthesize the hardwired controller's next-state and output logic
+// (Section 2: "the FSM can be synthesized using known methods, including
+// state encoding and optimization of the combinational logic").
+//
+// The minimizer is a cube-merging pass (adjacent cubes differing in one
+// input literal with identical outputs combine; covered cubes are
+// absorbed) — a light Quine–McCluskey adequate for controller-sized
+// functions, with an exhaustive equivalence checker for auditing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mphls {
+
+/// One product term over `n` inputs with `m` outputs. Input literal values:
+/// 0, 1, or 2 (don't care). An input vector matches the cube when every
+/// non-don't-care literal agrees; then every output with a 1 is asserted.
+struct Cube {
+  std::vector<std::uint8_t> in;
+  std::vector<std::uint8_t> out;
+
+  [[nodiscard]] bool matches(std::uint64_t inputBits) const;
+  [[nodiscard]] int literalCount() const;
+  /// True when this cube's input space contains `o`'s entirely.
+  [[nodiscard]] bool covers(const Cube& o) const;
+};
+
+struct SopCover {
+  int numInputs = 0;
+  int numOutputs = 0;
+  std::vector<Cube> cubes;
+
+  /// Evaluate: OR of all matching cubes' outputs.
+  [[nodiscard]] std::vector<bool> eval(std::uint64_t inputBits) const;
+
+  [[nodiscard]] int termCount() const { return (int)cubes.size(); }
+  [[nodiscard]] int literalCount() const;
+  /// Classic PLA area model: (2*inputs + outputs) * terms.
+  [[nodiscard]] double plaArea() const {
+    return static_cast<double>(2 * numInputs + numOutputs) * termCount();
+  }
+  [[nodiscard]] std::string str() const;
+};
+
+/// Merge/absorb minimization; result computes the same function.
+[[nodiscard]] SopCover minimizeCover(const SopCover& cover);
+
+/// Exhaustive functional equivalence (numInputs <= 20).
+[[nodiscard]] bool coversEquivalent(const SopCover& a, const SopCover& b);
+
+}  // namespace mphls

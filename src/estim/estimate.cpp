@@ -1,0 +1,69 @@
+#include "estim/estimate.h"
+
+#include <algorithm>
+
+namespace mphls {
+
+AreaEstimate estimateArea(const RtlDesign& d, const EncodedFsm& fsm,
+                          double wiringFactor) {
+  AreaEstimate a;
+  a.wiringFactor = wiringFactor;
+  for (const FuInstance& fu : d.binding.fus)
+    a.fuArea += d.lib.component(fu.comp).area(fu.width);
+  for (int r = 0; r < d.regs.numRegs; ++r)
+    a.regArea += d.lib.registerArea(d.regs.regWidth[(std::size_t)r]);
+  a.muxArea = d.ic.muxArea;
+  a.busArea = d.ic.busArea;
+  a.controlArea = fsm.minimizedLogic.plaArea() +
+                  d.lib.registerArea(fsm.stateBits);
+  return a;
+}
+
+TimingEstimate estimateTiming(const RtlDesign& d) {
+  TimingEstimate t;
+  for (const CtrlState& st : d.ctrl.states) {
+    double stateDelay = 0;
+    for (const FuAction& fa : st.fuActions) {
+      const FuInstance& fu = d.binding.fus[(std::size_t)fa.fu];
+      double inMux = 0;
+      for (int p = 0; p < 3; ++p) {
+        if (fa.muxSel[p] < 0) continue;
+        inMux = std::max(
+            inMux,
+            d.lib.muxDelay(
+                d.ic.fuInput[(std::size_t)fa.fu][(std::size_t)p].legs()));
+      }
+      // A multicycle unit spreads its combinational depth over its span.
+      double delay = inMux + d.lib.component(fu.comp).delay(fu.width) /
+                                 std::max(fa.cycles, 1);
+      stateDelay = std::max(stateDelay, delay);
+    }
+    // Destination mux in front of the written registers extends the path.
+    double destMux = 0;
+    for (const RegAction& ra : st.regActions)
+      destMux = std::max(
+          destMux, d.lib.muxDelay(d.ic.regInput[(std::size_t)ra.reg].legs()));
+    stateDelay += destMux + d.lib.registerSetupDelay();
+    if (stateDelay > t.cycleTime) {
+      t.cycleTime = stateDelay;
+      t.criticalState = (int)st.id.get();
+    }
+  }
+  // Bus-style: replace the widest mux with the bus propagation delay.
+  double maxBusDelay = 0;
+  if (d.ic.numBuses > 0) {
+    // Approximate: the busiest bus drives the cycle.
+    std::vector<int> sourcesPerBus((std::size_t)d.ic.numBuses, 0);
+    for (std::size_t tix = 0; tix < d.ic.transfers.size(); ++tix)
+      sourcesPerBus[(std::size_t)d.ic.busOfTransfer[tix]] += 1;
+    for (int n : sourcesPerBus)
+      maxBusDelay = std::max(maxBusDelay, d.lib.busDelay(n));
+  }
+  double worstFu = 0;
+  for (const FuInstance& fu : d.binding.fus)
+    worstFu = std::max(worstFu, d.lib.component(fu.comp).delay(fu.width));
+  t.busCycleTime = maxBusDelay + worstFu + d.lib.registerSetupDelay();
+  return t;
+}
+
+}  // namespace mphls

@@ -1,0 +1,64 @@
+// Area and cycle-time estimation (Section 4, "integrating levels of
+// design": "to make realistic evaluations of design tradeoffs at the
+// algorithmic and register transfer levels, it is necessary to be able to
+// anticipate what the lower level tools will do. Estimation of performance
+// and area at the layout level is performed by BUD").
+//
+// The models are deliberately simple and library-driven: component areas
+// from the module library, storage and mux costs from the technology
+// parameters, a BUD-style wiring overhead factor, and a PLA model for the
+// controller. Cycle time is the worst per-state register-to-register path:
+// input mux, functional unit, wiring transforms (free), destination mux,
+// register setup.
+#pragma once
+
+#include "ctrl/encode.h"
+#include "rtl/design.h"
+
+namespace mphls {
+
+struct AreaEstimate {
+  double fuArea = 0;
+  double regArea = 0;
+  double muxArea = 0;       ///< mux-style interconnect
+  double busArea = 0;       ///< bus-style alternative for the same transfers
+  double controlArea = 0;   ///< minimized PLA of the hardwired controller
+  double wiringFactor = 0;  ///< BUD-style overhead applied in total()
+
+  /// Total with mux-style interconnect.
+  [[nodiscard]] double total() const {
+    return (fuArea + regArea + muxArea + controlArea) * (1.0 + wiringFactor);
+  }
+  /// Total with bus-style interconnect.
+  [[nodiscard]] double totalBus() const {
+    return (fuArea + regArea + busArea + controlArea) * (1.0 + wiringFactor);
+  }
+};
+
+struct TimingEstimate {
+  double cycleTime = 0;       ///< worst state's register-to-register delay
+  double busCycleTime = 0;    ///< same, bus-style interconnect
+  int criticalState = -1;     ///< state achieving cycleTime
+};
+
+[[nodiscard]] AreaEstimate estimateArea(const RtlDesign& design,
+                                        const EncodedFsm& fsm,
+                                        double wiringFactor = 0.15);
+
+[[nodiscard]] TimingEstimate estimateTiming(const RtlDesign& design);
+
+/// A point in the design space: static latency (control steps for one
+/// pass), estimated clock period and area.
+struct DesignPoint {
+  int latencySteps = 0;
+  double cycleTime = 0;
+  double area = 0;
+
+  [[nodiscard]] double executionTime() const {
+    return latencySteps * cycleTime;
+  }
+  /// Area-time product, the classic quality figure.
+  [[nodiscard]] double areaTime() const { return area * executionTime(); }
+};
+
+}  // namespace mphls

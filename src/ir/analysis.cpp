@@ -1,0 +1,227 @@
+#include "ir/analysis.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace mphls {
+
+LevelInfo computeLevels(const BlockDeps& deps) {
+  return computeLevels(deps, /*steps=*/0);
+}
+
+LevelInfo computeLevels(const BlockDeps& deps, int steps) {
+  const std::size_t n = deps.numOps();
+  LevelInfo info;
+  info.asap.assign(n, 0);
+  info.alap.assign(n, 0);
+  info.mobility.assign(n, 0);
+  info.pathToSink.assign(n, 0);
+
+  const auto order = deps.topoOrder();
+
+  // Index edges by endpoint for latency-aware propagation.
+  std::vector<std::vector<const DepEdge*>> in(n), out(n);
+  for (const DepEdge& e : deps.edges()) {
+    in[e.to].push_back(&e);
+    out[e.from].push_back(&e);
+  }
+
+  // ASAP: earliest feasible step.
+  for (std::size_t i : order) {
+    int s = 0;
+    for (const DepEdge* e : in[i])
+      s = std::max(s, info.asap[e->from] + deps.edgeLatency(*e));
+    info.asap[i] = s;
+  }
+
+  // The critical length counts the completion of the latest slot-occupying
+  // op (multicycle ops finish duration steps after issue).
+  int critical = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (deps.occupiesSlot(i))
+      critical = std::max(critical, info.asap[i] + deps.duration(i));
+  info.criticalLength = std::max(critical, 1);
+
+  const int horizon = std::max(steps, info.criticalLength);
+
+  // ALAP within `horizon` steps: an op must complete by the horizon.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    std::size_t i = *it;
+    int s = horizon - (deps.occupiesSlot(i) ? deps.duration(i) : 1);
+    for (const DepEdge* e : out[i])
+      s = std::min(s, info.alap[e->to] - deps.edgeLatency(*e));
+    info.alap[i] = std::max(s, info.asap[i]);
+  }
+
+  for (std::size_t i = 0; i < n; ++i)
+    info.mobility[i] = info.alap[i] - info.asap[i];
+
+  // Longest chain of slot-occupying ops from each node onward (inclusive):
+  // the BUD-style "length of the path from the operation to the end of the
+  // block" list-scheduling priority.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    std::size_t i = *it;
+    int best = 0;
+    for (const DepEdge* e : out[i])
+      best = std::max(best, info.pathToSink[e->to]);
+    info.pathToSink[i] = best + (deps.occupiesSlot(i) ? deps.duration(i) : 0);
+  }
+
+  return info;
+}
+
+std::vector<BlockId> reversePostOrder(const Function& fn) {
+  std::vector<BlockId> post;
+  std::vector<char> state(fn.numBlocks(), 0);  // 0 unseen, 1 open, 2 done
+
+  std::function<void(BlockId)> dfs = [&](BlockId b) {
+    state[b.index()] = 1;
+    const Terminator& t = fn.block(b).term;
+    auto visit = [&](BlockId s) {
+      if (s.valid() && state[s.index()] == 0) dfs(s);
+    };
+    if (t.kind == Terminator::Kind::Jump) {
+      visit(t.target);
+    } else if (t.kind == Terminator::Kind::Branch) {
+      visit(t.elseTarget);
+      visit(t.target);
+    }
+    state[b.index()] = 2;
+    post.push_back(b);
+  };
+  if (fn.entry().valid()) dfs(fn.entry());
+  std::reverse(post.begin(), post.end());
+  return post;
+}
+
+namespace {
+
+/// Collect the natural loop of back edge latch->header by walking
+/// predecessors from the latch until the header.
+std::vector<BlockId> collectLoop(const Function& fn, BlockId header,
+                                 BlockId latch) {
+  // Build predecessor lists.
+  std::vector<std::vector<BlockId>> preds(fn.numBlocks());
+  for (const auto& b : fn.blocks()) {
+    const Terminator& t = b.term;
+    if (t.kind == Terminator::Kind::Jump) {
+      preds[t.target.index()].push_back(b.id);
+    } else if (t.kind == Terminator::Kind::Branch) {
+      preds[t.target.index()].push_back(b.id);
+      preds[t.elseTarget.index()].push_back(b.id);
+    }
+  }
+  std::vector<bool> inLoop(fn.numBlocks(), false);
+  inLoop[header.index()] = true;
+  std::vector<BlockId> stack;
+  std::vector<BlockId> result{header};
+  if (!inLoop[latch.index()]) {
+    inLoop[latch.index()] = true;
+    result.push_back(latch);
+    stack.push_back(latch);
+  }
+  while (!stack.empty()) {
+    BlockId b = stack.back();
+    stack.pop_back();
+    for (BlockId p : preds[b.index()]) {
+      if (!inLoop[p.index()]) {
+        inLoop[p.index()] = true;
+        result.push_back(p);
+        stack.push_back(p);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<LoopInfo> findLoops(const Function& fn) {
+  // DFS from entry; an edge b -> h with h still open is a back edge.
+  std::vector<char> state(fn.numBlocks(), 0);
+  std::vector<LoopInfo> loops;
+
+  std::function<void(BlockId)> dfs = [&](BlockId b) {
+    state[b.index()] = 1;
+    const Terminator& t = fn.block(b).term;
+    auto walk = [&](BlockId s) {
+      if (!s.valid()) return;
+      if (state[s.index()] == 1) {
+        LoopInfo li;
+        li.header = s;
+        li.latch = b;
+        li.blocks = collectLoop(fn, s, b);
+        loops.push_back(std::move(li));
+      } else if (state[s.index()] == 0) {
+        dfs(s);
+      }
+    };
+    if (t.kind == Terminator::Kind::Jump) {
+      walk(t.target);
+    } else if (t.kind == Terminator::Kind::Branch) {
+      walk(t.target);
+      walk(t.elseTarget);
+    }
+    state[b.index()] = 2;
+  };
+  if (fn.entry().valid()) dfs(fn.entry());
+  return loops;
+}
+
+VarLiveness computeVarLiveness(const Function& fn) {
+  const std::size_t nb = fn.numBlocks();
+  const std::size_t nv = fn.vars().size();
+  VarLiveness lv;
+  lv.liveIn.assign(nb, std::vector<bool>(nv, false));
+  lv.liveOut.assign(nb, std::vector<bool>(nv, false));
+
+  // Per block: use (read before any write) and def (written) sets.
+  std::vector<std::vector<bool>> use(nb, std::vector<bool>(nv, false));
+  std::vector<std::vector<bool>> def(nb, std::vector<bool>(nv, false));
+  for (const auto& blk : fn.blocks()) {
+    const std::size_t bi = blk.id.index();
+    for (OpId oid : blk.ops) {
+      const Op& o = fn.op(oid);
+      if (o.kind == OpKind::LoadVar) {
+        if (!def[bi][o.var.index()]) use[bi][o.var.index()] = true;
+      } else if (o.kind == OpKind::StoreVar) {
+        def[bi][o.var.index()] = true;
+      }
+    }
+  }
+
+  // Successor lists.
+  std::vector<std::vector<BlockId>> succ(nb);
+  for (const auto& blk : fn.blocks()) {
+    const Terminator& t = blk.term;
+    if (t.kind == Terminator::Kind::Jump) {
+      succ[blk.id.index()].push_back(t.target);
+    } else if (t.kind == Terminator::Kind::Branch) {
+      succ[blk.id.index()].push_back(t.target);
+      succ[blk.id.index()].push_back(t.elseTarget);
+    }
+  }
+
+  // Standard backward fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t b = 0; b < nb; ++b) {
+      std::vector<bool> out(nv, false);
+      for (BlockId s : succ[b])
+        for (std::size_t v = 0; v < nv; ++v)
+          if (lv.liveIn[s.index()][v]) out[v] = true;
+      std::vector<bool> in(nv, false);
+      for (std::size_t v = 0; v < nv; ++v)
+        in[v] = use[b][v] || (out[v] && !def[b][v]);
+      if (out != lv.liveOut[b] || in != lv.liveIn[b]) {
+        lv.liveOut[b] = std::move(out);
+        lv.liveIn[b] = std::move(in);
+        changed = true;
+      }
+    }
+  }
+  return lv;
+}
+
+}  // namespace mphls

@@ -1,0 +1,66 @@
+// Graph analyses over the CDFG: unit-delay levels (ASAP/ALAP), mobility,
+// critical paths, control-flow traversal, natural-loop detection, and
+// cross-block variable liveness. These feed the schedulers (Section 3.1)
+// and the register allocators (Section 3.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.h"
+#include "ir/cdfg.h"
+#include "ir/deps.h"
+
+namespace mphls {
+
+/// Unit-delay level analysis of one block's dependence graph, treating free
+/// operations as zero-delay (they chain into their consumer's step).
+struct LevelInfo {
+  /// Earliest feasible step per op (free ops share their producer's step).
+  std::vector<int> asap;
+  /// Latest feasible step given the ASAP-critical length.
+  std::vector<int> alap;
+  /// alap - asap: the paper's "freedom" / mobility of each operation.
+  std::vector<int> mobility;
+  /// Length of the longest chain of non-free ops starting at each op
+  /// (inclusive); the list scheduler's BUD-style priority.
+  std::vector<int> pathToSink;
+  /// Number of steps on the critical path (minimum schedule length with
+  /// unlimited resources).
+  int criticalLength = 0;
+};
+
+/// Compute levels with every non-free op taking one control step.
+[[nodiscard]] LevelInfo computeLevels(const BlockDeps& deps);
+
+/// Same, but with ALAP stretched to an explicit time constraint of
+/// `steps` control steps (used by force-directed scheduling).
+[[nodiscard]] LevelInfo computeLevels(const BlockDeps& deps, int steps);
+
+/// Reverse post-order of reachable blocks from the entry (a topological
+/// order of the CFG ignoring back edges).
+[[nodiscard]] std::vector<BlockId> reversePostOrder(const Function& fn);
+
+/// A natural loop discovered from a back edge latch -> header.
+struct LoopInfo {
+  BlockId header;
+  BlockId latch;
+  std::vector<BlockId> blocks;  ///< all blocks in the loop body (incl. header)
+  /// Trip count when statically known (counter with constant init/step and
+  /// constant exit bound), else -1.
+  long tripCount = -1;
+};
+
+/// Detect natural loops in the CFG.
+[[nodiscard]] std::vector<LoopInfo> findLoops(const Function& fn);
+
+/// Cross-block liveness of variables: for each block, the set of variables
+/// live on entry and on exit (bit per VarId index).
+struct VarLiveness {
+  std::vector<std::vector<bool>> liveIn;   ///< [block][var]
+  std::vector<std::vector<bool>> liveOut;  ///< [block][var]
+};
+
+[[nodiscard]] VarLiveness computeVarLiveness(const Function& fn);
+
+}  // namespace mphls

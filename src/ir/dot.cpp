@@ -1,0 +1,58 @@
+#include "ir/dot.h"
+
+#include <sstream>
+
+#include "ir/deps.h"
+
+namespace mphls {
+
+std::string dataFlowDot(const Function& fn, BlockId block) {
+  const Block& blk = fn.block(block);
+  BlockDeps deps(fn, blk);
+  std::ostringstream oss;
+  oss << "digraph dfg_" << blk.name << " {\n";
+  oss << "  rankdir=TB;\n  node [shape=circle];\n";
+  for (std::size_t i = 0; i < deps.numOps(); ++i) {
+    const Op& o = deps.op(i);
+    oss << "  n" << i << " [label=\"" << opName(o.kind);
+    if (o.kind == OpKind::Const) oss << " " << o.imm;
+    if (o.var.valid()) oss << " " << fn.var(o.var).name;
+    if (o.port.valid()) oss << " " << fn.port(o.port).name;
+    oss << "\"";
+    if (o.isFree()) oss << " style=dashed";
+    if (o.isSink()) oss << " shape=box";
+    oss << "];\n";
+  }
+  for (const DepEdge& e : deps.edges()) {
+    oss << "  n" << e.from << " -> n" << e.to;
+    if (e.kind != DepKind::Data) oss << " [style=dotted]";
+    oss << ";\n";
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+std::string controlFlowDot(const Function& fn) {
+  std::ostringstream oss;
+  oss << "digraph cfg_" << fn.name() << " {\n";
+  oss << "  node [shape=box];\n";
+  for (const auto& blk : fn.blocks()) {
+    oss << "  b" << blk.id.get() << " [label=\"" << blk.name << "\\n("
+        << blk.ops.size() << " ops)\"];\n";
+  }
+  for (const auto& blk : fn.blocks()) {
+    const Terminator& t = blk.term;
+    if (t.kind == Terminator::Kind::Jump) {
+      oss << "  b" << blk.id.get() << " -> b" << t.target.get() << ";\n";
+    } else if (t.kind == Terminator::Kind::Branch) {
+      oss << "  b" << blk.id.get() << " -> b" << t.target.get()
+          << " [label=\"T\"];\n";
+      oss << "  b" << blk.id.get() << " -> b" << t.elseTarget.get()
+          << " [label=\"F\"];\n";
+    }
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+}  // namespace mphls

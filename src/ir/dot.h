@@ -1,0 +1,17 @@
+// Graphviz DOT rendering of the data-flow and control-flow graphs,
+// presented separately "for intelligibility" exactly as the paper's Fig. 1.
+#pragma once
+
+#include <string>
+
+#include "ir/cdfg.h"
+
+namespace mphls {
+
+/// DOT digraph of one block's data-flow graph (value + ordering edges).
+[[nodiscard]] std::string dataFlowDot(const Function& fn, BlockId block);
+
+/// DOT digraph of the control-flow graph (blocks and transitions).
+[[nodiscard]] std::string controlFlowDot(const Function& fn);
+
+}  // namespace mphls

@@ -1,0 +1,151 @@
+#include "ir/interp.h"
+
+#include "common/bitutil.h"
+
+namespace mphls {
+
+std::uint64_t Interpreter::evalPure(OpKind kind, int width, std::int64_t imm,
+                                    const std::vector<std::uint64_t>& args,
+                                    const std::vector<int>& argWidths) {
+  auto u = [&](std::size_t i) { return args[i]; };
+  auto s = [&](std::size_t i) { return signExtend(args[i], argWidths[i]); };
+  auto t = [&](std::uint64_t v) { return truncBits(v, width); };
+  auto b = [&](bool c) -> std::uint64_t { return c ? 1 : 0; };
+
+  switch (kind) {
+    case OpKind::Const:
+      return truncBits(static_cast<std::uint64_t>(imm), width);
+    case OpKind::Not: return t(~u(0));
+    case OpKind::Neg: return t(~u(0) + 1);
+    case OpKind::Inc: return t(u(0) + 1);
+    case OpKind::Dec: return t(u(0) - 1);
+    case OpKind::ShlConst: return t(u(0) << imm);
+    case OpKind::ShrConst: return t(u(0) >> imm);
+    case OpKind::SarConst:
+      return t(static_cast<std::uint64_t>(s(0) >> imm));
+    case OpKind::Trunc: return t(u(0));
+    case OpKind::ZExt: return t(u(0));
+    case OpKind::SExt: return t(static_cast<std::uint64_t>(s(0)));
+    case OpKind::Add: return t(u(0) + u(1));
+    case OpKind::Sub: return t(u(0) - u(1));
+    case OpKind::Mul: return t(u(0) * u(1));
+    case OpKind::Div: {
+      std::int64_t d = s(1);
+      return d == 0 ? maskBits(width)
+                    : t(static_cast<std::uint64_t>(s(0) / d));
+    }
+    case OpKind::UDiv:
+      return u(1) == 0 ? maskBits(width) : t(u(0) / u(1));
+    case OpKind::Mod: {
+      std::int64_t d = s(1);
+      return d == 0 ? 0 : t(static_cast<std::uint64_t>(s(0) % d));
+    }
+    case OpKind::UMod: return u(1) == 0 ? 0 : t(u(0) % u(1));
+    case OpKind::And: return t(u(0) & u(1));
+    case OpKind::Or: return t(u(0) | u(1));
+    case OpKind::Xor: return t(u(0) ^ u(1));
+    case OpKind::Shl: return u(1) >= 64 ? 0 : t(u(0) << u(1));
+    case OpKind::Shr: return u(1) >= 64 ? 0 : t(u(0) >> u(1));
+    case OpKind::Sar: {
+      std::uint64_t sh = u(1) >= 63 ? 63 : u(1);
+      return t(static_cast<std::uint64_t>(s(0) >> sh));
+    }
+    case OpKind::Eq: return b(u(0) == u(1));
+    case OpKind::Ne: return b(u(0) != u(1));
+    case OpKind::Lt: return b(s(0) < s(1));
+    case OpKind::Le: return b(s(0) <= s(1));
+    case OpKind::Gt: return b(s(0) > s(1));
+    case OpKind::Ge: return b(s(0) >= s(1));
+    case OpKind::ULt: return b(u(0) < u(1));
+    case OpKind::ULe: return b(u(0) <= u(1));
+    case OpKind::UGt: return b(u(0) > u(1));
+    case OpKind::UGe: return b(u(0) >= u(1));
+    case OpKind::Select: return u(0) ? t(u(1)) : t(u(2));
+    default:
+      MPHLS_CHECK(false, "evalPure on non-pure op " << opName(kind));
+      return 0;
+  }
+}
+
+ExecResult Interpreter::run(const std::map<std::string, std::uint64_t>& inputs,
+                            long maxBlockExecs) const {
+  ExecResult res;
+  // Port and variable state.
+  std::vector<std::uint64_t> portVal(fn_.ports().size(), 0);
+  std::vector<bool> portWritten(fn_.ports().size(), false);
+  for (const auto& p : fn_.ports()) {
+    if (p.isInput) {
+      auto it = inputs.find(p.name);
+      MPHLS_CHECK(it != inputs.end(), "missing input '" << p.name << "'");
+      portVal[p.id.index()] = truncBits(it->second, p.width);
+    }
+  }
+  std::vector<std::uint64_t> varVal(fn_.vars().size(), 0);
+
+  // Value registers (per function; safe because each is single-assignment
+  // within a block and re-assigned on re-entry).
+  std::vector<std::uint64_t> vals(fn_.numValues(), 0);
+
+  BlockId cur = fn_.entry();
+  long execs = 0;
+  while (cur.valid()) {
+    if (++execs > maxBlockExecs) return res;  // finished stays false
+    res.blockTrace.push_back(cur);
+    const Block& blk = fn_.block(cur);
+    for (OpId oid : blk.ops) {
+      const Op& o = fn_.op(oid);
+      switch (o.kind) {
+        case OpKind::ReadPort:
+          vals[o.result.index()] = portVal[o.port.index()];
+          break;
+        case OpKind::LoadVar:
+          vals[o.result.index()] =
+              truncBits(varVal[o.var.index()], fn_.value(o.result).width);
+          break;
+        case OpKind::StoreVar:
+          varVal[o.var.index()] =
+              truncBits(vals[o.args[0].index()], fn_.var(o.var).width);
+          break;
+        case OpKind::WritePort:
+          portVal[o.port.index()] =
+              truncBits(vals[o.args[0].index()], fn_.port(o.port).width);
+          portWritten[o.port.index()] = true;
+          break;
+        case OpKind::Nop:
+          break;
+        default: {
+          std::vector<std::uint64_t> a;
+          std::vector<int> aw;
+          a.reserve(o.args.size());
+          for (ValueId v : o.args) {
+            a.push_back(vals[v.index()]);
+            aw.push_back(fn_.value(v).width);
+          }
+          vals[o.result.index()] =
+              evalPure(o.kind, fn_.value(o.result).width, o.imm, a, aw);
+          break;
+        }
+      }
+      if (!o.isFree()) ++res.opsExecuted;
+    }
+    const Terminator& t = blk.term;
+    switch (t.kind) {
+      case Terminator::Kind::Return:
+        cur = BlockId::invalid();
+        break;
+      case Terminator::Kind::Jump:
+        cur = t.target;
+        break;
+      case Terminator::Kind::Branch:
+        cur = vals[t.cond.index()] ? t.target : t.elseTarget;
+        break;
+    }
+  }
+  for (const auto& p : fn_.ports())
+    if (!p.isInput && portWritten[p.id.index()])
+      res.outputs[p.name] = portVal[p.id.index()];
+  res.finished = true;
+  return res;
+}
+
+}  // namespace mphls

@@ -1,0 +1,54 @@
+// Behavioral interpreter for CDFG functions.
+//
+// Executes the specification directly, giving the golden input→output
+// mapping against which the synthesized RTL structure is checked — the
+// "design verification" problem the paper lists in Section 4. Also records
+// the block-execution trace, which, combined with a schedule, yields the
+// design's total control-step count (e.g. the paper's 23- and 10-step
+// totals for the square-root example).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/cdfg.h"
+
+namespace mphls {
+
+/// Result of one behavioral execution.
+struct ExecResult {
+  /// Final value driven on each output port (by name). Unwritten outputs
+  /// are absent.
+  std::map<std::string, std::uint64_t> outputs;
+  /// Order in which blocks executed (entry first).
+  std::vector<BlockId> blockTrace;
+  /// Total operations executed (non-free only), a behavioral "work" metric.
+  long opsExecuted = 0;
+  bool finished = false;  ///< false when the step limit was hit
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(const Function& fn) : fn_(fn) {}
+
+  /// Run the function once. `inputs` maps input-port names to values (all
+  /// input ports must be present). `maxBlockExecs` bounds non-terminating
+  /// control flow.
+  [[nodiscard]] ExecResult run(
+      const std::map<std::string, std::uint64_t>& inputs,
+      long maxBlockExecs = 100000) const;
+
+  /// Evaluate one pure op on concrete operand values (shared with the RTL
+  /// simulator so both levels use identical arithmetic).
+  [[nodiscard]] static std::uint64_t evalPure(OpKind kind, int width,
+                                              std::int64_t imm,
+                                              const std::vector<std::uint64_t>& args,
+                                              const std::vector<int>& argWidths);
+
+ private:
+  const Function& fn_;
+};
+
+}  // namespace mphls

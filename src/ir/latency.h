@@ -1,0 +1,55 @@
+// Operation latency model: execution time of each operation kind in
+// control steps. The tutorial's Section 3.1.1 observes that "finding the
+// most efficient possible schedule for the real hardware requires knowing
+// the delays for the different operations"; with slow operators (array
+// multipliers, sequential dividers) an operation can span several control
+// steps, shortening the clock at the price of more steps.
+//
+// The default is unit latency (every operation completes in its own step,
+// the model of the paper's worked figures). A multicycle model assigns
+// multipliers/dividers several steps; schedulers that support it keep the
+// unit busy for the whole span and consumers wait for completion.
+#pragma once
+
+#include <map>
+
+#include "ir/opcode.h"
+
+namespace mphls {
+
+class OpLatencyModel {
+ public:
+  /// Every operation takes one step (the default everywhere).
+  [[nodiscard]] static OpLatencyModel unit() { return OpLatencyModel{}; }
+
+  /// A representative multicycle technology: 2-step multiply, 4-step
+  /// divide/modulo, everything else single step.
+  [[nodiscard]] static OpLatencyModel multiCycle() {
+    OpLatencyModel m;
+    m.cycles_[OpKind::Mul] = 2;
+    m.cycles_[OpKind::Div] = 4;
+    m.cycles_[OpKind::UDiv] = 4;
+    m.cycles_[OpKind::Mod] = 4;
+    m.cycles_[OpKind::UMod] = 4;
+    return m;
+  }
+
+  [[nodiscard]] static OpLatencyModel with(std::map<OpKind, int> cycles) {
+    OpLatencyModel m;
+    m.cycles_ = std::move(cycles);
+    return m;
+  }
+
+  /// Execution time of `k` in control steps (>= 1 for non-free ops).
+  [[nodiscard]] int of(OpKind k) const {
+    auto it = cycles_.find(k);
+    return it == cycles_.end() ? 1 : it->second;
+  }
+
+  [[nodiscard]] bool isUnit() const { return cycles_.empty(); }
+
+ private:
+  std::map<OpKind, int> cycles_;
+};
+
+}  // namespace mphls

@@ -1,0 +1,158 @@
+#include "ir/opcode.h"
+
+#include "common/diag.h"
+
+namespace mphls {
+
+std::string_view opName(OpKind k) {
+  switch (k) {
+    case OpKind::Const: return "const";
+    case OpKind::ReadPort: return "read";
+    case OpKind::LoadVar: return "load";
+    case OpKind::Not: return "not";
+    case OpKind::Neg: return "neg";
+    case OpKind::Inc: return "inc";
+    case OpKind::Dec: return "dec";
+    case OpKind::ShlConst: return "shlc";
+    case OpKind::ShrConst: return "shrc";
+    case OpKind::SarConst: return "sarc";
+    case OpKind::Trunc: return "trunc";
+    case OpKind::ZExt: return "zext";
+    case OpKind::SExt: return "sext";
+    case OpKind::Add: return "add";
+    case OpKind::Sub: return "sub";
+    case OpKind::Mul: return "mul";
+    case OpKind::Div: return "div";
+    case OpKind::UDiv: return "udiv";
+    case OpKind::Mod: return "mod";
+    case OpKind::UMod: return "umod";
+    case OpKind::And: return "and";
+    case OpKind::Or: return "or";
+    case OpKind::Xor: return "xor";
+    case OpKind::Shl: return "shl";
+    case OpKind::Shr: return "shr";
+    case OpKind::Sar: return "sar";
+    case OpKind::Eq: return "eq";
+    case OpKind::Ne: return "ne";
+    case OpKind::Lt: return "lt";
+    case OpKind::Le: return "le";
+    case OpKind::Gt: return "gt";
+    case OpKind::Ge: return "ge";
+    case OpKind::ULt: return "ult";
+    case OpKind::ULe: return "ule";
+    case OpKind::UGt: return "ugt";
+    case OpKind::UGe: return "uge";
+    case OpKind::Select: return "select";
+    case OpKind::StoreVar: return "store";
+    case OpKind::WritePort: return "write";
+    case OpKind::Nop: return "nop";
+  }
+  MPHLS_CHECK(false, "unknown OpKind");
+  return "?";
+}
+
+int opArity(OpKind k) {
+  switch (k) {
+    case OpKind::Const:
+    case OpKind::ReadPort:
+    case OpKind::LoadVar:
+    case OpKind::Nop:
+      return 0;
+    case OpKind::Not:
+    case OpKind::Neg:
+    case OpKind::Inc:
+    case OpKind::Dec:
+    case OpKind::ShlConst:
+    case OpKind::ShrConst:
+    case OpKind::SarConst:
+    case OpKind::Trunc:
+    case OpKind::ZExt:
+    case OpKind::SExt:
+    case OpKind::StoreVar:
+    case OpKind::WritePort:
+      return 1;
+    case OpKind::Select:
+      return 3;
+    default:
+      return 2;
+  }
+}
+
+bool opHasResult(OpKind k) {
+  switch (k) {
+    case OpKind::StoreVar:
+    case OpKind::WritePort:
+    case OpKind::Nop:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool opIsFree(OpKind k) {
+  switch (k) {
+    case OpKind::Const:
+    case OpKind::ShlConst:
+    case OpKind::ShrConst:
+    case OpKind::SarConst:
+    case OpKind::Trunc:
+    case OpKind::ZExt:
+    case OpKind::SExt:
+    case OpKind::Nop:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool opIsCommutative(OpKind k) {
+  switch (k) {
+    case OpKind::Add:
+    case OpKind::Mul:
+    case OpKind::And:
+    case OpKind::Or:
+    case OpKind::Xor:
+    case OpKind::Eq:
+    case OpKind::Ne:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool opIsCompare(OpKind k) {
+  switch (k) {
+    case OpKind::Eq:
+    case OpKind::Ne:
+    case OpKind::Lt:
+    case OpKind::Le:
+    case OpKind::Gt:
+    case OpKind::Ge:
+    case OpKind::ULt:
+    case OpKind::ULe:
+    case OpKind::UGt:
+    case OpKind::UGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool opIsSink(OpKind k) {
+  return k == OpKind::StoreVar || k == OpKind::WritePort;
+}
+
+bool opIsPure(OpKind k) {
+  switch (k) {
+    case OpKind::LoadVar:
+    case OpKind::ReadPort:
+    case OpKind::StoreVar:
+    case OpKind::WritePort:
+    case OpKind::Nop:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace mphls

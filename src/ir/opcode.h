@@ -1,0 +1,85 @@
+// Operation kinds of the CDFG intermediate representation.
+//
+// The tutorial's internal representation is a graph "containing both the
+// data-flow and the control flow implied by the specification" (Section 2).
+// Operations here are the data-flow nodes; control flow lives in the block
+// structure (see cdfg.h).
+#pragma once
+
+#include <string_view>
+
+namespace mphls {
+
+enum class OpKind {
+  // --- producers with no value operands -------------------------------
+  Const,     ///< immediate constant (imm)
+  ReadPort,  ///< sample an input port (port)
+  LoadVar,   ///< read a variable / storage location (var)
+
+  // --- unary -----------------------------------------------------------
+  Not,       ///< bitwise complement
+  Neg,       ///< two's-complement negate
+  Inc,       ///< +1 (the tutorial's increment operation)
+  Dec,       ///< -1
+  ShlConst,  ///< shift left by constant (imm); free in hardware (wiring)
+  ShrConst,  ///< logical shift right by constant (imm); free
+  SarConst,  ///< arithmetic shift right by constant (imm); free
+  Trunc,     ///< width change: keep low bits (free)
+  ZExt,      ///< width change: zero extend (free)
+  SExt,      ///< width change: sign extend (free)
+
+  // --- binary arithmetic / logic --------------------------------------
+  Add, Sub, Mul,
+  Div,   ///< signed divide
+  UDiv,  ///< unsigned divide
+  Mod,   ///< signed remainder
+  UMod,  ///< unsigned remainder
+  And, Or, Xor,
+  Shl,   ///< shift left by variable amount
+  Shr,   ///< logical shift right by variable amount
+  Sar,   ///< arithmetic shift right by variable amount
+
+  // --- comparisons (result width 1) ------------------------------------
+  Eq, Ne,
+  Lt, Le, Gt, Ge,      ///< signed
+  ULt, ULe, UGt, UGe,  ///< unsigned
+
+  // --- selection --------------------------------------------------------
+  Select,  ///< (cond, a, b) -> cond ? a : b
+
+  // --- sinks -------------------------------------------------------------
+  StoreVar,   ///< write a variable (var, args[0])
+  WritePort,  ///< drive an output port (port, args[0])
+
+  // --- structural ---------------------------------------------------------
+  Nop,  ///< no operation; used as a loop-boundary delimiter (paper Fig. 2)
+};
+
+/// Printable mnemonic, e.g. "add".
+[[nodiscard]] std::string_view opName(OpKind k);
+
+/// Number of value operands the op consumes.
+[[nodiscard]] int opArity(OpKind k);
+
+/// True when the op produces a result value.
+[[nodiscard]] bool opHasResult(OpKind k);
+
+/// True for ops that cost no functional unit and no time: constant shifts,
+/// width changes, constants (wired), and nops. The paper relies on this:
+/// "Since the shift operation is free, ... 10 control steps" (Fig. 2).
+[[nodiscard]] bool opIsFree(OpKind k);
+
+/// True when operands can be swapped without changing the result.
+[[nodiscard]] bool opIsCommutative(OpKind k);
+
+/// True for comparison ops (1-bit result).
+[[nodiscard]] bool opIsCompare(OpKind k);
+
+/// True for side-effecting sinks (StoreVar / WritePort).
+[[nodiscard]] bool opIsSink(OpKind k);
+
+/// True when the op result depends only on its operands/imm (candidate for
+/// common-subexpression elimination and constant folding).
+[[nodiscard]] bool opIsPure(OpKind k);
+
+}  // namespace mphls

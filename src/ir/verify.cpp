@@ -1,0 +1,144 @@
+#include "ir/verify.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/bitutil.h"
+
+namespace mphls {
+
+namespace {
+
+std::string check(const Function& fn) {
+  std::ostringstream err;
+  std::unordered_set<std::uint32_t> attachedOps;
+
+  if (!fn.entry().valid()) return "function has no entry block";
+  if (fn.entry().index() >= fn.numBlocks()) return "entry block out of range";
+
+  for (const auto& blk : fn.blocks()) {
+    std::unordered_set<std::uint32_t> defined;
+    for (OpId oid : blk.ops) {
+      if (oid.index() >= fn.numOps()) {
+        err << "block " << blk.name << " references op out of range";
+        return err.str();
+      }
+      if (!attachedOps.insert(oid.get()).second) {
+        err << "op " << oid << " attached to more than one block";
+        return err.str();
+      }
+      const Op& o = fn.op(oid);
+      if (o.dead) {
+        err << "dead op " << oid << " still attached to block " << blk.name;
+        return err.str();
+      }
+      if (static_cast<int>(o.args.size()) != opArity(o.kind)) {
+        err << "op " << oid << " (" << opName(o.kind) << ") has "
+            << o.args.size() << " args, expected " << opArity(o.kind);
+        return err.str();
+      }
+      for (ValueId a : o.args) {
+        if (a.index() >= fn.numValues()) {
+          err << "op " << oid << " uses value out of range";
+          return err.str();
+        }
+        if (!defined.count(a.get())) {
+          err << "op " << oid << " in block " << blk.name
+              << " uses value v" << a.get()
+              << " not defined earlier in the block";
+          return err.str();
+        }
+      }
+      if (opHasResult(o.kind)) {
+        if (!o.result.valid() || o.result.index() >= fn.numValues()) {
+          err << "op " << oid << " missing result value";
+          return err.str();
+        }
+        const Value& v = fn.value(o.result);
+        if (v.def != oid) {
+          err << "value v" << o.result.get() << " def link broken";
+          return err.str();
+        }
+        if (v.width < 1 || v.width > kMaxWidth) {
+          err << "value v" << o.result.get() << " has bad width " << v.width;
+          return err.str();
+        }
+        defined.insert(o.result.get());
+      } else if (o.result.valid()) {
+        err << "sink op " << oid << " has a result";
+        return err.str();
+      }
+      // Kind-specific payloads.
+      if ((o.kind == OpKind::LoadVar || o.kind == OpKind::StoreVar) &&
+          (!o.var.valid() || o.var.index() >= fn.vars().size())) {
+        err << "op " << oid << " has invalid variable";
+        return err.str();
+      }
+      if (o.kind == OpKind::ReadPort || o.kind == OpKind::WritePort) {
+        if (!o.port.valid() || o.port.index() >= fn.ports().size()) {
+          err << "op " << oid << " has invalid port";
+          return err.str();
+        }
+        if (o.kind == OpKind::ReadPort && !fn.port(o.port).isInput) {
+          err << "op " << oid << " reads an output port";
+          return err.str();
+        }
+        if (o.kind == OpKind::WritePort && fn.port(o.port).isInput) {
+          err << "op " << oid << " writes an input port";
+          return err.str();
+        }
+      }
+      if (opIsCompare(o.kind) && fn.value(o.result).width != 1) {
+        err << "compare op " << oid << " result is not 1 bit";
+        return err.str();
+      }
+      if ((o.kind == OpKind::ShlConst || o.kind == OpKind::ShrConst ||
+           o.kind == OpKind::SarConst) &&
+          (o.imm < 0 || o.imm >= kMaxWidth)) {
+        err << "op " << oid << " has bad shift amount " << o.imm;
+        return err.str();
+      }
+    }
+    const Terminator& t = blk.term;
+    switch (t.kind) {
+      case Terminator::Kind::Return:
+        break;
+      case Terminator::Kind::Jump:
+        if (!t.target.valid() || t.target.index() >= fn.numBlocks()) {
+          err << "block " << blk.name << " jumps out of range";
+          return err.str();
+        }
+        break;
+      case Terminator::Kind::Branch: {
+        if (!t.target.valid() || t.target.index() >= fn.numBlocks() ||
+            !t.elseTarget.valid() || t.elseTarget.index() >= fn.numBlocks()) {
+          err << "block " << blk.name << " branches out of range";
+          return err.str();
+        }
+        if (!t.cond.valid() || !defined.count(t.cond.get())) {
+          err << "block " << blk.name
+              << " branch condition not defined in block";
+          return err.str();
+        }
+        if (fn.value(t.cond).width != 1) {
+          err << "block " << blk.name << " branch condition is not 1 bit";
+          return err.str();
+        }
+        break;
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string verifyFunction(const Function& fn) { return check(fn); }
+
+void verifyOrThrow(const Function& fn) {
+  std::string msg = check(fn);
+  MPHLS_CHECK(msg.empty(), "IR verification failed for '" << fn.name()
+                                                          << "': " << msg);
+}
+
+}  // namespace mphls

@@ -1,0 +1,19 @@
+// Structural verifier for CDFG functions. Run after frontend lowering and
+// after every transformation pass; violations indicate compiler bugs, so
+// failures throw InternalError with a description of the broken invariant.
+#pragma once
+
+#include <string>
+
+#include "ir/cdfg.h"
+
+namespace mphls {
+
+/// Check all IR invariants; returns an empty string when the function is
+/// well formed, else a description of the first violation.
+[[nodiscard]] std::string verifyFunction(const Function& fn);
+
+/// Convenience: verify and throw InternalError on violation.
+void verifyOrThrow(const Function& fn);
+
+}  // namespace mphls

@@ -1,0 +1,111 @@
+// Abstract syntax tree for BDL.
+//
+// The parse tree is the first of the two internal-representation families
+// the tutorial mentions ("parse trees and graphs"); lowering turns it into
+// the CDFG of src/ir.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/diag.h"
+
+namespace mphls::ast {
+
+/// A declared type: signedness + bit width. `bool` is uint<1>.
+struct Type {
+  int width = 32;
+  bool isSigned = true;
+
+  [[nodiscard]] std::string str() const;
+};
+
+// ---------------------------------------------------------------- expressions
+
+enum class UnOp { Neg, Not, LogicalNot };
+enum class BinOp {
+  Add, Sub, Mul, Div, Mod,
+  And, Or, Xor,
+  Shl, Shr,
+  LogicalAnd, LogicalOr,
+  Eq, Ne, Lt, Le, Gt, Ge,
+};
+enum class CastKind { Trunc, ZExt, SExt };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind { Number, Bool, VarRef, Unary, Binary, Cast, Ternary };
+  Kind kind;
+  SourceLoc loc;
+
+  // Number / Bool
+  std::uint64_t number = 0;
+  // VarRef
+  std::string name;
+  // Unary / Cast
+  UnOp unOp = UnOp::Neg;
+  CastKind castKind = CastKind::Trunc;
+  int castWidth = 0;
+  // Binary
+  BinOp binOp = BinOp::Add;
+  // children: Unary/Cast use [0]; Binary uses [0],[1]; Ternary [0..2]
+  std::vector<ExprPtr> children;
+};
+
+// ----------------------------------------------------------------- statements
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind { VarDecl, Assign, If, While, DoUntil, Call, Block };
+  Kind kind;
+  SourceLoc loc;
+
+  // VarDecl
+  std::string name;
+  Type declType;
+  ExprPtr init;  ///< optional initializer
+  // Assign: name = expr
+  ExprPtr rhs;
+  // If / While / DoUntil
+  ExprPtr cond;
+  std::vector<StmtPtr> body;      ///< If-then / loop body / Block body
+  std::vector<StmtPtr> elseBody;  ///< If-else
+  // Call
+  std::string callee;
+  std::vector<ExprPtr> callArgs;  ///< out args must be plain VarRefs
+};
+
+// ----------------------------------------------------------------- procedures
+
+struct Param {
+  std::string name;
+  Type type;
+  bool isInput = true;
+  SourceLoc loc;
+};
+
+struct Proc {
+  std::string name;
+  std::vector<Param> params;
+  std::vector<StmtPtr> body;
+  SourceLoc loc;
+};
+
+/// A whole BDL compilation unit.
+struct Design {
+  std::vector<Proc> procs;
+
+  [[nodiscard]] const Proc* findProc(const std::string& name) const {
+    for (const auto& p : procs)
+      if (p.name == name) return &p;
+    return nullptr;
+  }
+};
+
+}  // namespace mphls::ast

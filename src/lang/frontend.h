@@ -1,0 +1,24 @@
+// One-call frontend: BDL source text -> verified CDFG Function.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/diag.h"
+#include "ir/cdfg.h"
+
+namespace mphls {
+
+/// Compile `source`. `top` selects the top-level procedure; when empty the
+/// last procedure in the file is used. Diagnostics accumulate in `diags`;
+/// the result is nullopt whenever an error was reported.
+[[nodiscard]] std::optional<Function> compileBdl(const std::string& source,
+                                                 DiagEngine& diags,
+                                                 const std::string& top = "");
+
+/// Convenience for tests and examples: compile or throw InternalError with
+/// the diagnostic summary.
+[[nodiscard]] Function compileBdlOrThrow(const std::string& source,
+                                         const std::string& top = "");
+
+}  // namespace mphls

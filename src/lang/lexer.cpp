@@ -1,0 +1,239 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace mphls {
+
+std::string_view tokName(Tok t) {
+  switch (t) {
+    case Tok::End: return "<eof>";
+    case Tok::Ident: return "identifier";
+    case Tok::Number: return "number";
+    case Tok::KwProc: return "'proc'";
+    case Tok::KwIn: return "'in'";
+    case Tok::KwOut: return "'out'";
+    case Tok::KwVar: return "'var'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwWhile: return "'while'";
+    case Tok::KwDo: return "'do'";
+    case Tok::KwUntil: return "'until'";
+    case Tok::KwInt: return "'int'";
+    case Tok::KwUint: return "'uint'";
+    case Tok::KwBool: return "'bool'";
+    case Tok::KwTrue: return "'true'";
+    case Tok::KwFalse: return "'false'";
+    case Tok::KwTrunc: return "'trunc'";
+    case Tok::KwZext: return "'zext'";
+    case Tok::KwSext: return "'sext'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::Comma: return "','";
+    case Tok::Semi: return "';'";
+    case Tok::Colon: return "':'";
+    case Tok::Question: return "'?'";
+    case Tok::Assign: return "'='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Amp: return "'&'";
+    case Tok::Pipe: return "'|'";
+    case Tok::Caret: return "'^'";
+    case Tok::Tilde: return "'~'";
+    case Tok::Bang: return "'!'";
+    case Tok::AmpAmp: return "'&&'";
+    case Tok::PipePipe: return "'||'";
+    case Tok::Shl: return "'<<'";
+    case Tok::Shr: return "'>>'";
+    case Tok::Eq: return "'=='";
+    case Tok::Ne: return "'!='";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+  }
+  return "?";
+}
+
+char Lexer::peek(int ahead) const {
+  std::size_t p = pos_ + static_cast<std::size_t>(ahead);
+  return p < src_.size() ? src_[p] : '\0';
+}
+
+char Lexer::advance() {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+void Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+    } else if (c == '#') {
+      while (!atEnd() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      SourceLoc start = here();
+      advance();
+      advance();
+      while (!atEnd() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (atEnd()) {
+        diags_.error(start, "unterminated block comment");
+        return;
+      }
+      advance();
+      advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::lexNumber() {
+  Token t;
+  t.kind = Tok::Number;
+  t.loc = here();
+  std::uint64_t v = 0;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    bool any = false;
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+      char c = advance();
+      int d = std::isdigit(static_cast<unsigned char>(c))
+                  ? c - '0'
+                  : 10 + (std::tolower(c) - 'a');
+      v = v * 16 + static_cast<std::uint64_t>(d);
+      any = true;
+    }
+    if (!any) diags_.error(t.loc, "hex literal needs digits");
+  } else if (peek() == '0' && (peek(1) == 'b' || peek(1) == 'B')) {
+    advance();
+    advance();
+    bool any = false;
+    while (peek() == '0' || peek() == '1') {
+      v = v * 2 + static_cast<std::uint64_t>(advance() - '0');
+      any = true;
+    }
+    if (!any) diags_.error(t.loc, "binary literal needs digits");
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      v = v * 10 + static_cast<std::uint64_t>(advance() - '0');
+  }
+  t.number = v;
+  return t;
+}
+
+Token Lexer::lexIdent() {
+  static const std::unordered_map<std::string, Tok> kKeywords = {
+      {"proc", Tok::KwProc},   {"in", Tok::KwIn},       {"out", Tok::KwOut},
+      {"var", Tok::KwVar},     {"if", Tok::KwIf},       {"else", Tok::KwElse},
+      {"while", Tok::KwWhile}, {"do", Tok::KwDo},       {"until", Tok::KwUntil},
+      {"int", Tok::KwInt},     {"uint", Tok::KwUint},   {"bool", Tok::KwBool},
+      {"true", Tok::KwTrue},   {"false", Tok::KwFalse},
+      {"trunc", Tok::KwTrunc}, {"zext", Tok::KwZext},   {"sext", Tok::KwSext},
+  };
+  Token t;
+  t.loc = here();
+  std::string s;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    s += advance();
+  auto it = kKeywords.find(s);
+  if (it != kKeywords.end()) {
+    t.kind = it->second;
+  } else {
+    t.kind = Tok::Ident;
+    t.text = std::move(s);
+  }
+  return t;
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> out;
+  for (;;) {
+    skipTrivia();
+    if (atEnd()) break;
+    SourceLoc loc = here();
+    char c = peek();
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      out.push_back(lexNumber());
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      out.push_back(lexIdent());
+      continue;
+    }
+    advance();
+    Token t;
+    t.loc = loc;
+    auto two = [&](char second, Tok ifTwo, Tok ifOne) {
+      if (peek() == second) {
+        advance();
+        t.kind = ifTwo;
+      } else {
+        t.kind = ifOne;
+      }
+    };
+    switch (c) {
+      case '(': t.kind = Tok::LParen; break;
+      case ')': t.kind = Tok::RParen; break;
+      case '{': t.kind = Tok::LBrace; break;
+      case '}': t.kind = Tok::RBrace; break;
+      case ',': t.kind = Tok::Comma; break;
+      case ';': t.kind = Tok::Semi; break;
+      case ':': t.kind = Tok::Colon; break;
+      case '?': t.kind = Tok::Question; break;
+      case '+': t.kind = Tok::Plus; break;
+      case '-': t.kind = Tok::Minus; break;
+      case '*': t.kind = Tok::Star; break;
+      case '/': t.kind = Tok::Slash; break;
+      case '%': t.kind = Tok::Percent; break;
+      case '^': t.kind = Tok::Caret; break;
+      case '~': t.kind = Tok::Tilde; break;
+      case '&': two('&', Tok::AmpAmp, Tok::Amp); break;
+      case '|': two('|', Tok::PipePipe, Tok::Pipe); break;
+      case '=': two('=', Tok::Eq, Tok::Assign); break;
+      case '!': two('=', Tok::Ne, Tok::Bang); break;
+      case '<':
+        if (peek() == '<') {
+          advance();
+          t.kind = Tok::Shl;
+        } else {
+          two('=', Tok::Le, Tok::Lt);
+        }
+        break;
+      case '>':
+        if (peek() == '>') {
+          advance();
+          t.kind = Tok::Shr;
+        } else {
+          two('=', Tok::Ge, Tok::Gt);
+        }
+        break;
+      default:
+        diags_.error(loc, std::string("unexpected character '") + c + "'");
+        continue;
+    }
+    out.push_back(t);
+  }
+  Token end;
+  end.kind = Tok::End;
+  end.loc = here();
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace mphls

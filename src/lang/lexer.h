@@ -1,0 +1,38 @@
+// Hand-written lexer for BDL. Supports decimal / hex (0x) / binary (0b)
+// literals, '#' line comments, and '/* */' block comments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/diag.h"
+#include "lang/token.h"
+
+namespace mphls {
+
+class Lexer {
+ public:
+  Lexer(std::string source, DiagEngine& diags)
+      : src_(std::move(source)), diags_(diags) {}
+
+  /// Tokenize the whole input; always ends with a Tok::End token.
+  [[nodiscard]] std::vector<Token> tokenize();
+
+ private:
+  std::string src_;
+  DiagEngine& diags_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+
+  [[nodiscard]] char peek(int ahead = 0) const;
+  char advance();
+  [[nodiscard]] bool atEnd() const { return pos_ >= src_.size(); }
+  [[nodiscard]] SourceLoc here() const { return {line_, col_}; }
+
+  void skipTrivia();
+  Token lexNumber();
+  Token lexIdent();
+};
+
+}  // namespace mphls

@@ -1,0 +1,26 @@
+// Lowering: AST -> CDFG.
+//
+// This is the tutorial's "compilation of the formal language into an
+// internal representation" (Section 2). Type checking happens on the fly:
+// widths are computed bottom-up, operands are equalized with explicit
+// (free) extension ops, and procedure calls are inline-expanded — one of
+// the high-level transformations the paper lists ("inline expansion of
+// procedures") done here where the call structure is still visible.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/diag.h"
+#include "ir/cdfg.h"
+#include "lang/ast.h"
+
+namespace mphls {
+
+/// Lower procedure `top` of `design` into a Function. All procedure calls
+/// are inlined. Returns nullopt (with diagnostics) on semantic errors.
+[[nodiscard]] std::optional<Function> lowerDesign(const ast::Design& design,
+                                                  const std::string& top,
+                                                  DiagEngine& diags);
+
+}  // namespace mphls

@@ -1,0 +1,56 @@
+// Recursive-descent parser for BDL.
+#pragma once
+
+#include <vector>
+
+#include "common/diag.h"
+#include "lang/ast.h"
+#include "lang/token.h"
+
+namespace mphls {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagEngine& diags)
+      : toks_(std::move(tokens)), diags_(diags) {}
+
+  /// Parse a whole design. On syntax errors the result is partial; check
+  /// `diags.ok()` before using it.
+  [[nodiscard]] ast::Design parseDesign();
+
+ private:
+  std::vector<Token> toks_;
+  DiagEngine& diags_;
+  std::size_t pos_ = 0;
+
+  [[nodiscard]] const Token& cur() const { return toks_[pos_]; }
+  [[nodiscard]] const Token& peek(int ahead = 1) const;
+  const Token& advance();
+  [[nodiscard]] bool at(Tok k) const { return cur().kind == k; }
+  bool accept(Tok k);
+  bool expect(Tok k, const char* where);
+  void syncToStmt();
+
+  ast::Proc parseProc();
+  ast::Param parseParam();
+  ast::Type parseType();
+  ast::StmtPtr parseStmt();
+  std::vector<ast::StmtPtr> parseBlock();
+
+  ast::ExprPtr parseExpr();
+  ast::ExprPtr parseTernary();
+  ast::ExprPtr parseLogicalOr();
+  ast::ExprPtr parseLogicalAnd();
+  ast::ExprPtr parseBitOr();
+  ast::ExprPtr parseBitXor();
+  ast::ExprPtr parseBitAnd();
+  ast::ExprPtr parseEquality();
+  ast::ExprPtr parseRelational();
+  ast::ExprPtr parseShift();
+  ast::ExprPtr parseAdditive();
+  ast::ExprPtr parseMultiplicative();
+  ast::ExprPtr parseUnary();
+  ast::ExprPtr parsePrimary();
+};
+
+}  // namespace mphls

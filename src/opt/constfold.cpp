@@ -1,0 +1,58 @@
+// Constant folding: pure operations whose operands are all constants are
+// evaluated at compile time (using the same arithmetic as the interpreter
+// and the RTL, so folding can never change behavior).
+#include "ir/interp.h"
+#include "opt/pass.h"
+
+namespace mphls {
+
+namespace {
+
+class ConstFoldPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "constfold"; }
+
+  int run(Function& fn) override {
+    int changes = 0;
+    for (const auto& blk : fn.blocks()) {
+      // Iterate over a copy: folding mutates op kinds in place.
+      std::vector<OpId> ops = blk.ops;
+      for (OpId oid : ops) {
+        Op& o = fn.op(oid);
+        if (!opIsPure(o.kind) || o.kind == OpKind::Const) continue;
+        bool allConst = true;
+        std::vector<std::uint64_t> args;
+        std::vector<int> widths;
+        for (ValueId a : o.args) {
+          const Op& def = fn.defOf(a);
+          if (def.kind != OpKind::Const) {
+            allConst = false;
+            break;
+          }
+          args.push_back(static_cast<std::uint64_t>(def.imm) &
+                         ((fn.value(a).width == 64)
+                              ? ~0ULL
+                              : ((1ULL << fn.value(a).width) - 1)));
+          widths.push_back(fn.value(a).width);
+        }
+        if (!allConst) continue;
+        std::uint64_t folded = Interpreter::evalPure(
+            o.kind, fn.value(o.result).width, o.imm, args, widths);
+        // Rewrite the op into a constant in place (keeps the result id).
+        o.kind = OpKind::Const;
+        o.args.clear();
+        o.imm = static_cast<std::int64_t>(folded);
+        ++changes;
+      }
+    }
+    return changes;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> createConstFoldPass() {
+  return std::make_unique<ConstFoldPass>();
+}
+
+}  // namespace mphls

@@ -1,0 +1,82 @@
+// Common-subexpression elimination (local): within a block, pure ops with
+// identical opcode, immediate and operands reuse the first computation.
+// Commutative operands are canonicalized so a*b and b*a unify. Repeated
+// loads of a variable with no intervening store also merge.
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "opt/pass.h"
+
+namespace mphls {
+
+namespace {
+
+class CsePass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "cse"; }
+
+  int run(Function& fn) override {
+    int changes = 0;
+    for (auto& blk : fn.blocks()) {
+      using Key = std::tuple<OpKind, std::int64_t, std::vector<std::uint32_t>,
+                             int>;
+      std::map<Key, ValueId> seen;
+      // Loads: (var, generation) so stores invalidate.
+      std::map<std::uint32_t, int> varGen;
+      std::map<std::pair<std::uint32_t, int>, ValueId> loadSeen;
+
+      // Input-port reads are stable within an execution: dedup per block.
+      std::map<std::uint32_t, ValueId> readSeen;
+
+      std::vector<OpId> toRemove;
+      for (OpId oid : blk.ops) {
+        const Op& o = fn.op(oid);
+        if (o.kind == OpKind::StoreVar) {
+          ++varGen[o.var.get()];
+          continue;
+        }
+        if (o.kind == OpKind::ReadPort) {
+          auto [it, inserted] = readSeen.emplace(o.port.get(), o.result);
+          if (!inserted) {
+            fn.replaceAllUses(o.result, it->second);
+            toRemove.push_back(oid);
+            ++changes;
+          }
+          continue;
+        }
+        if (o.kind == OpKind::LoadVar) {
+          auto key = std::make_pair(o.var.get(), varGen[o.var.get()]);
+          auto [it, inserted] = loadSeen.emplace(key, o.result);
+          if (!inserted) {
+            fn.replaceAllUses(o.result, it->second);
+            toRemove.push_back(oid);
+            ++changes;
+          }
+          continue;
+        }
+        if (!opIsPure(o.kind)) continue;
+
+        std::vector<std::uint32_t> args;
+        for (ValueId a : o.args) args.push_back(a.get());
+        if (opIsCommutative(o.kind) && args.size() == 2 && args[0] > args[1])
+          std::swap(args[0], args[1]);
+        Key key{o.kind, o.imm, std::move(args), fn.value(o.result).width};
+        auto [it, inserted] = seen.emplace(std::move(key), o.result);
+        if (!inserted) {
+          fn.replaceAllUses(o.result, it->second);
+          toRemove.push_back(oid);
+          ++changes;
+        }
+      }
+      for (OpId oid : toRemove) fn.removeOp(oid);
+    }
+    return changes;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> createCsePass() { return std::make_unique<CsePass>(); }
+
+}  // namespace mphls

@@ -1,0 +1,70 @@
+// Dead-code elimination: removes pure operations whose results are unused
+// and stores to variables that are never loaded anywhere in the design.
+#include <unordered_set>
+#include <vector>
+
+#include "opt/pass.h"
+
+namespace mphls {
+
+namespace {
+
+class DcePass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "dce"; }
+
+  int run(Function& fn) override {
+    int changes = 0;
+    for (;;) {
+      int round = sweep(fn);
+      changes += round;
+      if (round == 0) break;
+    }
+    return changes;
+  }
+
+ private:
+  static int sweep(Function& fn) {
+    // Count uses of every value (op args + branch conditions).
+    std::vector<int> uses(fn.numValues(), 0);
+    std::unordered_set<std::uint32_t> loadedVars;
+    for (const auto& blk : fn.blocks()) {
+      for (OpId oid : blk.ops) {
+        const Op& o = fn.op(oid);
+        for (ValueId a : o.args) ++uses[a.index()];
+        if (o.kind == OpKind::LoadVar) loadedVars.insert(o.var.get());
+      }
+      if (blk.term.kind == Terminator::Kind::Branch)
+        ++uses[blk.term.cond.index()];
+    }
+
+    std::vector<OpId> dead;
+    for (const auto& blk : fn.blocks()) {
+      for (OpId oid : blk.ops) {
+        const Op& o = fn.op(oid);
+        if (o.result.valid() && uses[o.result.index()] == 0 &&
+            opIsPure(o.kind)) {
+          dead.push_back(oid);
+        } else if ((o.kind == OpKind::LoadVar || o.kind == OpKind::ReadPort) &&
+                   uses[o.result.index()] == 0) {
+          // Loads/reads have no side effects either; only their ordering
+          // role matters, and unused ones constrain nothing we must keep.
+          dead.push_back(oid);
+        } else if (o.kind == OpKind::StoreVar &&
+                   !loadedVars.count(o.var.get())) {
+          dead.push_back(oid);
+        } else if (o.kind == OpKind::Nop) {
+          dead.push_back(oid);
+        }
+      }
+    }
+    for (OpId oid : dead) fn.removeOp(oid);
+    return static_cast<int>(dead.size());
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> createDcePass() { return std::make_unique<DcePass>(); }
+
+}  // namespace mphls

@@ -1,0 +1,57 @@
+#include "opt/pass.h"
+
+#include "ir/verify.h"
+
+namespace mphls {
+
+std::vector<PassStats> PassManager::run(Function& fn, int maxRounds) {
+  std::vector<PassStats> stats(passes_.size());
+  for (std::size_t i = 0; i < passes_.size(); ++i)
+    stats[i].pass = passes_[i]->name();
+
+  for (int round = 0; round < maxRounds; ++round) {
+    int total = 0;
+    for (std::size_t i = 0; i < passes_.size(); ++i) {
+      int c = passes_[i]->run(fn);
+      verifyOrThrow(fn);
+      stats[i].changes += c;
+      if (c > 0) ++stats[i].iterations;
+      total += c;
+    }
+    if (total == 0) break;
+  }
+  fn.compact();
+  verifyOrThrow(fn);
+  return stats;
+}
+
+PassManager PassManager::standardPipeline() {
+  PassManager pm;
+  pm.add(createForwardingPass())
+      .add(createConstFoldPass())
+      .add(createStrengthPass())
+      .add(createAlgebraicPass())
+      .add(createCsePass())
+      .add(createDcePass());
+  return pm;
+}
+
+PassManager PassManager::aggressivePipeline(int maxTrip) {
+  PassManager pm;
+  pm.add(createUnrollPass(maxTrip))
+      .add(createForwardingPass())
+      .add(createConstFoldPass())
+      .add(createStrengthPass())
+      .add(createAlgebraicPass())
+      .add(createCsePass())
+      .add(createTreeHeightPass())
+      .add(createDcePass());
+  return pm;
+}
+
+void optimize(Function& fn) {
+  auto pm = PassManager::standardPipeline();
+  pm.run(fn);
+}
+
+}  // namespace mphls

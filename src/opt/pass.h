@@ -1,0 +1,76 @@
+// Transformation pass framework.
+//
+// Section 2: "it is desirable to do some initial optimization of the
+// internal representation. These high-level transformations include such
+// compiler-like optimizations as dead code elimination, constant
+// propagation, common subexpression elimination, inline expansion of
+// procedures and loop unrolling. Local transformations, including those
+// that are more specific to hardware, are also used."
+//
+// Each pass is a small rewriting of a Function that must preserve behavior
+// (verified by the equivalence tests in tests/test_opt.cpp). The manager
+// runs passes to a fixpoint and re-verifies IR invariants after each run —
+// Section 4's observation that "each step in the synthesis process
+// preserves the behavior of the initial specification" is checkable.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/cdfg.h"
+
+namespace mphls {
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Apply the pass; returns the number of rewrites performed.
+  virtual int run(Function& fn) = 0;
+};
+
+// Factories for every pass (defined in their own translation units).
+[[nodiscard]] std::unique_ptr<Pass> createDcePass();
+[[nodiscard]] std::unique_ptr<Pass> createConstFoldPass();
+[[nodiscard]] std::unique_ptr<Pass> createForwardingPass();  // store->load
+[[nodiscard]] std::unique_ptr<Pass> createCsePass();
+[[nodiscard]] std::unique_ptr<Pass> createStrengthPass();
+[[nodiscard]] std::unique_ptr<Pass> createAlgebraicPass();
+[[nodiscard]] std::unique_ptr<Pass> createUnrollPass(int maxTrip = 64);
+[[nodiscard]] std::unique_ptr<Pass> createTreeHeightPass();
+
+/// Per-pass outcome of a manager run.
+struct PassStats {
+  std::string pass;
+  int changes = 0;
+  int iterations = 0;
+};
+
+class PassManager {
+ public:
+  PassManager& add(std::unique_ptr<Pass> p) {
+    passes_.push_back(std::move(p));
+    return *this;
+  }
+
+  /// Run all passes round-robin until a full round changes nothing (or
+  /// `maxRounds` is hit). Verifies the IR after every pass. Returns stats.
+  std::vector<PassStats> run(Function& fn, int maxRounds = 8);
+
+  /// The tutorial's standard cleanup pipeline: forwarding, constant
+  /// folding, strength reduction, algebraic simplification, CSE, DCE.
+  [[nodiscard]] static PassManager standardPipeline();
+
+  /// Standard pipeline plus loop unrolling and tree-height reduction.
+  [[nodiscard]] static PassManager aggressivePipeline(int maxTrip = 64);
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+/// Convenience: run the standard pipeline in place.
+void optimize(Function& fn);
+
+}  // namespace mphls

@@ -1,0 +1,159 @@
+// Tree-height reduction: rebalances linear chains of a commutative,
+// associative operation (add, mul, and, or, xor) into a balanced tree,
+// shortening the critical path and exposing parallelism to the scheduler —
+// one of the behavioral transformations the paper classes as "high level
+// transformations on the behavior" (Section 4).
+//
+//   ((a + b) + c) + d   (3 steps, 1 adder)
+//   =>  (a + b) + (c + d)   (2 steps, 2 adders)
+#include <algorithm>
+#include <vector>
+
+#include "opt/pass.h"
+
+namespace mphls {
+
+namespace {
+
+bool isAssociative(OpKind k) {
+  switch (k) {
+    case OpKind::Add:
+    case OpKind::Mul:
+    case OpKind::And:
+    case OpKind::Or:
+    case OpKind::Xor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+class TreeHeightPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "treeheight"; }
+
+  int run(Function& fn) override {
+    int changes = 0;
+    for (std::size_t bi = 0; bi < fn.numBlocks(); ++bi)
+      changes += rewriteBlock(fn, fn.block(BlockId(bi)));
+    return changes;
+  }
+
+ private:
+  static int rewriteBlock(Function& fn, Block& blk) {
+    // Count value uses across the whole function (roots must be the sole
+    // consumers of their chain's intermediates).
+    std::vector<int> uses(fn.numValues(), 0);
+    for (const auto& b2 : fn.blocks()) {
+      for (OpId oid : b2.ops)
+        for (ValueId a : fn.op(oid).args) ++uses[a.index()];
+      if (b2.term.kind == Terminator::Kind::Branch)
+        ++uses[b2.term.cond.index()];
+    }
+
+    int changes = 0;
+    // Find chain roots: an associative op whose result is NOT consumed by
+    // another op of the same kind (otherwise the consumer is the root).
+    for (OpId rootId : std::vector<OpId>(blk.ops)) {
+      const Op& root = fn.op(rootId);
+      if (root.dead || !isAssociative(root.kind)) continue;
+
+      // Collect the chain's leaves by walking same-kind producers with a
+      // single use and equal width.
+      const OpKind kind = root.kind;
+      const int width = fn.value(root.result).width;
+      std::vector<ValueId> leaves;
+      std::vector<OpId> chainOps;
+      bool abort = false;
+
+      std::vector<ValueId> work(root.args.begin(), root.args.end());
+      chainOps.push_back(rootId);
+      while (!work.empty() && !abort) {
+        ValueId v = work.back();
+        work.pop_back();
+        const Op& def = fn.defOf(v);
+        bool inBlock =
+            std::find(blk.ops.begin(), blk.ops.end(), def.id) != blk.ops.end();
+        if (inBlock && def.kind == kind && uses[v.index()] == 1 &&
+            fn.value(v).width == width) {
+          chainOps.push_back(def.id);
+          for (ValueId a : def.args) work.push_back(a);
+        } else {
+          if (fn.value(v).width != width) abort = true;
+          leaves.push_back(v);
+        }
+      }
+      if (abort || leaves.size() < 4) continue;  // depth <=2 already balanced
+      // Only rebalance genuine linear chains (anything deeper than log2).
+      std::size_t nOps = chainOps.size();
+      if (nOps + 1 != leaves.size()) continue;  // malformed (shared nodes)
+
+      // Safety: rebalancing moves leaf consumption later in the block. If
+      // any store/write sits between the earliest chain op and the root,
+      // a load-rooted leaf could end up read after its register is
+      // overwritten — skip such chains.
+      {
+        std::size_t loPos = blk.ops.size(), hiPos = 0;
+        for (std::size_t pos = 0; pos < blk.ops.size(); ++pos) {
+          for (OpId cid : chainOps) {
+            if (blk.ops[pos] == cid) {
+              loPos = std::min(loPos, pos);
+              hiPos = std::max(hiPos, pos);
+            }
+          }
+        }
+        bool hasSink = false;
+        for (std::size_t pos = loPos; pos <= hiPos && pos < blk.ops.size();
+             ++pos)
+          if (fn.op(blk.ops[pos]).isSink()) hasSink = true;
+        if (hasSink) continue;
+      }
+
+      // Build a balanced tree over the leaves, reusing the chain's op slots
+      // is complex; instead emit fresh ops before the root and retarget it.
+      // Ops must appear before the root in block order and after every
+      // leaf's definition; inserting just before the root satisfies both.
+      auto rootPos = std::find(blk.ops.begin(), blk.ops.end(), rootId);
+      MPHLS_CHECK(rootPos != blk.ops.end(), "root not in block");
+      std::size_t insertAt = static_cast<std::size_t>(rootPos - blk.ops.begin());
+
+      // Pair up leaves level by level.
+      std::vector<ValueId> level = leaves;
+      std::vector<OpId> fresh;
+      while (level.size() > 2) {
+        std::vector<ValueId> next;
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+          OpId nid = fn.makeOp(blk.id, kind, {level[i], level[i + 1]}, width);
+          fresh.push_back(nid);
+          next.push_back(fn.op(nid).result);
+        }
+        if (level.size() % 2) next.push_back(level.back());
+        level = std::move(next);
+      }
+      // makeOp appended to the block; move the fresh ops before the root.
+      for (std::size_t k = 0; k < fresh.size(); ++k) {
+        auto it = std::find(blk.ops.begin(), blk.ops.end(), fresh[k]);
+        blk.ops.erase(it);
+        blk.ops.insert(blk.ops.begin() +
+                           static_cast<std::ptrdiff_t>(insertAt + k),
+                       fresh[k]);
+      }
+      // Retarget the root to combine the final two values.
+      Op& rootOp = fn.op(rootId);
+      MPHLS_CHECK(level.size() == 2, "balanced tree must end with 2 inputs");
+      rootOp.args = {level[0], level[1]};
+      // The old intermediates become dead; DCE sweeps them.
+      ++changes;
+      break;  // block op list changed; conservative one rewrite per visit
+    }
+    return changes;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> createTreeHeightPass() {
+  return std::make_unique<TreeHeightPass>();
+}
+
+}  // namespace mphls

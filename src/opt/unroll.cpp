@@ -1,0 +1,188 @@
+// Loop unrolling (Section 2): "Loop unrolling can also be done in this case
+// since the number of iterations is fixed and small."
+//
+// Handles single-block do-until loops (header == latch). The trip count is
+// discovered by abstract interpretation: variables with constant values at
+// loop entry are simulated through the loop body; when the exit condition
+// is decidable every iteration and the loop exits within `maxTrip`
+// iterations, the body is replicated trip-count times with the back edge
+// replaced by straight-line control flow.
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "ir/analysis.h"
+#include "ir/interp.h"
+#include "opt/pass.h"
+
+namespace mphls {
+
+namespace {
+
+using VarState = std::map<std::uint32_t, std::optional<std::uint64_t>>;
+
+/// Simulate one execution of `blk` over the known-variable state. Returns
+/// the branch condition value if decidable.
+std::optional<bool> simulateBlock(const Function& fn, const Block& blk,
+                                  VarState& vars) {
+  std::unordered_map<std::uint32_t, std::optional<std::uint64_t>> vals;
+  for (OpId oid : blk.ops) {
+    const Op& o = fn.op(oid);
+    switch (o.kind) {
+      case OpKind::Const:
+        vals[o.result.get()] = Interpreter::evalPure(
+            OpKind::Const, fn.value(o.result).width, o.imm, {}, {});
+        break;
+      case OpKind::LoadVar: {
+        auto it = vars.find(o.var.get());
+        vals[o.result.get()] =
+            it == vars.end() ? std::nullopt : it->second;
+        break;
+      }
+      case OpKind::ReadPort:
+        vals[o.result.get()] = std::nullopt;
+        break;
+      case OpKind::StoreVar: {
+        auto it = vals.find(o.args[0].get());
+        vars[o.var.get()] =
+            it == vals.end() ? std::nullopt : it->second;
+        break;
+      }
+      case OpKind::WritePort:
+      case OpKind::Nop:
+        break;
+      default: {
+        std::vector<std::uint64_t> args;
+        std::vector<int> widths;
+        bool known = true;
+        for (ValueId a : o.args) {
+          auto it = vals.find(a.get());
+          if (it == vals.end() || !it->second) {
+            known = false;
+            break;
+          }
+          args.push_back(*it->second);
+          widths.push_back(fn.value(a).width);
+        }
+        vals[o.result.get()] =
+            known ? std::optional<std::uint64_t>(Interpreter::evalPure(
+                        o.kind, fn.value(o.result).width, o.imm, args, widths))
+                  : std::nullopt;
+        break;
+      }
+    }
+  }
+  if (blk.term.kind != Terminator::Kind::Branch) return std::nullopt;
+  auto it = vals.find(blk.term.cond.get());
+  if (it == vals.end() || !it->second) return std::nullopt;
+  return *it->second != 0;
+}
+
+/// Constant values of variables at loop entry: every non-loop predecessor
+/// block is symbolically executed (from an all-unknown state) and the
+/// resulting constants are intersected across predecessors.
+VarState entryState(const Function& fn, BlockId header) {
+  VarState state;
+  bool first = true;
+  for (const auto& blk : fn.blocks()) {
+    bool isPred = false;
+    const Terminator& t = blk.term;
+    if (t.kind == Terminator::Kind::Jump && t.target == header) isPred = true;
+    if (t.kind == Terminator::Kind::Branch &&
+        (t.target == header || t.elseTarget == header))
+      isPred = true;
+    if (blk.id == header) isPred = false;  // the back edge itself
+    if (!isPred) continue;
+
+    VarState predState;
+    (void)simulateBlock(fn, blk, predState);
+    if (first) {
+      state = std::move(predState);
+      first = false;
+    } else {
+      // Intersect: keep only agreeing constants.
+      for (auto& [var, val] : state) {
+        auto it = predState.find(var);
+        if (it == predState.end() || it->second != val) val = std::nullopt;
+      }
+      for (auto& [var, val] : predState)
+        if (!state.count(var)) state[var] = std::nullopt;
+    }
+  }
+  return state;
+}
+
+class UnrollPass final : public Pass {
+ public:
+  explicit UnrollPass(int maxTrip) : maxTrip_(maxTrip) {}
+  [[nodiscard]] std::string_view name() const override { return "unroll"; }
+
+  int run(Function& fn) override {
+    int changes = 0;
+    // One loop per run; the pass manager re-runs to a fixpoint.
+    for (const LoopInfo& loop : findLoops(fn)) {
+      if (loop.blocks.size() != 1 || loop.header != loop.latch) continue;
+      const Block& body = fn.block(loop.header);
+      if (body.term.kind != Terminator::Kind::Branch) continue;
+
+      // Trip count by simulation.
+      VarState vars = entryState(fn, loop.header);
+      long trip = -1;
+      VarState sim = vars;
+      for (int iter = 1; iter <= maxTrip_; ++iter) {
+        auto cond = simulateBlock(fn, body, sim);
+        if (!cond) break;
+        BlockId next = *cond ? body.term.target : body.term.elseTarget;
+        if (next != loop.header) {
+          trip = iter;
+          break;
+        }
+      }
+      if (trip <= 1) continue;  // unknown, too long, or nothing to unroll
+
+      unroll(fn, loop.header, trip);
+      ++changes;
+      break;  // ids changed; rediscover loops next round
+    }
+    return changes;
+  }
+
+ private:
+  int maxTrip_;
+
+  static void unroll(Function& fn, BlockId header, long trip) {
+    const Terminator origTerm = fn.block(header).term;
+    // Exit target is whichever branch arm leaves the loop.
+    BlockId exit = origTerm.target == header ? origTerm.elseTarget
+                                             : origTerm.target;
+
+    // Create trip-1 copies; the original block is iteration 1.
+    std::vector<OpId> templateOps = fn.block(header).ops;
+    BlockId prev = header;
+    for (long k = 2; k <= trip; ++k) {
+      BlockId copy = fn.addBlock(fn.block(header).name + ".it" +
+                                 std::to_string(k));
+      std::unordered_map<std::uint32_t, ValueId> valMap;
+      for (OpId oid : templateOps) {
+        const Op o = fn.op(oid);  // copy: makeOp may reallocate ops_
+        std::vector<ValueId> args;
+        for (ValueId a : o.args) args.push_back(valMap.at(a.get()));
+        int width = o.result.valid() ? fn.value(o.result).width : 0;
+        OpId nid = fn.makeOp(copy, o.kind, std::move(args), width, o.imm,
+                             o.var, o.port, o.loc);
+        if (o.result.valid()) valMap[o.result.get()] = fn.op(nid).result;
+      }
+      fn.setJump(prev, copy);
+      prev = copy;
+    }
+    fn.setJump(prev, exit);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> createUnrollPass(int maxTrip) {
+  return std::make_unique<UnrollPass>(maxTrip);
+}
+
+}  // namespace mphls

@@ -1,0 +1,36 @@
+#include "sched/asap.h"
+
+#include <algorithm>
+
+#include "sched/sched_util.h"
+
+namespace mphls {
+
+BlockSchedule asapResourceSchedule(const BlockDeps& deps,
+                                   const ResourceLimits& limits) {
+  const std::size_t n = deps.numOps();
+  std::vector<int> occSteps(n, -1);
+  std::vector<int> bound(n, 0);
+  std::vector<std::vector<const DepEdge*>> in(n);
+  for (const DepEdge& e : deps.edges()) in[e.to].push_back(&e);
+
+  UsageTracker usage(limits);
+
+  // Topological = "first come, first served" order; ties resolved by
+  // program order, exactly the local selection rule the paper criticizes.
+  for (std::size_t i : deps.topoOrder()) {
+    for (const DepEdge* e : in[i])
+      bound[i] = std::max(bound[i], bound[e->from] + deps.edgeLatency(*e));
+    FuClass c = scheduleClassOf(deps, i);
+    if (c == FuClass::None) continue;  // chained ops finalized later
+    int s = bound[i];
+    const int dur = deps.duration(i);
+    while (!usage.canPlace(c, s, dur)) ++s;
+    usage.place(c, s, dur);
+    occSteps[i] = s;
+    bound[i] = s;  // successors see the actual placement
+  }
+  return finalizeSchedule(deps, occSteps);
+}
+
+}  // namespace mphls

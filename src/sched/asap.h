@@ -1,0 +1,20 @@
+// As-soon-as-possible scheduling under resource limits (Section 3.1.2,
+// Fig. 3): "Operations are taken from the list in [topological] order and
+// each is put into the earliest control step possible, given its dependence
+// on other operations and the limits on resource usage."
+//
+// Deliberately local: no priority is given to critical-path operations, so
+// less critical ops scheduled earlier can block critical ones — the
+// pathology Fig. 3 illustrates and list scheduling (list_sched.h) fixes.
+#pragma once
+
+#include "ir/deps.h"
+#include "sched/resource.h"
+#include "sched/schedule.h"
+
+namespace mphls {
+
+[[nodiscard]] BlockSchedule asapResourceSchedule(const BlockDeps& deps,
+                                                 const ResourceLimits& limits);
+
+}  // namespace mphls

@@ -1,0 +1,146 @@
+#include "sched/bnb.h"
+
+#include <algorithm>
+
+#include "ir/analysis.h"
+#include "sched/list_sched.h"
+#include "sched/sched_util.h"
+
+namespace mphls {
+
+namespace {
+
+struct Searcher {
+  const BlockDeps& deps;
+  const ResourceLimits& limits;
+  long budget;
+
+  std::vector<std::size_t> occOps;          // occupying ops, topo order
+  std::vector<std::vector<const DepEdge*>> in;
+  std::vector<int> remainingDepth;          // pathToSink per op
+  std::vector<int> placed;                  // step per op index, -1 unset
+  UsageTracker usage;
+  int bestLen;
+  std::vector<int> bestPlaced;
+  long nodes = 0;
+  bool exhausted = false;  // budget ran out
+
+  Searcher(const BlockDeps& d, const ResourceLimits& l, long b)
+      : deps(d), limits(l), budget(b), usage(l), bestLen(0) {}
+
+  /// Lower bound on total length if op list position `idx` onward is still
+  /// unplaced and the current partial schedule already spans `curLen`.
+  void dfs(std::size_t idx, int curLen) {
+    if (exhausted) return;
+    if (++nodes > budget) {
+      exhausted = true;
+      return;
+    }
+    if (idx == occOps.size()) {
+      if (curLen < bestLen) {
+        bestLen = curLen;
+        bestPlaced = placed;
+      }
+      return;
+    }
+    std::size_t i = occOps[idx];
+    // Dependence lower bound for this op.
+    int lo = 0;
+    for (const DepEdge* e : in[i]) {
+      int from = placed[e->from];
+      if (from < 0) continue;  // non-occupying chained op: bounded via others
+      lo = std::max(lo, from + deps.edgeLatency(*e));
+    }
+    FuClass c = scheduleClassOf(deps, i);
+    // Try steps in increasing order; prune when the critical-path tail from
+    // this op can no longer beat the incumbent (branch-and-bound cut).
+    for (int s = lo; s + remainingDepth[i] <= bestLen - 1; ++s) {
+      const int dur = deps.duration(i);
+      if (!usage.canPlace(c, s, dur)) continue;
+      usage.place(c, s, dur);
+      placed[i] = s;
+      std::vector<std::size_t> resolved;
+      resolveChained(i, resolved);
+      dfs(idx + 1, std::max(curLen, s + 1));
+      for (std::size_t r : resolved) placed[r] = -1;
+      placed[i] = -1;
+      usage.remove(c, s, deps.duration(i));
+    }
+  }
+
+  /// Non-occupying ops get steps lazily: whenever all their preds are
+  /// placed, record the implied step so successors can bound on them.
+  /// Records what it resolved so the caller can backtrack.
+  void resolveChained(std::size_t justPlaced,
+                      std::vector<std::size_t>& resolved) {
+    for (std::size_t s : deps.succs(justPlaced)) {
+      if (deps.occupiesSlot(s) || placed[s] >= 0) continue;
+      int b = 0;
+      bool ready = true;
+      for (const DepEdge* e : in[s]) {
+        if (placed[e->from] < 0) {
+          ready = false;
+          break;
+        }
+        b = std::max(b, placed[e->from] + deps.edgeLatency(*e));
+      }
+      if (ready) {
+        placed[s] = b;
+        resolved.push_back(s);
+        resolveChained(s, resolved);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+BnbResult branchBoundSchedule(const BlockDeps& deps,
+                              const ResourceLimits& limits, long nodeBudget) {
+  const std::size_t n = deps.numOps();
+  Searcher sr(deps, limits, nodeBudget);
+  sr.in.resize(n);
+  for (const DepEdge& e : deps.edges()) sr.in[e.to].push_back(&e);
+
+  LevelInfo li = computeLevels(deps);
+  sr.remainingDepth = li.pathToSink;
+
+  for (std::size_t i : deps.topoOrder())
+    if (deps.occupiesSlot(i)) sr.occOps.push_back(i);
+
+  // Seed the incumbent with a list schedule (upper bound).
+  BlockSchedule seed = listSchedule(deps, limits, ListPriority::PathLength);
+  sr.bestLen = seed.numSteps;
+  sr.bestPlaced.assign(n, -1);
+  for (std::size_t i = 0; i < n; ++i)
+    if (deps.occupiesSlot(i)) sr.bestPlaced[i] = seed.step[i];
+
+  sr.placed.assign(n, -1);
+  // Chained ops with no preds resolve to step 0 up front.
+  for (std::size_t i = 0; i < n; ++i)
+    if (!deps.occupiesSlot(i) && sr.in[i].empty()) sr.placed[i] = 0;
+  // Propagate chains among already-resolved ops (e.g. const -> cast).
+  for (std::size_t i : deps.topoOrder()) {
+    if (deps.occupiesSlot(i) || sr.placed[i] >= 0) continue;
+    int b = 0;
+    bool ready = true;
+    for (const DepEdge* e : sr.in[i]) {
+      if (sr.placed[e->from] < 0) {
+        ready = false;
+        break;
+      }
+      b = std::max(b, sr.placed[e->from] + deps.edgeLatency(*e));
+    }
+    if (ready) sr.placed[i] = b;
+  }
+
+  sr.dfs(0, 0);
+
+  BnbResult out;
+  out.schedule = finalizeSchedule(deps, sr.bestPlaced);
+  out.optimal = !sr.exhausted;
+  out.nodesExplored = sr.nodes;
+  return out;
+}
+
+}  // namespace mphls

@@ -1,0 +1,32 @@
+// Exhaustive / branch-and-bound scheduling (Section 3.1.2): "Barbacci's
+// EXPL ... used exhaustive search. That is, it tried all possible
+// combinations of serial and parallel transformations and chose the best
+// design found. This method has the advantage that it looks through all
+// possible designs, but of course it is computationally very expensive ...
+// Exhaustive search can be improved somewhat by using branch-and-bound
+// techniques, which cut off the search along any path that can be
+// recognized to be suboptimal."
+//
+// Finds a provably minimum-length schedule under resource limits; cost is
+// exponential (the paper's point — scheduling with resource limits is
+// NP-hard), so a node budget bounds the search and reports whether the
+// result is proven optimal.
+#pragma once
+
+#include "ir/deps.h"
+#include "sched/resource.h"
+#include "sched/schedule.h"
+
+namespace mphls {
+
+struct BnbResult {
+  BlockSchedule schedule;
+  bool optimal = false;       ///< search completed within the node budget
+  long nodesExplored = 0;
+};
+
+[[nodiscard]] BnbResult branchBoundSchedule(const BlockDeps& deps,
+                                            const ResourceLimits& limits,
+                                            long nodeBudget = 2'000'000);
+
+}  // namespace mphls

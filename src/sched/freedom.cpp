@@ -1,0 +1,136 @@
+#include "sched/freedom.h"
+
+#include <algorithm>
+
+#include "ir/analysis.h"
+#include "sched/sched_util.h"
+
+namespace mphls {
+
+namespace {
+
+/// Earliest/latest feasible step of each op given partial placement,
+/// within `horizon` steps.
+struct Range {
+  std::vector<int> lo, hi;
+};
+
+Range rangesGiven(const BlockDeps& deps, int horizon,
+                  const std::vector<int>& placed) {
+  const std::size_t n = deps.numOps();
+  Range r;
+  r.lo.assign(n, 0);
+  r.hi.assign(n, horizon - 1);
+  std::vector<std::vector<const DepEdge*>> in(n), out(n);
+  for (const DepEdge& e : deps.edges()) {
+    in[e.to].push_back(&e);
+    out[e.from].push_back(&e);
+  }
+  auto order = deps.topoOrder();
+  for (std::size_t i : order) {
+    if (placed[i] >= 0) r.lo[i] = placed[i];
+    for (const DepEdge* e : in[i])
+      r.lo[i] = std::max(r.lo[i], r.lo[e->from] + deps.edgeLatency(*e));
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    std::size_t i = *it;
+    if (placed[i] >= 0) r.hi[i] = placed[i];
+    for (const DepEdge* e : out[i])
+      r.hi[i] = std::min(r.hi[i], r.hi[e->to] - deps.edgeLatency(*e));
+  }
+  return r;
+}
+
+}  // namespace
+
+FreedomResult freedomSchedule(const BlockDeps& deps,
+                              const ResourceLimits& cap) {
+  const std::size_t n = deps.numOps();
+  LevelInfo li = computeLevels(deps);
+  int horizon = li.criticalLength;
+
+  std::vector<int> placed(n, -1);
+  UsageTracker usage(cap);
+  std::map<FuClass, std::vector<int>> stepLoad;  // per class per step
+  std::map<FuClass, int> allocated;
+
+  auto loadAt = [&](FuClass c, int s) -> int {
+    auto it = stepLoad.find(c);
+    if (it == stepLoad.end() || s >= static_cast<int>(it->second.size()))
+      return 0;
+    return it->second[static_cast<std::size_t>(s)];
+  };
+  auto addLoad = [&](FuClass c, int s) {
+    auto& v = stepLoad[c];
+    if (s >= static_cast<int>(v.size()))
+      v.resize(static_cast<std::size_t>(s) + 1, 0);
+    ++v[static_cast<std::size_t>(s)];
+    allocated[c] = std::max(allocated[c], v[static_cast<std::size_t>(s)]);
+  };
+
+  // Phase 1: schedule critical-path ops (zero mobility) at their ASAP step.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (scheduleClassOf(deps, i) == FuClass::None) continue;
+    if (li.mobility[i] == 0) {
+      FuClass c = scheduleClassOf(deps, i);
+      if (!usage.canPlace(c, li.asap[i], deps.duration(i))) continue;
+      placed[i] = li.asap[i];
+      usage.place(c, placed[i], deps.duration(i));
+      addLoad(c, placed[i]);
+    }
+  }
+
+  // Phase 2: repeatedly place the unscheduled op with least freedom.
+  for (;;) {
+    Range r = rangesGiven(deps, horizon, placed);
+    std::size_t best = n;
+    int bestFreedom = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (placed[i] >= 0 || scheduleClassOf(deps, i) == FuClass::None)
+        continue;
+      int freedom = r.hi[i] - r.lo[i];
+      if (best == n || freedom < bestFreedom) {
+        best = i;
+        bestFreedom = freedom;
+      }
+    }
+    if (best == n) break;
+
+    FuClass c = scheduleClassOf(deps, best);
+    // Prefer a step where an already-allocated unit is idle; else allocate
+    // a new unit (cap permitting); else extend the horizon.
+    int chosen = -1;
+    for (int s = r.lo[best]; s <= r.hi[best]; ++s) {
+      if (loadAt(c, s) < allocated[c] && usage.canPlace(c, s, deps.duration(best))) {
+        chosen = s;
+        break;
+      }
+    }
+    if (chosen < 0) {
+      for (int s = r.lo[best]; s <= r.hi[best]; ++s) {
+        if (usage.canPlace(c, s, deps.duration(best))) {
+          chosen = s;
+          break;
+        }
+      }
+    }
+    if (chosen < 0) {
+      // Resource cap reached everywhere in the frame: stretch the schedule
+      // and let ranges recompute.
+      ++horizon;
+      MPHLS_CHECK(horizon <= li.criticalLength + 4 * static_cast<int>(n) + 16,
+                  "freedom scheduler failed to converge");
+      continue;
+    }
+    placed[best] = chosen;
+    usage.place(c, chosen, deps.duration(best));
+    addLoad(c, chosen);
+  }
+
+  FreedomResult out;
+  out.schedule = finalizeSchedule(deps, placed);
+  out.allocated = std::move(allocated);
+  return out;
+}
+
+}  // namespace mphls

@@ -1,0 +1,31 @@
+// Freedom-based scheduling (MAHA, Section 3.1.2): "the operations on the
+// critical path are scheduled first and assigned to functional units. Then
+// the other operations are scheduled and assigned one at a time. At each
+// step the unscheduled operation with the least freedom, that is, the one
+// with the smallest range of control steps into which it can go, is chosen,
+// so that operations that might present more difficult scheduling problems
+// are taken care of first, before they become blocked."
+//
+// Like MAHA, this interacts with allocation: units are added only when an
+// operation cannot share an existing one ("adding functional units only
+// when it cannot share existing ones"); an optional resource cap bounds the
+// additions and stretches the schedule instead.
+#pragma once
+
+#include "ir/deps.h"
+#include "sched/resource.h"
+#include "sched/schedule.h"
+
+namespace mphls {
+
+struct FreedomResult {
+  BlockSchedule schedule;
+  /// Functional units the scheduler ended up allocating per class.
+  std::map<FuClass, int> allocated;
+};
+
+[[nodiscard]] FreedomResult freedomSchedule(
+    const BlockDeps& deps,
+    const ResourceLimits& cap = ResourceLimits::unlimited());
+
+}  // namespace mphls

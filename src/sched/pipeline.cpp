@@ -1,0 +1,175 @@
+#include "sched/pipeline.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "ir/analysis.h"
+#include "sched/sched_util.h"
+
+namespace mphls {
+
+namespace {
+
+/// Folded resource table: usage[class][step mod II].
+class ModuloUsage {
+ public:
+  ModuloUsage(const ResourceLimits& limits, int ii)
+      : limits_(limits), ii_(ii) {}
+
+  [[nodiscard]] bool canPlace(FuClass c, int step, int duration) const {
+    if (c == FuClass::None) return true;
+    int limit = limitFor(c);
+    // A span longer than the II would collide with the same unit serving
+    // the next sample regardless of the count.
+    if (duration > ii_ && limit != std::numeric_limits<int>::max())
+      return false;
+    for (int d = 0; d < std::min(duration, ii_); ++d)
+      if (usageAt(c, (step + d) % ii_) >= limit) return false;
+    return true;
+  }
+
+  void place(FuClass c, int step, int duration) {
+    if (c == FuClass::None) return;
+    auto& v = usage_[c];
+    if (v.empty()) v.assign((std::size_t)ii_, 0);
+    for (int d = 0; d < std::min(duration, ii_); ++d)
+      ++v[(std::size_t)((step + d) % ii_)];
+  }
+
+  /// Current worst folded load over the span `step..step+duration`.
+  [[nodiscard]] int peakOver(FuClass c, int step, int duration) const {
+    int peak = 0;
+    for (int d = 0; d < std::min(duration, ii_); ++d)
+      peak = std::max(peak, usageAt(c, (step + d) % ii_));
+    return peak;
+  }
+
+  [[nodiscard]] std::map<FuClass, int> peaks() const {
+    std::map<FuClass, int> out;
+    for (const auto& [c, v] : usage_)
+      out[c] = *std::max_element(v.begin(), v.end());
+    return out;
+  }
+
+ private:
+  const ResourceLimits& limits_;
+  int ii_;
+  std::map<FuClass, std::vector<int>> usage_;
+
+  [[nodiscard]] int limitFor(FuClass c) const {
+    if (c == FuClass::Move) {
+      auto it = limits_.perClass.find(FuClass::Move);
+      return it == limits_.perClass.end() ? std::numeric_limits<int>::max()
+                                          : it->second;
+    }
+    return limits_.universal ? limits_.universalCount : limits_.limitFor(c);
+  }
+
+  [[nodiscard]] int usageAt(FuClass c, int slot) const {
+    auto it = usage_.find(c);
+    return it == usage_.end() ? 0 : it->second[(std::size_t)slot];
+  }
+};
+
+}  // namespace
+
+PipelineResult pipelineSchedule(const BlockDeps& deps, int ii,
+                                const ResourceLimits& limits) {
+  PipelineResult out;
+  out.initiationInterval = ii;
+  const std::size_t n = deps.numOps();
+
+  std::vector<std::vector<const DepEdge*>> in(n);
+  for (const DepEdge& e : deps.edges()) in[e.to].push_back(&e);
+
+  // Iterative modulo scheduling over the topological order: each operation
+  // scans the II-wide window starting at its dependence bound (folded slots
+  // repeat with period II, so II consecutive candidates are exhaustive) and
+  // takes the least-loaded feasible slot — balancing the distribution so
+  // folding actually shares units, and declaring the II infeasible when no
+  // slot in the window admits the operation.
+  std::vector<int> occSteps(n, -1);
+  std::vector<int> placedStep(n, -1);
+  ModuloUsage usage(limits, ii);
+
+  auto bound = [&](std::size_t i) {
+    int b = 0;
+    for (const DepEdge* e : in[i])
+      b = std::max(b, placedStep[e->from] + deps.edgeLatency(*e));
+    return b;
+  };
+
+  for (std::size_t i : deps.topoOrder()) {
+    if (!deps.occupiesSlot(i)) {
+      placedStep[i] = bound(i);
+      continue;
+    }
+    FuClass c = scheduleClassOf(deps, i);
+    const int dur = deps.duration(i);
+    const int lo = bound(i);
+    int best = -1;
+    int bestLoad = INT32_MAX;
+    for (int s = lo; s < lo + ii; ++s) {
+      if (!usage.canPlace(c, s, dur)) continue;
+      int load = usage.peakOver(c, s, dur);
+      if (load < bestLoad) {
+        bestLoad = load;
+        best = s;
+      }
+    }
+    if (best < 0) {
+      out.feasible = false;  // every folded slot is saturated at this II
+      return out;
+    }
+    usage.place(c, best, dur);
+    occSteps[i] = best;
+    placedStep[i] = best;
+  }
+
+  out.schedule = finalizeSchedule(deps, occSteps);
+  out.unitsRequired = usage.peaks();
+  out.feasible = true;
+  return out;
+}
+
+std::string validatePipelineSchedule(const BlockDeps& deps,
+                                     const PipelineResult& pr) {
+  if (!pr.feasible) return "schedule marked infeasible";
+  std::string base = validateBlockSchedule(deps, pr.schedule);
+  if (!base.empty()) return base;
+
+  // Folded usage must not exceed the reported unit counts.
+  std::ostringstream err;
+  const int ii = pr.initiationInterval;
+  std::map<FuClass, std::vector<int>> usage;
+  for (std::size_t i = 0; i < deps.numOps(); ++i) {
+    FuClass c = scheduleClassOf(deps, i);
+    if (c == FuClass::None) continue;
+    auto& v = usage[c];
+    if (v.empty()) v.assign((std::size_t)ii, 0);
+    for (int d = 0; d < std::min(deps.duration(i), ii); ++d)
+      ++v[(std::size_t)((pr.schedule.step[i] + d) % ii)];
+  }
+  for (const auto& [c, v] : usage) {
+    int peak = *std::max_element(v.begin(), v.end());
+    auto it = pr.unitsRequired.find(c);
+    if (it == pr.unitsRequired.end() || peak > it->second) {
+      err << "class " << fuClassName(c) << " folded usage " << peak
+          << " exceeds reported units";
+      return err.str();
+    }
+  }
+  return {};
+}
+
+std::vector<PipelineResult> explorePipelines(const BlockDeps& deps) {
+  std::vector<PipelineResult> out;
+  PipelineResult base = pipelineSchedule(deps, 1);
+  int maxIi = std::max(base.schedule.numSteps, 1);
+  for (int ii = 1; ii <= maxIi; ++ii)
+    out.push_back(pipelineSchedule(deps, ii));
+  return out;
+}
+
+}  // namespace mphls

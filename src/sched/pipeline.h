@@ -1,0 +1,57 @@
+// Pipeline (modulo) scheduling — the paper's Sehwa domain (Section 3.3:
+// "Synthesis of pipelined data paths is a design domain which has now been
+// characterized by a foundation of theory [20] and implemented by the
+// program Sehwa", after Park & Parker, "Sehwa: A Software Package for
+// Synthesis of Pipelines from Behavioral Specifications").
+//
+// A pipelined datapath accepts a new data sample every II ("initiation
+// interval") control steps; operations of successive samples overlap, so a
+// functional unit is in conflict with itself modulo II. The scheduler here
+// is a modulo list scheduler over one straight-line block: operations are
+// placed in priority order such that every resource's usage folded into
+// the II frame stays within its limit. Exploring II from 1 to the latency
+// produces Sehwa's classic cost/performance curve: small II = high
+// throughput = many units.
+#pragma once
+
+#include "ir/deps.h"
+#include "sched/resource.h"
+#include "sched/schedule.h"
+
+namespace mphls {
+
+struct PipelineResult {
+  BlockSchedule schedule;   ///< per-sample schedule (latency steps)
+  int initiationInterval = 0;
+  bool feasible = false;    ///< a valid modulo schedule was found
+  /// Peak per-class usage folded modulo II — the units a pipelined
+  /// implementation must instantiate.
+  std::map<FuClass, int> unitsRequired;
+
+  /// Samples per control step (the pipeline's throughput).
+  [[nodiscard]] double throughput() const {
+    return feasible ? 1.0 / initiationInterval : 0.0;
+  }
+};
+
+/// Modulo-schedule one block at the given initiation interval under
+/// per-class resource limits (unlimited by default: the result then
+/// reports how many units the II demands). Blocks with loops or variable
+/// reuse hazards across samples are the caller's responsibility; this
+/// operates on a single straight-line dataflow block.
+[[nodiscard]] PipelineResult pipelineSchedule(
+    const BlockDeps& deps, int initiationInterval,
+    const ResourceLimits& limits = ResourceLimits::unlimited());
+
+/// Validate: dependence edges respected and no resource class exceeds its
+/// folded (modulo II) usage.
+[[nodiscard]] std::string validatePipelineSchedule(const BlockDeps& deps,
+                                                   const PipelineResult& pr);
+
+/// Sehwa-style exploration: pipeline schedules for every II from 1 to the
+/// unconstrained latency, with the implied unit counts (the
+/// cost/performance trade-off curve).
+[[nodiscard]] std::vector<PipelineResult> explorePipelines(
+    const BlockDeps& deps);
+
+}  // namespace mphls

@@ -1,0 +1,54 @@
+// Resource limits for resource-constrained scheduling.
+//
+// Two styles, matching the tutorial's discussion (Section 3.1.1): per-class
+// limits ("how many multipliers, how many ALUs") and the "universal
+// functional unit" view used in the paper's own square-root walkthrough
+// ("a trivial special case uses just one functional unit and one memory").
+#pragma once
+
+#include <limits>
+#include <map>
+
+#include "lib/library.h"
+
+namespace mphls {
+
+struct ResourceLimits {
+  /// When true, every slot-occupying operation (of any class, including
+  /// stand-alone moves) competes for the same pool of `universalCount`
+  /// units — the paper's "n functional units" accounting.
+  bool universal = false;
+  int universalCount = 0;
+
+  /// Per-class limits; classes absent from the map are unlimited.
+  std::map<FuClass, int> perClass;
+
+  [[nodiscard]] static ResourceLimits unlimited() { return {}; }
+
+  [[nodiscard]] static ResourceLimits universalSet(int n) {
+    ResourceLimits r;
+    r.universal = true;
+    r.universalCount = n;
+    return r;
+  }
+
+  [[nodiscard]] static ResourceLimits withClasses(
+      std::map<FuClass, int> limits) {
+    ResourceLimits r;
+    r.perClass = std::move(limits);
+    return r;
+  }
+
+  /// Limit for a class (INT_MAX when unlimited).
+  [[nodiscard]] int limitFor(FuClass c) const {
+    if (universal) return universalCount;
+    auto it = perClass.find(c);
+    return it == perClass.end() ? std::numeric_limits<int>::max() : it->second;
+  }
+
+  [[nodiscard]] bool isUnlimited() const {
+    return !universal && perClass.empty();
+  }
+};
+
+}  // namespace mphls

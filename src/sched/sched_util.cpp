@@ -1,0 +1,157 @@
+#include "sched/sched_util.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mphls {
+
+bool UsageTracker::canPlace(FuClass c, int step, int duration) const {
+  if (c == FuClass::None) return true;
+  // Stand-alone moves are register/port transfers, not operators: even in
+  // universal mode they only compete against an explicit Move limit.
+  int limit;
+  if (c == FuClass::Move) {
+    auto it = limits_.perClass.find(FuClass::Move);
+    limit = it == limits_.perClass.end() ? std::numeric_limits<int>::max()
+                                         : it->second;
+  } else {
+    limit = limits_.universal ? limits_.universalCount : limits_.limitFor(c);
+  }
+  for (int s = step; s < step + duration; ++s)
+    if (usageAt(bucketOf(c), s) >= limit) return false;
+  return true;
+}
+
+void UsageTracker::place(FuClass c, int step, int duration) {
+  if (c == FuClass::None) return;
+  std::size_t b = bucketOf(c);
+  if (b >= usage_.size()) usage_.resize(b + 1);
+  auto& v = usage_[b];
+  if (step + duration > static_cast<int>(v.size()))
+    v.resize(static_cast<std::size_t>(step + duration), 0);
+  for (int s = step; s < step + duration; ++s)
+    ++v[static_cast<std::size_t>(s)];
+}
+
+void UsageTracker::remove(FuClass c, int step, int duration) {
+  if (c == FuClass::None) return;
+  std::size_t b = bucketOf(c);
+  for (int s = step; s < step + duration; ++s) {
+    MPHLS_CHECK(b < usage_.size() && s < static_cast<int>(usage_[b].size()) &&
+                    usage_[b][static_cast<std::size_t>(s)] > 0,
+                "remove of unplaced resource");
+    --usage_[b][static_cast<std::size_t>(s)];
+  }
+}
+
+BlockSchedule finalizeSchedule(const BlockDeps& deps,
+                               const std::vector<int>& occSteps) {
+  const std::size_t n = deps.numOps();
+  BlockSchedule out;
+  out.step.assign(n, 0);
+
+  std::vector<std::vector<const DepEdge*>> in(n);
+  for (const DepEdge& e : deps.edges()) in[e.to].push_back(&e);
+
+  for (std::size_t i : deps.topoOrder()) {
+    if (deps.occupiesSlot(i)) {
+      MPHLS_CHECK(occSteps[i] >= 0, "occupying op " << i << " unscheduled");
+      out.step[i] = occSteps[i];
+    } else {
+      int s = 0;
+      for (const DepEdge* e : in[i])
+        s = std::max(s, out.step[e->from] + deps.edgeLatency(*e));
+      out.step[i] = s;
+    }
+  }
+  int maxEnd = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    maxEnd = std::max(maxEnd, out.step[i] + deps.duration(i));
+  out.numSteps = n == 0 ? 0 : maxEnd;
+  return out;
+}
+
+BlockSchedule asapUnconstrained(const BlockDeps& deps) {
+  LevelInfo li = computeLevels(deps);
+  BlockSchedule out;
+  out.step = li.asap;
+  int maxEnd = 0;
+  for (std::size_t i = 0; i < deps.numOps(); ++i)
+    maxEnd = std::max(maxEnd, out.step[i] + deps.duration(i));
+  out.numSteps = deps.numOps() == 0 ? 0 : maxEnd;
+  return out;
+}
+
+BlockSchedule alapUnconstrained(const BlockDeps& deps, int horizon) {
+  LevelInfo li = computeLevels(deps, horizon);
+  BlockSchedule out;
+  out.step = li.alap;
+  int maxEnd = 0;
+  for (std::size_t i = 0; i < deps.numOps(); ++i)
+    maxEnd = std::max(maxEnd, out.step[i] + deps.duration(i));
+  out.numSteps = deps.numOps() == 0 ? 0 : maxEnd;
+  return out;
+}
+
+BlockSchedule serialSchedule(const BlockDeps& deps) {
+  const std::size_t n = deps.numOps();
+  std::vector<int> steps(n, -1);
+  std::vector<std::vector<const DepEdge*>> in(n);
+  for (const DepEdge& e : deps.edges()) in[e.to].push_back(&e);
+
+  // A free constant shift is still a graph node in the paper's trivial
+  // schedule when it computes a stored result (Fig. 2's ">>" gets its own
+  // control step in the 23-step count); scaling shifts buried inside an
+  // expression are wiring and chain like casts. "Feeds a store through
+  // free ops only" distinguishes the two.
+  auto feedsSinkFreely = [&](std::size_t i) {
+    std::vector<std::size_t> work{i};
+    std::vector<bool> seen(n, false);
+    while (!work.empty()) {
+      std::size_t x = work.back();
+      work.pop_back();
+      if (seen[x]) continue;
+      seen[x] = true;
+      for (std::size_t s : deps.succs(x)) {
+        const Op& so = deps.op(s);
+        if (so.isSink()) return true;
+        if (kindFlowsFree(so.kind)) work.push_back(s);
+      }
+    }
+    return false;
+  };
+  auto isSerialNode = [&](std::size_t i) {
+    if (deps.occupiesSlot(i)) return true;
+    OpKind k = deps.op(i).kind;
+    if (k == OpKind::ShlConst || k == OpKind::ShrConst ||
+        k == OpKind::SarConst)
+      return feedsSinkFreely(i);
+    return false;
+  };
+
+  int counter = 0;
+  std::vector<int> placed(n, 0);
+  for (std::size_t i : deps.topoOrder()) {
+    int bound = 0;
+    for (const DepEdge* e : in[i])
+      bound = std::max(bound, placed[e->from] + deps.edgeLatency(*e));
+    if (isSerialNode(i)) {
+      int s = std::max(counter, bound);
+      placed[i] = s;
+      steps[i] = s;
+      counter = s + deps.duration(i);
+    } else {
+      placed[i] = bound;
+      steps[i] = bound;
+    }
+  }
+  BlockSchedule out;
+  out.step = std::move(steps);
+  int maxEnd = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    maxEnd = std::max(maxEnd, out.step[i] + deps.duration(i));
+  out.numSteps = n == 0 ? 0 : maxEnd;
+  return out;
+}
+
+}  // namespace mphls

@@ -1,0 +1,82 @@
+// Shared scheduling machinery: resource usage tracking, chained-op
+// finalization, and the two "degenerate" schedules the transformational
+// algorithms start from — maximally serial and maximally parallel
+// (Section 3.1.2: "a default schedule, usually either maximally serial or
+// maximally parallel").
+#pragma once
+
+#include <vector>
+
+#include "ir/analysis.h"
+#include "ir/deps.h"
+#include "sched/resource.h"
+#include "sched/schedule.h"
+
+namespace mphls {
+
+/// Tracks per-step resource usage during constructive scheduling.
+/// Multicycle operations occupy their unit for `duration` consecutive
+/// steps starting at the issue step.
+class UsageTracker {
+ public:
+  explicit UsageTracker(const ResourceLimits& limits) : limits_(limits) {}
+
+  /// True when an op of class `c` can be added at `step` for `duration`
+  /// consecutive steps.
+  [[nodiscard]] bool canPlace(FuClass c, int step, int duration = 1) const;
+  void place(FuClass c, int step, int duration = 1);
+  void remove(FuClass c, int step, int duration = 1);
+
+ private:
+  const ResourceLimits& limits_;
+  // In universal mode all classes share bucket 0.
+  std::vector<std::vector<int>> usage_;  ///< [bucket][step]
+
+  [[nodiscard]] std::size_t bucketOf(FuClass c) const {
+    if (c == FuClass::Move) return static_cast<std::size_t>(FuClass::Move);
+    return limits_.universal ? 0 : static_cast<std::size_t>(c);
+  }
+  [[nodiscard]] int usageAt(std::size_t bucket, int step) const {
+    if (bucket >= usage_.size()) return 0;
+    const auto& v = usage_[bucket];
+    return step < static_cast<int>(v.size()) ? v[static_cast<std::size_t>(step)] : 0;
+  }
+};
+
+/// Given fixed steps for slot-occupying ops (`occSteps[i]`, ignored and
+/// recomputed for non-occupying ops), place every chained/free op at its
+/// earliest feasible step and compute numSteps. The result satisfies all
+/// dependence-edge latencies provided the occupying placements do.
+[[nodiscard]] BlockSchedule finalizeSchedule(const BlockDeps& deps,
+                                             const std::vector<int>& occSteps);
+
+/// Unconstrained ASAP: every op at its earliest dependence-feasible step.
+[[nodiscard]] BlockSchedule asapUnconstrained(const BlockDeps& deps);
+
+/// Unconstrained ALAP within `horizon` steps (horizon <= 0 means the
+/// critical length).
+[[nodiscard]] BlockSchedule alapUnconstrained(const BlockDeps& deps,
+                                              int horizon = 0);
+
+/// The paper's "trivial special case ... one functional unit and one
+/// memory. Each operation has to be scheduled in a different control step."
+/// Serial nodes are all slot-occupying ops plus free constant shifts (the
+/// shift gets its own step in the trivial schedule, per Fig. 2's 23-step
+/// count); everything else chains.
+[[nodiscard]] BlockSchedule serialSchedule(const BlockDeps& deps);
+
+/// Schedule a whole function by applying `schedBlock` to every block.
+template <typename F>
+[[nodiscard]] Schedule scheduleFunction(
+    const Function& fn, F&& schedBlock,
+    const OpLatencyModel& latencies = OpLatencyModel::unit()) {
+  Schedule s;
+  s.blocks.resize(fn.numBlocks());
+  for (const auto& blk : fn.blocks()) {
+    BlockDeps deps(fn, blk, latencies);
+    s.blocks[blk.id.index()] = schedBlock(deps);
+  }
+  return s;
+}
+
+}  // namespace mphls

@@ -1,0 +1,189 @@
+#include "sched/transform_sched.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "ir/analysis.h"
+#include "sched/sched_util.h"
+
+namespace mphls {
+
+namespace {
+
+/// Per-step usage map for a tentative assignment of occupying ops.
+class StepUsage {
+ public:
+  StepUsage(const BlockDeps& deps, const ResourceLimits& limits,
+            const std::vector<int>& steps)
+      : deps_(deps), limits_(limits), usage_(limits) {
+    for (std::size_t i = 0; i < deps.numOps(); ++i) {
+      FuClass c = scheduleClassOf(deps, i);
+      if (c != FuClass::None) usage_.place(c, steps[i], deps.duration(i));
+    }
+  }
+
+  [[nodiscard]] bool canMove(std::size_t i, int fromStep, int toStep) {
+    FuClass c = scheduleClassOf(deps_, i);
+    const int dur = deps_.duration(i);
+    usage_.remove(c, fromStep, dur);
+    bool ok = usage_.canPlace(c, toStep, dur);
+    usage_.place(c, fromStep, dur);
+    return ok;
+  }
+  void move(std::size_t i, int fromStep, int toStep) {
+    FuClass c = scheduleClassOf(deps_, i);
+    const int dur = deps_.duration(i);
+    usage_.remove(c, fromStep, dur);
+    usage_.place(c, toStep, dur);
+  }
+  [[nodiscard]] bool overloaded(std::size_t i, int step) {
+    // A step is overloaded for op i when removing and re-adding i fails,
+    // i.e. usage exceeds the limit.
+    FuClass c = scheduleClassOf(deps_, i);
+    if (c == FuClass::None) return false;
+    const int dur = deps_.duration(i);
+    usage_.remove(c, step, dur);
+    bool fits = usage_.canPlace(c, step, dur);
+    usage_.place(c, step, dur);
+    return !fits;
+  }
+
+ private:
+  const BlockDeps& deps_;
+  const ResourceLimits& limits_;
+  UsageTracker usage_;
+};
+
+/// Earliest dependence-feasible step of op i given the other assignments.
+int depLowerBound(const BlockDeps& deps,
+                  const std::vector<std::vector<const DepEdge*>>& in,
+                  const std::vector<int>& steps, std::size_t i) {
+  int lo = 0;
+  for (const DepEdge* e : in[i])
+    lo = std::max(lo, steps[e->from] + deps.edgeLatency(*e));
+  return lo;
+}
+
+}  // namespace
+
+TransformResult transformationalSchedule(const BlockDeps& deps,
+                                         const ResourceLimits& limits,
+                                         TransformStart start) {
+  const std::size_t n = deps.numOps();
+  TransformResult res;
+
+  std::vector<std::vector<const DepEdge*>> in(n), out(n);
+  for (const DepEdge& e : deps.edges()) {
+    in[e.to].push_back(&e);
+    out[e.from].push_back(&e);
+  }
+
+  // Starting schedule (all ops, chained ones included).
+  BlockSchedule cur = start == TransformStart::MaximallySerial
+                          ? serialSchedule(deps)
+                          : asapUnconstrained(deps);
+  std::vector<int> steps = cur.step;
+
+  auto topo = deps.topoOrder();
+
+  if (start == TransformStart::MaximallyParallel) {
+    // Serializing moves: while some step exceeds its limits, push an
+    // offending op one step later, cascading the push through successors
+    // whose dependence edges would otherwise be violated ("more control
+    // steps are added" until the hardware constraint is met).
+    StepUsage su(deps, limits, steps);
+    long pushGuard = 0;
+    const long pushLimit = static_cast<long>(n) * (4 * n + 64);
+
+    std::function<void(std::size_t)> pushDown = [&](std::size_t i) {
+      MPHLS_CHECK(++pushGuard < pushLimit,
+                  "serializing transform failed to converge");
+      FuClass c = scheduleClassOf(deps, i);
+      if (c != FuClass::None) su.move(i, steps[i], steps[i] + 1);
+      (void)c;
+      steps[i] += 1;
+      ++res.movesApplied;
+      for (const DepEdge* e : out[i]) {
+        int need = steps[i] + deps.edgeLatency(*e);
+        while (steps[e->to] < need) pushDown(e->to);
+      }
+    };
+
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      ++res.rounds;
+      // Later ops first so pushes cascade downward, not back upward.
+      for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        std::size_t i = *it;
+        if (scheduleClassOf(deps, i) == FuClass::None) continue;
+        if (!su.overloaded(i, steps[i])) continue;
+        pushDown(i);
+        changed = true;
+      }
+    }
+  }
+
+  // Parallelizing moves (both starts benefit): repeatedly move each op to
+  // the earliest feasible step with free resources; compact empty steps.
+  // Critical-path-first move order realizes the paper's claim that the
+  // transformations "produce a fastest possible schedule" on these graphs.
+  {
+    LevelInfo li = computeLevels(deps);
+    std::vector<std::size_t> moveOrder = topo;
+    std::stable_sort(moveOrder.begin(), moveOrder.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return li.pathToSink[a] > li.pathToSink[b];
+                     });
+    StepUsage su(deps, limits, steps);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      ++res.rounds;
+      for (std::size_t i : moveOrder) {
+        if (scheduleClassOf(deps, i) == FuClass::None) {
+          steps[i] = depLowerBound(deps, in, steps, i);
+          continue;
+        }
+        int lo = depLowerBound(deps, in, steps, i);
+        for (int s = lo; s < steps[i]; ++s) {
+          if (su.canMove(i, steps[i], s)) {
+            su.move(i, steps[i], s);
+            steps[i] = s;
+            ++res.movesApplied;
+            changed = true;
+            break;
+          }
+        }
+      }
+      MPHLS_CHECK(res.rounds < static_cast<int>(16 * n + 128),
+                  "parallelizing transform failed to converge");
+    }
+  }
+
+  // Compact unused steps.
+  int maxStep = 0;
+  for (std::size_t i = 0; i < n; ++i) maxStep = std::max(maxStep, steps[i]);
+  for (std::size_t i = 0; i < n; ++i)
+    maxStep = std::max(maxStep, steps[i] + deps.duration(i) - 1);
+  std::vector<bool> used(static_cast<std::size_t>(maxStep) + 1, false);
+  for (std::size_t i = 0; i < n; ++i)
+    if (deps.occupiesSlot(i))
+      for (int s = steps[i]; s < steps[i] + deps.duration(i); ++s)
+        used[static_cast<std::size_t>(s)] = true;
+  std::vector<int> remap(used.size(), 0);
+  int next = 0;
+  for (std::size_t s = 0; s < used.size(); ++s) {
+    remap[s] = next;
+    if (used[s]) ++next;
+  }
+  std::vector<int> occSteps(n, -1);
+  for (std::size_t i = 0; i < n; ++i)
+    if (deps.occupiesSlot(i))
+      occSteps[i] = remap[static_cast<std::size_t>(steps[i])];
+
+  res.schedule = finalizeSchedule(deps, occSteps);
+  return res;
+}
+
+}  // namespace mphls

@@ -1,0 +1,40 @@
+// Transformational scheduling (Section 3.1.2 and the YSC discussion in
+// 3.1.1): "A transformational type of algorithm begins with a default
+// schedule, usually either maximally serial or maximally parallel, and
+// applies transformations to it ... The transformations move serial
+// operations in parallel and parallel operations in series."
+//
+// Two starting points are provided:
+//  - MaximallySerial: the paper's trivial one-op-per-step schedule, then
+//    parallelizing moves pack operations upward while resources allow;
+//  - MaximallyParallel (YSC style): "It begins with each operation being
+//    done on a separate functional unit and all operations being done in
+//    the same control step ... If there is too much hardware ... more
+//    control steps are added" — serializing moves push operations down
+//    until every step fits the resource limits.
+//
+// Both converge to a schedule valid under `limits`; with heuristic move
+// selection the serial start reproduces the paper's claim that the YSC
+// transformations "produce a fastest possible schedule" on chain-dominated
+// graphs.
+#pragma once
+
+#include "ir/deps.h"
+#include "sched/resource.h"
+#include "sched/schedule.h"
+
+namespace mphls {
+
+enum class TransformStart { MaximallySerial, MaximallyParallel };
+
+struct TransformResult {
+  BlockSchedule schedule;
+  int movesApplied = 0;   ///< number of accepted transformations
+  int rounds = 0;         ///< fixpoint iterations
+};
+
+[[nodiscard]] TransformResult transformationalSchedule(
+    const BlockDeps& deps, const ResourceLimits& limits,
+    TransformStart start = TransformStart::MaximallySerial);
+
+}  // namespace mphls

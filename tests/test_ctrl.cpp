@@ -1,0 +1,237 @@
+// Tests for controller synthesis: SOP minimization, FSM construction,
+// state encodings, control-logic generation, and microcode.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitutil.h"
+
+#include "core/designs.h"
+#include "core/synthesizer.h"
+#include "ctrl/encode.h"
+#include "ctrl/microcode.h"
+#include "ctrl/sop.h"
+
+namespace mphls {
+namespace {
+
+// -------------------------------------------------------------------- SOP
+
+TEST(Sop, CubeMatching) {
+  Cube c;
+  c.in = {1, 2, 0};  // x0=1, x1=don't care, x2=0
+  c.out = {1};
+  EXPECT_TRUE(c.matches(0b001));
+  EXPECT_TRUE(c.matches(0b011));
+  EXPECT_FALSE(c.matches(0b101));
+  EXPECT_FALSE(c.matches(0b000));
+  EXPECT_EQ(c.literalCount(), 2);
+}
+
+TEST(Sop, MergeDistanceOne) {
+  SopCover cover;
+  cover.numInputs = 2;
+  cover.numOutputs = 1;
+  cover.cubes.push_back({{0, 0}, {1}});
+  cover.cubes.push_back({{0, 1}, {1}});
+  SopCover min = minimizeCover(cover);
+  EXPECT_EQ(min.termCount(), 1);
+  EXPECT_TRUE(coversEquivalent(cover, min));
+}
+
+TEST(Sop, AbsorptionDropsCoveredCube) {
+  SopCover cover;
+  cover.numInputs = 2;
+  cover.numOutputs = 1;
+  cover.cubes.push_back({{0, 2}, {1}});  // covers x0=0
+  cover.cubes.push_back({{0, 1}, {1}});  // inside the first
+  SopCover min = minimizeCover(cover);
+  EXPECT_EQ(min.termCount(), 1);
+  EXPECT_TRUE(coversEquivalent(cover, min));
+}
+
+TEST(Sop, FullMintermTableCollapses) {
+  // All four minterms of a 2-input function asserted -> single tautology
+  // cube after repeated merging.
+  SopCover cover;
+  cover.numInputs = 2;
+  cover.numOutputs = 1;
+  for (int v = 0; v < 4; ++v)
+    cover.cubes.push_back(
+        {{(std::uint8_t)(v & 1), (std::uint8_t)((v >> 1) & 1)}, {1}});
+  SopCover min = minimizeCover(cover);
+  EXPECT_EQ(min.termCount(), 1);
+  EXPECT_EQ(min.cubes[0].literalCount(), 0);
+  EXPECT_TRUE(coversEquivalent(cover, min));
+}
+
+TEST(Sop, MultiOutputMergeRequiresIdenticalOutputs) {
+  SopCover cover;
+  cover.numInputs = 1;
+  cover.numOutputs = 2;
+  cover.cubes.push_back({{0}, {1, 0}});
+  cover.cubes.push_back({{1}, {0, 1}});
+  SopCover min = minimizeCover(cover);
+  EXPECT_EQ(min.termCount(), 2);  // outputs differ: cannot merge
+  EXPECT_TRUE(coversEquivalent(cover, min));
+}
+
+// ----------------------------------------------------------------- FSM
+
+SynthesisResult synthSqrt(StateEncoding enc = StateEncoding::Binary) {
+  SynthesisOptions opts;
+  opts.resources = ResourceLimits::universalSet(2);
+  opts.encoding = enc;
+  Synthesizer synth(opts);
+  return synth.synthesizeSource(designs::sqrtSource());
+}
+
+TEST(Fsm, StatesMatchControlSteps) {
+  SynthesisResult r = synthSqrt();
+  // One state per (block, step) plus the halt state.
+  std::size_t steps = 0;
+  for (const auto& bs : r.design.sched.blocks)
+    steps += (std::size_t)bs.numSteps;
+  EXPECT_EQ(r.design.ctrl.numStates(), steps + 1);
+}
+
+TEST(Fsm, LoopBlockEndsWithConditional) {
+  SynthesisResult r = synthSqrt();
+  BlockId body = r.design.fn.findBlock("do_body_0");
+  ASSERT_TRUE(body.valid());
+  int last = r.design.sched.of(body).numSteps - 1;
+  StateId sid = r.design.ctrl.stateAt(body, last);
+  ASSERT_TRUE(sid.valid());
+  const CtrlState& st = r.design.ctrl.state(sid);
+  EXPECT_TRUE(st.conditional);
+  // Taken leads out of the loop, not-taken back to the body's first state.
+  EXPECT_EQ(st.nextNot, r.design.ctrl.stateAt(body, 0));
+}
+
+TEST(Fsm, HaltStateSelfLoops) {
+  SynthesisResult r = synthSqrt();
+  const CtrlState& halt = r.design.ctrl.state(r.design.ctrl.haltState);
+  EXPECT_TRUE(halt.halt);
+  EXPECT_EQ(halt.next, halt.id);
+}
+
+TEST(Fsm, DescribeMentionsStates) {
+  SynthesisResult r = synthSqrt();
+  std::string d = r.design.ctrl.describe();
+  EXPECT_NE(d.find("S0"), std::string::npos);
+  EXPECT_NE(d.find("halt"), std::string::npos);
+}
+
+// -------------------------------------------------------------- encodings
+
+TEST(Encode, BinaryGrayOneHotShapes) {
+  SynthesisResult r = synthSqrt();
+  auto bin = encodeController(r.design.ctrl, r.design.ic, r.design.binding,
+                              StateEncoding::Binary);
+  auto gray = encodeController(r.design.ctrl, r.design.ic, r.design.binding,
+                               StateEncoding::Gray);
+  auto hot = encodeController(r.design.ctrl, r.design.ic, r.design.binding,
+                              StateEncoding::OneHot);
+  int n = (int)r.design.ctrl.numStates();
+  EXPECT_EQ(bin.stateBits, bitsForStates((std::uint64_t)n));
+  EXPECT_EQ(gray.stateBits, bin.stateBits);
+  EXPECT_EQ(hot.stateBits, n);
+  // Codes are unique in every encoding.
+  for (auto* e : {&bin, &gray, &hot}) {
+    std::set<std::uint64_t> seen(e->codeOf.begin(), e->codeOf.end());
+    EXPECT_EQ(seen.size(), e->codeOf.size());
+  }
+  // Gray: successive codes differ in exactly one bit.
+  for (std::size_t s = 1; s < gray.codeOf.size(); ++s) {
+    std::uint64_t diff = gray.codeOf[s] ^ gray.codeOf[s - 1];
+    EXPECT_EQ(__builtin_popcountll(diff), 1);
+  }
+}
+
+TEST(Encode, MinimizationPreservesFunction) {
+  SynthesisResult r = synthSqrt();
+  for (auto enc : {StateEncoding::Binary, StateEncoding::Gray}) {
+    auto e = encodeController(r.design.ctrl, r.design.ic, r.design.binding,
+                              enc);
+    ASSERT_LE(e.numInputs(), 16);
+    EXPECT_TRUE(coversEquivalent(e.logic, e.minimizedLogic))
+        << stateEncodingName(enc);
+    EXPECT_LE(e.minimizedLogic.termCount(), e.logic.termCount());
+  }
+}
+
+TEST(Encode, OneHotUsesFewerLiteralsPerTerm) {
+  SynthesisResult r = synthSqrt();
+  auto bin = encodeController(r.design.ctrl, r.design.ic, r.design.binding,
+                              StateEncoding::Binary);
+  auto hot = encodeController(r.design.ctrl, r.design.ic, r.design.binding,
+                              StateEncoding::OneHot);
+  double binAvg = (double)bin.logic.literalCount() / bin.logic.termCount();
+  double hotAvg = (double)hot.logic.literalCount() / hot.logic.termCount();
+  EXPECT_LT(hotAvg, binAvg);  // single-literal state decode
+}
+
+TEST(Encode, SignalsCoverDatapathControls) {
+  SynthesisResult r = synthSqrt();
+  // At least one register enable and one FU mux select must exist.
+  bool regEn = false, fuMux = false;
+  for (const auto& name : r.fsm.signalNames) {
+    if (name.find("_en") != std::string::npos) regEn = true;
+    if (name.find("_m") != std::string::npos) fuMux = true;
+  }
+  EXPECT_TRUE(regEn);
+  EXPECT_TRUE(fuMux);
+}
+
+// -------------------------------------------------------------- microcode
+
+TEST(Microcode, HorizontalWiderThanEncoded) {
+  SynthesisResult r = synthSqrt();
+  EXPECT_GT(r.microHorizontal.wordWidth, r.microEncoded.wordWidth);
+  EXPECT_EQ(r.microHorizontal.words.size(), r.design.ctrl.numStates());
+  EXPECT_EQ(r.microEncoded.words.size(), r.design.ctrl.numStates());
+}
+
+TEST(Microcode, SequencingFieldsPresent) {
+  SynthesisResult r = synthSqrt();
+  EXPECT_NE(r.microEncoded.field("useq_cond"), nullptr);
+  EXPECT_NE(r.microEncoded.field("useq_taken"), nullptr);
+  EXPECT_NE(r.microEncoded.field("useq_fallthrough"), nullptr);
+  EXPECT_EQ(r.microEncoded.field("useq_taken")->width,
+            bitsForStates(r.design.ctrl.numStates()));
+}
+
+TEST(Microcode, WordsEncodeTransitions) {
+  SynthesisResult r = synthSqrt();
+  const Microprogram& mp = r.microEncoded;
+  // Find the field indices for the sequencing fields.
+  int condIdx = -1, takenIdx = -1, ftIdx = -1;
+  for (std::size_t i = 0; i < mp.fields.size(); ++i) {
+    if (mp.fields[i].name == "useq_cond") condIdx = (int)i;
+    if (mp.fields[i].name == "useq_taken") takenIdx = (int)i;
+    if (mp.fields[i].name == "useq_fallthrough") ftIdx = (int)i;
+  }
+  ASSERT_GE(condIdx, 0);
+  for (std::size_t s = 0; s < r.design.ctrl.numStates(); ++s) {
+    const CtrlState& st = r.design.ctrl.states[s];
+    const auto& w = mp.words[s];
+    if (st.conditional) {
+      EXPECT_EQ(w[(std::size_t)condIdx], 1u);
+      EXPECT_EQ(w[(std::size_t)takenIdx], st.nextTaken.get());
+      EXPECT_EQ(w[(std::size_t)ftIdx], st.nextNot.get());
+    } else {
+      EXPECT_EQ(w[(std::size_t)condIdx], 0u);
+      StateId next = st.halt ? st.id : st.next;
+      EXPECT_EQ(w[(std::size_t)takenIdx], next.get());
+    }
+  }
+}
+
+TEST(Microcode, StoreBitsReflectStyle) {
+  SynthesisResult r = synthSqrt();
+  EXPECT_GT(r.microHorizontal.storeBits(), r.microEncoded.storeBits());
+  EXPECT_NE(r.microEncoded.dump().find("words"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mphls

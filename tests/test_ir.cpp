@@ -1,0 +1,333 @@
+// Unit tests for the CDFG IR: construction, dependence graphs, analyses,
+// the verifier, the interpreter and DOT output.
+#include <gtest/gtest.h>
+
+#include "ir/analysis.h"
+#include "ir/cdfg.h"
+#include "ir/deps.h"
+#include "ir/dot.h"
+#include "ir/interp.h"
+#include "ir/verify.h"
+
+namespace mphls {
+namespace {
+
+/// Straight-line a*b + c written directly in IR.
+Function buildMac() {
+  Function fn("mac");
+  PortId a = fn.addInput("a", 16);
+  PortId b = fn.addInput("b", 16);
+  PortId c = fn.addInput("c", 16);
+  PortId y = fn.addOutput("y", 16);
+  BlockId blk = fn.addBlock("entry");
+  ValueId va = fn.emitRead(blk, a);
+  ValueId vb = fn.emitRead(blk, b);
+  ValueId vc = fn.emitRead(blk, c);
+  ValueId prod = fn.emitBinary(blk, OpKind::Mul, va, vb);
+  ValueId sum = fn.emitBinary(blk, OpKind::Add, prod, vc);
+  fn.emitWrite(blk, y, sum);
+  fn.setReturn(blk);
+  return fn;
+}
+
+TEST(Cdfg, BuildAndVerify) {
+  Function fn = buildMac();
+  EXPECT_EQ(verifyFunction(fn), "");
+  EXPECT_EQ(fn.numBlocks(), 1u);
+  EXPECT_EQ(fn.numOps(), 6u);
+  EXPECT_EQ(fn.numRealOps(), 6u);  // reads, mul, add, write are all non-free
+}
+
+TEST(Cdfg, FindByName) {
+  Function fn = buildMac();
+  EXPECT_TRUE(fn.findPort("a").valid());
+  EXPECT_TRUE(fn.findPort("y").valid());
+  EXPECT_FALSE(fn.findPort("nope").valid());
+  EXPECT_TRUE(fn.findBlock("entry").valid());
+}
+
+TEST(Cdfg, DumpContainsOps) {
+  Function fn = buildMac();
+  std::string d = fn.dump();
+  EXPECT_NE(d.find("mul"), std::string::npos);
+  EXPECT_NE(d.find("add"), std::string::npos);
+  EXPECT_NE(d.find("write y"), std::string::npos);
+}
+
+TEST(Cdfg, RemoveOpAndCompact) {
+  Function fn("f");
+  BlockId blk = fn.addBlock("entry");
+  ValueId c1 = fn.emitConst(blk, 1, 8);
+  ValueId c2 = fn.emitConst(blk, 2, 8);
+  ValueId s = fn.emitBinary(blk, OpKind::Add, c1, c2);
+  VarId v = fn.addVar("v", 8);
+  fn.emitStore(blk, v, s);
+  // Kill an unused extra op.
+  ValueId dead = fn.emitConst(blk, 9, 8);
+  OpId deadOp = fn.value(dead).def;
+  fn.setReturn(blk);
+  fn.removeOp(deadOp);
+  fn.compact();
+  EXPECT_EQ(verifyFunction(fn), "");
+  EXPECT_EQ(fn.numOps(), 4u);
+}
+
+TEST(Cdfg, ReplaceAllUses) {
+  Function fn("f");
+  BlockId blk = fn.addBlock("entry");
+  ValueId c1 = fn.emitConst(blk, 1, 8);
+  ValueId c2 = fn.emitConst(blk, 2, 8);
+  ValueId s = fn.emitBinary(blk, OpKind::Add, c1, c1);
+  VarId v = fn.addVar("v", 8);
+  fn.emitStore(blk, v, s);
+  fn.setReturn(blk);
+  fn.replaceAllUses(c1, c2);
+  const Op& add = fn.defOf(s);
+  EXPECT_EQ(add.args[0], c2);
+  EXPECT_EQ(add.args[1], c2);
+}
+
+TEST(Deps, ValueEdges) {
+  Function fn = buildMac();
+  BlockDeps deps(fn, fn.block(fn.entry()));
+  // mul (index 3) depends on reads 0 and 1; add (4) on mul and read 2.
+  EXPECT_EQ(deps.preds(3).size(), 2u);
+  EXPECT_EQ(deps.preds(4).size(), 2u);
+  EXPECT_TRUE(deps.reaches(0, 5));
+  EXPECT_FALSE(deps.reaches(5, 0));
+}
+
+TEST(Deps, VarOrderingEdges) {
+  // store v; load v; store v  =>  RAW then WAR and WAW.
+  Function fn("f");
+  BlockId blk = fn.addBlock("entry");
+  VarId v = fn.addVar("v", 8);
+  ValueId c = fn.emitConst(blk, 1, 8);
+  fn.emitStore(blk, v, c);                        // 1
+  ValueId ld = fn.emitLoad(blk, v);               // 2
+  ValueId inc = fn.emitUnary(blk, OpKind::Inc, ld);  // 3
+  fn.emitStore(blk, v, inc);                      // 4
+  fn.setReturn(blk);
+  BlockDeps deps(fn, fn.block(blk));
+  int raw = 0, war = 0, waw = 0;
+  for (const auto& e : deps.edges()) {
+    if (e.kind == DepKind::VarRaw) ++raw;
+    if (e.kind == DepKind::VarWar) ++war;
+    if (e.kind == DepKind::VarWaw) ++waw;
+  }
+  EXPECT_EQ(raw, 1);  // store(1) -> load(2)
+  EXPECT_EQ(war, 1);  // load(2) -> store(4)
+  EXPECT_EQ(waw, 1);  // store(1) -> store(4)
+}
+
+TEST(Deps, TopoOrderIsValid) {
+  Function fn = buildMac();
+  BlockDeps deps(fn, fn.block(fn.entry()));
+  auto order = deps.topoOrder();
+  ASSERT_EQ(order.size(), deps.numOps());
+  std::vector<int> posOf(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) posOf[order[i]] = (int)i;
+  for (const auto& e : deps.edges()) EXPECT_LT(posOf[e.from], posOf[e.to]);
+}
+
+TEST(Analysis, LevelsOfMac) {
+  Function fn = buildMac();
+  BlockDeps deps(fn, fn.block(fn.entry()));
+  LevelInfo li = computeLevels(deps);
+  // Critical path: mul -> add = 2 steps.
+  EXPECT_EQ(li.criticalLength, 2);
+  // mul at step 0, add at step 1.
+  EXPECT_EQ(li.asap[3], 0);
+  EXPECT_EQ(li.asap[4], 1);
+  // mul has no slack; the reads feeding only add have slack 1.
+  EXPECT_EQ(li.mobility[3], 0);
+}
+
+TEST(Analysis, AlapStretchesToConstraint) {
+  Function fn = buildMac();
+  BlockDeps deps(fn, fn.block(fn.entry()));
+  LevelInfo li = computeLevels(deps, 4);
+  // With a 4-step budget the mul can slide to step 2 (add at 3).
+  EXPECT_EQ(li.alap[3], 2);
+  EXPECT_EQ(li.alap[4], 3);
+  EXPECT_EQ(li.mobility[3], 2);
+}
+
+TEST(Analysis, ReversePostOrderStartsAtEntry) {
+  Function fn("f");
+  BlockId b0 = fn.addBlock("entry");
+  BlockId b1 = fn.addBlock("body");
+  BlockId b2 = fn.addBlock("exit");
+  fn.setJump(b0, b1);
+  ValueId c = fn.emitConst(b1, 1, 1);
+  fn.setBranch(b1, c, b2, b1);
+  fn.setReturn(b2);
+  auto rpo = reversePostOrder(fn);
+  ASSERT_EQ(rpo.size(), 3u);
+  EXPECT_EQ(rpo[0], b0);
+}
+
+TEST(Analysis, FindLoopsDetectsSelfLoop) {
+  Function fn("f");
+  BlockId b0 = fn.addBlock("entry");
+  BlockId b1 = fn.addBlock("body");
+  BlockId b2 = fn.addBlock("exit");
+  fn.setJump(b0, b1);
+  ValueId c = fn.emitConst(b1, 1, 1);
+  fn.setBranch(b1, c, b2, b1);
+  fn.setReturn(b2);
+  auto loops = findLoops(fn);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0].header, b1);
+  EXPECT_EQ(loops[0].latch, b1);
+  EXPECT_EQ(loops[0].blocks.size(), 1u);
+}
+
+TEST(Analysis, VarLiveness) {
+  // v defined in entry, used in body -> live-in at body, live-out of entry.
+  Function fn("f");
+  BlockId b0 = fn.addBlock("entry");
+  BlockId b1 = fn.addBlock("body");
+  VarId v = fn.addVar("v", 8);
+  ValueId c = fn.emitConst(b0, 5, 8);
+  fn.emitStore(b0, v, c);
+  fn.setJump(b0, b1);
+  ValueId ld = fn.emitLoad(b1, v);
+  PortId y = fn.addOutput("y", 8);
+  fn.emitWrite(b1, y, ld);
+  fn.setReturn(b1);
+  auto lv = computeVarLiveness(fn);
+  EXPECT_TRUE(lv.liveOut[b0.index()][v.index()]);
+  EXPECT_TRUE(lv.liveIn[b1.index()][v.index()]);
+  EXPECT_FALSE(lv.liveIn[b0.index()][v.index()]);
+}
+
+TEST(Verify, CatchesUseBeforeDef) {
+  Function fn("bad");
+  BlockId blk = fn.addBlock("entry");
+  ValueId c = fn.emitConst(blk, 1, 8);
+  fn.setReturn(blk);
+  // Manufacture a bogus op that uses a value from nowhere by reordering.
+  Function fn2("bad2");
+  BlockId b2 = fn2.addBlock("entry");
+  ValueId c2 = fn2.emitConst(b2, 1, 8);
+  ValueId s = fn2.emitBinary(b2, OpKind::Add, c2, c2);
+  fn2.setReturn(b2);
+  // Swap op order so add precedes const.
+  std::swap(fn2.block(b2).ops[0], fn2.block(b2).ops[1]);
+  EXPECT_NE(verifyFunction(fn2), "");
+  (void)c;
+  (void)s;
+}
+
+TEST(Verify, CatchesBadBranchCond) {
+  Function fn("bad");
+  BlockId b0 = fn.addBlock("entry");
+  BlockId b1 = fn.addBlock("other");
+  ValueId wide = fn.emitConst(b0, 3, 8);
+  fn.block(b0).term =
+      Terminator{Terminator::Kind::Branch, b1, b0, wide};  // 8-bit cond
+  fn.setReturn(b1);
+  EXPECT_NE(verifyFunction(fn), "");
+}
+
+TEST(Interp, EvaluatesMac) {
+  Function fn = buildMac();
+  Interpreter in(fn);
+  auto res = in.run({{"a", 6}, {"b", 7}, {"c", 100}});
+  ASSERT_TRUE(res.finished);
+  EXPECT_EQ(res.outputs.at("y"), 142u);
+}
+
+TEST(Interp, TruncatesToWidth) {
+  Function fn("f");
+  PortId a = fn.addInput("a", 8);
+  PortId y = fn.addOutput("y", 8);
+  BlockId blk = fn.addBlock("entry");
+  ValueId va = fn.emitRead(blk, a);
+  ValueId sum = fn.emitBinary(blk, OpKind::Add, va, va);
+  fn.emitWrite(blk, y, sum);
+  fn.setReturn(blk);
+  Interpreter in(fn);
+  auto res = in.run({{"a", 200}});
+  EXPECT_EQ(res.outputs.at("y"), (200u + 200u) & 0xFF);
+}
+
+TEST(Interp, LoopExecutesAndTraces) {
+  // counter: i = 0; do { i = i + 1 } until (i == 4); y = i
+  Function fn("count");
+  PortId y = fn.addOutput("y", 8);
+  VarId i = fn.addVar("i", 8);
+  BlockId b0 = fn.addBlock("entry");
+  BlockId b1 = fn.addBlock("body");
+  BlockId b2 = fn.addBlock("exit");
+  ValueId z = fn.emitConst(b0, 0, 8);
+  fn.emitStore(b0, i, z);
+  fn.setJump(b0, b1);
+  ValueId ld = fn.emitLoad(b1, i);
+  ValueId inc = fn.emitUnary(b1, OpKind::Inc, ld);
+  fn.emitStore(b1, i, inc);
+  ValueId ld2 = fn.emitLoad(b1, i);
+  ValueId four = fn.emitConst(b1, 4, 8);
+  ValueId eq = fn.emitBinary(b1, OpKind::Eq, ld2, four);
+  fn.setBranch(b1, eq, b2, b1);
+  ValueId out = fn.emitLoad(b2, i);
+  fn.emitWrite(b2, y, out);
+  fn.setReturn(b2);
+
+  Interpreter in(fn);
+  auto res = in.run({});
+  ASSERT_TRUE(res.finished);
+  EXPECT_EQ(res.outputs.at("y"), 4u);
+  // entry + 4 body iterations + exit
+  EXPECT_EQ(res.blockTrace.size(), 6u);
+}
+
+TEST(Interp, StepLimitStopsRunaway) {
+  Function fn("forever");
+  BlockId b0 = fn.addBlock("entry");
+  ValueId t = fn.emitConst(b0, 1, 1);
+  fn.setBranch(b0, t, b0, b0);
+  Interpreter in(fn);
+  auto res = in.run({}, 100);
+  EXPECT_FALSE(res.finished);
+}
+
+TEST(Interp, EvalPureArithSuite) {
+  using V = std::vector<std::uint64_t>;
+  using W = std::vector<int>;
+  EXPECT_EQ(Interpreter::evalPure(OpKind::Sub, 8, 0, V{3, 5}, W{8, 8}),
+            0xFEu);
+  EXPECT_EQ(Interpreter::evalPure(OpKind::Div, 8, 0, V{0xF8, 2}, W{8, 8}),
+            0xFCu);  // -8 / 2 = -4
+  EXPECT_EQ(Interpreter::evalPure(OpKind::UDiv, 8, 0, V{0xF8, 2}, W{8, 8}),
+            0x7Cu);  // 248 / 2 = 124
+  EXPECT_EQ(Interpreter::evalPure(OpKind::Lt, 1, 0, V{0xFF, 1}, W{8, 8}), 1u);
+  EXPECT_EQ(Interpreter::evalPure(OpKind::ULt, 1, 0, V{0xFF, 1}, W{8, 8}), 0u);
+  EXPECT_EQ(Interpreter::evalPure(OpKind::SarConst, 8, 2, V{0x80}, W{8}),
+            0xE0u);
+  EXPECT_EQ(Interpreter::evalPure(OpKind::ShrConst, 8, 2, V{0x80}, W{8}),
+            0x20u);
+  EXPECT_EQ(Interpreter::evalPure(OpKind::Select, 8, 0, V{1, 7, 9},
+                                  W{1, 8, 8}),
+            7u);
+  EXPECT_EQ(Interpreter::evalPure(OpKind::Select, 8, 0, V{0, 7, 9},
+                                  W{1, 8, 8}),
+            9u);
+  // Division by zero is all-ones (hardware-friendly), remainder zero.
+  EXPECT_EQ(Interpreter::evalPure(OpKind::UDiv, 8, 0, V{5, 0}, W{8, 8}),
+            0xFFu);
+  EXPECT_EQ(Interpreter::evalPure(OpKind::UMod, 8, 0, V{5, 0}, W{8, 8}), 0u);
+}
+
+TEST(Dot, DataFlowAndControlFlow) {
+  Function fn = buildMac();
+  std::string dfg = dataFlowDot(fn, fn.entry());
+  EXPECT_NE(dfg.find("digraph"), std::string::npos);
+  EXPECT_NE(dfg.find("mul"), std::string::npos);
+  std::string cfg = controlFlowDot(fn);
+  EXPECT_NE(cfg.find("entry"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mphls

@@ -1,0 +1,140 @@
+// Tests for the hardware module library and the area/timing estimators.
+#include <gtest/gtest.h>
+
+#include "core/designs.h"
+#include "core/synthesizer.h"
+#include "estim/estimate.h"
+#include "lib/library.h"
+
+namespace mphls {
+namespace {
+
+// ----------------------------------------------------------------- library
+
+TEST(Library, ClassOfCoversArithmetic) {
+  EXPECT_EQ(classOf(OpKind::Add), FuClass::Adder);
+  EXPECT_EQ(classOf(OpKind::Inc), FuClass::Adder);
+  EXPECT_EQ(classOf(OpKind::Mul), FuClass::Multiplier);
+  EXPECT_EQ(classOf(OpKind::UDiv), FuClass::Divider);
+  EXPECT_EQ(classOf(OpKind::UMod), FuClass::Divider);
+  EXPECT_EQ(classOf(OpKind::Shl), FuClass::Shifter);
+  EXPECT_EQ(classOf(OpKind::ULt), FuClass::Comparator);
+  EXPECT_EQ(classOf(OpKind::And), FuClass::Logic);
+  EXPECT_EQ(classOf(OpKind::Select), FuClass::Selector);
+  EXPECT_EQ(classOf(OpKind::ShlConst), FuClass::None);
+  EXPECT_EQ(classOf(OpKind::LoadVar), FuClass::None);
+}
+
+TEST(Library, DefaultHasComponentForEveryFuOp) {
+  HwLibrary lib = HwLibrary::defaultLibrary();
+  for (OpKind k : {OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::UDiv,
+                   OpKind::UMod, OpKind::Div, OpKind::Mod, OpKind::And,
+                   OpKind::Or, OpKind::Xor, OpKind::Not, OpKind::Neg,
+                   OpKind::Inc, OpKind::Dec, OpKind::Shl, OpKind::Shr,
+                   OpKind::Sar, OpKind::Eq, OpKind::Ne, OpKind::Lt,
+                   OpKind::ULt, OpKind::UGe, OpKind::Select}) {
+    EXPECT_TRUE(lib.cheapestFor(k, 16).valid()) << opName(k);
+  }
+}
+
+TEST(Library, RelativeCostsMatchTheEra) {
+  HwLibrary lib = HwLibrary::defaultLibrary();
+  double adder = lib.component(lib.cheapestFor(OpKind::Add, 16)).area(16);
+  double mult = lib.component(lib.cheapestFor(OpKind::Mul, 16)).area(16);
+  double divd = lib.component(lib.cheapestFor(OpKind::UDiv, 16)).area(16);
+  // "multiplier >> adder area; divider larger and slower still"
+  EXPECT_GT(mult, 4 * adder);
+  EXPECT_GT(divd, mult);
+  double addDelay = lib.component(lib.cheapestFor(OpKind::Add, 16)).delay(16);
+  double divDelay = lib.component(lib.cheapestFor(OpKind::UDiv, 16)).delay(16);
+  EXPECT_GT(divDelay, addDelay);
+}
+
+TEST(Library, AluCoversThreeClassesAndCostsLess) {
+  HwLibrary lib = HwLibrary::defaultLibrary();
+  CompId alu = lib.findByName("alu");
+  ASSERT_TRUE(alu.valid());
+  const Component& c = lib.component(alu);
+  EXPECT_TRUE(c.supports(OpKind::Add));
+  EXPECT_TRUE(c.supports(OpKind::And));
+  EXPECT_TRUE(c.supports(OpKind::ULt));
+  // Cheaper than buying the three single-function units it replaces.
+  double three =
+      lib.component(lib.findByName("adder")).area(16) +
+      lib.component(lib.findByName("logic_unit")).area(16) +
+      lib.component(lib.findByName("comparator")).area(16);
+  EXPECT_LT(c.area(16), three);
+  // cheapestForAll picks the ALU when ops span classes.
+  CompId pick = lib.cheapestForAll({OpKind::Add, OpKind::Xor}, 16);
+  EXPECT_EQ(pick, alu);
+}
+
+TEST(Library, NoComponentDoesMulAndDiv) {
+  HwLibrary lib = HwLibrary::defaultLibrary();
+  EXPECT_FALSE(lib.cheapestForAll({OpKind::Mul, OpKind::UDiv}, 16).valid());
+}
+
+TEST(Library, MuxAndBusCostShapes) {
+  HwLibrary lib = HwLibrary::defaultLibrary();
+  EXPECT_EQ(lib.muxArea(1, 16), 0.0);
+  EXPECT_GT(lib.muxArea(3, 16), lib.muxArea(2, 16));
+  EXPECT_GT(lib.muxArea(2, 32), lib.muxArea(2, 16));
+  EXPECT_EQ(lib.muxDelay(1), 0.0);
+  EXPECT_GT(lib.muxDelay(8), lib.muxDelay(2));
+  EXPECT_GT(lib.busArea(4, 16), lib.busArea(2, 16));
+  EXPECT_GT(lib.busDelay(8), lib.busDelay(2));
+  // Wide muxes eventually cost more than a bus with the same sources.
+  EXPECT_GT(lib.muxArea(12, 16), lib.busArea(12, 16));
+}
+
+// --------------------------------------------------------------- estimation
+
+SynthesisResult synth(const char* src, int fus = 2) {
+  SynthesisOptions o;
+  o.scheduler = SchedulerKind::List;
+  o.resources = ResourceLimits::universalSet(fus);
+  Synthesizer s(o);
+  return s.synthesizeSource(src);
+}
+
+TEST(Estimate, AreaComponentsPositiveAndSum) {
+  auto r = synth(designs::sqrtSource());
+  EXPECT_GT(r.area.fuArea, 0);
+  EXPECT_GT(r.area.regArea, 0);
+  EXPECT_GT(r.area.controlArea, 0);
+  double parts = r.area.fuArea + r.area.regArea + r.area.muxArea +
+                 r.area.controlArea;
+  EXPECT_NEAR(r.area.total(), parts * (1.0 + r.area.wiringFactor), 1e-9);
+}
+
+TEST(Estimate, CycleTimeDominatedBySlowestUsedUnit) {
+  // sqrt uses the divider: its cycle must exceed a mul-free design's.
+  auto rDiv = synth(designs::sqrtSource());
+  auto rAdd = synth(
+      "proc f(in a: uint<16>, in b: uint<16>, out y: uint<16>) {"
+      " y = a + b; }");
+  EXPECT_GT(rDiv.timing.cycleTime, rAdd.timing.cycleTime);
+  EXPECT_GE(rDiv.timing.criticalState, 0);
+}
+
+TEST(Estimate, DesignPointArithmetic) {
+  DesignPoint p{10, 2.5, 100.0};
+  EXPECT_DOUBLE_EQ(p.executionTime(), 25.0);
+  EXPECT_DOUBLE_EQ(p.areaTime(), 2500.0);
+}
+
+TEST(Estimate, BusTotalUsesBusArea) {
+  auto r = synth(designs::ewfSource());
+  // ewf is the interconnect-heavy design where buses win wiring.
+  EXPECT_LT(r.area.busArea, r.area.muxArea);
+  EXPECT_LT(r.area.totalBus(), r.area.total());
+}
+
+TEST(Estimate, MoreUnitsMoreFuArea) {
+  auto r1 = synth(designs::fir8Source(), 1);
+  auto r4 = synth(designs::fir8Source(), 4);
+  EXPECT_GT(r4.area.fuArea, r1.area.fuArea);
+}
+
+}  // namespace
+}  // namespace mphls

@@ -1,0 +1,102 @@
+// Tests for Sehwa-style pipeline (modulo) scheduling.
+#include <gtest/gtest.h>
+
+#include "lang/frontend.h"
+#include "opt/pass.h"
+#include "sched/pipeline.h"
+
+namespace mphls {
+namespace {
+
+Function firBlock() {
+  Function fn = compileBdlOrThrow(
+      "proc fir4(in x0: uint<16>, in x1: uint<16>, in x2: uint<16>,"
+      " in x3: uint<16>, out y: uint<32>) {"
+      "  y = zext<32>(x0) * 7 + zext<32>(x1) * 23"
+      "    + zext<32>(x2) * 23 + zext<32>(x3) * 7;"
+      "}");
+  optimize(fn);
+  return fn;
+}
+
+TEST(Pipeline, IiOneNeedsOneUnitPerConcurrentOp) {
+  Function fn = firBlock();
+  BlockDeps deps(fn, fn.block(fn.entry()));
+  PipelineResult pr = pipelineSchedule(deps, 1);
+  ASSERT_TRUE(pr.feasible);
+  EXPECT_EQ(validatePipelineSchedule(deps, pr), "");
+  // Every sample issues a fresh set of operations each step: the pipeline
+  // needs as many units of a class as the block has operations of it.
+  EXPECT_EQ(pr.unitsRequired.at(FuClass::Multiplier), 4);
+  EXPECT_EQ(pr.unitsRequired.at(FuClass::Adder), 3);
+  EXPECT_DOUBLE_EQ(pr.throughput(), 1.0);
+}
+
+TEST(Pipeline, LargerIiNeedsFewerUnits) {
+  Function fn = firBlock();
+  BlockDeps deps(fn, fn.block(fn.entry()));
+  PipelineResult p1 = pipelineSchedule(deps, 1);
+  PipelineResult p2 = pipelineSchedule(deps, 2);
+  PipelineResult p4 = pipelineSchedule(deps, 4);
+  ASSERT_TRUE(p1.feasible && p2.feasible && p4.feasible);
+  EXPECT_EQ(validatePipelineSchedule(deps, p2), "");
+  EXPECT_EQ(validatePipelineSchedule(deps, p4), "");
+  EXPECT_LE(p2.unitsRequired.at(FuClass::Multiplier),
+            p1.unitsRequired.at(FuClass::Multiplier));
+  EXPECT_LE(p4.unitsRequired.at(FuClass::Multiplier),
+            p2.unitsRequired.at(FuClass::Multiplier));
+  EXPECT_EQ(p4.unitsRequired.at(FuClass::Multiplier), 1);
+}
+
+TEST(Pipeline, ResourceCapsStretchOrRejectIi) {
+  Function fn = firBlock();
+  BlockDeps deps(fn, fn.block(fn.entry()));
+  auto oneMul = ResourceLimits::withClasses({{FuClass::Multiplier, 1}});
+  // One multiplier cannot sustain II=1 with four multiplies per sample.
+  PipelineResult tight = pipelineSchedule(deps, 1, oneMul);
+  EXPECT_FALSE(tight.feasible);
+  // ...but II=4 folds the four multiplies onto one unit.
+  PipelineResult ok = pipelineSchedule(deps, 4, oneMul);
+  ASSERT_TRUE(ok.feasible);
+  EXPECT_EQ(validatePipelineSchedule(deps, ok), "");
+  EXPECT_EQ(ok.unitsRequired.at(FuClass::Multiplier), 1);
+}
+
+TEST(Pipeline, ExplorationCurveIsMonotone) {
+  Function fn = firBlock();
+  BlockDeps deps(fn, fn.block(fn.entry()));
+  auto curve = explorePipelines(deps);
+  ASSERT_GE(curve.size(), 2u);
+  int prevMuls = INT32_MAX;
+  for (const auto& pr : curve) {
+    ASSERT_TRUE(pr.feasible) << "II=" << pr.initiationInterval;
+    EXPECT_EQ(validatePipelineSchedule(deps, pr), "");
+    int muls = pr.unitsRequired.count(FuClass::Multiplier)
+                   ? pr.unitsRequired.at(FuClass::Multiplier)
+                   : 0;
+    EXPECT_LE(muls, prevMuls) << "II=" << pr.initiationInterval;
+    prevMuls = muls;
+  }
+  // Latency (per-sample steps) never beats the dependence-critical path.
+  for (const auto& pr : curve)
+    EXPECT_GE(pr.schedule.numSteps, curve.front().schedule.numSteps);
+}
+
+TEST(Pipeline, LatencyStaysNearCritical) {
+  // Balancing ops across the II frame may slip each dependence level by at
+  // most II-1 steps; per-sample latency stays within that bound of the
+  // dependence-critical schedule.
+  Function fn = firBlock();
+  BlockDeps deps(fn, fn.block(fn.entry()));
+  LevelInfo li = computeLevels(deps);
+  for (int ii = 1; ii <= 4; ++ii) {
+    PipelineResult pr = pipelineSchedule(deps, ii);
+    ASSERT_TRUE(pr.feasible);
+    EXPECT_GE(pr.schedule.numSteps, li.criticalLength);
+    EXPECT_LE(pr.schedule.numSteps,
+              li.criticalLength + (ii - 1) * li.criticalLength);
+  }
+}
+
+}  // namespace
+}  // namespace mphls

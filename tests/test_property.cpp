@@ -1,0 +1,392 @@
+// Property-based tests.
+//
+// A deterministic random-program generator produces BDL designs with
+// nested control flow and mixed-width arithmetic; for every seed the suite
+// checks the pipeline-wide invariants the paper's Section 4 calls "design
+// verification":
+//   - both optimization pipelines preserve the interpreter's behavior;
+//   - every scheduler produces dependence- and resource-valid schedules;
+//   - register allocation respects lifetimes and left edge is optimal;
+//   - the synthesized RTL equals the behavioral spec cycle-accurately;
+//   - SOP minimization is functionally exact;
+//   - clique covers are valid and the greedy heuristic is bounded by exact.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "alloc/clique.h"
+#include "alloc/lifetime.h"
+#include "alloc/reg_alloc.h"
+#include "core/synthesizer.h"
+#include "ctrl/sop.h"
+#include "ir/interp.h"
+#include "lang/frontend.h"
+#include "opt/pass.h"
+#include "sched/asap.h"
+#include "sched/bnb.h"
+#include "sched/force_directed.h"
+#include "sched/freedom.h"
+#include "sched/list_sched.h"
+#include "sched/sched_util.h"
+#include "sched/transform_sched.h"
+
+namespace mphls {
+namespace {
+
+// ------------------------------------------------------------- generator
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : s_(seed * 2654435761u + 1) {}
+  std::uint64_t next() {
+    s_ ^= s_ << 13;
+    s_ ^= s_ >> 7;
+    s_ ^= s_ << 17;
+    return s_;
+  }
+  std::size_t below(std::size_t n) { return (std::size_t)(next() % n); }
+  bool chance(int percent) { return below(100) < (std::size_t)percent; }
+
+ private:
+  std::uint64_t s_;
+};
+
+/// Generates a random but well-formed BDL program. All variables are
+/// initialized before use; loops are bounded counters; every output is
+/// assigned on every path (by assigning all outputs up front).
+class ProgramGen {
+ public:
+  explicit ProgramGen(std::uint64_t seed) : rng_(seed) {}
+
+  struct Result {
+    std::string source;
+    std::vector<std::string> inputs;
+  };
+
+  Result generate() {
+    std::ostringstream out;
+    int nIn = 2 + (int)rng_.below(3);
+    int nOut = 1 + (int)rng_.below(2);
+    int nVar = 2 + (int)rng_.below(4);
+
+    out << "proc fuzz(";
+    Result res;
+    for (int i = 0; i < nIn; ++i) {
+      std::string name = "in" + std::to_string(i);
+      ins_.push_back({name, randWidth()});
+      res.inputs.push_back(name);
+      out << (i ? ", " : "") << "in " << name << ": uint<" << ins_.back().width
+          << ">";
+    }
+    for (int i = 0; i < nOut; ++i) {
+      std::string name = "out" + std::to_string(i);
+      outs_.push_back({name, randWidth()});
+      out << ", out " << name << ": uint<" << outs_.back().width << ">";
+    }
+    out << ") {\n";
+
+    for (int i = 0; i < nVar; ++i) {
+      std::string name = "v" + std::to_string(i);
+      vars_.push_back({name, randWidth()});
+      out << "  var " << name << ": uint<" << vars_.back().width << ">;\n";
+      out << "  " << name << " = " << expr(1) << ";\n";
+    }
+    // Outputs readable on all paths.
+    for (const auto& o : outs_) out << "  " << o.name << " = " << expr(1)
+                                    << ";\n";
+
+    int nStmt = 3 + (int)rng_.below(6);
+    for (int i = 0; i < nStmt; ++i) stmt(out, 0);
+
+    out << "}\n";
+    res.source = out.str();
+    return res;
+  }
+
+ private:
+  struct Sym {
+    std::string name;
+    int width;
+  };
+  Rng rng_;
+  std::vector<Sym> ins_, outs_, vars_;
+  int loopCounter_ = 0;
+
+  int randWidth() {
+    const int widths[] = {4, 8, 12, 16, 24, 32};
+    return widths[rng_.below(6)];
+  }
+
+  std::string readable() {
+    std::size_t total = ins_.size() + outs_.size() + vars_.size();
+    std::size_t k = rng_.below(total);
+    if (k < ins_.size()) return ins_[k].name;
+    k -= ins_.size();
+    if (k < outs_.size()) return outs_[k].name;
+    return vars_[k - outs_.size()].name;
+  }
+
+  std::string writable() {
+    std::size_t total = outs_.size() + vars_.size();
+    std::size_t k = rng_.below(total);
+    if (k < outs_.size()) return outs_[k].name;
+    return vars_[k - outs_.size()].name;
+  }
+
+  std::string expr(int depth) {
+    if (depth >= 3 || rng_.chance(35)) {
+      // Leaf.
+      if (rng_.chance(30)) return std::to_string(rng_.below(1000));
+      return readable();
+    }
+    switch (rng_.below(10)) {
+      case 0:
+        return "(" + expr(depth + 1) + " + " + expr(depth + 1) + ")";
+      case 1:
+        return "(" + expr(depth + 1) + " - " + expr(depth + 1) + ")";
+      case 2:
+        return "(" + expr(depth + 1) + " * " + expr(depth + 1) + ")";
+      case 3:
+        return "(" + expr(depth + 1) + " / " + expr(depth + 1) + ")";
+      case 4:
+        return "(" + expr(depth + 1) + " ^ " + expr(depth + 1) + ")";
+      case 5:
+        return "(" + expr(depth + 1) + " & " + expr(depth + 1) + ")";
+      case 6:
+        return "(" + expr(depth + 1) + " >> " +
+               std::to_string(1 + rng_.below(3)) + ")";
+      case 7:
+        return "(" + expr(depth + 1) + " % " + expr(depth + 1) + ")";
+      case 8:
+        return "(" + expr(depth + 1) + (rng_.chance(50) ? " < " : " >= ") +
+               expr(depth + 1) + " ? " + expr(depth + 1) + " : " +
+               expr(depth + 1) + ")";
+      default:
+        return "zext<32>(" + expr(depth + 1) + ")";
+    }
+  }
+
+  std::string cond(int depth) {
+    return "(" + expr(depth + 1) +
+           (rng_.chance(50) ? " != " : " > ") + expr(depth + 1) + ")";
+  }
+
+  void stmt(std::ostringstream& out, int depth) {
+    int roll = (int)rng_.below(100);
+    std::string pad((std::size_t)(2 * depth + 2), ' ');
+    if (roll < 55 || depth >= 2) {
+      out << pad << writable() << " = " << expr(0) << ";\n";
+    } else if (roll < 80) {
+      out << pad << "if " << cond(0) << " {\n";
+      int n = 1 + (int)rng_.below(2);
+      for (int i = 0; i < n; ++i) stmt(out, depth + 1);
+      if (rng_.chance(60)) {
+        out << pad << "} else {\n";
+        for (int i = 0; i < n; ++i) stmt(out, depth + 1);
+      }
+      out << pad << "}\n";
+    } else {
+      // Bounded counted loop.
+      std::string c = "k" + std::to_string(loopCounter_++);
+      int trip = 2 + (int)rng_.below(4);
+      out << pad << "var " << c << ": uint<4>;\n";
+      out << pad << c << " = 0;\n";
+      out << pad << "do {\n";
+      int n = 1 + (int)rng_.below(2);
+      for (int i = 0; i < n; ++i) stmt(out, depth + 1);
+      out << pad << "  " << c << " = " << c << " + 1;\n";
+      out << pad << "} until (" << c << " == " << trip << ");\n";
+    }
+  }
+};
+
+std::map<std::string, std::uint64_t> randomInputs(
+    const std::vector<std::string>& names, std::uint64_t seed, int trial) {
+  Rng rng(seed * 131 + (std::uint64_t)trial);
+  std::map<std::string, std::uint64_t> in;
+  for (const auto& n : names) {
+    std::uint64_t v = rng.next();
+    if (trial == 0) v = 0;
+    if (trial == 1) v = ~0ull;
+    in[n] = v;
+  }
+  return in;
+}
+
+// ----------------------------------------------------- pipeline properties
+
+class FuzzPipeline : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzPipeline, OptimizationPreservesBehavior) {
+  auto gen = ProgramGen((std::uint64_t)GetParam()).generate();
+  DiagEngine diags;
+  auto fnOpt = compileBdl(gen.source, diags);
+  ASSERT_TRUE(fnOpt.has_value()) << diags.summary() << "\n" << gen.source;
+  Function orig = std::move(*fnOpt);
+  Function std1 = orig.clone();
+  Function aggr = orig.clone();
+  PassManager::standardPipeline().run(std1);
+  PassManager::aggressivePipeline().run(aggr);
+
+  Interpreter i0(orig), i1(std1), i2(aggr);
+  for (int trial = 0; trial < 6; ++trial) {
+    auto in = randomInputs(gen.inputs, (std::uint64_t)GetParam(), trial);
+    auto r0 = i0.run(in);
+    auto r1 = i1.run(in);
+    auto r2 = i2.run(in);
+    ASSERT_TRUE(r0.finished && r1.finished && r2.finished) << gen.source;
+    EXPECT_EQ(r0.outputs, r1.outputs) << "standard pipeline\n" << gen.source;
+    EXPECT_EQ(r0.outputs, r2.outputs) << "aggressive pipeline\n" << gen.source;
+  }
+}
+
+TEST_P(FuzzPipeline, EverySchedulerProducesValidSchedules) {
+  auto gen = ProgramGen((std::uint64_t)GetParam()).generate();
+  Function fn = compileBdlOrThrow(gen.source);
+  optimize(fn);
+
+  for (const auto& blk : fn.blocks()) {
+    if (blk.ops.empty()) continue;
+    BlockDeps deps(fn, blk);
+    auto limits = ResourceLimits::universalSet(1 + (GetParam() % 3));
+
+    EXPECT_EQ(validateBlockSchedule(deps, serialSchedule(deps)), "");
+    EXPECT_EQ(validateBlockSchedule(deps, asapResourceSchedule(deps, limits),
+                                    limits),
+              "");
+    for (auto p : {ListPriority::PathLength, ListPriority::Mobility,
+                   ListPriority::Urgency}) {
+      EXPECT_EQ(
+          validateBlockSchedule(deps, listSchedule(deps, limits, p), limits),
+          "")
+          << listPriorityName(p);
+    }
+    EXPECT_EQ(validateBlockSchedule(deps, forceDirectedSchedule(deps, 0)), "");
+    EXPECT_EQ(validateBlockSchedule(deps, freedomSchedule(deps).schedule), "");
+    EXPECT_EQ(
+        validateBlockSchedule(
+            deps, transformationalSchedule(deps, limits).schedule, limits),
+        "");
+  }
+}
+
+TEST_P(FuzzPipeline, ListNeverBeatenByAsapAndBnbNeverWorse) {
+  auto gen = ProgramGen((std::uint64_t)GetParam()).generate();
+  Function fn = compileBdlOrThrow(gen.source);
+  optimize(fn);
+  auto limits = ResourceLimits::universalSet(2);
+  for (const auto& blk : fn.blocks()) {
+    if (blk.ops.empty()) continue;
+    BlockDeps deps(fn, blk);
+    auto ls = listSchedule(deps, limits, ListPriority::PathLength);
+    auto br = branchBoundSchedule(deps, limits, 200000);
+    EXPECT_LE(br.schedule.numSteps, ls.numSteps) << blk.name;
+  }
+}
+
+TEST_P(FuzzPipeline, RegisterAllocationValidAndLeftEdgeOptimal) {
+  auto gen = ProgramGen((std::uint64_t)GetParam()).generate();
+  Function fn = compileBdlOrThrow(gen.source);
+  optimize(fn);
+  auto limits = ResourceLimits::universalSet(2);
+  Schedule sched = scheduleFunction(fn, [&](const BlockDeps& d) {
+    return listSchedule(d, limits, ListPriority::PathLength);
+  });
+  LifetimeInfo lt = computeLifetimes(fn, sched);
+  for (auto m : {RegAllocMethod::LeftEdge, RegAllocMethod::Clique,
+                 RegAllocMethod::Naive}) {
+    auto regs = allocateRegisters(lt, m);
+    EXPECT_EQ(validateRegAssignment(lt, regs), "");
+  }
+  EXPECT_EQ(allocateRegisters(lt, RegAllocMethod::LeftEdge).numRegs,
+            lt.maxOverlap());
+}
+
+TEST_P(FuzzPipeline, RtlMatchesBehaviorEndToEnd) {
+  auto gen = ProgramGen((std::uint64_t)GetParam()).generate();
+  SynthesisOptions opts;
+  opts.scheduler = SchedulerKind::List;
+  opts.resources = ResourceLimits::universalSet(1 + (GetParam() % 3));
+  opts.opt = (GetParam() % 2) ? OptLevel::Aggressive : OptLevel::Standard;
+  opts.fuMethod = (GetParam() % 3 == 0) ? FuAllocMethod::Clique
+                                        : FuAllocMethod::GreedyLocal;
+  Synthesizer synth(opts);
+  SynthesisResult r = synth.synthesizeSource(gen.source);
+  for (int trial = 0; trial < 4; ++trial) {
+    auto in = randomInputs(gen.inputs, (std::uint64_t)GetParam(), trial);
+    EXPECT_EQ(verifyAgainstBehavior(r, in), "") << gen.source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline, ::testing::Range(1, 33));
+
+// ----------------------------------------------------- structure properties
+
+class FuzzStructures : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzStructures, SopMinimizationIsExact) {
+  Rng rng((std::uint64_t)GetParam() * 977);
+  SopCover cover;
+  cover.numInputs = 3 + (int)rng.below(5);   // up to 7 inputs
+  cover.numOutputs = 1 + (int)rng.below(4);
+  int nCubes = 3 + (int)rng.below(12);
+  for (int c = 0; c < nCubes; ++c) {
+    Cube cube;
+    for (int i = 0; i < cover.numInputs; ++i)
+      cube.in.push_back((std::uint8_t)rng.below(3));  // 0/1/dc
+    bool any = false;
+    for (int o = 0; o < cover.numOutputs; ++o) {
+      std::uint8_t b = rng.chance(50) ? 1 : 0;
+      cube.out.push_back(b);
+      any = any || b;
+    }
+    if (!any) cube.out[0] = 1;
+    cover.cubes.push_back(std::move(cube));
+  }
+  SopCover min = minimizeCover(cover);
+  EXPECT_TRUE(coversEquivalent(cover, min));
+  EXPECT_LE(min.termCount(), cover.termCount());
+}
+
+TEST_P(FuzzStructures, CliqueCoversValidAndGreedyBounded) {
+  Rng rng((std::uint64_t)GetParam() * 1543);
+  std::size_t n = 4 + rng.below(9);  // up to 12 nodes (exact feasible)
+  CompatGraph g(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (rng.chance(45)) g.addEdge(i, j);
+  auto greedy = cliquePartition(g);
+  auto exact = cliquePartitionExact(g);
+  EXPECT_TRUE(coverIsValid(g, greedy));
+  EXPECT_TRUE(coverIsValid(g, exact));
+  EXPECT_GE(greedy.count, exact.count);
+  // Exact is at most n and at least the trivial bound.
+  EXPECT_LE(exact.count, n);
+}
+
+TEST_P(FuzzStructures, LeftEdgeOptimalOnRandomIntervals) {
+  Rng rng((std::uint64_t)GetParam() * 3571);
+  LifetimeInfo lt;
+  lt.totalSteps = 40;
+  std::size_t n = 5 + rng.below(30);
+  for (std::size_t i = 0; i < n; ++i) {
+    StorageItem item;
+    item.kind = StorageItem::Kind::Temp;
+    item.width = 8;
+    int b = (int)rng.below(35);
+    item.live = {b, b + 1 + (int)rng.below(8)};
+    item.name = "i" + std::to_string(i);
+    lt.items.push_back(item);
+  }
+  auto regs = allocateRegisters(lt, RegAllocMethod::LeftEdge);
+  EXPECT_EQ(validateRegAssignment(lt, regs), "");
+  EXPECT_EQ(regs.numRegs, lt.maxOverlap());
+  auto clique = allocateRegisters(lt, RegAllocMethod::Clique);
+  EXPECT_EQ(validateRegAssignment(lt, clique), "");
+  EXPECT_GE(clique.numRegs, regs.numRegs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzStructures, ::testing::Range(1, 41));
+
+}  // namespace
+}  // namespace mphls
