@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_registers.dir/bench_e10_registers.cpp.o"
+  "CMakeFiles/bench_e10_registers.dir/bench_e10_registers.cpp.o.d"
+  "bench_e10_registers"
+  "bench_e10_registers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

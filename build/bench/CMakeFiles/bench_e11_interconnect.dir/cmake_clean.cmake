@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_interconnect.dir/bench_e11_interconnect.cpp.o"
+  "CMakeFiles/bench_e11_interconnect.dir/bench_e11_interconnect.cpp.o.d"
+  "bench_e11_interconnect"
+  "bench_e11_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_controller.dir/bench_e12_controller.cpp.o"
+  "CMakeFiles/bench_e12_controller.dir/bench_e12_controller.cpp.o.d"
+  "bench_e12_controller"
+  "bench_e12_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_dse.dir/bench_e13_dse.cpp.o"
+  "CMakeFiles/bench_e13_dse.dir/bench_e13_dse.cpp.o.d"
+  "bench_e13_dse"
+  "bench_e13_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e17_multicycle.dir/bench_e17_multicycle.cpp.o"
+  "CMakeFiles/bench_e17_multicycle.dir/bench_e17_multicycle.cpp.o.d"
+  "bench_e17_multicycle"
+  "bench_e17_multicycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e17_multicycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_list_vs_bnb.dir/bench_e8_list_vs_bnb.cpp.o"
+  "CMakeFiles/bench_e8_list_vs_bnb.dir/bench_e8_list_vs_bnb.cpp.o.d"
+  "bench_e8_list_vs_bnb"
+  "bench_e8_list_vs_bnb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_list_vs_bnb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_schedulers.dir/bench_e9_schedulers.cpp.o"
+  "CMakeFiles/bench_e9_schedulers.dir/bench_e9_schedulers.cpp.o.d"
+  "bench_e9_schedulers"
+  "bench_e9_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_asap.dir/bench_fig3_asap.cpp.o"
+  "CMakeFiles/bench_fig3_asap.dir/bench_fig3_asap.cpp.o.d"
+  "bench_fig3_asap"
+  "bench_fig3_asap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_asap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

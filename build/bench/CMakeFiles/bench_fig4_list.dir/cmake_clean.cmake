@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_list.dir/bench_fig4_list.cpp.o"
+  "CMakeFiles/bench_fig4_list.dir/bench_fig4_list.cpp.o.d"
+  "bench_fig4_list"
+  "bench_fig4_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_force_directed.dir/bench_fig5_force_directed.cpp.o"
+  "CMakeFiles/bench_fig5_force_directed.dir/bench_fig5_force_directed.cpp.o.d"
+  "bench_fig5_force_directed"
+  "bench_fig5_force_directed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_force_directed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

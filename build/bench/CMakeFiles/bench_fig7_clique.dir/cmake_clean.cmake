@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_clique.dir/bench_fig7_clique.cpp.o"
+  "CMakeFiles/bench_fig7_clique.dir/bench_fig7_clique.cpp.o.d"
+  "bench_fig7_clique"
+  "bench_fig7_clique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_clique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffeq_explore.dir/diffeq_explore.cpp.o"
+  "CMakeFiles/diffeq_explore.dir/diffeq_explore.cpp.o.d"
+  "diffeq_explore"
+  "diffeq_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffeq_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ewf_pipeline.cpp" "examples/CMakeFiles/ewf_pipeline.dir/ewf_pipeline.cpp.o" "gcc" "examples/CMakeFiles/ewf_pipeline.dir/ewf_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mphls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/mphls_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mphls_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/estim/CMakeFiles/mphls_estim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/mphls_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/mphls_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/mphls_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mphls_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/lib/CMakeFiles/mphls_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/mphls_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mphls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ewf_pipeline.dir/ewf_pipeline.cpp.o"
+  "CMakeFiles/ewf_pipeline.dir/ewf_pipeline.cpp.o.d"
+  "ewf_pipeline"
+  "ewf_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ewf_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

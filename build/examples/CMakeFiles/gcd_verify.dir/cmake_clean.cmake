@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcd_verify.dir/gcd_verify.cpp.o"
+  "CMakeFiles/gcd_verify.dir/gcd_verify.cpp.o.d"
+  "gcd_verify"
+  "gcd_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcd_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/clique.cpp" "src/alloc/CMakeFiles/mphls_alloc.dir/clique.cpp.o" "gcc" "src/alloc/CMakeFiles/mphls_alloc.dir/clique.cpp.o.d"
+  "/root/repo/src/alloc/fu_alloc.cpp" "src/alloc/CMakeFiles/mphls_alloc.dir/fu_alloc.cpp.o" "gcc" "src/alloc/CMakeFiles/mphls_alloc.dir/fu_alloc.cpp.o.d"
+  "/root/repo/src/alloc/interconnect.cpp" "src/alloc/CMakeFiles/mphls_alloc.dir/interconnect.cpp.o" "gcc" "src/alloc/CMakeFiles/mphls_alloc.dir/interconnect.cpp.o.d"
+  "/root/repo/src/alloc/lifetime.cpp" "src/alloc/CMakeFiles/mphls_alloc.dir/lifetime.cpp.o" "gcc" "src/alloc/CMakeFiles/mphls_alloc.dir/lifetime.cpp.o.d"
+  "/root/repo/src/alloc/reg_alloc.cpp" "src/alloc/CMakeFiles/mphls_alloc.dir/reg_alloc.cpp.o" "gcc" "src/alloc/CMakeFiles/mphls_alloc.dir/reg_alloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/mphls_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/lib/CMakeFiles/mphls_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/mphls_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mphls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

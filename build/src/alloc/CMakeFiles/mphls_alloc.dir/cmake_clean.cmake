@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mphls_alloc.dir/clique.cpp.o"
+  "CMakeFiles/mphls_alloc.dir/clique.cpp.o.d"
+  "CMakeFiles/mphls_alloc.dir/fu_alloc.cpp.o"
+  "CMakeFiles/mphls_alloc.dir/fu_alloc.cpp.o.d"
+  "CMakeFiles/mphls_alloc.dir/interconnect.cpp.o"
+  "CMakeFiles/mphls_alloc.dir/interconnect.cpp.o.d"
+  "CMakeFiles/mphls_alloc.dir/lifetime.cpp.o"
+  "CMakeFiles/mphls_alloc.dir/lifetime.cpp.o.d"
+  "CMakeFiles/mphls_alloc.dir/reg_alloc.cpp.o"
+  "CMakeFiles/mphls_alloc.dir/reg_alloc.cpp.o.d"
+  "libmphls_alloc.a"
+  "libmphls_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mphls_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mphls.dir/main.cpp.o"
+  "CMakeFiles/mphls.dir/main.cpp.o.d"
+  "mphls"
+  "mphls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mphls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

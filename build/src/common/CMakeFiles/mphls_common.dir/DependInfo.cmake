@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bitutil.cpp" "src/common/CMakeFiles/mphls_common.dir/bitutil.cpp.o" "gcc" "src/common/CMakeFiles/mphls_common.dir/bitutil.cpp.o.d"
+  "/root/repo/src/common/diag.cpp" "src/common/CMakeFiles/mphls_common.dir/diag.cpp.o" "gcc" "src/common/CMakeFiles/mphls_common.dir/diag.cpp.o.d"
+  "/root/repo/src/common/fixedpoint.cpp" "src/common/CMakeFiles/mphls_common.dir/fixedpoint.cpp.o" "gcc" "src/common/CMakeFiles/mphls_common.dir/fixedpoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mphls_common.dir/bitutil.cpp.o"
+  "CMakeFiles/mphls_common.dir/bitutil.cpp.o.d"
+  "CMakeFiles/mphls_common.dir/diag.cpp.o"
+  "CMakeFiles/mphls_common.dir/diag.cpp.o.d"
+  "CMakeFiles/mphls_common.dir/fixedpoint.cpp.o"
+  "CMakeFiles/mphls_common.dir/fixedpoint.cpp.o.d"
+  "libmphls_common.a"
+  "libmphls_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mphls_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

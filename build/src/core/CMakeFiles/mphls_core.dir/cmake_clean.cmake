@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mphls_core.dir/designs.cpp.o"
+  "CMakeFiles/mphls_core.dir/designs.cpp.o.d"
+  "CMakeFiles/mphls_core.dir/dse.cpp.o"
+  "CMakeFiles/mphls_core.dir/dse.cpp.o.d"
+  "CMakeFiles/mphls_core.dir/synthesizer.cpp.o"
+  "CMakeFiles/mphls_core.dir/synthesizer.cpp.o.d"
+  "libmphls_core.a"
+  "libmphls_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mphls_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctrl/encode.cpp" "src/ctrl/CMakeFiles/mphls_ctrl.dir/encode.cpp.o" "gcc" "src/ctrl/CMakeFiles/mphls_ctrl.dir/encode.cpp.o.d"
+  "/root/repo/src/ctrl/fsm.cpp" "src/ctrl/CMakeFiles/mphls_ctrl.dir/fsm.cpp.o" "gcc" "src/ctrl/CMakeFiles/mphls_ctrl.dir/fsm.cpp.o.d"
+  "/root/repo/src/ctrl/microcode.cpp" "src/ctrl/CMakeFiles/mphls_ctrl.dir/microcode.cpp.o" "gcc" "src/ctrl/CMakeFiles/mphls_ctrl.dir/microcode.cpp.o.d"
+  "/root/repo/src/ctrl/sop.cpp" "src/ctrl/CMakeFiles/mphls_ctrl.dir/sop.cpp.o" "gcc" "src/ctrl/CMakeFiles/mphls_ctrl.dir/sop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/alloc/CMakeFiles/mphls_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mphls_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/lib/CMakeFiles/mphls_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/mphls_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mphls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mphls_ctrl.dir/encode.cpp.o"
+  "CMakeFiles/mphls_ctrl.dir/encode.cpp.o.d"
+  "CMakeFiles/mphls_ctrl.dir/fsm.cpp.o"
+  "CMakeFiles/mphls_ctrl.dir/fsm.cpp.o.d"
+  "CMakeFiles/mphls_ctrl.dir/microcode.cpp.o"
+  "CMakeFiles/mphls_ctrl.dir/microcode.cpp.o.d"
+  "CMakeFiles/mphls_ctrl.dir/sop.cpp.o"
+  "CMakeFiles/mphls_ctrl.dir/sop.cpp.o.d"
+  "libmphls_ctrl.a"
+  "libmphls_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mphls_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

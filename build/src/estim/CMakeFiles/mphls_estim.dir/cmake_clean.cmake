@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mphls_estim.dir/estimate.cpp.o"
+  "CMakeFiles/mphls_estim.dir/estimate.cpp.o.d"
+  "libmphls_estim.a"
+  "libmphls_estim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mphls_estim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

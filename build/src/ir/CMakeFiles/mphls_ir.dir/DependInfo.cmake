@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/analysis.cpp" "src/ir/CMakeFiles/mphls_ir.dir/analysis.cpp.o" "gcc" "src/ir/CMakeFiles/mphls_ir.dir/analysis.cpp.o.d"
+  "/root/repo/src/ir/cdfg.cpp" "src/ir/CMakeFiles/mphls_ir.dir/cdfg.cpp.o" "gcc" "src/ir/CMakeFiles/mphls_ir.dir/cdfg.cpp.o.d"
+  "/root/repo/src/ir/deps.cpp" "src/ir/CMakeFiles/mphls_ir.dir/deps.cpp.o" "gcc" "src/ir/CMakeFiles/mphls_ir.dir/deps.cpp.o.d"
+  "/root/repo/src/ir/dot.cpp" "src/ir/CMakeFiles/mphls_ir.dir/dot.cpp.o" "gcc" "src/ir/CMakeFiles/mphls_ir.dir/dot.cpp.o.d"
+  "/root/repo/src/ir/interp.cpp" "src/ir/CMakeFiles/mphls_ir.dir/interp.cpp.o" "gcc" "src/ir/CMakeFiles/mphls_ir.dir/interp.cpp.o.d"
+  "/root/repo/src/ir/opcode.cpp" "src/ir/CMakeFiles/mphls_ir.dir/opcode.cpp.o" "gcc" "src/ir/CMakeFiles/mphls_ir.dir/opcode.cpp.o.d"
+  "/root/repo/src/ir/verify.cpp" "src/ir/CMakeFiles/mphls_ir.dir/verify.cpp.o" "gcc" "src/ir/CMakeFiles/mphls_ir.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mphls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mphls_ir.dir/analysis.cpp.o"
+  "CMakeFiles/mphls_ir.dir/analysis.cpp.o.d"
+  "CMakeFiles/mphls_ir.dir/cdfg.cpp.o"
+  "CMakeFiles/mphls_ir.dir/cdfg.cpp.o.d"
+  "CMakeFiles/mphls_ir.dir/deps.cpp.o"
+  "CMakeFiles/mphls_ir.dir/deps.cpp.o.d"
+  "CMakeFiles/mphls_ir.dir/dot.cpp.o"
+  "CMakeFiles/mphls_ir.dir/dot.cpp.o.d"
+  "CMakeFiles/mphls_ir.dir/interp.cpp.o"
+  "CMakeFiles/mphls_ir.dir/interp.cpp.o.d"
+  "CMakeFiles/mphls_ir.dir/opcode.cpp.o"
+  "CMakeFiles/mphls_ir.dir/opcode.cpp.o.d"
+  "CMakeFiles/mphls_ir.dir/verify.cpp.o"
+  "CMakeFiles/mphls_ir.dir/verify.cpp.o.d"
+  "libmphls_ir.a"
+  "libmphls_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mphls_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mphls_lang.dir/frontend.cpp.o"
+  "CMakeFiles/mphls_lang.dir/frontend.cpp.o.d"
+  "CMakeFiles/mphls_lang.dir/lexer.cpp.o"
+  "CMakeFiles/mphls_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/mphls_lang.dir/lower.cpp.o"
+  "CMakeFiles/mphls_lang.dir/lower.cpp.o.d"
+  "CMakeFiles/mphls_lang.dir/parser.cpp.o"
+  "CMakeFiles/mphls_lang.dir/parser.cpp.o.d"
+  "libmphls_lang.a"
+  "libmphls_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mphls_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

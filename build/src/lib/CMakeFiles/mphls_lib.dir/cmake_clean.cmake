@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mphls_lib.dir/library.cpp.o"
+  "CMakeFiles/mphls_lib.dir/library.cpp.o.d"
+  "libmphls_lib.a"
+  "libmphls_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mphls_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

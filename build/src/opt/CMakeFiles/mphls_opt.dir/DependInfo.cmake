@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/algebraic.cpp" "src/opt/CMakeFiles/mphls_opt.dir/algebraic.cpp.o" "gcc" "src/opt/CMakeFiles/mphls_opt.dir/algebraic.cpp.o.d"
+  "/root/repo/src/opt/constfold.cpp" "src/opt/CMakeFiles/mphls_opt.dir/constfold.cpp.o" "gcc" "src/opt/CMakeFiles/mphls_opt.dir/constfold.cpp.o.d"
+  "/root/repo/src/opt/cse.cpp" "src/opt/CMakeFiles/mphls_opt.dir/cse.cpp.o" "gcc" "src/opt/CMakeFiles/mphls_opt.dir/cse.cpp.o.d"
+  "/root/repo/src/opt/dce.cpp" "src/opt/CMakeFiles/mphls_opt.dir/dce.cpp.o" "gcc" "src/opt/CMakeFiles/mphls_opt.dir/dce.cpp.o.d"
+  "/root/repo/src/opt/forward.cpp" "src/opt/CMakeFiles/mphls_opt.dir/forward.cpp.o" "gcc" "src/opt/CMakeFiles/mphls_opt.dir/forward.cpp.o.d"
+  "/root/repo/src/opt/pass.cpp" "src/opt/CMakeFiles/mphls_opt.dir/pass.cpp.o" "gcc" "src/opt/CMakeFiles/mphls_opt.dir/pass.cpp.o.d"
+  "/root/repo/src/opt/strength.cpp" "src/opt/CMakeFiles/mphls_opt.dir/strength.cpp.o" "gcc" "src/opt/CMakeFiles/mphls_opt.dir/strength.cpp.o.d"
+  "/root/repo/src/opt/treeheight.cpp" "src/opt/CMakeFiles/mphls_opt.dir/treeheight.cpp.o" "gcc" "src/opt/CMakeFiles/mphls_opt.dir/treeheight.cpp.o.d"
+  "/root/repo/src/opt/unroll.cpp" "src/opt/CMakeFiles/mphls_opt.dir/unroll.cpp.o" "gcc" "src/opt/CMakeFiles/mphls_opt.dir/unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/mphls_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mphls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

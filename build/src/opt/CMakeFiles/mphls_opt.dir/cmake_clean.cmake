@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mphls_opt.dir/algebraic.cpp.o"
+  "CMakeFiles/mphls_opt.dir/algebraic.cpp.o.d"
+  "CMakeFiles/mphls_opt.dir/constfold.cpp.o"
+  "CMakeFiles/mphls_opt.dir/constfold.cpp.o.d"
+  "CMakeFiles/mphls_opt.dir/cse.cpp.o"
+  "CMakeFiles/mphls_opt.dir/cse.cpp.o.d"
+  "CMakeFiles/mphls_opt.dir/dce.cpp.o"
+  "CMakeFiles/mphls_opt.dir/dce.cpp.o.d"
+  "CMakeFiles/mphls_opt.dir/forward.cpp.o"
+  "CMakeFiles/mphls_opt.dir/forward.cpp.o.d"
+  "CMakeFiles/mphls_opt.dir/pass.cpp.o"
+  "CMakeFiles/mphls_opt.dir/pass.cpp.o.d"
+  "CMakeFiles/mphls_opt.dir/strength.cpp.o"
+  "CMakeFiles/mphls_opt.dir/strength.cpp.o.d"
+  "CMakeFiles/mphls_opt.dir/treeheight.cpp.o"
+  "CMakeFiles/mphls_opt.dir/treeheight.cpp.o.d"
+  "CMakeFiles/mphls_opt.dir/unroll.cpp.o"
+  "CMakeFiles/mphls_opt.dir/unroll.cpp.o.d"
+  "libmphls_opt.a"
+  "libmphls_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mphls_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

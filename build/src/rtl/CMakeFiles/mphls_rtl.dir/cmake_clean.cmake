@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mphls_rtl.dir/microsim.cpp.o"
+  "CMakeFiles/mphls_rtl.dir/microsim.cpp.o.d"
+  "CMakeFiles/mphls_rtl.dir/rtlsim.cpp.o"
+  "CMakeFiles/mphls_rtl.dir/rtlsim.cpp.o.d"
+  "CMakeFiles/mphls_rtl.dir/verilog.cpp.o"
+  "CMakeFiles/mphls_rtl.dir/verilog.cpp.o.d"
+  "libmphls_rtl.a"
+  "libmphls_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mphls_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmphls_rtl.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/asap.cpp" "src/sched/CMakeFiles/mphls_sched.dir/asap.cpp.o" "gcc" "src/sched/CMakeFiles/mphls_sched.dir/asap.cpp.o.d"
+  "/root/repo/src/sched/bnb.cpp" "src/sched/CMakeFiles/mphls_sched.dir/bnb.cpp.o" "gcc" "src/sched/CMakeFiles/mphls_sched.dir/bnb.cpp.o.d"
+  "/root/repo/src/sched/force_directed.cpp" "src/sched/CMakeFiles/mphls_sched.dir/force_directed.cpp.o" "gcc" "src/sched/CMakeFiles/mphls_sched.dir/force_directed.cpp.o.d"
+  "/root/repo/src/sched/freedom.cpp" "src/sched/CMakeFiles/mphls_sched.dir/freedom.cpp.o" "gcc" "src/sched/CMakeFiles/mphls_sched.dir/freedom.cpp.o.d"
+  "/root/repo/src/sched/list_sched.cpp" "src/sched/CMakeFiles/mphls_sched.dir/list_sched.cpp.o" "gcc" "src/sched/CMakeFiles/mphls_sched.dir/list_sched.cpp.o.d"
+  "/root/repo/src/sched/pipeline.cpp" "src/sched/CMakeFiles/mphls_sched.dir/pipeline.cpp.o" "gcc" "src/sched/CMakeFiles/mphls_sched.dir/pipeline.cpp.o.d"
+  "/root/repo/src/sched/sched_util.cpp" "src/sched/CMakeFiles/mphls_sched.dir/sched_util.cpp.o" "gcc" "src/sched/CMakeFiles/mphls_sched.dir/sched_util.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/mphls_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/mphls_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/transform_sched.cpp" "src/sched/CMakeFiles/mphls_sched.dir/transform_sched.cpp.o" "gcc" "src/sched/CMakeFiles/mphls_sched.dir/transform_sched.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/mphls_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lib/CMakeFiles/mphls_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mphls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mphls_sched.dir/asap.cpp.o"
+  "CMakeFiles/mphls_sched.dir/asap.cpp.o.d"
+  "CMakeFiles/mphls_sched.dir/bnb.cpp.o"
+  "CMakeFiles/mphls_sched.dir/bnb.cpp.o.d"
+  "CMakeFiles/mphls_sched.dir/force_directed.cpp.o"
+  "CMakeFiles/mphls_sched.dir/force_directed.cpp.o.d"
+  "CMakeFiles/mphls_sched.dir/freedom.cpp.o"
+  "CMakeFiles/mphls_sched.dir/freedom.cpp.o.d"
+  "CMakeFiles/mphls_sched.dir/list_sched.cpp.o"
+  "CMakeFiles/mphls_sched.dir/list_sched.cpp.o.d"
+  "CMakeFiles/mphls_sched.dir/pipeline.cpp.o"
+  "CMakeFiles/mphls_sched.dir/pipeline.cpp.o.d"
+  "CMakeFiles/mphls_sched.dir/sched_util.cpp.o"
+  "CMakeFiles/mphls_sched.dir/sched_util.cpp.o.d"
+  "CMakeFiles/mphls_sched.dir/schedule.cpp.o"
+  "CMakeFiles/mphls_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/mphls_sched.dir/transform_sched.cpp.o"
+  "CMakeFiles/mphls_sched.dir/transform_sched.cpp.o.d"
+  "libmphls_sched.a"
+  "libmphls_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mphls_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alloc.cpp" "tests/CMakeFiles/mphls_tests.dir/test_alloc.cpp.o" "gcc" "tests/CMakeFiles/mphls_tests.dir/test_alloc.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/mphls_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/mphls_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_ctrl.cpp" "tests/CMakeFiles/mphls_tests.dir/test_ctrl.cpp.o" "gcc" "tests/CMakeFiles/mphls_tests.dir/test_ctrl.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/mphls_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/mphls_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/mphls_tests.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/mphls_tests.dir/test_ir.cpp.o.d"
+  "/root/repo/tests/test_lang.cpp" "tests/CMakeFiles/mphls_tests.dir/test_lang.cpp.o" "gcc" "tests/CMakeFiles/mphls_tests.dir/test_lang.cpp.o.d"
+  "/root/repo/tests/test_lib_estim.cpp" "tests/CMakeFiles/mphls_tests.dir/test_lib_estim.cpp.o" "gcc" "tests/CMakeFiles/mphls_tests.dir/test_lib_estim.cpp.o.d"
+  "/root/repo/tests/test_multicycle.cpp" "tests/CMakeFiles/mphls_tests.dir/test_multicycle.cpp.o" "gcc" "tests/CMakeFiles/mphls_tests.dir/test_multicycle.cpp.o.d"
+  "/root/repo/tests/test_opt.cpp" "tests/CMakeFiles/mphls_tests.dir/test_opt.cpp.o" "gcc" "tests/CMakeFiles/mphls_tests.dir/test_opt.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/mphls_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/mphls_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/mphls_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/mphls_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_rtl.cpp" "tests/CMakeFiles/mphls_tests.dir/test_rtl.cpp.o" "gcc" "tests/CMakeFiles/mphls_tests.dir/test_rtl.cpp.o.d"
+  "/root/repo/tests/test_sched.cpp" "tests/CMakeFiles/mphls_tests.dir/test_sched.cpp.o" "gcc" "tests/CMakeFiles/mphls_tests.dir/test_sched.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mphls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/mphls_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mphls_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/estim/CMakeFiles/mphls_estim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/mphls_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/mphls_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/mphls_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mphls_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/lib/CMakeFiles/mphls_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/mphls_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mphls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

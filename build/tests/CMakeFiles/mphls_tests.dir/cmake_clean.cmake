@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mphls_tests.dir/test_alloc.cpp.o"
+  "CMakeFiles/mphls_tests.dir/test_alloc.cpp.o.d"
+  "CMakeFiles/mphls_tests.dir/test_common.cpp.o"
+  "CMakeFiles/mphls_tests.dir/test_common.cpp.o.d"
+  "CMakeFiles/mphls_tests.dir/test_ctrl.cpp.o"
+  "CMakeFiles/mphls_tests.dir/test_ctrl.cpp.o.d"
+  "CMakeFiles/mphls_tests.dir/test_integration.cpp.o"
+  "CMakeFiles/mphls_tests.dir/test_integration.cpp.o.d"
+  "CMakeFiles/mphls_tests.dir/test_ir.cpp.o"
+  "CMakeFiles/mphls_tests.dir/test_ir.cpp.o.d"
+  "CMakeFiles/mphls_tests.dir/test_lang.cpp.o"
+  "CMakeFiles/mphls_tests.dir/test_lang.cpp.o.d"
+  "CMakeFiles/mphls_tests.dir/test_lib_estim.cpp.o"
+  "CMakeFiles/mphls_tests.dir/test_lib_estim.cpp.o.d"
+  "CMakeFiles/mphls_tests.dir/test_multicycle.cpp.o"
+  "CMakeFiles/mphls_tests.dir/test_multicycle.cpp.o.d"
+  "CMakeFiles/mphls_tests.dir/test_opt.cpp.o"
+  "CMakeFiles/mphls_tests.dir/test_opt.cpp.o.d"
+  "CMakeFiles/mphls_tests.dir/test_pipeline.cpp.o"
+  "CMakeFiles/mphls_tests.dir/test_pipeline.cpp.o.d"
+  "CMakeFiles/mphls_tests.dir/test_property.cpp.o"
+  "CMakeFiles/mphls_tests.dir/test_property.cpp.o.d"
+  "CMakeFiles/mphls_tests.dir/test_rtl.cpp.o"
+  "CMakeFiles/mphls_tests.dir/test_rtl.cpp.o.d"
+  "CMakeFiles/mphls_tests.dir/test_sched.cpp.o"
+  "CMakeFiles/mphls_tests.dir/test_sched.cpp.o.d"
+  "mphls_tests"
+  "mphls_tests.pdb"
+  "mphls_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mphls_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
