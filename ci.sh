@@ -1,0 +1,13 @@
+#!/bin/sh
+# Tier-1 verification: warnings-clean build, full test suite, and a static
+# lint of the paper's square-root design end to end.
+set -eu
+
+cd "$(dirname "$0")"
+
+cmake -B build -S . -DMPHLS_WERROR=ON
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+./build/src/cli/mphls lint examples/sqrt.bdl
+
+echo "ci: all checks passed"

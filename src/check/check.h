@@ -1,0 +1,33 @@
+// Whole-flow static verification: run every stage-boundary analyzer over a
+// finished RTL design and collect one report. This is what `mphls lint`
+// executes, and what the test suite uses to assert that known-good designs
+// are check-clean while hand-corrupted ones fail with precise check ids.
+#pragma once
+
+#include "check/check_binding.h"
+#include "check/check_controller.h"
+#include "check/check_schedule.h"
+#include "check/lint_verilog.h"
+#include "check/report.h"
+#include "rtl/design.h"
+
+namespace mphls {
+
+struct CheckOptions {
+  /// Resource limits the schedule was produced under (unlimited to skip the
+  /// concurrency check, e.g. for time-constrained schedulers).
+  ResourceLimits resources = ResourceLimits::unlimited();
+  OpLatencyModel latencies = OpLatencyModel::unit();
+  bool schedule = true;
+  bool binding = true;
+  bool controller = true;
+  /// Emit Verilog and lint the netlist. Skipped automatically for
+  /// multicycle latency models (the emitter supports unit latency only).
+  bool netlist = true;
+};
+
+/// Run all enabled analyzers; findings accumulate in one report.
+[[nodiscard]] CheckReport checkDesign(const RtlDesign& design,
+                                      const CheckOptions& options = {});
+
+}  // namespace mphls

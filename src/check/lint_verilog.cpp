@@ -1,0 +1,666 @@
+#include "check/lint_verilog.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace mphls {
+
+namespace {
+
+// --- tokenizer ----------------------------------------------------------
+
+struct Tok {
+  enum class Kind { Id, Num, Punct, End };
+  Kind kind = Kind::End;
+  std::string text;
+  int line = 1;
+  int width = 0;     ///< sized-literal width (Num with a ' base), else 0
+};
+
+std::vector<Tok> tokenize(const std::string& src, CheckReport& report) {
+  std::vector<Tok> toks;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  auto isIdStart = [](char c) {
+    return std::isalpha((unsigned char)c) || c == '_' || c == '$';
+  };
+  auto isIdChar = [&](char c) {
+    return std::isalnum((unsigned char)c) || c == '_' || c == '$';
+  };
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+    } else if (std::isspace((unsigned char)c)) {
+      ++i;
+    } else if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+    } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = std::min(i + 2, n);
+    } else if (isIdStart(c)) {
+      std::size_t j = i;
+      while (j < n && isIdChar(src[j])) ++j;
+      toks.push_back({Tok::Kind::Id, src.substr(i, j - i), line, 0});
+      i = j;
+    } else if (std::isdigit((unsigned char)c)) {
+      std::size_t j = i;
+      while (j < n && std::isdigit((unsigned char)src[j])) ++j;
+      if (j < n && src[j] == '\'') {
+        // Sized literal: width ' base digits.
+        int width = std::atoi(src.substr(i, j - i).c_str());
+        ++j;                       // base marker
+        if (j < n) ++j;            // base letter (b/d/h/o)
+        std::size_t k = j;
+        while (k < n && (std::isalnum((unsigned char)src[k]) ||
+                         src[k] == '_' || src[k] == 'x' || src[k] == 'z'))
+          ++k;
+        toks.push_back({Tok::Kind::Num, src.substr(i, k - i), line, width});
+        i = k;
+      } else {
+        toks.push_back({Tok::Kind::Num, src.substr(i, j - i), line, 0});
+        i = j;
+      }
+    } else {
+      // Multi-character operators we must not split: <= >= == != << >> >>>
+      // <<< && || === !==
+      static const char* kOps[] = {">>>", "<<<", "===", "!==", "<=", ">=",
+                                   "==",  "!=",  "<<",  ">>",  "&&", "||"};
+      std::string text(1, c);
+      for (const char* op : kOps) {
+        std::size_t len = std::char_traits<char>::length(op);
+        if (src.compare(i, len, op) == 0) {
+          text = op;
+          break;
+        }
+      }
+      toks.push_back({Tok::Kind::Punct, text, line, 0});
+      i += text.size();
+    }
+  }
+  if (toks.empty())
+    report.error("lint.parse", "netlist", "empty Verilog source");
+  toks.push_back({Tok::Kind::End, "", line, 0});
+  return toks;
+}
+
+// --- net table ----------------------------------------------------------
+
+struct DriverSite {
+  enum class Kind { InputPort, Param, Assign, CombAlways, SeqAlways };
+  Kind kind = Kind::Assign;
+  int line = 0;
+};
+
+std::string_view driverName(DriverSite::Kind k) {
+  switch (k) {
+    case DriverSite::Kind::InputPort: return "input port";
+    case DriverSite::Kind::Param: return "parameter";
+    case DriverSite::Kind::Assign: return "assign";
+    case DriverSite::Kind::CombAlways: return "combinational always";
+    case DriverSite::Kind::SeqAlways: return "sequential always";
+  }
+  return "?";
+}
+
+struct Net {
+  int width = 1;
+  int declLine = 0;
+  bool declared = false;
+  bool isInput = false;
+  bool isOutput = false;
+  bool isParam = false;
+  bool read = false;
+  std::vector<DriverSite> drivers;
+};
+
+struct CombEdge {
+  std::string from;
+  std::string to;
+  std::string ctx;  ///< case-arm label ("" = unconditional)
+  int line = 0;
+};
+
+// --- parser -------------------------------------------------------------
+
+class Linter {
+ public:
+  Linter(std::vector<Tok> toks, CheckReport& report)
+      : toks_(std::move(toks)), report_(report) {}
+
+  void run() {
+    parseModule();
+    finish();
+  }
+
+ private:
+  std::vector<Tok> toks_;
+  CheckReport& report_;
+  std::size_t pos_ = 0;
+  std::map<std::string, Net> nets_;
+  std::vector<CombEdge> edges_;
+
+  const Tok& peek(std::size_t ahead = 0) const {
+    return toks_[std::min(pos_ + ahead, toks_.size() - 1)];
+  }
+  const Tok& get() {
+    const Tok& t = toks_[std::min(pos_, toks_.size() - 1)];
+    if (pos_ < toks_.size() - 1) ++pos_;
+    return t;
+  }
+  bool at(std::string_view text) const { return peek().text == text; }
+  bool accept(std::string_view text) {
+    if (!at(text)) return false;
+    get();
+    return true;
+  }
+  void expect(std::string_view text) {
+    if (!accept(text)) {
+      std::ostringstream oss;
+      oss << "expected '" << text << "', found '" << peek().text << "'";
+      report_.error("lint.parse", lineWhere(peek().line), oss.str());
+      get();  // make progress
+    }
+  }
+  static std::string lineWhere(int line) {
+    return "line " + std::to_string(line);
+  }
+  bool atEnd() const { return peek().kind == Tok::Kind::End; }
+
+  void skipPast(std::string_view text) {
+    while (!atEnd() && !accept(text)) get();
+  }
+
+  Net& declare(const std::string& name, int width, int line) {
+    Net& net = nets_[name];
+    if (net.declared) {
+      report_.error("lint.multi-driven", "net " + name,
+                    "declared again at " + lineWhere(line));
+    }
+    net.declared = true;
+    net.width = width;
+    net.declLine = line;
+    return net;
+  }
+
+  void markRead(const std::string& name, int line) {
+    if (name.empty() || name[0] == '$') return;  // system function
+    Net& net = nets_[name];
+    net.read = true;
+    if (!net.declLine) net.declLine = line;
+  }
+
+  void addDriver(const std::string& name, DriverSite::Kind kind, int line) {
+    Net& net = nets_[name];
+    if (!net.declLine) net.declLine = line;
+    net.drivers.push_back({kind, line});
+  }
+
+  /// Parse an optional `[msb:lsb]` range; returns the width (1 if absent).
+  int parseRange() {
+    if (!accept("[")) return 1;
+    int msb = std::atoi(peek().text.c_str());
+    skipToClose("[", "]");
+    return msb + 1;  // emitted ranges are always [msb:0]
+  }
+
+  void skipToClose(std::string_view open, std::string_view close) {
+    int depth = 1;
+    while (!atEnd() && depth > 0) {
+      const Tok& t = get();
+      if (t.text == open) ++depth;
+      if (t.text == close) --depth;
+    }
+  }
+
+  // --- expressions ------------------------------------------------------
+
+  /// Collect an expression's tokens until a top-level stop punctuation,
+  /// marking every identifier as read. Does not consume the stop token.
+  std::vector<Tok> collectExpr(const std::set<std::string>& stops) {
+    std::vector<Tok> out;
+    int depth = 0;
+    while (!atEnd()) {
+      const Tok& t = peek();
+      if (depth == 0 && t.kind == Tok::Kind::Punct && stops.count(t.text))
+        break;
+      if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+      if (t.text == ")" || t.text == "]" || t.text == "}") {
+        if (depth == 0) break;
+        --depth;
+      }
+      if (t.kind == Tok::Kind::Id) markRead(t.text, t.line);
+      out.push_back(get());
+    }
+    return out;
+  }
+
+  /// Width of a "provably sized" expression: a lone identifier, a sized
+  /// literal, a concatenation/replication of such, or parens around one.
+  /// Returns 0 when the width cannot be proven statically.
+  int provenWidth(const std::vector<Tok>& e, std::size_t lo,
+                  std::size_t hi) const {
+    // Strip enclosing parens.
+    while (hi - lo >= 2 && e[lo].text == "(" && e[hi - 1].text == ")") {
+      int depth = 0;
+      bool wraps = true;
+      for (std::size_t i = lo; i + 1 < hi; ++i) {
+        if (e[i].text == "(" || e[i].text == "{") ++depth;
+        if (e[i].text == ")" || e[i].text == "}") --depth;
+        if (depth == 0 && i + 1 < hi) {
+          wraps = i + 1 == hi - 1;
+          break;
+        }
+      }
+      if (!wraps) break;
+      ++lo;
+      --hi;
+    }
+    if (hi <= lo) return 0;
+    if (hi - lo == 1) {
+      const Tok& t = e[lo];
+      if (t.kind == Tok::Kind::Num) return t.width;  // 0 when unsized
+      if (t.kind == Tok::Kind::Id) {
+        auto it = nets_.find(t.text);
+        if (it != nets_.end() && it->second.declared && !it->second.isParam)
+          return it->second.width;
+      }
+      return 0;
+    }
+    // Concatenation {a, b, ...} or replication {n{a}}.
+    if (e[lo].text == "{" && e[hi - 1].text == "}") {
+      // Replication: { Num { expr } }
+      if (hi - lo >= 5 && e[lo + 1].kind == Tok::Kind::Num &&
+          e[lo + 2].text == "{" && e[hi - 2].text == "}") {
+        int reps = std::atoi(e[lo + 1].text.c_str());
+        int inner = provenWidth(e, lo + 3, hi - 2);
+        return inner > 0 ? reps * inner : 0;
+      }
+      int total = 0;
+      std::size_t start = lo + 1;
+      int depth = 0;
+      for (std::size_t i = lo + 1; i < hi - 1; ++i) {
+        if (e[i].text == "(" || e[i].text == "{") ++depth;
+        if (e[i].text == ")" || e[i].text == "}") --depth;
+        if (depth == 0 && e[i].text == ",") {
+          int w = provenWidth(e, start, i);
+          if (w <= 0) return 0;
+          total += w;
+          start = i + 1;
+        }
+      }
+      int w = provenWidth(e, start, hi - 1);
+      if (w <= 0) return 0;
+      return total + w;
+    }
+    return 0;
+  }
+
+  /// Every distinct identifier read inside an expression token list.
+  static std::set<std::string> idsOf(const std::vector<Tok>& e) {
+    std::set<std::string> ids;
+    for (const Tok& t : e)
+      if (t.kind == Tok::Kind::Id && t.text[0] != '$') ids.insert(t.text);
+    return ids;
+  }
+
+  // --- module structure -------------------------------------------------
+
+  void parseModule() {
+    skipPast("module");
+    if (peek().kind == Tok::Kind::Id) get();  // module name
+    if (accept("(")) parsePortList();
+    expect(";");
+    while (!atEnd() && !at("endmodule")) parseItem();
+  }
+
+  void parsePortList() {
+    while (!atEnd() && !accept(")")) {
+      bool isInput = false, isOutput = false;
+      if (accept("input")) isInput = true;
+      else if (accept("output")) isOutput = true;
+      accept("wire");
+      accept("reg");
+      accept("signed");
+      int width = parseRange();
+      if (peek().kind == Tok::Kind::Id) {
+        const Tok& t = get();
+        Net& net = declare(t.text, width, t.line);
+        net.isInput = isInput;
+        net.isOutput = isOutput;
+        if (isInput) addDriver(t.text, DriverSite::Kind::InputPort, t.line);
+      }
+      accept(",");
+    }
+  }
+
+  void parseItem() {
+    if (at("reg") || at("wire")) {
+      bool isWire = at("wire");
+      get();
+      accept("signed");
+      int width = parseRange();
+      while (peek().kind == Tok::Kind::Id) {
+        const Tok& t = get();
+        declare(t.text, width, t.line);
+        if (isWire && accept("=")) {
+          // wire-with-initializer doubles as a continuous assignment
+          auto rhs = collectExpr({";", ","});
+          recordAssign(t.text, t.line, rhs, DriverSite::Kind::Assign, "");
+        }
+        if (!accept(",")) break;
+      }
+      expect(";");
+    } else if (at("localparam") || at("parameter")) {
+      get();
+      int width = parseRange();
+      while (peek().kind == Tok::Kind::Id) {
+        const Tok& t = get();
+        Net& net = declare(t.text, width, t.line);
+        net.isParam = true;
+        addDriver(t.text, DriverSite::Kind::Param, t.line);
+        if (accept("=")) (void)collectExpr({";", ","});
+        if (!accept(",")) break;
+      }
+      expect(";");
+    } else if (accept("assign")) {
+      if (peek().kind != Tok::Kind::Id) {
+        report_.error("lint.parse", lineWhere(peek().line),
+                      "assign without a target net");
+        skipPast(";");
+        return;
+      }
+      const Tok& t = get();
+      int lhsWidth = lhsSelectWidth(t.text);
+      expect("=");
+      auto rhs = collectExpr({";"});
+      expect(";");
+      recordAssign(t.text, t.line, rhs, DriverSite::Kind::Assign, "",
+                   lhsWidth);
+    } else if (accept("always")) {
+      parseAlways();
+    } else {
+      // Unknown construct (initial, task, ...): skip one statement.
+      skipPast(";");
+    }
+  }
+
+  /// Width of the target taking a bit/part select into account; 0 when the
+  /// net is unknown (reported separately as lint.undeclared).
+  int lhsSelectWidth(const std::string& name) {
+    int w = 0;
+    auto it = nets_.find(name);
+    if (it != nets_.end() && it->second.declared) w = it->second.width;
+    if (at("[")) {
+      get();
+      auto sel = collectExpr({";"});
+      // Part select [m:l] has width m-l+1; bit select [i] has width 1.
+      int colon = -1;
+      for (std::size_t i = 0; i < sel.size(); ++i)
+        if (sel[i].text == ":" && colon < 0) colon = (int)i;
+      if (colon >= 0 && colon > 0 && colon + 1 < (int)sel.size() &&
+          sel[0].kind == Tok::Kind::Num &&
+          sel[(std::size_t)colon + 1].kind == Tok::Kind::Num) {
+        w = std::atoi(sel[0].text.c_str()) -
+            std::atoi(sel[(std::size_t)colon + 1].text.c_str()) + 1;
+      } else {
+        w = 1;
+      }
+      expect("]");
+    }
+    return w;
+  }
+
+  void recordAssign(const std::string& lhs, int line,
+                    const std::vector<Tok>& rhs, DriverSite::Kind kind,
+                    const std::string& ctx, int lhsWidthOverride = -1) {
+    addDriver(lhs, kind, line);
+    int lhsWidth = lhsWidthOverride;
+    if (lhsWidth < 0) {
+      auto it = nets_.find(lhs);
+      lhsWidth =
+          (it != nets_.end() && it->second.declared) ? it->second.width : 0;
+    }
+    int rhsWidth = provenWidth(rhs, 0, rhs.size());
+    if (lhsWidth > 0 && rhsWidth > 0 && lhsWidth != rhsWidth) {
+      std::ostringstream oss;
+      oss << lhsWidth << "-bit net " << lhs << " assigned a " << rhsWidth
+          << "-bit expression";
+      report_.warning("lint.width-mismatch", lineWhere(line), oss.str());
+    }
+    if (kind == DriverSite::Kind::Assign ||
+        kind == DriverSite::Kind::CombAlways) {
+      for (const std::string& id : idsOf(rhs)) {
+        auto it = nets_.find(id);
+        if (it != nets_.end() && it->second.isParam) continue;
+        edges_.push_back({id, lhs, ctx, line});
+      }
+    }
+  }
+
+  // --- always blocks ----------------------------------------------------
+
+  void parseAlways() {
+    bool sequential = false;
+    if (accept("@")) {
+      if (accept("(")) {
+        int depth = 1;
+        while (!atEnd() && depth > 0) {
+          const Tok& t = get();
+          if (t.text == "(") ++depth;
+          else if (t.text == ")") --depth;
+          else if (t.text == "posedge" || t.text == "negedge")
+            sequential = true;
+          else if (t.kind == Tok::Kind::Id) markRead(t.text, t.line);
+        }
+      } else {
+        accept("*");
+      }
+    }
+    // One driver site per target per block.
+    std::map<std::string, int> targets;
+    parseStmt(sequential, "", targets);
+    for (const auto& [name, line] : targets)
+      addDriver(name,
+                sequential ? DriverSite::Kind::SeqAlways
+                           : DriverSite::Kind::CombAlways,
+                line);
+  }
+
+  void parseStmt(bool sequential, const std::string& ctx,
+                 std::map<std::string, int>& targets) {
+    if (accept("begin")) {
+      while (!atEnd() && !accept("end")) parseStmt(sequential, ctx, targets);
+      return;
+    }
+    if (accept("if")) {
+      expect("(");
+      (void)collectExpr({")"});
+      expect(")");
+      parseStmt(sequential, ctx, targets);
+      if (accept("else")) parseStmt(sequential, ctx, targets);
+      return;
+    }
+    if (at("case") || at("casez") || at("casex")) {
+      get();
+      expect("(");
+      (void)collectExpr({")"});
+      expect(")");
+      while (!atEnd() && !accept("endcase")) {
+        // Arm: label[, label]: stmt  — or default: stmt.
+        std::string label;
+        if (accept("default")) {
+          label = "default";
+        } else {
+          auto labels = collectExpr({":"});
+          for (const Tok& t : labels)
+            if (t.kind != Tok::Kind::Punct) {
+              label = t.text;
+              break;
+            }
+        }
+        expect(":");
+        // Extend the enclosing context so nested cases stay distinct.
+        std::string armCtx = ctx.empty() ? label : ctx + "/" + label;
+        parseStmt(sequential, armCtx, targets);
+      }
+      return;
+    }
+    if (accept(";")) return;
+    if (peek().kind == Tok::Kind::Id) {
+      const Tok& t = get();
+      int lhsWidth = lhsSelectWidth(t.text);
+      bool assignment = at("=") || at("<=");
+      if (!assignment) {
+        report_.error("lint.parse", lineWhere(t.line),
+                      "unsupported statement at '" + t.text + "'");
+        skipPast(";");
+        return;
+      }
+      get();  // = or <=
+      auto rhs = collectExpr({";"});
+      expect(";");
+      targets.try_emplace(t.text, t.line);
+      recordAssign(t.text, t.line, rhs,
+                   sequential ? DriverSite::Kind::SeqAlways
+                              : DriverSite::Kind::CombAlways,
+                   sequential ? "" : ctx, lhsWidth);
+      // recordAssign adds a per-statement driver; always blocks are one
+      // driver site per target, so drop the per-statement entry again.
+      nets_[t.text].drivers.pop_back();
+      return;
+    }
+    report_.error("lint.parse", lineWhere(peek().line),
+                  "unsupported statement at '" + peek().text + "'");
+    get();
+  }
+
+  // --- final checks -----------------------------------------------------
+
+  void finish() {
+    for (const auto& [name, net] : nets_) {
+      std::string where = "net " + name;
+      if (!net.declared) {
+        report_.error("lint.undeclared", where,
+                      "used at " + lineWhere(net.declLine) +
+                          " but never declared");
+        continue;
+      }
+      if (net.drivers.empty() && (net.read || net.isOutput)) {
+        report_.error("lint.undriven", where,
+                      std::string(net.isOutput ? "output port" : "net") +
+                          " declared at " + lineWhere(net.declLine) +
+                          " is never driven");
+      } else if (net.drivers.size() > 1) {
+        std::ostringstream oss;
+        oss << "driven from " << net.drivers.size() << " sites:";
+        for (const DriverSite& d : net.drivers)
+          oss << " " << driverName(d.kind) << " at " << lineWhere(d.line);
+        report_.error("lint.multi-driven", where, oss.str());
+      }
+      if (!net.read && net.drivers.empty()) {
+        report_.warning("lint.unused", where,
+                        "declared at " + lineWhere(net.declLine) +
+                            " but neither read nor driven");
+      }
+    }
+    findCombLoops();
+  }
+
+  /// Combinational-loop detection: Tarjan SCC over the comb net graph,
+  /// once per case-arm context (unconditional edges join every context).
+  void findCombLoops() {
+    std::set<std::string> contexts{""};
+    for (const CombEdge& e : edges_) contexts.insert(e.ctx);
+    std::set<std::vector<std::string>> reported;
+    for (const std::string& ctx : contexts) {
+      // Adjacency restricted to this context.
+      std::map<std::string, std::vector<std::string>> adj;
+      std::set<std::pair<std::string, std::string>> selfOk;
+      for (const CombEdge& e : edges_) {
+        if (!e.ctx.empty() && e.ctx != ctx) continue;
+        adj[e.from].push_back(e.to);
+        if (e.from == e.to) selfOk.insert({e.from, e.to});
+      }
+      // Iterative Tarjan.
+      std::map<std::string, int> index, low;
+      std::map<std::string, bool> onStack;
+      std::vector<std::string> stack;
+      int counter = 0;
+      struct Frame {
+        std::string node;
+        std::size_t child = 0;
+      };
+      for (const auto& [start, unused] : adj) {
+        (void)unused;
+        if (index.count(start)) continue;
+        std::vector<Frame> call{{start, 0}};
+        index[start] = low[start] = counter++;
+        stack.push_back(start);
+        onStack[start] = true;
+        while (!call.empty()) {
+          Frame& f = call.back();
+          auto& succ = adj[f.node];
+          if (f.child < succ.size()) {
+            const std::string& next = succ[f.child++];
+            if (!index.count(next)) {
+              index[next] = low[next] = counter++;
+              stack.push_back(next);
+              onStack[next] = true;
+              call.push_back({next, 0});
+            } else if (onStack[next]) {
+              low[f.node] = std::min(low[f.node], index[next]);
+            }
+          } else {
+            if (low[f.node] == index[f.node]) {
+              std::vector<std::string> scc;
+              while (true) {
+                std::string v = stack.back();
+                stack.pop_back();
+                onStack[v] = false;
+                scc.push_back(v);
+                if (v == f.node) break;
+              }
+              bool loop = scc.size() > 1 ||
+                          selfOk.count({scc.front(), scc.front()}) > 0;
+              if (loop) {
+                std::sort(scc.begin(), scc.end());
+                if (reported.insert(scc).second) {
+                  std::ostringstream oss;
+                  oss << "combinational cycle through";
+                  for (const std::string& v : scc) oss << " " << v;
+                  if (!ctx.empty()) oss << " (case arm " << ctx << ")";
+                  report_.error("lint.comb-loop", "net " + scc.front(),
+                                oss.str());
+                }
+              }
+            }
+            std::string done = f.node;
+            call.pop_back();
+            if (!call.empty())
+              low[call.back().node] =
+                  std::min(low[call.back().node], low[done]);
+          }
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void lintVerilog(const std::string& source, CheckReport& report) {
+  Linter(tokenize(source, report), report).run();
+}
+
+}  // namespace mphls

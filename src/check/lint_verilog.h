@@ -1,0 +1,34 @@
+// Stage-boundary analyzer 4: RTL netlist lint.
+//
+// The last artifact the flow produces is a Verilog netlist; this linter
+// re-reads that text and checks the structural properties simulation only
+// catches indirectly: every net that is read has exactly one driver, no net
+// has several conflicting drivers, declared widths agree across assignments,
+// and the combinational part of the net graph is acyclic (checked per
+// FSM-state context via strongly-connected components, so a mux leg that
+// feeds unit A from unit B in one state and B from A in another is not a
+// false loop).
+//
+// The parser covers the synthesizable-subset Verilog-2001 that
+// rtl/verilog.cpp emits — module header with port declarations, reg/wire
+// declarations, localparam, assign, and always blocks with begin/end, if,
+// and case — which is also the subset the hand-corrupted lint fixtures use.
+#pragma once
+
+#include <string>
+
+#include "check/report.h"
+
+namespace mphls {
+
+// Check ids reported:
+//   lint.parse           text does not parse as the supported subset
+//   lint.undeclared      identifier used but never declared
+//   lint.undriven        net read (or output port) with no driver
+//   lint.multi-driven    net driven from more than one site
+//   lint.width-mismatch  assignment of a provably different width
+//   lint.comb-loop       combinational cycle through the net graph
+//   lint.unused          declared net neither read nor driven
+void lintVerilog(const std::string& source, CheckReport& report);
+
+}  // namespace mphls

@@ -1,0 +1,64 @@
+#include "check/report.h"
+
+#include <sstream>
+
+namespace mphls {
+
+std::string_view checkSeverityName(CheckSeverity s) {
+  switch (s) {
+    case CheckSeverity::Note: return "note";
+    case CheckSeverity::Warning: return "warning";
+    case CheckSeverity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string CheckDiag::str() const {
+  std::ostringstream oss;
+  oss << checkSeverityName(severity) << " [" << id << "]";
+  if (!where.empty()) oss << " " << where;
+  oss << ": " << message;
+  return oss.str();
+}
+
+std::size_t CheckReport::errorCount() const {
+  std::size_t n = 0;
+  for (const auto& d : diags_)
+    if (d.severity == CheckSeverity::Error) ++n;
+  return n;
+}
+
+std::size_t CheckReport::warningCount() const {
+  std::size_t n = 0;
+  for (const auto& d : diags_)
+    if (d.severity == CheckSeverity::Warning) ++n;
+  return n;
+}
+
+bool CheckReport::has(std::string_view id) const {
+  for (const auto& d : diags_)
+    if (d.id == id) return true;
+  return false;
+}
+
+std::size_t CheckReport::countOf(std::string_view id) const {
+  std::size_t n = 0;
+  for (const auto& d : diags_)
+    if (d.id == id) ++n;
+  return n;
+}
+
+std::string CheckReport::firstError() const {
+  for (const auto& d : diags_)
+    if (d.severity == CheckSeverity::Error) return d.str();
+  return {};
+}
+
+std::string CheckReport::render() const {
+  std::ostringstream oss;
+  for (const auto& d : diags_) oss << d.str() << "\n";
+  oss << errorCount() << " error(s), " << warningCount() << " warning(s)\n";
+  return oss.str();
+}
+
+}  // namespace mphls

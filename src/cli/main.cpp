@@ -2,6 +2,12 @@
 //
 // Usage:
 //   mphls [options] design.bdl
+//   mphls lint [options] design.bdl
+//
+// The `lint` subcommand synthesizes the design and prints the full static
+// verification report (schedule legality, binding consistency, controller
+// completeness, Verilog netlist lint) instead of the synthesis summary;
+// it exits 1 if any error-severity finding is reported.
 //
 // Options:
 //   --top NAME             top procedure (default: last in file)
@@ -19,11 +25,13 @@
 //                          (repeatable)
 //   --sweep N              print an area/latency sweep over 1..N FUs
 //   --multicycle           2-step multipliers / 4-step dividers
+//   --check / --no-check   enable/disable stage-boundary checkers (default on)
 //   --quiet                suppress the report
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "check/check.h"
 #include "core/dse.h"
 #include "core/synthesizer.h"
 #include "ir/dot.h"
@@ -44,18 +52,21 @@ struct CliArgs {
   std::vector<std::map<std::string, std::uint64_t>> verifyRuns;
   int sweep = 0;
   bool quiet = false;
+  bool lint = false;
   SynthesisOptions opts;
 };
 
 void usage() {
   std::cerr <<
       "usage: mphls [options] design.bdl\n"
+      "       mphls lint [options] design.bdl\n"
       "  --top NAME  --scheduler serial|asap|list|force|freedom|bnb|transform\n"
       "  --fus N  --priority path|mobility|urgency|program\n"
       "  --opt none|standard|aggressive  --fu-alloc greedy|global|blind|clique\n"
       "  --reg-alloc leftedge|clique|naive  --encoding binary|gray|onehot\n"
       "  --time-constraint N  --verilog FILE  --dot FILE\n"
-      "  --verify a=1,b=2  --sweep N  --multicycle  --quiet\n";
+      "  --verify a=1,b=2  --sweep N  --multicycle  --check|--no-check\n"
+      "  --quiet\n";
 }
 
 bool parseInputs(const std::string& spec,
@@ -173,8 +184,14 @@ std::optional<CliArgs> parseArgs(int argc, char** argv) {
       a.sweep = std::atoi(v);
     } else if (arg == "--multicycle") {
       a.opts.latencies = OpLatencyModel::multiCycle();
+    } else if (arg == "--check") {
+      a.opts.check = true;
+    } else if (arg == "--no-check") {
+      a.opts.check = false;
     } else if (arg == "--quiet") {
       a.quiet = true;
+    } else if (arg == "lint" && a.file.empty() && !a.lint) {
+      a.lint = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return std::nullopt;
     } else {
@@ -205,6 +222,35 @@ int main(int argc, char** argv) {
   auto fn = compileBdl(buf.str(), diags, a.top);
   for (const auto& d : diags.all()) std::cerr << a.file << ":" << d.str() << "\n";
   if (!fn) return 1;
+
+  if (a.lint) {
+    // Lint collects every finding in one pass, so the stage-exit throwing
+    // checks inside the pipeline are disabled and checkDesign runs on the
+    // finished design instead.
+    SynthesisOptions lintOpts = a.opts;
+    lintOpts.check = false;
+    Synthesizer synth(lintOpts);
+    std::optional<SynthesisResult> result;
+    try {
+      result = synth.synthesize(std::move(*fn));
+    } catch (const InternalError& e) {
+      return fail(std::string("synthesis failed before checking: ") +
+                  e.what());
+    }
+    CheckOptions copts;
+    const bool limited = a.opts.scheduler != SchedulerKind::ForceDirected &&
+                         a.opts.scheduler != SchedulerKind::Serial;
+    copts.resources =
+        limited ? a.opts.resources : ResourceLimits::unlimited();
+    copts.latencies = a.opts.latencies;
+    CheckReport report = checkDesign(result->design, copts);
+    if (report.empty()) {
+      std::cout << a.file << ": clean (0 findings)\n";
+      return 0;
+    }
+    std::cout << report.render();
+    return report.clean() ? 0 : 1;
+  }
 
   Synthesizer synth(a.opts);
   SynthesisResult result = synth.synthesize(std::move(*fn));

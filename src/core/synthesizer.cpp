@@ -3,6 +3,9 @@
 #include <sstream>
 
 #include "alloc/interconnect.h"
+#include "check/check_binding.h"
+#include "check/check_controller.h"
+#include "check/check_schedule.h"
 #include "ir/interp.h"
 #include "ir/verify.h"
 #include "lang/frontend.h"
@@ -92,6 +95,21 @@ SynthesisResult Synthesizer::synthesize(Function fn) {
         validateSchedule(fn, sched, options_.resources, options_.latencies);
     MPHLS_CHECK(msg.empty(), "invalid schedule: " << msg);
   }
+  if (options_.check) {
+    // Stage exit: schedule legality. Time-constrained (force-directed) and
+    // trivially-serial schedules are not produced under the resource
+    // limits, so only their dependence legality is checked.
+    const bool limited =
+        options_.scheduler != SchedulerKind::ForceDirected &&
+        options_.scheduler != SchedulerKind::Serial;
+    CheckReport rep;
+    checkSchedule(fn, sched,
+                  limited ? options_.resources : ResourceLimits::unlimited(),
+                  options_.latencies, rep);
+    MPHLS_CHECK(rep.clean(), "schedule legality check failed ("
+                                 << rep.errorCount()
+                                 << " finding(s)): " << rep.firstError());
+  }
 
   // 3. Data-path allocation (Section 3.2).
   HwLibrary lib = HwLibrary::defaultLibrary();
@@ -115,6 +133,15 @@ SynthesisResult Synthesizer::synthesize(Function fn) {
     std::string msg = validateInterconnect(ic);
     MPHLS_CHECK(msg.empty(), "invalid interconnect: " << msg);
   }
+  if (options_.check) {
+    // Stage exit: binding consistency (registers, units, multiplexers).
+    CheckReport rep;
+    checkBinding(fn, sched, lt, regs, binding, ic, lib, options_.latencies,
+                 rep);
+    MPHLS_CHECK(rep.clean(), "binding consistency check failed ("
+                                 << rep.errorCount()
+                                 << " finding(s)): " << rep.firstError());
+  }
 
   // 4. Controller synthesis (Section 2).
   Controller ctrl =
@@ -122,6 +149,14 @@ SynthesisResult Synthesizer::synthesize(Function fn) {
   {
     std::string msg = validateController(ctrl, ic, binding);
     MPHLS_CHECK(msg.empty(), "invalid controller: " << msg);
+  }
+  if (options_.check) {
+    // Stage exit: controller completeness.
+    CheckReport rep;
+    checkController(fn, sched, ctrl, ic, binding, options_.latencies, rep);
+    MPHLS_CHECK(rep.clean(), "controller completeness check failed ("
+                                 << rep.errorCount()
+                                 << " finding(s)): " << rep.firstError());
   }
 
   SynthesisResult result{

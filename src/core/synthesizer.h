@@ -48,6 +48,11 @@ struct SynthesisOptions {
   /// the FSM-driven RTL; the Verilog emitter and the microcode simulator
   /// require unit latency.
   OpLatencyModel latencies = OpLatencyModel::unit();
+  /// Run the src/check/ stage-boundary analyzers at every stage exit
+  /// (schedule legality, binding consistency, controller completeness) and
+  /// throw InternalError on the first violation. On by default so every
+  /// test run is statically verified; `mphls --no-check` disables it.
+  bool check = true;
 };
 
 struct SynthesisResult {

@@ -42,6 +42,13 @@ std::string check(const Function& fn) {
           err << "op " << oid << " uses value out of range";
           return err.str();
         }
+        const Value& av = fn.value(a);
+        if (av.def.valid() && av.def.index() < fn.numOps() &&
+            fn.op(av.def).dead) {
+          err << "op " << oid << " uses value v" << a.get()
+              << " produced by deleted op " << av.def;
+          return err.str();
+        }
         if (!defined.count(a.get())) {
           err << "op " << oid << " in block " << blk.name
               << " uses value v" << a.get()
@@ -126,6 +133,19 @@ std::string check(const Function& fn) {
         }
         break;
       }
+    }
+  }
+
+  // Every live op must belong to exactly one block: a pass that detaches an
+  // op without marking it dead (or vice versa) leaves later stages with a
+  // schedulable op no block will ever execute.
+  for (std::size_t i = 0; i < fn.numOps(); ++i) {
+    OpId oid{i};
+    const Op& o = fn.op(oid);
+    if (!o.dead && !attachedOps.count(oid.get())) {
+      err << "live op " << oid << " (" << opName(o.kind)
+          << ") is not attached to any block";
+      return err.str();
     }
   }
   return {};

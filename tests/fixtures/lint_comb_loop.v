@@ -1,0 +1,12 @@
+// Corrupted netlist: `a` and `b` form an unconditional combinational cycle.
+module comb_loop(
+  input wire clk,
+  input wire [7:0] x,
+  output wire [7:0] y
+);
+  wire [7:0] a;
+  wire [7:0] b;
+  assign a = b + x;
+  assign b = a;
+  assign y = a;
+endmodule

@@ -1,0 +1,13 @@
+// Corrupted netlist: `y` is driven from two different always blocks.
+module multi_driven(
+  input wire clk,
+  input wire [7:0] a,
+  output reg [7:0] y
+);
+  always @(posedge clk) begin
+    y <= a;
+  end
+  always @(posedge clk) begin
+    y <= 8'd0;
+  end
+endmodule

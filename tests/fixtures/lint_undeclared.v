@@ -1,0 +1,9 @@
+// Corrupted netlist: `ghost` is assigned and read but never declared.
+module undeclared(
+  input wire clk,
+  input wire [7:0] a,
+  output wire [7:0] y
+);
+  assign ghost = a;
+  assign y = ghost;
+endmodule

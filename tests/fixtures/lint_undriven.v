@@ -1,0 +1,9 @@
+// Corrupted netlist: `tmp` is read by the output assign but has no driver.
+module undriven(
+  input wire clk,
+  input wire [7:0] a,
+  output wire [7:0] y
+);
+  wire [7:0] tmp;
+  assign y = tmp;
+endmodule

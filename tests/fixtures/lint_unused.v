@@ -1,0 +1,9 @@
+// Corrupted netlist: `orphan` is declared but neither read nor driven.
+module unused(
+  input wire clk,
+  input wire [7:0] a,
+  output wire [7:0] y
+);
+  wire [15:0] orphan;
+  assign y = a;
+endmodule

@@ -1,0 +1,7 @@
+// Corrupted netlist: 4-bit `narrow` is assigned an 8-bit sized literal.
+module width_mismatch(
+  input wire clk,
+  output wire [3:0] narrow
+);
+  assign narrow = 8'hff;
+endmodule

@@ -220,6 +220,55 @@ TEST(Verify, CatchesUseBeforeDef) {
   (void)s;
 }
 
+TEST(Verify, CatchesArityMismatch) {
+  Function fn = buildMac();
+  ASSERT_EQ(verifyFunction(fn), "");
+  // Find the Add op and drop one operand behind the builder's back.
+  for (OpId oid : fn.block(fn.findBlock("entry")).ops) {
+    if (fn.op(oid).kind == OpKind::Add) {
+      fn.op(oid).args.pop_back();
+      break;
+    }
+  }
+  std::string msg = verifyFunction(fn);
+  EXPECT_NE(msg, "");
+  EXPECT_NE(msg.find("args"), std::string::npos);
+}
+
+TEST(Verify, CatchesDanglingUseOfDeletedOp) {
+  Function fn("f");
+  BlockId blk = fn.addBlock("entry");
+  ValueId c1 = fn.emitConst(blk, 1, 8);
+  ValueId c2 = fn.emitConst(blk, 2, 8);
+  ValueId s = fn.emitBinary(blk, OpKind::Add, c1, c2);
+  VarId v = fn.addVar("v", 8);
+  fn.emitStore(blk, v, s);
+  fn.setReturn(blk);
+  ASSERT_EQ(verifyFunction(fn), "");
+  // A buggy DCE removes the producer but leaves the user in place.
+  fn.removeOp(fn.value(c2).def);
+  std::string msg = verifyFunction(fn);
+  EXPECT_NE(msg, "");
+  EXPECT_NE(msg.find("deleted op"), std::string::npos);
+}
+
+TEST(Verify, CatchesDetachedLiveOp) {
+  Function fn("f");
+  BlockId blk = fn.addBlock("entry");
+  ValueId c1 = fn.emitConst(blk, 1, 8);
+  VarId v = fn.addVar("v", 8);
+  fn.emitStore(blk, v, c1);
+  fn.setReturn(blk);
+  ASSERT_EQ(verifyFunction(fn), "");
+  // Detach the store from the block without marking it dead.
+  OpId store = fn.block(blk).ops.back();
+  fn.block(blk).ops.pop_back();
+  ASSERT_FALSE(fn.op(store).dead);
+  std::string msg = verifyFunction(fn);
+  EXPECT_NE(msg, "");
+  EXPECT_NE(msg.find("not attached"), std::string::npos);
+}
+
 TEST(Verify, CatchesBadBranchCond) {
   Function fn("bad");
   BlockId b0 = fn.addBlock("entry");
