@@ -1,6 +1,8 @@
 #!/bin/sh
-# Tier-1 verification: warnings-clean build, full test suite, and a static
-# lint of the paper's square-root design end to end.
+# Tier-1 verification: warnings-clean build, full test suite, a static lint
+# of the paper's square-root design, a ThreadSanitizer pass over the
+# parallel-DSE layer, and a bench smoke run with a schema check of the
+# emitted BENCH_dse.json.
 set -eu
 
 cd "$(dirname "$0")"
@@ -9,5 +11,53 @@ cmake -B build -S . -DMPHLS_WERROR=ON
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 ./build/src/cli/mphls lint examples/sqrt.bdl
+
+# --- ThreadSanitizer: the concurrency layer (thread pool, frontend cache,
+# parallel sweeps) must be race-free, not merely deterministic.
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build build-tsan -j"$(nproc)" --target mphls_tests
+./build-tsan/tests/mphls_tests --gtest_filter='DseParallel*' \
+  --gtest_brief=1
+
+# --- Bench smoke: the suite must run, re-confirm determinism, and emit a
+# report with the expected schema.
+BENCH_OUT=build/bench-smoke
+mkdir -p "$BENCH_OUT"
+./build/src/cli/mphls bench --jobs 4 --points 4 --repeats 1 \
+  --sched-ops 24 --out "$BENCH_OUT" --quiet
+python3 - "$BENCH_OUT/BENCH_dse.json" "$BENCH_OUT/BENCH_sched.json" << 'EOF'
+import json, sys
+
+dse = json.load(open(sys.argv[1]))
+need = {
+    "benchmark": str, "design": str, "points": int, "jobs": int,
+    "repeats": int, "hardware_threads": int, "deterministic": bool,
+    "verilog_identical": bool, "wall_seconds_legacy": (int, float),
+    "wall_seconds_jobs1": (int, float), "wall_seconds": (int, float),
+    "points_per_sec": (int, float), "speedup_vs_1_thread": (int, float),
+    "speedup_vs_legacy": (int, float), "point_wall_seconds": list,
+    "stage_seconds": dict,
+}
+for key, ty in need.items():
+    assert key in dse, f"BENCH_dse.json missing key: {key}"
+    assert isinstance(dse[key], ty), f"BENCH_dse.json bad type for {key}"
+assert dse["deterministic"], "parallel sweep diverged from serial"
+assert dse["verilog_identical"], "parallel sweep emitted different Verilog"
+assert len(dse["point_wall_seconds"]) == dse["points"]
+for s in ("optimize", "schedule", "allocate", "control", "estimate",
+          "check", "total"):
+    assert s in dse["stage_seconds"], f"stage_seconds missing {s}"
+
+sched = json.load(open(sys.argv[2]))
+assert sched["all_equal"], "incremental scheduler diverged from reference"
+assert sched["cases"], "BENCH_sched.json has no cases"
+for c in sched["cases"]:
+    assert c["equal"], f"scheduler case {c['name']} diverged"
+
+print("bench smoke: schema ok, deterministic, schedulers equal")
+EOF
 
 echo "ci: all checks passed"

@@ -3,11 +3,17 @@
 // Usage:
 //   mphls [options] design.bdl
 //   mphls lint [options] design.bdl
+//   mphls bench [--jobs N] [--points N] [--repeats N] [--sched-ops N]
+//               [--out DIR] [--quiet]
 //
 // The `lint` subcommand synthesizes the design and prints the full static
 // verification report (schedule legality, binding consistency, controller
 // completeness, Verilog netlist lint) instead of the synthesis summary;
 // it exits 1 if any error-severity finding is reported.
+//
+// The `bench` subcommand runs the synthesis-throughput suite on built-in
+// designs and writes BENCH_dse.json / BENCH_sched.json (see
+// core/bench_runner.h); it needs no input file.
 //
 // Options:
 //   --top NAME             top procedure (default: last in file)
@@ -24,6 +30,8 @@
 //   --verify a=1,b=2       simulate RTL vs behavior on given inputs
 //                          (repeatable)
 //   --sweep N              print an area/latency sweep over 1..N FUs
+//   --jobs N               DSE worker threads (default: hardware
+//                          concurrency; 1 bypasses the thread pool)
 //   --multicycle           2-step multipliers / 4-step dividers
 //   --check / --no-check   enable/disable stage-boundary checkers (default on)
 //   --quiet                suppress the report
@@ -32,6 +40,7 @@
 #include <sstream>
 
 #include "check/check.h"
+#include "core/bench_runner.h"
 #include "core/dse.h"
 #include "core/synthesizer.h"
 #include "ir/dot.h"
@@ -65,8 +74,10 @@ void usage() {
       "  --opt none|standard|aggressive  --fu-alloc greedy|global|blind|clique\n"
       "  --reg-alloc leftedge|clique|naive  --encoding binary|gray|onehot\n"
       "  --time-constraint N  --verilog FILE  --dot FILE\n"
-      "  --verify a=1,b=2  --sweep N  --multicycle  --check|--no-check\n"
-      "  --quiet\n";
+      "  --verify a=1,b=2  --sweep N  --jobs N  --multicycle\n"
+      "  --check|--no-check  --quiet\n"
+      "       mphls bench [--jobs N] [--points N] [--repeats N]\n"
+      "                   [--sched-ops N] [--out DIR] [--quiet]\n";
 }
 
 bool parseInputs(const std::string& spec,
@@ -182,6 +193,11 @@ std::optional<CliArgs> parseArgs(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       a.sweep = std::atoi(v);
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.opts.jobs = std::atoi(v);
+      if (a.opts.jobs < 1) return std::nullopt;
     } else if (arg == "--multicycle") {
       a.opts.latencies = OpLatencyModel::multiCycle();
     } else if (arg == "--check") {
@@ -203,9 +219,49 @@ std::optional<CliArgs> parseArgs(int argc, char** argv) {
   return a;
 }
 
+int runBench(int argc, char** argv) {
+  BenchOptions b;
+  b.jobs = 0;  // hardware concurrency unless --jobs given
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--jobs") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 1) return (usage(), 2);
+      b.jobs = std::atoi(v);
+    } else if (arg == "--points") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 1) return (usage(), 2);
+      b.points = std::atoi(v);
+    } else if (arg == "--repeats") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 1) return (usage(), 2);
+      b.repeats = std::atoi(v);
+    } else if (arg == "--sched-ops") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 4) return (usage(), 2);
+      b.schedOps = std::atoi(v);
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      b.outDir = v;
+    } else if (arg == "--quiet") {
+      b.quiet = true;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  return runBenchSuite(b);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "bench") return runBench(argc, argv);
   auto parsed = parseArgs(argc, argv);
   if (!parsed) {
     usage();

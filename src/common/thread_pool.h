@@ -1,0 +1,91 @@
+// A small work-stealing thread pool for the synthesis-throughput layer.
+//
+// Design-space exploration synthesizes many independent design points
+// (Section 1.2: "several designs for the same specification in a
+// reasonable amount of time"); the pool lets those points run
+// concurrently. Each worker owns a deque: it pushes and pops its own
+// work LIFO (cache-warm) and steals FIFO from the other workers when its
+// deque runs dry, so an uneven sweep (e.g. branch-and-bound points next
+// to list-scheduled ones) still keeps every thread busy.
+//
+// Determinism contract: the pool schedules *execution*, never *results*.
+// Callers hand every task a distinct output slot (see parallelFor), so
+// the values produced are identical at any thread count.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mphls {
+
+class ThreadPool {
+ public:
+  /// Spawns `numThreads` workers (clamped to >= 1).
+  explicit ThreadPool(int numThreads);
+
+  /// Joins all workers after draining the queues.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a callable; returns a future for its result. Tasks submitted
+  /// from a worker thread go to that worker's own deque (LIFO), others are
+  /// distributed round-robin.
+  template <typename F>
+  auto submit(F f) -> std::future<decltype(f())> {
+    using R = decltype(f());
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(f));
+    std::future<R> fut = task->get_future();
+    push([task] { (*task)(); });
+    return fut;
+  }
+
+  [[nodiscard]] int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Index of the calling thread within this pool, or -1 for outsiders.
+  [[nodiscard]] int currentWorker() const;
+
+  /// std::thread::hardware_concurrency with a >= 1 floor.
+  [[nodiscard]] static int hardwareConcurrency();
+
+ private:
+  struct WorkerQueue {
+    std::mutex m;
+    std::deque<std::function<void()>> q;
+  };
+
+  void push(std::function<void()> f);
+  bool popOrSteal(std::size_t self, std::function<void()>& out);
+  void workerLoop(std::size_t idx);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+  std::mutex wakeMutex_;
+  std::condition_variable wake_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> pending_{0};   ///< queued, not yet popped
+  std::atomic<std::size_t> nextQueue_{0}; ///< round-robin submission cursor
+};
+
+/// Resolve a `jobs` option to a worker count: <= 0 means "one per hardware
+/// thread", anything else is taken literally.
+[[nodiscard]] int resolveJobs(int jobs);
+
+/// Run `fn(index, worker)` for every index in [0, n), spread across `pool`.
+/// `worker` is the pool worker index that executed the iteration (0 on the
+/// serial path). Blocks until all iterations finish; the first exception
+/// thrown by any iteration is rethrown on the caller after the remaining
+/// iterations complete. Passing a null pool runs every iteration inline on
+/// the caller — the jobs=1 bypass. Not reentrant from inside a pool worker.
+void parallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t, int)>& fn);
+
+}  // namespace mphls

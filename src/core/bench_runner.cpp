@@ -1,0 +1,242 @@
+#include "core/bench_runner.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "common/bench_report.h"
+#include "common/thread_pool.h"
+#include "core/designs.h"
+#include "core/dse.h"
+#include "core/frontend_cache.h"
+#include "ir/analysis.h"
+#include "ir/deps.h"
+#include "sched/force_directed.h"
+#include "sched/schedule.h"
+
+namespace mphls {
+
+namespace {
+
+/// Deterministic synthetic dataflow block for the scheduler bench: layers
+/// of adds/subs with a multiply every few ops, operands drawn a fixed
+/// distance back so frames overlap heavily (the force-directed worst-ish
+/// case). Unit latency, single block.
+Function syntheticDfg(int numOps) {
+  Function fn("bench_dfg");
+  BlockId b = fn.addBlock("entry");
+  std::vector<ValueId> pool;
+  for (int i = 0; i < 4; ++i)
+    pool.push_back(fn.emitRead(b, fn.addInput("p" + std::to_string(i), 16)));
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;  // xorshift, fixed seed
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < numOps; ++i) {
+    ValueId a = pool[next() % pool.size()];
+    ValueId c = pool[next() % pool.size()];
+    OpKind k = (next() % 4 == 0) ? OpKind::Mul
+               : (next() % 2 == 0) ? OpKind::Add
+                                   : OpKind::Sub;
+    pool.push_back(fn.emitBinary(b, k, a, c));
+  }
+  PortId out = fn.addOutput("y", 16);
+  fn.emitWrite(b, out, pool.back());
+  fn.setReturn(b);
+  return fn;
+}
+
+bool sameSchedule(const BlockSchedule& a, const BlockSchedule& b) {
+  return a.numSteps == b.numSteps && a.step == b.step;
+}
+
+/// Time the pre-PR DSE loop: every point re-parses, re-lowers and
+/// re-optimizes the source before synthesizing. The frontend-cache speedup
+/// in the report is measured against this.
+double timeLegacySweep(const std::string& source, int points, int repeats) {
+  return BenchReporter::timeBest(repeats, [&] {
+    for (int n = 1; n <= points; ++n) {
+      SynthesisOptions opts;
+      opts.scheduler = SchedulerKind::List;
+      opts.resources = ResourceLimits::universalSet(n);
+      Synthesizer synth(opts);
+      (void)synth.synthesizeSource(source);
+    }
+  });
+}
+
+double timeSweep(const std::string& source, int points, int jobs,
+                 int repeats) {
+  return BenchReporter::timeBest(repeats, [&] {
+    SynthesisOptions base;
+    base.jobs = jobs;
+    (void)exploreResourceSweep(source, points, base);
+  });
+}
+
+}  // namespace
+
+int runBenchSuite(const BenchOptions& opts) {
+  const std::string sep = opts.outDir.empty() || opts.outDir.back() == '/'
+                              ? ""
+                              : "/";
+  const std::string src = designs::diffeqSource();
+  const int jobs = opts.jobs < 1 ? ThreadPool::hardwareConcurrency()
+                                 : opts.jobs;
+
+  // ---------------------------------------------------------------- DSE
+  BenchReporter dse("dse_resource_sweep");
+  dse.root()["design"] = "diffeq";
+  dse.root()["points"] = opts.points;
+  dse.root()["jobs"] = jobs;
+  dse.root()["repeats"] = opts.repeats;
+  dse.root()["hardware_threads"] = ThreadPool::hardwareConcurrency();
+
+  // Determinism first (also warms the frontend cache): the serial and the
+  // parallel sweep must agree byte for byte, Verilog included.
+  SynthesisOptions detBase;
+  detBase.dseCaptureVerilog = true;
+  detBase.jobs = 1;
+  auto serialPts = exploreResourceSweep(src, opts.points, detBase);
+  detBase.jobs = jobs;
+  auto parallelPts = exploreResourceSweep(src, opts.points, detBase);
+  bool sameVerilog = serialPts.size() == parallelPts.size();
+  for (std::size_t i = 0; sameVerilog && i < serialPts.size(); ++i)
+    sameVerilog = samePoint(serialPts[i], parallelPts[i]);
+  dse.root()["deterministic"] =
+      renderPoints(serialPts) == renderPoints(parallelPts);
+  dse.root()["verilog_identical"] = sameVerilog;
+
+  const double legacySec = timeLegacySweep(src, opts.points, opts.repeats);
+  const double serialSec = timeSweep(src, opts.points, 1, opts.repeats);
+  const double parallelSec = timeSweep(src, opts.points, jobs, opts.repeats);
+  dse.root()["wall_seconds_legacy"] = legacySec;
+  dse.root()["wall_seconds_jobs1"] = serialSec;
+  dse.root()["wall_seconds"] = parallelSec;
+  dse.root()["points_per_sec_jobs1"] =
+      serialSec > 0 ? opts.points / serialSec : 0.0;
+  dse.root()["points_per_sec"] =
+      parallelSec > 0 ? opts.points / parallelSec : 0.0;
+  dse.root()["speedup_vs_1_thread"] =
+      parallelSec > 0 ? serialSec / parallelSec : 0.0;
+  dse.root()["speedup_vs_legacy"] =
+      parallelSec > 0 ? legacySec / parallelSec : 0.0;
+
+  // Per-point wall times from the determinism runs (diagnostics).
+  JsonValue& ptArr = dse.root()["point_wall_seconds"] = JsonValue::array();
+  for (const auto& p : parallelPts) ptArr.push(p.wallSeconds);
+
+  // Stage breakdown of one representative synthesis (2 universal FUs).
+  {
+    SynthesisOptions o;
+    o.scheduler = SchedulerKind::List;
+    o.resources = ResourceLimits::universalSet(2);
+    Synthesizer synth(o);
+    SynthesisResult r = synth.synthesizeSource(src);
+    JsonValue& st = dse.root()["stage_seconds"] = JsonValue::object();
+    st["optimize"] = r.stages.optimize;
+    st["schedule"] = r.stages.schedule;
+    st["allocate"] = r.stages.allocate;
+    st["control"] = r.stages.control;
+    st["estimate"] = r.stages.estimate;
+    st["check"] = r.stages.check;
+    st["total"] = r.stages.total();
+  }
+
+  // Chippe + time sweep, for coverage of all three DSE styles.
+  {
+    SynthesisOptions base;
+    base.jobs = jobs;
+    WallTimer t;
+    auto chippe = chippeIterate(src, serialPts.back().latencySteps, 8, base);
+    dse.root()["chippe_wall_seconds"] = t.seconds();
+    dse.root()["chippe_points"] = chippe.size();
+    t.reset();
+    auto times = exploreTimeSweep(src, 4, base);
+    dse.root()["time_sweep_wall_seconds"] = t.seconds();
+    dse.root()["time_sweep_points"] = times.size();
+  }
+
+  const std::string dsePath = opts.outDir + sep + "BENCH_dse.json";
+  if (!dse.writeFile(dsePath)) {
+    std::fprintf(stderr, "mphls bench: cannot write %s\n", dsePath.c_str());
+    return 1;
+  }
+  if (!opts.quiet)
+    std::printf("wrote %s (speedup vs 1 thread: %.2fx, vs legacy: %.2fx)\n",
+                dsePath.c_str(), serialSec / parallelSec,
+                legacySec / parallelSec);
+
+  // ---------------------------------------------------------- scheduler
+  BenchReporter sched("force_directed_incremental");
+  JsonValue& cases = sched.root()["cases"] = JsonValue::array();
+  double worstSpeedup = -1;
+  bool allEqual = true;
+
+  struct Case {
+    std::string name;
+    Function fn;
+    int slack;
+  };
+  std::vector<Case> caseList;
+  caseList.push_back({"synthetic16", syntheticDfg(16), 2});
+  caseList.push_back(
+      {"synthetic" + std::to_string(opts.schedOps),
+       syntheticDfg(opts.schedOps), 3});
+  {
+    auto fn =
+        FrontendCache::global().get(src, "", SynthesisOptions{}.opt);
+    caseList.push_back({"diffeq", fn->clone(), 2});
+  }
+
+  for (const auto& c : caseList) {
+    const Block& blk = c.fn.block(c.fn.entry());
+    BlockDeps deps(c.fn, blk);
+    LevelInfo li = computeLevels(deps);
+    const int horizon = li.criticalLength + c.slack;
+
+    BlockSchedule inc = forceDirectedSchedule(deps, horizon);
+    BlockSchedule ref = forceDirectedScheduleReference(deps, horizon);
+    const bool equal = sameSchedule(inc, ref);
+    allEqual = allEqual && equal;
+
+    const double incSec = BenchReporter::timeBest(
+        opts.repeats, [&] { (void)forceDirectedSchedule(deps, horizon); });
+    const double refSec = BenchReporter::timeBest(opts.repeats, [&] {
+      (void)forceDirectedScheduleReference(deps, horizon);
+    });
+    const double speedup = incSec > 0 ? refSec / incSec : 0.0;
+    if (worstSpeedup < 0 || speedup < worstSpeedup) worstSpeedup = speedup;
+
+    JsonValue cs = JsonValue::object();
+    cs["name"] = c.name;
+    cs["ops"] = deps.numOps();
+    cs["horizon"] = horizon;
+    cs["incremental_seconds"] = incSec;
+    cs["reference_seconds"] = refSec;
+    cs["speedup"] = speedup;
+    cs["equal"] = equal;
+    cases.push(std::move(cs));
+    if (!opts.quiet)
+      std::printf("sched %-12s %3zu ops: incremental %.2fx vs reference "
+                  "(%s)\n",
+                  c.name.c_str(), deps.numOps(), speedup,
+                  equal ? "identical schedules" : "SCHEDULES DIFFER");
+  }
+  sched.root()["all_equal"] = allEqual;
+  sched.root()["min_speedup"] = worstSpeedup;
+  sched.root()["repeats"] = opts.repeats;
+
+  const std::string schedPath = opts.outDir + sep + "BENCH_sched.json";
+  if (!sched.writeFile(schedPath)) {
+    std::fprintf(stderr, "mphls bench: cannot write %s\n",
+                 schedPath.c_str());
+    return 1;
+  }
+  if (!opts.quiet) std::printf("wrote %s\n", schedPath.c_str());
+  return 0;
+}
+
+}  // namespace mphls

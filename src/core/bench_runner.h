@@ -1,0 +1,29 @@
+// The `mphls bench` suite: measures design-space-exploration throughput
+// (parallel sweep vs. serial, shared frontend vs. the legacy re-parse-per-
+// point loop) and incremental force-directed scheduling vs. the from-
+// scratch reference, then writes BENCH_dse.json and BENCH_sched.json so
+// the performance trajectory is tracked from PR to PR. Also re-checks the
+// determinism contract: the JSON records whether the parallel run produced
+// byte-identical points and Verilog to the serial one.
+#pragma once
+
+#include <string>
+
+namespace mphls {
+
+struct BenchOptions {
+  int jobs = 4;       ///< parallel configuration, measured against jobs=1
+  int points = 8;     ///< resource-sweep width (universal FU limits 1..N)
+  int repeats = 3;    ///< timing repetitions per configuration (best-of)
+  int schedOps = 48;  ///< synthetic DFG size for the scheduler bench
+  std::string outDir = ".";  ///< where the BENCH_*.json files land
+  bool quiet = false;
+};
+
+/// Run both benches and write outDir/BENCH_dse.json and
+/// outDir/BENCH_sched.json. Returns 0 on success (including writing the
+/// files), 1 on failure. Not a correctness gate: determinism mismatches
+/// are recorded in the JSON, and only I/O errors fail the run.
+int runBenchSuite(const BenchOptions& opts);
+
+}  // namespace mphls

@@ -15,8 +15,20 @@
 //     been found";
 //   - HAL-style time sweep: force-directed scheduling under successively
 //     relaxed time constraints, reading off the implied allocation.
+//
+// Throughput model: each entry point compiles and optimizes the source
+// exactly once (core/frontend_cache.h), hands every sweep point a clone of
+// the cached IR, and synthesizes the points concurrently on a work-stealing
+// pool sized by SynthesisOptions::jobs (common/thread_pool.h). The sweeps
+// are embarrassingly parallel; Chippe's feedback loop is inherently
+// sequential but speculatively pre-synthesizes limit+1 while the current
+// limit is being evaluated. Results are deterministic: points land in
+// index order and markPareto is input-order independent, so the returned
+// vector — and any Verilog captured per point — is identical at every
+// thread count.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "core/synthesizer.h"
@@ -31,27 +43,57 @@ struct DsePoint {
   double area = 0;
   bool pareto = false;     ///< on the area/latency Pareto front
 
+  // Diagnostics, excluded from renderPoints and equality: which worker
+  // synthesized the point and how long it took. These legitimately differ
+  // between runs and thread counts.
+  double wallSeconds = 0;  ///< backend synthesis wall time for this point
+  int threadId = 0;        ///< pool worker index (0 on the serial path)
+
+  /// Emitted Verilog for the point's design; filled only when
+  /// SynthesisOptions::dseCaptureVerilog is set and the latency model is
+  /// unit (the emitter's precondition). Deterministic across thread counts.
+  std::string verilog;
+
   [[nodiscard]] double executionTime() const {
     return latencySteps * cycleTime;
   }
 };
 
+/// True when the deterministic fields (label, limit, latency, cycle time,
+/// area, pareto flag, captured Verilog) of both points agree.
+[[nodiscard]] bool samePoint(const DsePoint& a, const DsePoint& b);
+
+/// Render the deterministic fields of every point, one line each — the
+/// byte-comparison surface for the "identical at any thread count"
+/// guarantee, and the table body printed by `mphls --sweep`.
+[[nodiscard]] std::string renderPoints(const std::vector<DsePoint>& points);
+
 /// Mark the Pareto-optimal points (minimal area for their latency class).
+/// Order independent and stable under ties: the marking depends only on
+/// the multiset of (label, latency, area) — points are ranked by latency,
+/// then area, then label — so serial and parallel sweeps print
+/// identically. Points with exactly equal latency and area are either all
+/// on the front or all off it.
 void markPareto(std::vector<DsePoint>& points);
 
 /// Fixed-limit sweep: synthesize with 1..maxUniversalFus universal units.
+/// Points are synthesized concurrently per `base.jobs`.
 [[nodiscard]] std::vector<DsePoint> exploreResourceSweep(
     const std::string& source, int maxUniversalFus,
     SynthesisOptions base = {});
 
 /// HAL-style: force-directed with time constraints from the critical
 /// length to critical + extraSlack steps (per block, applied uniformly).
+/// Points are synthesized concurrently per `base.jobs`.
 [[nodiscard]] std::vector<DsePoint> exploreTimeSweep(
     const std::string& source, int extraSlack, SynthesisOptions base = {});
 
 /// Chippe-style feedback: grow the FU budget until the latency target is
 /// met (or the budget cap is reached); returns the visited points, last
-/// one being the accepted design.
+/// one being the accepted design. The feedback decisions are sequential,
+/// but with jobs > 1 the next budget is speculatively synthesized on the
+/// pool while the current one is evaluated (at most one point of wasted
+/// work when the loop stops).
 [[nodiscard]] std::vector<DsePoint> chippeIterate(const std::string& source,
                                                   int targetLatency,
                                                   int maxUniversalFus = 8,

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "alloc/interconnect.h"
+#include "common/bench_report.h"
 #include "check/check_binding.h"
 #include "check/check_controller.h"
 #include "check/check_schedule.h"
@@ -47,10 +48,21 @@ SynthesisResult Synthesizer::synthesizeSource(const std::string& source,
   return synthesize(compileBdlOrThrow(source, top));
 }
 
+void StageTimes::accumulate(const StageTimes& o) {
+  optimize += o.optimize;
+  schedule += o.schedule;
+  allocate += o.allocate;
+  control += o.control;
+  estimate += o.estimate;
+  check += o.check;
+}
+
 SynthesisResult Synthesizer::synthesize(Function fn) {
   verifyOrThrow(fn);
 
   // 1. High-level transformations (Section 2).
+  StageTimes st;
+  WallTimer timer;
   switch (options_.opt) {
     case OptLevel::None:
       break;
@@ -65,6 +77,16 @@ SynthesisResult Synthesizer::synthesize(Function fn) {
       break;
     }
   }
+  st.optimize = timer.seconds();
+  return backend(std::move(fn), st);
+}
+
+SynthesisResult Synthesizer::synthesizeOptimized(const Function& fn) {
+  return backend(fn.clone(), StageTimes{});
+}
+
+SynthesisResult Synthesizer::backend(Function fn, StageTimes st) {
+  WallTimer timer;
 
   // 2. Scheduling (Section 3.1).
   MPHLS_CHECK(options_.latencies.isUnit() ||
@@ -95,6 +117,8 @@ SynthesisResult Synthesizer::synthesize(Function fn) {
         validateSchedule(fn, sched, options_.resources, options_.latencies);
     MPHLS_CHECK(msg.empty(), "invalid schedule: " << msg);
   }
+  st.schedule = timer.seconds();
+  timer.reset();
   if (options_.check) {
     // Stage exit: schedule legality. Time-constrained (force-directed) and
     // trivially-serial schedules are not produced under the resource
@@ -110,6 +134,8 @@ SynthesisResult Synthesizer::synthesize(Function fn) {
                                  << rep.errorCount()
                                  << " finding(s)): " << rep.firstError());
   }
+  st.check += timer.seconds();
+  timer.reset();
 
   // 3. Data-path allocation (Section 3.2).
   HwLibrary lib = HwLibrary::defaultLibrary();
@@ -133,6 +159,8 @@ SynthesisResult Synthesizer::synthesize(Function fn) {
     std::string msg = validateInterconnect(ic);
     MPHLS_CHECK(msg.empty(), "invalid interconnect: " << msg);
   }
+  st.allocate = timer.seconds();
+  timer.reset();
   if (options_.check) {
     // Stage exit: binding consistency (registers, units, multiplexers).
     CheckReport rep;
@@ -142,6 +170,8 @@ SynthesisResult Synthesizer::synthesize(Function fn) {
                                  << rep.errorCount()
                                  << " finding(s)): " << rep.firstError());
   }
+  st.check += timer.seconds();
+  timer.reset();
 
   // 4. Controller synthesis (Section 2).
   Controller ctrl =
@@ -150,6 +180,8 @@ SynthesisResult Synthesizer::synthesize(Function fn) {
     std::string msg = validateController(ctrl, ic, binding);
     MPHLS_CHECK(msg.empty(), "invalid controller: " << msg);
   }
+  st.control = timer.seconds();
+  timer.reset();
   if (options_.check) {
     // Stage exit: controller completeness.
     CheckReport rep;
@@ -158,12 +190,14 @@ SynthesisResult Synthesizer::synthesize(Function fn) {
                                  << rep.errorCount()
                                  << " finding(s)): " << rep.firstError());
   }
+  st.check += timer.seconds();
+  timer.reset();
 
   SynthesisResult result{
       RtlDesign{std::move(fn), std::move(sched), std::move(lt),
                 std::move(regs), std::move(binding), std::move(ic),
                 std::move(ctrl), std::move(lib)},
-      {}, {}, {}, {}, {}};
+      {}, {}, {}, {}, {}, {}};
   result.fsm = encodeController(result.design.ctrl, result.design.ic,
                                 result.design.binding, options_.encoding);
   result.microHorizontal =
@@ -172,8 +206,12 @@ SynthesisResult Synthesizer::synthesize(Function fn) {
   result.microEncoded =
       buildMicrocode(result.design.ctrl, result.design.ic,
                      result.design.binding, MicrocodeStyle::Encoded);
+  st.control += timer.seconds();
+  timer.reset();
   result.area = estimateArea(result.design, result.fsm);
   result.timing = estimateTiming(result.design);
+  st.estimate = timer.seconds();
+  result.stages = st;
   return result;
 }
 

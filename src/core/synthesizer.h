@@ -53,6 +53,34 @@ struct SynthesisOptions {
   /// throw InternalError on the first violation. On by default so every
   /// test run is statically verified; `mphls --no-check` disables it.
   bool check = true;
+  /// Worker threads for design-space exploration (core/dse.h): <= 0 means
+  /// one per hardware thread, 1 bypasses the thread pool entirely and runs
+  /// the legacy serial loop. Results are identical at any value; only wall
+  /// time changes.
+  int jobs = 0;
+  /// Design-space exploration only: record the emitted Verilog of every
+  /// swept design point in DsePoint::verilog (unit-latency models only —
+  /// the emitter rejects multicycle designs). Used by the determinism
+  /// tests and `mphls bench` to prove thread-count independence.
+  bool dseCaptureVerilog = false;
+};
+
+/// Wall-clock seconds spent in each pipeline stage of one synthesis run,
+/// recorded unconditionally (the clock costs nanoseconds per stage) so
+/// BenchReporter can break down where synthesis time goes.
+struct StageTimes {
+  double optimize = 0;   ///< high-level transformation passes
+  double schedule = 0;   ///< control-step assignment (incl. validation)
+  double allocate = 0;   ///< lifetimes, registers, FUs, interconnect
+  double control = 0;    ///< controller build + FSM encode + microcode
+  double estimate = 0;   ///< area/timing estimation
+  double check = 0;      ///< stage-boundary analyzers (options.check)
+
+  [[nodiscard]] double total() const {
+    return optimize + schedule + allocate + control + estimate + check;
+  }
+  /// Accumulate another run's times (used when averaging over DSE points).
+  void accumulate(const StageTimes& o);
 };
 
 struct SynthesisResult {
@@ -62,6 +90,7 @@ struct SynthesisResult {
   Microprogram microEncoded;
   AreaEstimate area;
   TimingEstimate timing;
+  StageTimes stages;
 
   /// Latency in control steps for a given behavioral input (runs the
   /// interpreter to obtain the block trace).
@@ -89,10 +118,24 @@ class Synthesizer {
   /// Full pipeline from an already-built function (consumed by copy).
   [[nodiscard]] SynthesisResult synthesize(Function fn);
 
+  /// Pipeline from a function that has already been verified and run
+  /// through the high-level transformation passes — the shared-frontend
+  /// path of design-space exploration: the DSE driver compiles and
+  /// optimizes the source once (see core/frontend_cache.h), then hands
+  /// each sweep point a clone of the cached IR. `fn` is cloned, never
+  /// mutated, so many threads may synthesize from the same cached
+  /// function concurrently.
+  [[nodiscard]] SynthesisResult synthesizeOptimized(const Function& fn);
+
   [[nodiscard]] const SynthesisOptions& options() const { return options_; }
   [[nodiscard]] SynthesisOptions& options() { return options_; }
 
  private:
+  /// Everything after the optimization stage: schedule, allocate, bind,
+  /// build the controller, encode, estimate. `st` carries the frontend
+  /// stage times already accrued for this run.
+  [[nodiscard]] SynthesisResult backend(Function fn, StageTimes st);
+
   SynthesisOptions options_;
 };
 

@@ -43,7 +43,22 @@ struct DistributionGraph {
 /// (clamped up to the critical length). Minimizes peak FU usage; the FU
 /// allocation implied by the result is `peakUsage(deps, sched)` — "the
 /// maximum number required in any control step".
+///
+/// Incremental implementation: the ASAP/ALAP time frames and the
+/// distribution graphs are cached across the fix iterations and updated by
+/// delta propagation when an operation is fixed — candidate evaluation
+/// re-derives only the frames a trial placement actually narrows, instead
+/// of rebuilding every frame per candidate. The result is identical to
+/// forceDirectedScheduleReference on every input (the propagation computes
+/// the same integer fixpoint and force terms accumulate in the same
+/// order); only the wall time differs.
 [[nodiscard]] BlockSchedule forceDirectedSchedule(const BlockDeps& deps,
                                                   int horizon);
+
+/// The from-scratch HAL formulation: rebuilds every time frame and
+/// distribution graph on each candidate evaluation. Kept as the oracle the
+/// incremental scheduler is tested and benchmarked against.
+[[nodiscard]] BlockSchedule forceDirectedScheduleReference(
+    const BlockDeps& deps, int horizon);
 
 }  // namespace mphls
