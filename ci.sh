@@ -1,8 +1,9 @@
 #!/bin/sh
 # Tier-1 verification: warnings-clean build, full test suite, a static lint
-# of the paper's square-root design, a ThreadSanitizer pass over the
-# parallel-DSE layer, and a bench smoke run with a schema check of the
-# emitted BENCH_dse.json.
+# of the paper's square-root design, the semantic-lint gate over every
+# built-in design, an AddressSanitizer+UBSan pass over the whole suite, a
+# ThreadSanitizer pass over the parallel-DSE layer, and a bench smoke run
+# with a schema check of the emitted BENCH_dse.json.
 set -eu
 
 cd "$(dirname "$0")"
@@ -11,6 +12,22 @@ cmake -B build -S . -DMPHLS_WERROR=ON
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 ./build/src/cli/mphls lint examples/sqrt.bdl
+
+# --- Semantic-lint gate: the abstract-interpretation lints must report no
+# error-severity finding on any built-in design (warnings are allowed and
+# printed for review).
+./build/src/cli/mphls analyze --builtins
+
+# --- AddressSanitizer + UndefinedBehaviorSanitizer: the full suite — in
+# particular the interpreter/analysis soundness fuzzers, which drive every
+# operation with extreme widths, shift amounts, and INT64_MIN/-1 divisions —
+# must be free of memory errors and UB.
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build build-asan -j"$(nproc)" --target mphls_tests
+./build-asan/tests/mphls_tests --gtest_brief=1
 
 # --- ThreadSanitizer: the concurrency layer (thread pool, frontend cache,
 # parallel sweeps) must be race-free, not merely deterministic.

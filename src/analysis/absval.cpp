@@ -1,0 +1,572 @@
+#include "analysis/absval.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <sstream>
+
+#include "common/bitutil.h"
+#include "common/diag.h"
+
+namespace mphls {
+
+namespace {
+
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+using i128 = __int128;
+
+i64 sMinOf(int w) {
+  return w == 64 ? std::numeric_limits<std::int64_t>::min()
+                 : -(i64)(1ULL << (w - 1));
+}
+
+i64 sMaxOf(int w) { return (i64)(maskBits(w) >> 1); }
+
+/// Abstract truncation to `w` bits of a pre-truncation integer range
+/// [lo, hi] (the mathematical result before the mod-2^w wrap evalPure
+/// applies). When the whole range lies inside one 2^w-aligned page the wrap
+/// is a constant offset and the truncated range stays an interval; when it
+/// spans a page boundary the truncated set wraps around and we give up.
+AbsVal truncTo(int w, i128 lo, i128 hi) {
+  if (lo > hi) return AbsVal::bottom(w);
+  if ((lo >> w) != (hi >> w)) return AbsVal::top(w);
+  const unsigned __int128 pageMask = (((unsigned __int128)1) << w) - 1;
+  u64 l = (u64)((unsigned __int128)lo & pageMask);
+  u64 h = (u64)((unsigned __int128)hi & pageMask);
+  return AbsVal::fromUnsignedRange(w, l, h);
+}
+
+/// The fact for t_w(v) where `v` is described by `a` at its own width:
+/// range through truncTo plus the low-bit known-bits, which truncation
+/// preserves.
+AbsVal adaptTo(int w, const AbsVal& a) {
+  if (a.isBottom) return AbsVal::bottom(w);
+  AbsVal r = truncTo(w, a.ulo, a.uhi);
+  r.zeros |= a.zeros;  // normalize() re-adds the above-width zeros
+  r.ones |= a.ones & maskBits(w);
+  r.normalize();
+  return r;
+}
+
+/// 0 / 1 / -1 (unknown) result of a comparison over facts.
+int triCompare(OpKind k, const AbsVal& a, const AbsVal& b) {
+  switch (k) {
+    case OpKind::Eq:
+    case OpKind::Ne: {
+      int eq = -1;
+      if ((a.ones & b.zeros) || (a.zeros & b.ones) || a.uhi < b.ulo ||
+          b.uhi < a.ulo)
+        eq = 0;
+      else if (a.isConstant() && b.isConstant() &&
+               a.constValue() == b.constValue())
+        eq = 1;
+      if (eq < 0) return -1;
+      return k == OpKind::Eq ? eq : 1 - eq;
+    }
+    case OpKind::ULt:
+      return a.uhi < b.ulo ? 1 : (a.ulo >= b.uhi ? 0 : -1);
+    case OpKind::ULe:
+      return a.uhi <= b.ulo ? 1 : (a.ulo > b.uhi ? 0 : -1);
+    case OpKind::UGt:
+      return b.uhi < a.ulo ? 1 : (b.ulo >= a.uhi ? 0 : -1);
+    case OpKind::UGe:
+      return b.uhi <= a.ulo ? 1 : (b.ulo > a.uhi ? 0 : -1);
+    case OpKind::Lt:
+      return a.shi < b.slo ? 1 : (a.slo >= b.shi ? 0 : -1);
+    case OpKind::Le:
+      return a.shi <= b.slo ? 1 : (a.slo > b.shi ? 0 : -1);
+    case OpKind::Gt:
+      return b.shi < a.slo ? 1 : (b.slo >= a.shi ? 0 : -1);
+    case OpKind::Ge:
+      return b.shi <= a.slo ? 1 : (b.slo > a.shi ? 0 : -1);
+    default:
+      MPHLS_CHECK(false, "triCompare on non-compare " << opName(k));
+      return -1;
+  }
+}
+
+/// Quotient range of [a] / [d] for a divisor interval of one sign
+/// (0 excluded), truncation-toward-zero division, evaluated in 128 bits so
+/// INT64_MIN / -1 cannot overflow.
+AbsVal signedDivRange(int w, const AbsVal& a, i128 dl, i128 dh) {
+  i128 lo = 0, hi = 0;
+  bool first = true;
+  for (i128 n : {(i128)a.slo, (i128)a.shi}) {
+    for (i128 d : {dl, dh}) {
+      i128 q = n / d;
+      if (first || q < lo) lo = q;
+      if (first || q > hi) hi = q;
+      first = false;
+    }
+  }
+  return truncTo(w, lo, hi);
+}
+
+}  // namespace
+
+AbsVal AbsVal::top(int width) {
+  AbsVal v;
+  v.width = width;
+  v.ulo = 0;
+  v.uhi = maskBits(width);
+  v.slo = sMinOf(width);
+  v.shi = sMaxOf(width);
+  v.zeros = ~maskBits(width);
+  v.ones = 0;
+  v.normalize();
+  return v;
+}
+
+AbsVal AbsVal::bottom(int width) {
+  AbsVal v;
+  v.width = width;
+  v.isBottom = true;
+  v.ulo = 1;
+  v.uhi = 0;
+  v.slo = 1;
+  v.shi = 0;
+  v.zeros = ~0ULL;
+  v.ones = ~0ULL;
+  return v;
+}
+
+AbsVal AbsVal::constant(std::uint64_t v, int width) {
+  const u64 t = truncBits(v, width);
+  return fromUnsignedRange(width, t, t);
+}
+
+AbsVal AbsVal::fromUnsignedRange(int width, std::uint64_t lo,
+                                 std::uint64_t hi) {
+  AbsVal v;
+  v.width = width;
+  v.ulo = lo;
+  v.uhi = hi;
+  v.slo = sMinOf(width);
+  v.shi = sMaxOf(width);
+  v.zeros = 0;
+  v.ones = 0;
+  v.normalize();
+  return v;
+}
+
+bool AbsVal::contains(std::uint64_t v) const {
+  if (isBottom) return false;
+  if (v < ulo || v > uhi) return false;
+  const i64 s = signExtend(v, width);
+  if (s < slo || s > shi) return false;
+  return (v & zeros) == 0 && (v & ones) == ones;
+}
+
+bool AbsVal::isTop() const { return *this == top(width); }
+
+int AbsVal::requiredUnsignedBits() const {
+  const int b = std::bit_width(uhi);
+  return std::clamp(b, 1, width);
+}
+
+void AbsVal::normalize() {
+  const int w = width;
+  const u64 m = maskBits(w);
+  auto toBottom = [&] { *this = bottom(w); };
+  if (isBottom) return toBottom();
+  zeros |= ~m;
+  if (zeros & ones) return toBottom();
+  if (ulo > uhi || slo > shi) return toBottom();
+  slo = std::max(slo, sMinOf(w));
+  shi = std::min(shi, sMaxOf(w));
+  uhi = std::min(uhi, m);
+  if (slo > shi) return toBottom();
+
+  const u64 sign = 1ULL << (w - 1);
+  // Two rounds let a fact introduced by one reduction feed the others.
+  for (int round = 0; round < 2; ++round) {
+    // Known bits -> unsigned bounds.
+    ulo = std::max(ulo, ones);
+    uhi = std::min(uhi, m & ~zeros);
+    if (ulo > uhi) return toBottom();
+    // Unsigned bounds -> known bits: the leading bits shared by both
+    // bounds are fixed for every pattern in between.
+    const u64 diff = ulo ^ uhi;
+    const int h = std::bit_width(diff);
+    const u64 fixedMask = h >= 64 ? 0 : (~0ULL << h);
+    const u64 newOnes = ulo & fixedMask;
+    const u64 newZeros = ~ulo & fixedMask;
+    if ((newOnes & zeros) || (newZeros & ones)) return toBottom();
+    ones |= newOnes;
+    zeros |= newZeros;
+    // Unsigned -> signed (only when the range does not straddle the sign
+    // boundary, where sign extension is monotone).
+    if (uhi < sign) {
+      slo = std::max(slo, (i64)ulo);
+      shi = std::min(shi, (i64)uhi);
+    } else if (ulo >= sign) {
+      slo = std::max(slo, signExtend(ulo, w));
+      shi = std::min(shi, signExtend(uhi, w));
+    }
+    if (slo > shi) return toBottom();
+    // Signed -> unsigned.
+    if (slo >= 0) {
+      ulo = std::max(ulo, (u64)slo);
+      uhi = std::min(uhi, (u64)shi);
+    } else if (shi < 0) {
+      ulo = std::max(ulo, (u64)slo & m);
+      uhi = std::min(uhi, (u64)shi & m);
+    }
+    if (ulo > uhi) return toBottom();
+  }
+}
+
+AbsVal AbsVal::join(const AbsVal& a, const AbsVal& b) {
+  MPHLS_CHECK(a.width == b.width, "join of mismatched widths");
+  if (a.isBottom) return b;
+  if (b.isBottom) return a;
+  AbsVal r;
+  r.width = a.width;
+  r.ulo = std::min(a.ulo, b.ulo);
+  r.uhi = std::max(a.uhi, b.uhi);
+  r.slo = std::min(a.slo, b.slo);
+  r.shi = std::max(a.shi, b.shi);
+  r.zeros = a.zeros & b.zeros;
+  r.ones = a.ones & b.ones;
+  r.normalize();
+  return r;
+}
+
+AbsVal AbsVal::widen(const AbsVal& a, const AbsVal& b) {
+  AbsVal j = join(a, b);
+  if (a.isBottom || j.isBottom) return j;
+  if (j.ulo < a.ulo) j.ulo = 0;
+  if (j.uhi > a.uhi) {
+    const int h = std::bit_width(j.uhi);
+    j.uhi = h >= 64 ? ~0ULL : ((1ULL << h) - 1);
+  }
+  if (j.slo < a.slo) {
+    if (j.slo >= 0) {
+      j.slo = 0;
+    } else if (j.slo != std::numeric_limits<std::int64_t>::min()) {
+      const u64 c = std::bit_ceil((u64)(-j.slo));
+      j.slo = c >= (1ULL << 63) ? std::numeric_limits<std::int64_t>::min()
+                                : -(i64)c;
+    }
+  }
+  if (j.shi > a.shi) {
+    if (j.shi < 0) {
+      j.shi = -1;
+    } else {
+      const int h = std::bit_width((u64)j.shi);
+      j.shi = h >= 63 ? std::numeric_limits<std::int64_t>::max()
+                      : (i64)((1ULL << h) - 1);
+    }
+  }
+  j.normalize();
+  return j;
+}
+
+AbsVal AbsVal::meet(const AbsVal& a, const AbsVal& b) {
+  MPHLS_CHECK(a.width == b.width, "meet of mismatched widths");
+  if (a.isBottom) return a;
+  if (b.isBottom) return b;
+  AbsVal r;
+  r.width = a.width;
+  r.ulo = std::max(a.ulo, b.ulo);
+  r.uhi = std::min(a.uhi, b.uhi);
+  r.slo = std::max(a.slo, b.slo);
+  r.shi = std::min(a.shi, b.shi);
+  r.zeros = a.zeros | b.zeros;
+  r.ones = a.ones | b.ones;
+  r.normalize();
+  return r;
+}
+
+AbsVal AbsVal::meetU(std::uint64_t lo, std::uint64_t hi) const {
+  AbsVal r = *this;
+  if (r.isBottom) return r;
+  r.ulo = std::max(r.ulo, lo);
+  r.uhi = std::min(r.uhi, hi);
+  r.normalize();
+  return r;
+}
+
+AbsVal AbsVal::meetS(std::int64_t lo, std::int64_t hi) const {
+  AbsVal r = *this;
+  if (r.isBottom) return r;
+  r.slo = std::max(r.slo, lo);
+  r.shi = std::min(r.shi, hi);
+  r.normalize();
+  return r;
+}
+
+std::string AbsVal::str() const {
+  if (isBottom) return "bot";
+  std::ostringstream oss;
+  if (isConstant()) {
+    oss << "const " << ulo;
+    if (slo < 0) oss << " (s " << slo << ")";
+    return oss.str();
+  }
+  oss << "u[" << ulo << "," << uhi << "]";
+  oss << " s[" << slo << "," << shi << "]";
+  const u64 m = maskBits(width);
+  if (((zeros | ones) & m) != 0) {
+    oss << " b";
+    for (int i = width - 1; i >= 0; --i) {
+      const u64 bit = 1ULL << i;
+      oss << ((zeros & bit) ? '0' : (ones & bit) ? '1' : 'x');
+    }
+  }
+  return oss.str();
+}
+
+AbsVal evalAbsOp(OpKind kind, int width, std::int64_t imm,
+                 const std::vector<AbsVal>& args) {
+  const int w = width;
+  const u64 m = maskBits(w);
+  if (kind == OpKind::Const) return AbsVal::constant((u64)imm, w);
+  MPHLS_CHECK(args.size() == (std::size_t)opArity(kind),
+              "evalAbsOp arity mismatch for " << opName(kind));
+  for (const AbsVal& a : args)
+    if (a.isBottom) return AbsVal::bottom(w);
+  const AbsVal& A = args[0];
+
+  switch (kind) {
+    case OpKind::Not: {
+      AbsVal r = AbsVal::top(w);
+      if (A.uhi <= m) {
+        r.ulo = m - A.uhi;
+        r.uhi = m - A.ulo;
+      }
+      r.zeros |= A.ones & m;
+      r.ones |= A.zeros & m;
+      r.normalize();
+      return r;
+    }
+    case OpKind::Neg:
+      return truncTo(w, -(i128)A.uhi, -(i128)A.ulo);
+    case OpKind::Inc:
+      return truncTo(w, (i128)A.ulo + 1, (i128)A.uhi + 1);
+    case OpKind::Dec:
+      return truncTo(w, (i128)A.ulo - 1, (i128)A.uhi - 1);
+
+    case OpKind::ShlConst: {
+      if (imm >= 64 || imm < 0) return AbsVal::constant(0, w);
+      const int sh = (int)imm;
+      AbsVal r = ((i128)std::bit_width(A.uhi) + sh <= 126)
+                     ? truncTo(w, (i128)A.ulo << sh, (i128)A.uhi << sh)
+                     : AbsVal::top(w);
+      r.zeros |= (A.zeros << sh) | (sh ? maskBits(sh) : 0);
+      r.ones |= (A.ones << sh) & m;
+      r.normalize();
+      return r;
+    }
+    case OpKind::ShrConst: {
+      if (imm >= 64 || imm < 0) return AbsVal::constant(0, w);
+      const int sh = (int)imm;
+      AbsVal r = truncTo(w, (i128)(A.ulo >> sh), (i128)(A.uhi >> sh));
+      r.zeros |= (A.zeros >> sh) | (sh ? ~(~0ULL >> sh) : 0);
+      r.ones |= (A.ones >> sh) & m;
+      r.normalize();
+      return r;
+    }
+    case OpKind::SarConst: {
+      const int sh = (int)std::clamp<std::int64_t>(imm, 0, 63);
+      return truncTo(w, (i128)A.slo >> sh, (i128)A.shi >> sh);
+    }
+
+    case OpKind::Trunc:
+    case OpKind::ZExt:
+      return adaptTo(w, A);
+    case OpKind::SExt:
+      return truncTo(w, (i128)A.slo, (i128)A.shi);
+
+    case OpKind::Add:
+    case OpKind::Sub:
+    case OpKind::Mul: {
+      const AbsVal& B = args[1];
+      AbsVal ur = AbsVal::top(w);
+      AbsVal sr = AbsVal::top(w);
+      // The raw pattern of arg i agrees with its signed view mod 2^width_i,
+      // so the signed-range result is only valid at `w` when both operand
+      // widths reach `w`.
+      const bool sOk = A.width >= w && B.width >= w;
+      if (kind == OpKind::Add) {
+        ur = truncTo(w, (i128)A.ulo + B.ulo, (i128)A.uhi + B.uhi);
+        if (sOk) sr = truncTo(w, (i128)A.slo + B.slo, (i128)A.shi + B.shi);
+      } else if (kind == OpKind::Sub) {
+        ur = truncTo(w, (i128)A.ulo - B.uhi, (i128)A.uhi - B.ulo);
+        if (sOk) sr = truncTo(w, (i128)A.slo - B.shi, (i128)A.shi - B.slo);
+      } else {
+        // Guard the 128-bit product against overflow: safe when both
+        // unsigned bounds fit 63 bits (product < 2^126). The signed
+        // candidates always fit (|s| <= 2^63).
+        if ((A.uhi >> 63) == 0 && (B.uhi >> 63) == 0)
+          ur = truncTo(w, (i128)A.ulo * B.ulo, (i128)A.uhi * B.uhi);
+        if (sOk) {
+          i128 lo = 0, hi = 0;
+          bool first = true;
+          for (i128 x : {(i128)A.slo, (i128)A.shi})
+            for (i128 y : {(i128)B.slo, (i128)B.shi}) {
+              const i128 p = x * y;
+              if (first || p < lo) lo = p;
+              if (first || p > hi) hi = p;
+              first = false;
+            }
+          sr = truncTo(w, lo, hi);
+        }
+      }
+      return AbsVal::meet(ur, sr);
+    }
+
+    case OpKind::Div: {
+      const AbsVal& B = args[1];
+      AbsVal acc = AbsVal::bottom(w);
+      if (B.contains(0))
+        acc = AbsVal::join(acc, AbsVal::constant(maskBits(w), w));
+      if (B.shi >= 1)
+        acc = AbsVal::join(
+            acc, signedDivRange(w, A, std::max<i128>(B.slo, 1), B.shi));
+      if (B.slo <= -1)
+        acc = AbsVal::join(
+            acc, signedDivRange(w, A, B.slo, std::min<i128>(B.shi, -1)));
+      return acc.isBottom ? AbsVal::top(w) : acc;
+    }
+    case OpKind::UDiv: {
+      const AbsVal& B = args[1];
+      AbsVal acc = AbsVal::bottom(w);
+      if (B.ulo == 0)
+        acc = AbsVal::join(acc, AbsVal::constant(maskBits(w), w));
+      if (B.uhi >= 1) {
+        const u64 dl = std::max<u64>(B.ulo, 1);
+        acc = AbsVal::join(acc,
+                           truncTo(w, (i128)(A.ulo / B.uhi), (i128)(A.uhi / dl)));
+      }
+      return acc.isBottom ? AbsVal::top(w) : acc;
+    }
+    case OpKind::Mod: {
+      const AbsVal& B = args[1];
+      AbsVal acc = AbsVal::bottom(w);
+      if (B.contains(0)) acc = AbsVal::join(acc, AbsVal::constant(0, w));
+      // Largest divisor magnitude over the nonzero part of B.
+      i128 dmax = 0;
+      if (B.shi >= 1) dmax = std::max(dmax, (i128)B.shi);
+      if (B.slo <= -1) dmax = std::max(dmax, -(i128)B.slo);
+      if (dmax > 0) {
+        // |s0 % d| < |d| and the remainder keeps the numerator's sign; it
+        // is also no larger in magnitude than the numerator itself.
+        i128 lo = A.slo >= 0 ? 0 : std::max((i128)A.slo, -(dmax - 1));
+        i128 hi = A.shi <= 0 ? 0 : std::min((i128)A.shi, dmax - 1);
+        acc = AbsVal::join(acc, truncTo(w, lo, hi));
+      }
+      return acc.isBottom ? AbsVal::top(w) : acc;
+    }
+    case OpKind::UMod: {
+      const AbsVal& B = args[1];
+      AbsVal acc = AbsVal::bottom(w);
+      if (B.ulo == 0) acc = AbsVal::join(acc, AbsVal::constant(0, w));
+      if (B.uhi >= 1) {
+        AbsVal part = (B.ulo > 0 && A.uhi < B.ulo)
+                          ? truncTo(w, (i128)A.ulo, (i128)A.uhi)
+                          : truncTo(w, 0, (i128)std::min(A.uhi, B.uhi - 1));
+        acc = AbsVal::join(acc, part);
+      }
+      return acc.isBottom ? AbsVal::top(w) : acc;
+    }
+
+    case OpKind::And: {
+      const AbsVal& B = args[1];
+      AbsVal r = AbsVal::top(w);
+      r.uhi = std::min({r.uhi, A.uhi, B.uhi});
+      r.zeros |= A.zeros | B.zeros;
+      r.ones |= A.ones & B.ones & m;
+      r.normalize();
+      return r;
+    }
+    case OpKind::Or: {
+      const AbsVal& B = args[1];
+      AbsVal r = AbsVal::top(w);
+      if (std::max(A.width, B.width) <= w) r.ulo = std::max(A.ulo, B.ulo);
+      r.zeros |= A.zeros & B.zeros;
+      r.ones |= (A.ones | B.ones) & m;
+      r.normalize();
+      return r;
+    }
+    case OpKind::Xor: {
+      const AbsVal& B = args[1];
+      AbsVal r = AbsVal::top(w);
+      r.zeros |= (A.zeros & B.zeros) | (A.ones & B.ones);
+      r.ones |= ((A.zeros & B.ones) | (A.ones & B.zeros)) & m;
+      r.normalize();
+      return r;
+    }
+
+    case OpKind::Shl: {
+      const AbsVal& B = args[1];
+      if (B.ulo >= 64) return AbsVal::constant(0, w);
+      const int shLo = (int)B.ulo;
+      const int shHi = (int)std::min<u64>(B.uhi, 63);
+      AbsVal r = ((i128)std::bit_width(A.uhi) + shHi <= 126)
+                     ? truncTo(w, (i128)A.ulo << shLo, (i128)A.uhi << shHi)
+                     : AbsVal::top(w);
+      if (B.uhi >= 64) r = AbsVal::join(r, AbsVal::constant(0, w));
+      if (shLo > 0) {
+        r.zeros |= maskBits(shLo);
+        r.normalize();
+      }
+      return r;
+    }
+    case OpKind::Shr: {
+      const AbsVal& B = args[1];
+      if (B.ulo >= 64) return AbsVal::constant(0, w);
+      const int shLo = (int)B.ulo;
+      const int shHi = (int)std::min<u64>(B.uhi, 63);
+      AbsVal r = truncTo(w, (i128)(A.ulo >> shHi), (i128)(A.uhi >> shLo));
+      if (B.uhi >= 64) r = AbsVal::join(r, AbsVal::constant(0, w));
+      return r;
+    }
+    case OpKind::Sar: {
+      const AbsVal& B = args[1];
+      const int shLo = (int)std::min<u64>(B.ulo, 63);
+      const int shHi = (int)std::min<u64>(B.uhi, 63);
+      i128 lo = 0, hi = 0;
+      bool first = true;
+      for (i128 n : {(i128)A.slo, (i128)A.shi})
+        for (int sh : {shLo, shHi}) {
+          const i128 q = n >> sh;
+          if (first || q < lo) lo = q;
+          if (first || q > hi) hi = q;
+          first = false;
+        }
+      return truncTo(w, lo, hi);
+    }
+
+    case OpKind::Eq:
+    case OpKind::Ne:
+    case OpKind::Lt:
+    case OpKind::Le:
+    case OpKind::Gt:
+    case OpKind::Ge:
+    case OpKind::ULt:
+    case OpKind::ULe:
+    case OpKind::UGt:
+    case OpKind::UGe: {
+      const int t = triCompare(kind, A, args[1]);
+      return t < 0 ? AbsVal::fromUnsignedRange(w, 0, 1)
+                   : AbsVal::constant((u64)t, w);
+    }
+
+    case OpKind::Select: {
+      const AbsVal& C = args[0];
+      const AbsVal& T = args[1];
+      const AbsVal& F = args[2];
+      if (C.isConstant())
+        return adaptTo(w, C.constValue() ? T : F);
+      return AbsVal::join(adaptTo(w, T), adaptTo(w, F));
+    }
+
+    default:
+      MPHLS_CHECK(false, "evalAbsOp on non-pure op " << opName(kind));
+      return AbsVal::top(w);
+  }
+}
+
+}  // namespace mphls

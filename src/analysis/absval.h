@@ -1,0 +1,96 @@
+// Abstract values for the dataflow engine: the reduced product of an
+// unsigned interval, a signed interval, and a known-bits mask over W-bit
+// two's-complement patterns.
+//
+// The concrete semantics being abstracted is Interpreter::evalPure: every
+// value is a 64-bit pattern truncated to its declared width, unsigned ops
+// read the raw pattern, signed ops read signExtend(pattern, argWidth), and
+// every result is truncated to the result width. An AbsVal describes the
+// set of patterns a value may take; soundness (checked by the fuzz tests in
+// tests/test_analysis.cpp) means every concrete pattern the interpreter
+// produces is contained in the AbsVal the transfer functions compute.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/opcode.h"
+
+namespace mphls {
+
+struct AbsVal {
+  int width = 1;
+  bool isBottom = false;  ///< empty set (unreachable / contradictory facts)
+
+  /// Unsigned view: raw pattern as u64, ulo <= v <= uhi.
+  std::uint64_t ulo = 0;
+  std::uint64_t uhi = 0;
+  /// Signed view: signExtend(v, width), slo <= s <= shi.
+  std::int64_t slo = 0;
+  std::int64_t shi = 0;
+  /// Known bits over the full 64-bit pattern. Bit i of `zeros` set: bit i of
+  /// the pattern is provably 0; bit i of `ones`: provably 1. Bits at and
+  /// above `width` are always in `zeros` (patterns are truncated).
+  std::uint64_t zeros = 0;
+  std::uint64_t ones = 0;
+
+  // --- constructors -----------------------------------------------------
+  [[nodiscard]] static AbsVal top(int width);
+  [[nodiscard]] static AbsVal bottom(int width);
+  [[nodiscard]] static AbsVal constant(std::uint64_t v, int width);
+  /// [lo, hi] over raw patterns; signed view and known bits are derived.
+  [[nodiscard]] static AbsVal fromUnsignedRange(int width, std::uint64_t lo,
+                                                std::uint64_t hi);
+
+  // --- queries ----------------------------------------------------------
+  [[nodiscard]] bool isConstant() const { return !isBottom && ulo == uhi; }
+  [[nodiscard]] std::uint64_t constValue() const { return ulo; }
+  /// Containment of a raw pattern (caller truncates to `width` first).
+  [[nodiscard]] bool contains(std::uint64_t v) const;
+  [[nodiscard]] bool isTop() const;
+  /// Smallest W' such that every contained pattern fits unsigned in W' bits
+  /// (i.e. uhi < 2^W'). At least 1; `width` when bottom is impossible here
+  /// because bottom values are never narrowed.
+  [[nodiscard]] int requiredUnsignedBits() const;
+
+  // --- lattice ----------------------------------------------------------
+  /// Least upper bound (set union, over-approximated).
+  [[nodiscard]] static AbsVal join(const AbsVal& a, const AbsVal& b);
+  /// Widening: like join, but bounds that grew jump to the next power-of-two
+  /// threshold so ascending chains stabilise in O(width) steps. Known bits
+  /// come from the plain join (that lattice is finite). `a` is the previous
+  /// state, `b` the new one.
+  [[nodiscard]] static AbsVal widen(const AbsVal& a, const AbsVal& b);
+  /// Greatest lower bound (set intersection, over-approximated).
+  [[nodiscard]] static AbsVal meet(const AbsVal& a, const AbsVal& b);
+
+  /// Refine with an unsigned / signed interval constraint (used by
+  /// branch-condition refinement). Returns the tightened value.
+  [[nodiscard]] AbsVal meetU(std::uint64_t lo, std::uint64_t hi) const;
+  [[nodiscard]] AbsVal meetS(std::int64_t lo, std::int64_t hi) const;
+
+  /// Inter-domain reduction: propagate facts between the three views until
+  /// they agree; collapses to bottom on contradiction. Every constructor
+  /// and lattice operation returns normalized values.
+  void normalize();
+
+  /// Compact rendering, e.g. "u[3,17] s[3,17] b000…1xxx" or "const 5".
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const AbsVal& a, const AbsVal& b) {
+    if (a.width != b.width) return false;
+    if (a.isBottom || b.isBottom) return a.isBottom == b.isBottom;
+    return a.ulo == b.ulo && a.uhi == b.uhi && a.slo == b.slo &&
+           a.shi == b.shi && a.zeros == b.zeros && a.ones == b.ones;
+  }
+};
+
+/// Transfer function of one pure operation: the abstract counterpart of
+/// Interpreter::evalPure with identical width/signedness/division/shift
+/// semantics. `args` carry the operand facts (their widths are the operand
+/// widths evalPure sign-extends from).
+[[nodiscard]] AbsVal evalAbsOp(OpKind kind, int width, std::int64_t imm,
+                               const std::vector<AbsVal>& args);
+
+}  // namespace mphls

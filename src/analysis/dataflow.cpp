@@ -1,0 +1,373 @@
+#include "analysis/dataflow.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <optional>
+
+#include "common/bitutil.h"
+#include "ir/analysis.h"
+
+namespace mphls {
+
+InitState joinInit(InitState a, InitState b) {
+  return a == b ? a : InitState::Maybe;
+}
+
+namespace {
+
+/// After this many entries of one block, its state is forced to top — a
+/// safety valve guaranteeing termination independent of widening details.
+constexpr int kForceTopAfter = 200;
+
+using VarState = std::vector<VarFact>;
+
+/// A branch-condition operand traced back to the variable whose stored
+/// pattern it equals. `signedExact` additionally means the operand's signed
+/// interpretation equals the variable content's (no widening cast between).
+struct TracedVar {
+  VarId var;
+  bool signedExact = true;
+};
+
+std::optional<TracedVar> traceToVar(const Function& fn, ValueId v) {
+  TracedVar t;
+  const Op* def = &fn.defOf(v);
+  while (def->kind == OpKind::ZExt || def->kind == OpKind::Trunc) {
+    // Only value-preserving casts: a cast to a narrower width truncates.
+    if (fn.value(def->result).width < fn.value(def->args[0]).width)
+      return std::nullopt;
+    t.signedExact = false;
+    def = &fn.defOf(def->args[0]);
+  }
+  if (def->kind != OpKind::LoadVar) return std::nullopt;
+  const int loadW = fn.value(def->result).width;
+  const int varW = fn.var(def->var).width;
+  if (loadW < varW) return std::nullopt;  // the load truncates the content
+  if (loadW != varW) t.signedExact = false;
+  t.var = def->var;
+  return t;
+}
+
+OpKind negatedCompare(OpKind k) {
+  switch (k) {
+    case OpKind::Eq: return OpKind::Ne;
+    case OpKind::Ne: return OpKind::Eq;
+    case OpKind::Lt: return OpKind::Ge;
+    case OpKind::Le: return OpKind::Gt;
+    case OpKind::Gt: return OpKind::Le;
+    case OpKind::Ge: return OpKind::Lt;
+    case OpKind::ULt: return OpKind::UGe;
+    case OpKind::ULe: return OpKind::UGt;
+    case OpKind::UGt: return OpKind::ULe;
+    case OpKind::UGe: return OpKind::ULt;
+    default: return k;
+  }
+}
+
+OpKind reversedCompare(OpKind k) {
+  switch (k) {
+    case OpKind::Lt: return OpKind::Gt;
+    case OpKind::Le: return OpKind::Ge;
+    case OpKind::Gt: return OpKind::Lt;
+    case OpKind::Ge: return OpKind::Le;
+    case OpKind::ULt: return OpKind::UGt;
+    case OpKind::ULe: return OpKind::UGe;
+    case OpKind::UGt: return OpKind::ULt;
+    case OpKind::UGe: return OpKind::ULe;
+    default: return k;  // Eq / Ne are symmetric
+  }
+}
+
+/// Tighten `fact` with "pattern <k> other" where `other` is the fact of the
+/// comparison's opposite operand. Unsigned relations constrain the raw
+/// pattern (valid through value-preserving casts); signed relations are
+/// applied only when `signedExact`.
+AbsVal constrain(AbsVal fact, OpKind k, const AbsVal& other,
+                 bool signedExact) {
+  switch (k) {
+    case OpKind::Eq: {
+      fact = fact.meetU(other.ulo, other.uhi);
+      if (fact.isBottom) return fact;
+      fact.zeros |= other.zeros;
+      fact.ones |= other.ones & maskBits(fact.width);
+      fact.normalize();
+      if (signedExact && !fact.isBottom) fact = fact.meetS(other.slo, other.shi);
+      return fact;
+    }
+    case OpKind::Ne:
+      if (!other.isConstant()) return fact;
+      if (fact.isConstant() && fact.constValue() == other.constValue())
+        return AbsVal::bottom(fact.width);
+      if (fact.ulo == other.constValue() && fact.ulo < fact.uhi)
+        return fact.meetU(fact.ulo + 1, fact.uhi);
+      if (fact.uhi == other.constValue() && fact.ulo < fact.uhi)
+        return fact.meetU(fact.ulo, fact.uhi - 1);
+      return fact;
+    case OpKind::ULt:
+      return other.uhi == 0 ? AbsVal::bottom(fact.width)
+                            : fact.meetU(0, other.uhi - 1);
+    case OpKind::ULe:
+      return fact.meetU(0, other.uhi);
+    case OpKind::UGt:
+      return other.ulo == ~0ULL ? AbsVal::bottom(fact.width)
+                                : fact.meetU(other.ulo + 1, ~0ULL);
+    case OpKind::UGe:
+      return fact.meetU(other.ulo, ~0ULL);
+    case OpKind::Lt:
+      if (!signedExact) return fact;
+      return other.shi == std::numeric_limits<std::int64_t>::min()
+                 ? AbsVal::bottom(fact.width)
+                 : fact.meetS(std::numeric_limits<std::int64_t>::min(),
+                              other.shi - 1);
+    case OpKind::Le:
+      if (!signedExact) return fact;
+      return fact.meetS(std::numeric_limits<std::int64_t>::min(), other.shi);
+    case OpKind::Gt:
+      if (!signedExact) return fact;
+      return other.slo == std::numeric_limits<std::int64_t>::max()
+                 ? AbsVal::bottom(fact.width)
+                 : fact.meetS(other.slo + 1,
+                              std::numeric_limits<std::int64_t>::max());
+    case OpKind::Ge:
+      if (!signedExact) return fact;
+      return fact.meetS(other.slo,
+                        std::numeric_limits<std::int64_t>::max());
+    default:
+      return fact;
+  }
+}
+
+class Engine {
+ public:
+  explicit Engine(const Function& fn) : fn_(fn) {
+    const auto rpo = reversePostOrder(fn);
+    rpoIndex_.assign(fn.numBlocks(), (int)fn.numBlocks());
+    for (std::size_t i = 0; i < rpo.size(); ++i)
+      rpoIndex_[rpo[i].index()] = (int)i;
+    entry_.resize(fn.numBlocks());
+    enters_.assign(fn.numBlocks(), 0);
+    inQueue_.assign(fn.numBlocks(), false);
+  }
+
+  AnalysisResult run() {
+    // The entry block starts with every variable holding zero, not yet
+    // written (the interpreter zero-initializes variable storage).
+    VarState init(fn_.vars().size());
+    for (const Variable& v : fn_.vars())
+      init[v.id.index()] = {AbsVal::constant(0, v.width), InitState::No};
+    entry_[fn_.entry().index()] = std::move(init);
+    push(fn_.entry());
+
+    AnalysisResult res;
+    while (!queue_.empty()) {
+      // Pull the queued block earliest in reverse post-order: predecessors
+      // tend to settle before successors, which minimizes re-evaluation.
+      auto it = std::min_element(queue_.begin(), queue_.end(),
+                                 [&](BlockId a, BlockId b) {
+                                   return rpoIndex_[a.index()] <
+                                          rpoIndex_[b.index()];
+                                 });
+      BlockId id = *it;
+      queue_.erase(it);
+      inQueue_[id.index()] = false;
+      ++res.iterations;
+      evalBlock(id, /*record=*/nullptr);
+    }
+
+    // Fixpoint reached: one recording pass computes the published facts.
+    res.valueFacts.reserve(fn_.numValues());
+    for (const Value& v : fn_.values())
+      res.valueFacts.push_back(AbsVal::bottom(v.width));
+    res.varFacts.reserve(fn_.vars().size());
+    for (const Variable& v : fn_.vars())
+      res.varFacts.push_back(AbsVal::bottom(v.width));
+    res.blockReachable.assign(fn_.numBlocks(), false);
+    for (const Block& blk : fn_.blocks()) {
+      if (!entry_[blk.id.index()]) continue;
+      res.blockReachable[blk.id.index()] = true;
+      evalBlock(blk.id, &res);
+    }
+    return res;
+  }
+
+ private:
+  void push(BlockId id) {
+    if (inQueue_[id.index()]) return;
+    inQueue_[id.index()] = true;
+    queue_.push_back(id);
+  }
+
+  /// Evaluate one block from its current entry state. Without `record`,
+  /// propagates exit states to successors (fixpoint iteration); with it,
+  /// stores value facts, variable joins, and lint evidence instead.
+  void evalBlock(BlockId id, AnalysisResult* record) {
+    const Block& blk = fn_.block(id);
+    VarState vars = *entry_[id.index()];
+    std::vector<AbsVal> facts(fn_.numValues(), AbsVal::bottom(1));
+
+    if (record)
+      for (std::size_t v = 0; v < vars.size(); ++v)
+        record->varFacts[v] = AbsVal::join(record->varFacts[v], vars[v].val);
+
+    for (OpId oid : blk.ops) {
+      const Op& o = fn_.op(oid);
+      switch (o.kind) {
+        case OpKind::ReadPort:
+          facts[o.result.index()] = AbsVal::top(fn_.value(o.result).width);
+          break;
+        case OpKind::LoadVar: {
+          const VarFact& vf = vars[o.var.index()];
+          facts[o.result.index()] =
+              adaptFact(fn_.value(o.result).width, vf.val);
+          if (record && vf.init == InitState::No)
+            record->readsBeforeWrite.push_back(oid);
+          break;
+        }
+        case OpKind::StoreVar: {
+          VarFact& vf = vars[o.var.index()];
+          vf.val = adaptFact(fn_.var(o.var).width, facts[o.args[0].index()]);
+          vf.init = InitState::Yes;
+          if (record)
+            record->varFacts[o.var.index()] =
+                AbsVal::join(record->varFacts[o.var.index()], vf.val);
+          break;
+        }
+        case OpKind::WritePort:
+        case OpKind::Nop:
+          break;
+        default: {
+          std::vector<AbsVal> a;
+          a.reserve(o.args.size());
+          for (ValueId arg : o.args) a.push_back(facts[arg.index()]);
+          facts[o.result.index()] =
+              evalAbsOp(o.kind, fn_.value(o.result).width, o.imm, a);
+          break;
+        }
+      }
+      if (record && o.result.valid())
+        record->valueFacts[o.result.index()] = facts[o.result.index()];
+    }
+
+    const Terminator& t = blk.term;
+    switch (t.kind) {
+      case Terminator::Kind::Return:
+        break;
+      case Terminator::Kind::Jump:
+        if (!record) propagate(id, t.target, vars);
+        break;
+      case Terminator::Kind::Branch: {
+        const AbsVal& c = facts[t.cond.index()];
+        if (record) {
+          if (c.isConstant())
+            record->deadBranches.push_back({id, c.constValue() != 0});
+          break;
+        }
+        for (bool taken : {true, false}) {
+          if (c.isConstant() && (c.constValue() != 0) != taken) continue;
+          VarState refined = vars;
+          if (refineEdge(facts, t.cond, taken, refined))
+            propagate(id, taken ? t.target : t.elseTarget,
+                      std::move(refined));
+        }
+        break;
+      }
+    }
+  }
+
+  /// t_w(content) fact of a load / store adapting between value width and
+  /// variable width (equal in frontend-produced IR; narrowing may skew).
+  static AbsVal adaptFact(int w, const AbsVal& a) {
+    return evalAbsOp(OpKind::Trunc, w, 0, {a});
+  }
+
+  /// Tighten `vars` with the constraint "cond == taken". Returns false when
+  /// the constraint is unsatisfiable (the edge cannot execute).
+  bool refineEdge(const std::vector<AbsVal>& facts, ValueId cond, bool taken,
+                  VarState& vars) {
+    const Op& def = fn_.defOf(cond);
+    if (opIsCompare(def.kind)) {
+      OpKind k = taken ? def.kind : negatedCompare(def.kind);
+      const AbsVal& lf = facts[def.args[0].index()];
+      const AbsVal& rf = facts[def.args[1].index()];
+      if (auto lv = traceToVar(fn_, def.args[0])) {
+        AbsVal& v = vars[lv->var.index()].val;
+        v = constrain(v, k, rf, lv->signedExact);
+        if (v.isBottom) return false;
+      }
+      if (auto rv = traceToVar(fn_, def.args[1])) {
+        AbsVal& v = vars[rv->var.index()].val;
+        v = constrain(v, reversedCompare(k), lf, rv->signedExact);
+        if (v.isBottom) return false;
+      }
+      return true;
+    }
+    // A bare width-1 condition: on the taken edge the pattern is 1, else 0.
+    if (auto cv = traceToVar(fn_, cond)) {
+      AbsVal& v = vars[cv->var.index()].val;
+      v = v.meetU(taken ? 1 : 0, taken ? 1 : 0);
+      if (v.isBottom) return false;
+    }
+    return true;
+  }
+
+  void propagate(BlockId from, BlockId to, VarState vars) {
+    auto& slot = entry_[to.index()];
+    if (!slot) {
+      slot = std::move(vars);
+      ++enters_[to.index()];
+      push(to);
+      return;
+    }
+    // Back edge (by reverse post-order) => `to` is a loop header: widen so
+    // ascending chains terminate. Plain joins elsewhere.
+    const bool widenHere =
+        rpoIndex_[to.index()] <= rpoIndex_[from.index()] &&
+        enters_[to.index()] >= 2;
+    const bool forceTop = enters_[to.index()] >= kForceTopAfter;
+    bool changed = false;
+    VarState& cur = *slot;
+    for (std::size_t v = 0; v < cur.size(); ++v) {
+      AbsVal next = AbsVal::join(cur[v].val, vars[v].val);
+      if (widenHere) next = AbsVal::widen(cur[v].val, next);
+      if (forceTop) next = AbsVal::top(next.width);
+      const InitState ni = joinInit(cur[v].init, vars[v].init);
+      if (!(next == cur[v].val) || ni != cur[v].init) {
+        cur[v].val = next;
+        cur[v].init = ni;
+        changed = true;
+      }
+    }
+    if (changed) {
+      ++enters_[to.index()];
+      push(to);
+    }
+  }
+
+  const Function& fn_;
+  std::vector<int> rpoIndex_;
+  std::vector<std::optional<VarState>> entry_;
+  std::vector<int> enters_;
+  std::vector<bool> inQueue_;
+  std::deque<BlockId> queue_;
+};
+
+}  // namespace
+
+AnalysisResult analyzeFunction(const Function& fn) {
+  return Engine(fn).run();
+}
+
+std::map<ValueId, std::string> factAnnotations(const Function& fn,
+                                               const AnalysisResult& result) {
+  std::map<ValueId, std::string> notes;
+  for (const Value& v : fn.values()) {
+    if (v.id.index() >= result.valueFacts.size()) continue;
+    const AbsVal& f = result.valueFacts[v.id.index()];
+    if (f.isBottom || f.isTop()) continue;
+    notes.emplace(v.id, f.str());
+  }
+  return notes;
+}
+
+}  // namespace mphls

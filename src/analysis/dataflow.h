@@ -1,0 +1,70 @@
+// Worklist abstract interpretation over the CDFG.
+//
+// The engine runs the AbsVal transfer functions (absval.h) over every block,
+// propagating per-variable facts along control-flow edges to a fixpoint:
+// block entry states only grow (joins), back-edge targets widen so loops
+// terminate, and branch edges are refined with the facts implied by the
+// branch condition. The result is a fact store queryable per SSA value and
+// per variable, plus the reachability / initialization evidence the
+// semantic lints (check/check_semantics.h) and the width-narrowing pass
+// (opt/narrow.cpp) consume.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/absval.h"
+#include "ir/cdfg.h"
+
+namespace mphls {
+
+/// Has a variable been stored to on the paths reaching a program point?
+enum class InitState : unsigned char { No, Maybe, Yes };
+
+[[nodiscard]] InitState joinInit(InitState a, InitState b);
+
+/// Per-variable abstract state at one program point.
+struct VarFact {
+  AbsVal val;
+  InitState init = InitState::No;
+};
+
+struct AnalysisResult {
+  /// Fact per SSA value at the fixpoint; bottom for values in unreachable
+  /// blocks. Indexed by ValueId.
+  std::vector<AbsVal> valueFacts;
+  /// Join of every value a variable ever contains (including the initial
+  /// zero). Indexed by VarId. This is the bound the narrowing pass uses for
+  /// register widths.
+  std::vector<AbsVal> varFacts;
+  /// Indexed by BlockId.
+  std::vector<bool> blockReachable;
+  /// LoadVar ops that read a variable no path has stored to (the read sees
+  /// the implicit initial zero).
+  std::vector<OpId> readsBeforeWrite;
+  /// Branches whose condition is provably constant: the edge not matching
+  /// `condValue` is never taken.
+  struct DeadBranch {
+    BlockId block;
+    bool condValue = false;
+  };
+  std::vector<DeadBranch> deadBranches;
+  /// Worklist block evaluations until the fixpoint (a convergence metric).
+  int iterations = 0;
+
+  [[nodiscard]] const AbsVal& fact(ValueId v) const {
+    return valueFacts.at(v.index());
+  }
+};
+
+/// Run the analysis to a fixpoint. The function must pass verifyOrThrow.
+[[nodiscard]] AnalysisResult analyzeFunction(const Function& fn);
+
+/// Short per-value annotations ("u[0,58250]" etc.) for DOT dumps and the
+/// `mphls analyze` listing; values whose fact is top (nothing proven) are
+/// omitted.
+[[nodiscard]] std::map<ValueId, std::string> factAnnotations(
+    const Function& fn, const AnalysisResult& result);
+
+}  // namespace mphls

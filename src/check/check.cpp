@@ -6,6 +6,7 @@ namespace mphls {
 
 CheckReport checkDesign(const RtlDesign& design, const CheckOptions& options) {
   CheckReport report;
+  if (options.semantics) checkSemantics(design.fn, report);
   if (options.schedule)
     checkSchedule(design.fn, design.sched, options.resources,
                   options.latencies, report);

@@ -7,6 +7,7 @@
 #include "check/check_binding.h"
 #include "check/check_controller.h"
 #include "check/check_schedule.h"
+#include "check/check_semantics.h"
 #include "check/lint_verilog.h"
 #include "check/report.h"
 #include "rtl/design.h"
@@ -21,6 +22,10 @@ struct CheckOptions {
   bool schedule = true;
   bool binding = true;
   bool controller = true;
+  /// Run the abstract-interpretation semantic lints (check_semantics.h)
+  /// over the behavioral IR: read-before-write, dead branches, unreachable
+  /// blocks, guaranteed truncation, possible division by zero.
+  bool semantics = true;
   /// Emit Verilog and lint the netlist. Skipped automatically for
   /// multicycle latency models (the emitter supports unit latency only).
   bool netlist = true;

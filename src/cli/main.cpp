@@ -3,6 +3,8 @@
 // Usage:
 //   mphls [options] design.bdl
 //   mphls lint [options] design.bdl
+//   mphls analyze [--dot-facts FILE] design.bdl
+//   mphls analyze --builtins
 //   mphls bench [--jobs N] [--points N] [--repeats N] [--sched-ops N]
 //               [--out DIR] [--quiet]
 //
@@ -10,6 +12,14 @@
 // verification report (schedule legality, binding consistency, controller
 // completeness, Verilog netlist lint) instead of the synthesis summary;
 // it exits 1 if any error-severity finding is reported.
+//
+// The `analyze` subcommand runs the abstract-interpretation dataflow engine
+// (value ranges + known bits) on the compiled behavior and prints the
+// per-value facts plus the semantic lint report (analysis.* check ids); it
+// exits 1 if any error-severity finding is reported. `--dot-facts FILE`
+// additionally writes the CFG and per-block DFGs with each node annotated
+// by its fact; `--builtins` analyzes every built-in design instead of a
+// file (the CI gate).
 //
 // The `bench` subcommand runs the synthesis-throughput suite on built-in
 // designs and writes BENCH_dse.json / BENCH_sched.json (see
@@ -39,8 +49,10 @@
 #include <iostream>
 #include <sstream>
 
+#include "analysis/dataflow.h"
 #include "check/check.h"
 #include "core/bench_runner.h"
+#include "core/designs.h"
 #include "core/dse.h"
 #include "core/synthesizer.h"
 #include "ir/dot.h"
@@ -59,9 +71,12 @@ struct CliArgs {
   std::string verilogOut;
   std::string dotOut;
   std::vector<std::map<std::string, std::uint64_t>> verifyRuns;
+  std::string dotFactsOut;
   int sweep = 0;
   bool quiet = false;
   bool lint = false;
+  bool analyze = false;
+  bool builtins = false;
   SynthesisOptions opts;
 };
 
@@ -69,12 +84,13 @@ void usage() {
   std::cerr <<
       "usage: mphls [options] design.bdl\n"
       "       mphls lint [options] design.bdl\n"
+      "       mphls analyze [--dot-facts FILE] design.bdl | --builtins\n"
       "  --top NAME  --scheduler serial|asap|list|force|freedom|bnb|transform\n"
       "  --fus N  --priority path|mobility|urgency|program\n"
       "  --opt none|standard|aggressive  --fu-alloc greedy|global|blind|clique\n"
       "  --reg-alloc leftedge|clique|naive  --encoding binary|gray|onehot\n"
       "  --time-constraint N  --verilog FILE  --dot FILE\n"
-      "  --verify a=1,b=2  --sweep N  --jobs N  --multicycle\n"
+      "  --verify a=1,b=2  --sweep N  --jobs N  --multicycle  --narrow\n"
       "  --check|--no-check  --quiet\n"
       "       mphls bench [--jobs N] [--points N] [--repeats N]\n"
       "                   [--sched-ops N] [--out DIR] [--quiet]\n";
@@ -200,6 +216,14 @@ std::optional<CliArgs> parseArgs(int argc, char** argv) {
       if (a.opts.jobs < 1) return std::nullopt;
     } else if (arg == "--multicycle") {
       a.opts.latencies = OpLatencyModel::multiCycle();
+    } else if (arg == "--narrow") {
+      a.opts.narrow = true;
+    } else if (arg == "--dot-facts") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.dotFactsOut = v;
+    } else if (arg == "--builtins") {
+      a.builtins = true;
     } else if (arg == "--check") {
       a.opts.check = true;
     } else if (arg == "--no-check") {
@@ -208,6 +232,8 @@ std::optional<CliArgs> parseArgs(int argc, char** argv) {
       a.quiet = true;
     } else if (arg == "lint" && a.file.empty() && !a.lint) {
       a.lint = true;
+    } else if (arg == "analyze" && a.file.empty() && !a.analyze) {
+      a.analyze = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return std::nullopt;
     } else {
@@ -215,8 +241,74 @@ std::optional<CliArgs> parseArgs(int argc, char** argv) {
     }
   }
   a.opts.resources = ResourceLimits::universalSet(fus);
-  if (a.file.empty()) return std::nullopt;
+  if (a.builtins && !a.analyze) return std::nullopt;
+  if (a.file.empty() && !a.builtins) return std::nullopt;
   return a;
+}
+
+/// `mphls analyze design.bdl`: facts listing + semantic lint report.
+int runAnalyze(const Function& fn, const std::string& label,
+               const std::string& dotFactsOut, bool quiet) {
+  const AnalysisResult res = analyzeFunction(fn);
+  if (!quiet) {
+    std::cout << "analysis of '" << fn.name() << "' (" << res.iterations
+              << " block visits):\n";
+    for (const Block& blk : fn.blocks()) {
+      std::cout << "  block " << blk.name;
+      if (!res.blockReachable[blk.id.index()]) std::cout << " (unreachable)";
+      std::cout << ":\n";
+      for (OpId oid : blk.ops) {
+        const Op& o = fn.op(oid);
+        if (!o.result.valid()) continue;
+        std::cout << "    v" << o.result.get() << " = " << opName(o.kind)
+                  << " [w" << fn.value(o.result).width
+                  << "]: " << res.fact(o.result).str() << "\n";
+      }
+    }
+    for (const Variable& vr : fn.vars())
+      std::cout << "  var " << vr.name << " [w" << vr.width
+                << "]: " << res.varFacts[vr.id.index()].str() << "\n";
+  }
+
+  CheckReport report;
+  checkSemantics(fn, report);
+  if (report.empty()) {
+    std::cout << label << ": clean (0 findings)\n";
+  } else {
+    std::cout << report.render();
+  }
+
+  if (!dotFactsOut.empty()) {
+    std::ofstream out(dotFactsOut);
+    if (!out) return fail("cannot write " + dotFactsOut);
+    const auto notes = factAnnotations(fn, res);
+    out << controlFlowDot(fn);
+    for (const Block& blk : fn.blocks())
+      if (!blk.ops.empty()) out << dataFlowDot(fn, blk.id, notes);
+    if (!quiet) std::cout << "wrote DOT to " << dotFactsOut << "\n";
+  }
+  return report.clean() ? 0 : 1;
+}
+
+/// `mphls analyze --builtins`: the CI gate — semantic lints over every
+/// built-in design, failing on any error-severity finding.
+int runAnalyzeBuiltins(bool quiet) {
+  int failures = 0;
+  for (const auto& d : designs::all()) {
+    DiagEngine diags;
+    auto fn = compileBdl(d.source, diags);
+    if (!fn) return fail(std::string("builtin '") + d.name +
+                         "' failed to compile");
+    CheckReport report;
+    checkSemantics(*fn, report);
+    std::cout << d.name << ": " << report.errorCount() << " error(s), "
+              << report.warningCount() << " warning(s)\n";
+    if (!quiet)
+      for (const auto& diag : report.all())
+        std::cout << "  " << diag.str() << "\n";
+    if (!report.clean()) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 int runBench(int argc, char** argv) {
@@ -269,6 +361,8 @@ int main(int argc, char** argv) {
   }
   CliArgs& a = *parsed;
 
+  if (a.analyze && a.builtins) return runAnalyzeBuiltins(a.quiet);
+
   std::ifstream in(a.file);
   if (!in) return fail("cannot open " + a.file);
   std::stringstream buf;
@@ -278,6 +372,8 @@ int main(int argc, char** argv) {
   auto fn = compileBdl(buf.str(), diags, a.top);
   for (const auto& d : diags.all()) std::cerr << a.file << ":" << d.str() << "\n";
   if (!fn) return 1;
+
+  if (a.analyze) return runAnalyze(*fn, a.file, a.dotFactsOut, a.quiet);
 
   if (a.lint) {
     // Lint collects every finding in one pass, so the stage-exit throwing

@@ -9,6 +9,7 @@ int bitsForStates(std::uint64_t n) {
   int bits = 0;
   std::uint64_t cap = 1;
   while (cap < n) {
+    if (bits >= kMaxWidth) return kMaxWidth;  // n > 2^63: cap would wrap
     cap <<= 1;
     ++bits;
   }

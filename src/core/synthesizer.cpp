@@ -77,6 +77,11 @@ SynthesisResult Synthesizer::synthesize(Function fn) {
       break;
     }
   }
+  if (options_.narrow) {
+    PassManager pm;
+    pm.add(createNarrowWidthsPass());
+    pm.run(fn);
+  }
   st.optimize = timer.seconds();
   return backend(std::move(fn), st);
 }

@@ -53,6 +53,12 @@ struct SynthesisOptions {
   /// throw InternalError on the first violation. On by default so every
   /// test run is statically verified; `mphls --no-check` disables it.
   bool check = true;
+  /// Run the analysis-driven width-narrowing pass (opt/narrow.cpp) after
+  /// the optimization pipeline: every value and register shrinks to the
+  /// bitwidth the abstract interpreter proves sufficient. Off by default —
+  /// it changes declared datapath widths, which matters when the RTL
+  /// interface is inspected externally; `mphls --narrow` enables it.
+  bool narrow = false;
   /// Worker threads for design-space exploration (core/dse.h): <= 0 means
   /// one per hardware thread, 1 bypasses the thread pool entirely and runs
   /// the legacy serial loop. Results are identical at any value; only wall

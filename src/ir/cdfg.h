@@ -138,6 +138,7 @@ class Function {
   [[nodiscard]] const Variable& var(VarId id) const {
     return vars_.at(id.index());
   }
+  [[nodiscard]] Variable& var(VarId id) { return vars_.at(id.index()); }
   [[nodiscard]] const Value& value(ValueId id) const {
     return values_.at(id.index());
   }

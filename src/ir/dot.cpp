@@ -6,7 +6,22 @@
 
 namespace mphls {
 
-std::string dataFlowDot(const Function& fn, BlockId block) {
+namespace {
+
+/// Escape a string for use inside a double-quoted DOT label.
+std::string dotEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string dataFlowDot(const Function& fn, BlockId block,
+                        const std::map<ValueId, std::string>& valueNotes) {
   const Block& blk = fn.block(block);
   BlockDeps deps(fn, blk);
   std::ostringstream oss;
@@ -18,6 +33,10 @@ std::string dataFlowDot(const Function& fn, BlockId block) {
     if (o.kind == OpKind::Const) oss << " " << o.imm;
     if (o.var.valid()) oss << " " << fn.var(o.var).name;
     if (o.port.valid()) oss << " " << fn.port(o.port).name;
+    if (o.result.valid()) {
+      auto it = valueNotes.find(o.result);
+      if (it != valueNotes.end()) oss << "\\n" << dotEscape(it->second);
+    }
     oss << "\"";
     if (o.isFree()) oss << " style=dashed";
     if (o.isSink()) oss << " shape=box";
@@ -30,6 +49,10 @@ std::string dataFlowDot(const Function& fn, BlockId block) {
   }
   oss << "}\n";
   return oss.str();
+}
+
+std::string dataFlowDot(const Function& fn, BlockId block) {
+  return dataFlowDot(fn, block, {});
 }
 
 std::string controlFlowDot(const Function& fn) {

@@ -2,6 +2,7 @@
 // presented separately "for intelligibility" exactly as the paper's Fig. 1.
 #pragma once
 
+#include <map>
 #include <string>
 
 #include "ir/cdfg.h"
@@ -9,6 +10,12 @@
 namespace mphls {
 
 /// DOT digraph of one block's data-flow graph (value + ordering edges).
+/// `valueNotes` (optional) maps values to a second label line on the node
+/// producing them — `mphls analyze --dot-facts` passes the abstract
+/// interpreter's range/known-bits facts here.
+[[nodiscard]] std::string dataFlowDot(
+    const Function& fn, BlockId block,
+    const std::map<ValueId, std::string>& valueNotes);
 [[nodiscard]] std::string dataFlowDot(const Function& fn, BlockId block);
 
 /// DOT digraph of the control-flow graph (blocks and transitions).

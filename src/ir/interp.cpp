@@ -19,10 +19,16 @@ std::uint64_t Interpreter::evalPure(OpKind kind, int width, std::int64_t imm,
     case OpKind::Neg: return t(~u(0) + 1);
     case OpKind::Inc: return t(u(0) + 1);
     case OpKind::Dec: return t(u(0) - 1);
-    case OpKind::ShlConst: return t(u(0) << imm);
-    case OpKind::ShrConst: return t(u(0) >> imm);
+    // Constant shift amounts are in [0, 64) in verified IR; out-of-range
+    // amounts still get defined semantics (shift out everything) so direct
+    // evalPure callers can never hit C++ shift UB.
+    case OpKind::ShlConst:
+      return (imm < 0 || imm >= 64) ? 0 : t(u(0) << imm);
+    case OpKind::ShrConst:
+      return (imm < 0 || imm >= 64) ? 0 : t(u(0) >> imm);
     case OpKind::SarConst:
-      return t(static_cast<std::uint64_t>(s(0) >> imm));
+      return t(static_cast<std::uint64_t>(
+          s(0) >> (imm < 0 ? 0 : imm > 63 ? 63 : imm)));
     case OpKind::Trunc: return t(u(0));
     case OpKind::ZExt: return t(u(0));
     case OpKind::SExt: return t(static_cast<std::uint64_t>(s(0)));
@@ -31,14 +37,21 @@ std::uint64_t Interpreter::evalPure(OpKind kind, int width, std::int64_t imm,
     case OpKind::Mul: return t(u(0) * u(1));
     case OpKind::Div: {
       std::int64_t d = s(1);
-      return d == 0 ? maskBits(width)
-                    : t(static_cast<std::uint64_t>(s(0) / d));
+      if (d == 0) return maskBits(width);
+      // INT64_MIN / -1 overflows int64; define it as the two's-complement
+      // negation (the value the mod-2^width wrap produces for -n).
+      if (d == -1)
+        return t(0 - static_cast<std::uint64_t>(s(0)));
+      return t(static_cast<std::uint64_t>(s(0) / d));
     }
     case OpKind::UDiv:
       return u(1) == 0 ? maskBits(width) : t(u(0) / u(1));
     case OpKind::Mod: {
       std::int64_t d = s(1);
-      return d == 0 ? 0 : t(static_cast<std::uint64_t>(s(0) % d));
+      // d == -1 divides everything (INT64_MIN % -1 is UB in C++).
+      return (d == 0 || d == -1)
+                 ? 0
+                 : t(static_cast<std::uint64_t>(s(0) % d));
     }
     case OpKind::UMod: return u(1) == 0 ? 0 : t(u(0) % u(1));
     case OpKind::And: return t(u(0) & u(1));
@@ -68,7 +81,8 @@ std::uint64_t Interpreter::evalPure(OpKind kind, int width, std::int64_t imm,
 }
 
 ExecResult Interpreter::run(const std::map<std::string, std::uint64_t>& inputs,
-                            long maxBlockExecs) const {
+                            long maxBlockExecs,
+                            const ValueObserver& observe) const {
   ExecResult res;
   // Port and variable state.
   std::vector<std::uint64_t> portVal(fn_.ports().size(), 0);
@@ -127,6 +141,8 @@ ExecResult Interpreter::run(const std::map<std::string, std::uint64_t>& inputs,
         }
       }
       if (!o.isFree()) ++res.opsExecuted;
+      if (observe && o.result.valid())
+        observe(o.result, vals[o.result.index()]);
     }
     const Terminator& t = blk.term;
     switch (t.kind) {

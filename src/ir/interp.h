@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -33,12 +34,18 @@ class Interpreter {
  public:
   explicit Interpreter(const Function& fn) : fn_(fn) {}
 
+  /// Called after each result-producing operation executes with the value
+  /// id and the concrete pattern assigned. Used by the analysis soundness
+  /// fuzzers to check every observed value against its computed fact.
+  using ValueObserver = std::function<void(ValueId, std::uint64_t)>;
+
   /// Run the function once. `inputs` maps input-port names to values (all
   /// input ports must be present). `maxBlockExecs` bounds non-terminating
   /// control flow.
   [[nodiscard]] ExecResult run(
       const std::map<std::string, std::uint64_t>& inputs,
-      long maxBlockExecs = 100000) const;
+      long maxBlockExecs = 100000,
+      const ValueObserver& observe = {}) const;
 
   /// Evaluate one pure op on concrete operand values (shared with the RTL
   /// simulator so both levels use identical arithmetic).

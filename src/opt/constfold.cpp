@@ -1,6 +1,7 @@
 // Constant folding: pure operations whose operands are all constants are
 // evaluated at compile time (using the same arithmetic as the interpreter
 // and the RTL, so folding can never change behavior).
+#include "common/bitutil.h"
 #include "ir/interp.h"
 #include "opt/pass.h"
 
@@ -29,10 +30,9 @@ class ConstFoldPass final : public Pass {
             allConst = false;
             break;
           }
-          args.push_back(static_cast<std::uint64_t>(def.imm) &
-                         ((fn.value(a).width == 64)
-                              ? ~0ULL
-                              : ((1ULL << fn.value(a).width) - 1)));
+          args.push_back(
+              truncBits(static_cast<std::uint64_t>(def.imm),
+                        fn.value(a).width));
           widths.push_back(fn.value(a).width);
         }
         if (!allConst) continue;

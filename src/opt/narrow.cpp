@@ -1,0 +1,93 @@
+// Analysis-driven width narrowing: shrink every value and variable to the
+// bitwidth the dataflow engine (analysis/dataflow.h) proves sufficient.
+//
+// Soundness rests on the facts being sound over-approximations of the raw
+// patterns: when a fact shows every pattern of a W-bit value fits W' < W
+// bits, truncating the producing operation to W' is the identity on every
+// execution, so nothing downstream can observe the change. Two caveats make
+// the rule slightly conservative:
+//   - consumers that sign-extend the operand (signed div/mod/compares,
+//     arithmetic shifts, SExt) need the sign bit clear at the new width,
+//     so such values keep one slack bit;
+//   - ReadPort results keep the port width (the interface is fixed and the
+//     interpreter hands port patterns through untruncated).
+// Every narrowed bit propagates through allocation: functional-unit widths
+// are the max over bound op widths, register widths follow the stored
+// value/variable widths, and mux leg costs scale with operand width — which
+// is precisely why the estimator reports smaller designs (see
+// tests/test_analysis.cpp NarrowShrinksBuiltinDesigns).
+#include "opt/pass.h"
+
+#include "analysis/dataflow.h"
+
+namespace mphls {
+
+namespace {
+
+class NarrowWidthsPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "narrow-widths";
+  }
+
+  int run(Function& fn) override {
+    const AnalysisResult res = analyzeFunction(fn);
+
+    // Values consumed with sign extension somewhere keep a slack bit.
+    std::vector<bool> signUse(fn.numValues(), false);
+    for (const Block& blk : fn.blocks()) {
+      for (OpId oid : blk.ops) {
+        const Op& o = fn.op(oid);
+        switch (o.kind) {
+          case OpKind::Div:
+          case OpKind::Mod:
+          case OpKind::Lt:
+          case OpKind::Le:
+          case OpKind::Gt:
+          case OpKind::Ge:
+            signUse[o.args[0].index()] = true;
+            signUse[o.args[1].index()] = true;
+            break;
+          case OpKind::Sar:
+          case OpKind::SarConst:
+          case OpKind::SExt:
+            signUse[o.args[0].index()] = true;
+            break;
+          default:
+            break;
+        }
+      }
+    }
+
+    int changes = 0;
+    for (const Value& v : fn.values()) {
+      const AbsVal& f = res.valueFacts[v.id.index()];
+      if (f.isBottom) continue;  // unreachable or detached producer
+      if (fn.defOf(v.id).kind == OpKind::ReadPort) continue;
+      const int need = f.requiredUnsignedBits() +
+                       (signUse[v.id.index()] ? 1 : 0);
+      if (need < v.width) {
+        fn.value(v.id).width = need;
+        ++changes;
+      }
+    }
+    for (const Variable& vr : fn.vars()) {
+      const AbsVal& f = res.varFacts[vr.id.index()];
+      if (f.isBottom) continue;  // variable of an unreachable region
+      const int need = f.requiredUnsignedBits();
+      if (need < vr.width) {
+        fn.var(vr.id).width = need;
+        ++changes;
+      }
+    }
+    return changes;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> createNarrowWidthsPass() {
+  return std::make_unique<NarrowWidthsPass>();
+}
+
+}  // namespace mphls

@@ -40,6 +40,9 @@ class Pass {
 [[nodiscard]] std::unique_ptr<Pass> createAlgebraicPass();
 [[nodiscard]] std::unique_ptr<Pass> createUnrollPass(int maxTrip = 64);
 [[nodiscard]] std::unique_ptr<Pass> createTreeHeightPass();
+/// Analysis-driven width narrowing (narrow.cpp). Not part of the standard
+/// pipelines: enabled by SynthesisOptions::narrow / `mphls --narrow`.
+[[nodiscard]] std::unique_ptr<Pass> createNarrowWidthsPass();
 
 /// Per-pass outcome of a manager run.
 struct PassStats {

@@ -1,0 +1,845 @@
+// Tests for the abstract-interpretation dataflow engine (src/analysis/),
+// the semantic lints built on it (src/check/check_semantics.*) and the
+// analysis-driven width-narrowing pass (src/opt/narrow.cpp).
+//
+// The load-bearing property is *soundness*: every concrete value the
+// behavioral interpreter produces must be contained in the fact the engine
+// computed for it. It is checked three ways, in increasing generality:
+//   - exhaustively, per transfer function, over all small-width constants;
+//   - over random small intervals, enumerating every concrete pair;
+//   - over >= 1000 whole random programs (raw CDFGs built through the
+//     Function API plus random BDL programs), hooking the interpreter's
+//     ValueObserver so every executed value is checked against its fact.
+// Narrowing is additionally checked by behavior equivalence on the same
+// random programs and by RTL-vs-behavior bit-identity on the built-ins.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/absval.h"
+#include "analysis/dataflow.h"
+#include "check/check.h"
+#include "common/bitutil.h"
+#include "core/designs.h"
+#include "core/synthesizer.h"
+#include "ir/interp.h"
+#include "ir/verify.h"
+#include "lang/frontend.h"
+#include "opt/pass.h"
+
+namespace mphls {
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : s_(seed * 2654435761u + 1) {}
+  std::uint64_t next() {
+    s_ ^= s_ << 13;
+    s_ ^= s_ >> 7;
+    s_ ^= s_ << 17;
+    return s_;
+  }
+  std::size_t below(std::size_t n) { return (std::size_t)(next() % n); }
+  bool chance(int percent) { return below(100) < (std::size_t)percent; }
+
+ private:
+  std::uint64_t s_;
+};
+
+// ------------------------------------------------------- AbsVal lattice
+
+TEST(AbsVal, ConstantRoundTrip) {
+  AbsVal c = AbsVal::constant(5, 8);
+  EXPECT_TRUE(c.isConstant());
+  EXPECT_EQ(c.constValue(), 5u);
+  EXPECT_TRUE(c.contains(5));
+  EXPECT_FALSE(c.contains(6));
+  EXPECT_EQ(c.requiredUnsignedBits(), 3);
+}
+
+TEST(AbsVal, TopContainsEverything) {
+  for (int w : {1, 7, 32, 64}) {
+    AbsVal t = AbsVal::top(w);
+    EXPECT_TRUE(t.isTop());
+    EXPECT_TRUE(t.contains(0));
+    EXPECT_TRUE(t.contains(maskBits(w)));
+    EXPECT_EQ(t.requiredUnsignedBits(), w);
+  }
+}
+
+TEST(AbsVal, JoinIsUpperBound) {
+  AbsVal a = AbsVal::fromUnsignedRange(16, 3, 10);
+  AbsVal b = AbsVal::fromUnsignedRange(16, 100, 200);
+  AbsVal j = AbsVal::join(a, b);
+  for (std::uint64_t v : {3u, 10u, 100u, 200u, 50u})
+    EXPECT_TRUE(j.contains(v)) << v;
+  EXPECT_FALSE(j.contains(201));
+  EXPECT_FALSE(j.contains(2));
+}
+
+TEST(AbsVal, MeetIntersects) {
+  AbsVal a = AbsVal::fromUnsignedRange(8, 0, 10);
+  AbsVal b = AbsVal::fromUnsignedRange(8, 5, 20);
+  AbsVal m = AbsVal::meet(a, b);
+  EXPECT_EQ(m.ulo, 5u);
+  EXPECT_EQ(m.uhi, 10u);
+  AbsVal disjoint = AbsVal::meet(AbsVal::fromUnsignedRange(8, 0, 3),
+                                 AbsVal::fromUnsignedRange(8, 9, 12));
+  EXPECT_TRUE(disjoint.isBottom);
+}
+
+TEST(AbsVal, JoinWithBottomIsIdentity) {
+  AbsVal a = AbsVal::fromUnsignedRange(8, 2, 9);
+  EXPECT_EQ(AbsVal::join(a, AbsVal::bottom(8)), a);
+  EXPECT_EQ(AbsVal::join(AbsVal::bottom(8), a), a);
+}
+
+TEST(AbsVal, NormalizeReducesBetweenViews) {
+  // A known one-bit at position 7 must pull the unsigned lower bound up.
+  AbsVal v = AbsVal::top(8);
+  v.ones = 0x80;
+  v.normalize();
+  EXPECT_GE(v.ulo, 0x80u);
+  EXPECT_FALSE(v.isBottom);
+  // Contradictory facts collapse to bottom.
+  AbsVal c = AbsVal::constant(3, 8);
+  c.zeros |= 0x1;  // claims bit 0 is zero, but the value is 3
+  c.normalize();
+  EXPECT_TRUE(c.isBottom);
+}
+
+TEST(AbsVal, WideningStabilizesAscendingChains) {
+  AbsVal state = AbsVal::constant(0, 32);
+  int changes = 0;
+  for (std::uint64_t i = 1; i < 5000; ++i) {
+    AbsVal next = AbsVal::widen(state, AbsVal::join(state,
+                                                    AbsVal::constant(i, 32)));
+    if (!(next == state)) {
+      ++changes;
+      state = next;
+    }
+  }
+  // Threshold widening: bounds jump along the power-of-two ladder, so the
+  // chain settles in O(width) steps, not O(chain length).
+  EXPECT_LE(changes, 40);
+  EXPECT_TRUE(state.contains(4999));
+}
+
+TEST(AbsVal, EvalAbsOpBasics) {
+  auto c = [](std::uint64_t v, int w) { return AbsVal::constant(v, w); };
+  // Add wraps at the result width.
+  EXPECT_EQ(evalAbsOp(OpKind::Add, 8, 0, {c(255, 8), c(1, 8)}).constValue(),
+            0u);
+  // And with a constant mask bounds the range.
+  AbsVal masked = evalAbsOp(OpKind::And, 8, 0, {AbsVal::top(8), c(0x0F, 8)});
+  EXPECT_LE(masked.uhi, 0x0Fu);
+  // Disjoint ranges decide unsigned comparisons.
+  AbsVal lt = evalAbsOp(OpKind::ULt, 1, 0,
+                        {AbsVal::fromUnsignedRange(8, 0, 5),
+                         AbsVal::fromUnsignedRange(8, 10, 20)});
+  EXPECT_TRUE(lt.isConstant());
+  EXPECT_EQ(lt.constValue(), 1u);
+  // Division by a constant zero has the interpreter's defined semantics.
+  EXPECT_EQ(evalAbsOp(OpKind::UDiv, 8, 0, {c(7, 8), c(0, 8)}).constValue(),
+            maskBits(8));
+}
+
+// ------------------------------------------- per-op soundness, exhaustive
+
+constexpr OpKind kBinaryKinds[] = {
+    OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Div, OpKind::UDiv,
+    OpKind::Mod, OpKind::UMod, OpKind::And, OpKind::Or,  OpKind::Xor,
+    OpKind::Shl, OpKind::Shr,  OpKind::Sar, OpKind::Eq,  OpKind::Ne,
+    OpKind::Lt,  OpKind::Le,   OpKind::Gt,  OpKind::Ge,  OpKind::ULt,
+    OpKind::ULe, OpKind::UGt,  OpKind::UGe};
+
+constexpr OpKind kUnaryKinds[] = {OpKind::Not,   OpKind::Neg, OpKind::Inc,
+                                  OpKind::Dec,   OpKind::Trunc,
+                                  OpKind::ZExt,  OpKind::SExt};
+
+TEST(AbsValSoundness, ExhaustiveConstantsAtSmallWidths) {
+  const int widths[] = {1, 2, 3};
+  for (int aw : widths) {
+    for (int bw : widths) {
+      for (int rw : widths) {
+        for (OpKind k : kBinaryKinds) {
+          const int w = opIsCompare(k) ? 1 : rw;
+          for (std::uint64_t a = 0; a <= maskBits(aw); ++a) {
+            for (std::uint64_t b = 0; b <= maskBits(bw); ++b) {
+              const std::uint64_t got =
+                  Interpreter::evalPure(k, w, 0, {a, b}, {aw, bw});
+              const AbsVal abs = evalAbsOp(
+                  k, w, 0,
+                  {AbsVal::constant(a, aw), AbsVal::constant(b, bw)});
+              ASSERT_TRUE(abs.contains(got))
+                  << opName(k) << " w" << w << " (" << a << ":" << aw << ", "
+                  << b << ":" << bw << ") -> " << got << " not in "
+                  << abs.str();
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(AbsValSoundness, ExhaustiveUnaryAndConstShifts) {
+  const int widths[] = {1, 2, 3, 5};
+  for (int aw : widths) {
+    for (int rw : widths) {
+      for (std::uint64_t a = 0; a <= maskBits(aw); ++a) {
+        for (OpKind k : kUnaryKinds) {
+          const std::uint64_t got =
+              Interpreter::evalPure(k, rw, 0, {a}, {aw});
+          const AbsVal abs = evalAbsOp(k, rw, 0, {AbsVal::constant(a, aw)});
+          ASSERT_TRUE(abs.contains(got))
+              << opName(k) << " w" << rw << " (" << a << ":" << aw << ") -> "
+              << got << " not in " << abs.str();
+        }
+        for (OpKind k : {OpKind::ShlConst, OpKind::ShrConst,
+                         OpKind::SarConst}) {
+          for (std::int64_t imm : {0, 1, 2, 4, 63}) {
+            const std::uint64_t got =
+                Interpreter::evalPure(k, rw, imm, {a}, {aw});
+            const AbsVal abs =
+                evalAbsOp(k, rw, imm, {AbsVal::constant(a, aw)});
+            ASSERT_TRUE(abs.contains(got))
+                << opName(k) << " imm " << imm << " w" << rw << " (" << a
+                << ":" << aw << ") -> " << got << " not in " << abs.str();
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(AbsValSoundness, RandomIntervalsEnumerated) {
+  Rng rng(20260805);
+  for (int c = 0; c < 400; ++c) {
+    const int aw = 1 + (int)rng.below(6);
+    const int bw = 1 + (int)rng.below(6);
+    OpKind k = kBinaryKinds[rng.below(std::size(kBinaryKinds))];
+    const int rw = opIsCompare(k) ? 1 : 1 + (int)rng.below(6);
+    auto span = [&](int w) {
+      std::uint64_t lo = rng.next() & maskBits(w);
+      std::uint64_t hi = lo + rng.below(8);
+      if (hi > maskBits(w)) hi = maskBits(w);
+      return std::pair(lo, hi);
+    };
+    auto [alo, ahi] = span(aw);
+    auto [blo, bhi] = span(bw);
+    const AbsVal A = AbsVal::fromUnsignedRange(aw, alo, ahi);
+    const AbsVal B = AbsVal::fromUnsignedRange(bw, blo, bhi);
+    const AbsVal abs = evalAbsOp(k, rw, 0, {A, B});
+    for (std::uint64_t a = alo; a <= ahi; ++a) {
+      for (std::uint64_t b = blo; b <= bhi; ++b) {
+        const std::uint64_t got =
+            Interpreter::evalPure(k, rw, 0, {a, b}, {aw, bw});
+        ASSERT_TRUE(abs.contains(got))
+            << opName(k) << " w" << rw << " a=" << a << ":" << aw
+            << " in [" << alo << "," << ahi << "] b=" << b << ":" << bw
+            << " in [" << blo << "," << bhi << "] -> " << got << " not in "
+            << abs.str();
+      }
+    }
+  }
+}
+
+// --------------------------------------------------- engine on known IR
+
+AnalysisResult analyzeSource(const char* src, Function* out = nullptr) {
+  Function fn = compileBdlOrThrow(src);
+  AnalysisResult res = analyzeFunction(fn);
+  if (out) *out = std::move(fn);
+  return res;
+}
+
+TEST(Dataflow, BranchRefinementBoundsVariableLoads) {
+  Function fn("x");
+  AnalysisResult res = analyzeSource(R"(
+    proc p(in a: uint<8>, out o: uint<8>) {
+      var x: uint<8>;
+      x = a;
+      if (x < 10) { o = x + 0; } else { o = 0; }
+    }
+  )", &fn);
+  bool refined = false;
+  for (const Block& blk : fn.blocks()) {
+    for (OpId oid : blk.ops) {
+      const Op& o = fn.op(oid);
+      if (o.kind != OpKind::LoadVar) continue;
+      const AbsVal& f = res.fact(o.result);
+      if (!f.isBottom && f.uhi <= 9) refined = true;
+    }
+  }
+  EXPECT_TRUE(refined) << "no load refined below the branch bound";
+}
+
+TEST(Dataflow, LoopExitRefinementProvesCounterValue) {
+  Function fn("x");
+  AnalysisResult res = analyzeSource(R"(
+    proc p(in a: uint<16>, out o: uint<16>) {
+      var i: uint<16>;
+      i = 0;
+      do { i = i + 1; } until (i == 200);
+      o = i;
+    }
+  )", &fn);
+  // The load feeding `o` sits on the loop's exit edge, where i == 200.
+  bool proved = false;
+  for (const Block& blk : fn.blocks()) {
+    for (OpId oid : blk.ops) {
+      const Op& o = fn.op(oid);
+      if (o.kind != OpKind::LoadVar) continue;
+      const AbsVal& f = res.fact(o.result);
+      if (f.isConstant() && f.constValue() == 200) proved = true;
+    }
+  }
+  EXPECT_TRUE(proved);
+  EXPECT_GT(res.iterations, 0);
+}
+
+TEST(Dataflow, NestedLoopsConverge) {
+  AnalysisResult res = analyzeSource(R"(
+    proc p(in a: uint<8>, out o: uint<8>) {
+      var i: uint<8>; var j: uint<8>; var acc: uint<8>;
+      acc = a; i = 0;
+      do {
+        j = 0;
+        do { acc = acc + j; j = j + 1; } until (j == 5);
+        i = i + 1;
+      } until (i == 7);
+      o = acc;
+    }
+  )");
+  EXPECT_LT(res.iterations, 500) << "widening failed to converge quickly";
+}
+
+TEST(Dataflow, FactAnnotationsSkipTopFacts) {
+  Function fn("x");
+  AnalysisResult res = analyzeSource(R"(
+    proc p(in a: uint<8>, out o: uint<8>) { o = a + a; }
+  )", &fn);
+  auto notes = factAnnotations(fn, res);
+  for (const auto& [v, text] : notes) {
+    EXPECT_FALSE(res.fact(v).isTop()) << text;
+    EXPECT_FALSE(text.empty());
+  }
+}
+
+// ------------------------------------------------------- semantic lints
+
+CheckReport lintSource(const char* src) {
+  Function fn = compileBdlOrThrow(src);
+  CheckReport report;
+  checkSemantics(fn, report);
+  return report;
+}
+
+TEST(SemanticLint, ReadBeforeWriteFiresAndStaysQuiet) {
+  CheckReport bad = lintSource(R"(
+    proc p(in a: uint<8>, out o: uint<8>) {
+      var x: uint<8>;
+      o = x;
+      x = a;
+    }
+  )");
+  EXPECT_TRUE(bad.has("analysis.read-before-write")) << bad.render();
+  CheckReport good = lintSource(R"(
+    proc p(in a: uint<8>, out o: uint<8>) {
+      var x: uint<8>;
+      x = a;
+      o = x;
+    }
+  )");
+  EXPECT_FALSE(good.has("analysis.read-before-write")) << good.render();
+}
+
+TEST(SemanticLint, DeadBranchAndUnreachableBlock) {
+  // a + 1 wraps at 8 bits, so x <= 255 and the comparison is always false.
+  CheckReport bad = lintSource(R"(
+    proc p(in a: uint<8>, out o: uint<8>) {
+      var x: uint<16>;
+      x = a + 1;
+      if (x > 300) { o = 1; } else { o = 2; }
+    }
+  )");
+  EXPECT_TRUE(bad.has("analysis.dead-branch")) << bad.render();
+  EXPECT_TRUE(bad.has("analysis.unreachable-block")) << bad.render();
+  CheckReport good = lintSource(R"(
+    proc p(in a: uint<16>, out o: uint<8>) {
+      var x: uint<16>;
+      x = a;
+      if (x > 300) { o = 1; } else { o = 2; }
+    }
+  )");
+  EXPECT_FALSE(good.has("analysis.dead-branch")) << good.render();
+  EXPECT_FALSE(good.has("analysis.unreachable-block")) << good.render();
+}
+
+TEST(SemanticLint, StoreTruncates) {
+  CheckReport bad = lintSource(R"(
+    proc p(in a: uint<8>, out o: uint<4>) {
+      o = 255;
+    }
+  )");
+  EXPECT_TRUE(bad.has("analysis.store-truncates")) << bad.render();
+  CheckReport good = lintSource(R"(
+    proc p(in a: uint<8>, out o: uint<4>) {
+      o = 12;
+    }
+  )");
+  EXPECT_FALSE(good.has("analysis.store-truncates")) << good.render();
+}
+
+TEST(SemanticLint, DivByZeroAlwaysVersusMaybe) {
+  CheckReport always = lintSource(R"(
+    proc p(in a: uint<8>, out o: uint<8>) { o = a / 0; }
+  )");
+  ASSERT_TRUE(always.has("analysis.div-by-zero")) << always.render();
+  bool sawAlways = false;
+  for (const auto& d : always.all())
+    if (d.id == "analysis.div-by-zero" &&
+        d.message.find("always zero") != std::string::npos)
+      sawAlways = true;
+  EXPECT_TRUE(sawAlways) << always.render();
+
+  CheckReport maybe = lintSource(R"(
+    proc p(in a: uint<8>, in b: uint<8>, out o: uint<8>) { o = a / b; }
+  )");
+  EXPECT_TRUE(maybe.has("analysis.div-by-zero")) << maybe.render();
+
+  // A guarded divisor is range-refined away from zero: no finding.
+  CheckReport guarded = lintSource(R"(
+    proc p(in a: uint<8>, in b: uint<8>, out o: uint<8>) {
+      var d: uint<8>;
+      d = b;
+      if (d != 0) { o = a / d; } else { o = 0; }
+    }
+  )");
+  EXPECT_FALSE(guarded.has("analysis.div-by-zero")) << guarded.render();
+}
+
+TEST(SemanticLint, LintsAreWarningsNotErrors) {
+  CheckReport rep = lintSource(R"(
+    proc p(in a: uint<8>, out o: uint<8>) {
+      var x: uint<8>;
+      o = x / 0;
+    }
+  )");
+  EXPECT_GE(rep.warningCount(), 2u);
+  EXPECT_EQ(rep.errorCount(), 0u);
+  EXPECT_TRUE(rep.clean());
+}
+
+TEST(SemanticLint, BuiltinDesignsHaveNoErrorFindings) {
+  for (const auto& d : designs::all()) {
+    Function fn = compileBdlOrThrow(d.source);
+    CheckReport report;
+    checkSemantics(fn, report);
+    EXPECT_EQ(report.errorCount(), 0u) << d.name << ":\n" << report.render();
+  }
+}
+
+// ------------------------------------------------ random-DFG soundness
+
+struct DfgProgram {
+  Function fn{"dfg"};
+  std::vector<std::string> inputNames;
+};
+
+DfgProgram makeRandomDfg(Rng& rng) {
+  DfgProgram p;
+  Function& fn = p.fn;
+  BlockId b = fn.addBlock("entry");
+  fn.setEntry(b);
+
+  std::vector<ValueId> pool;
+  const int nIn = 2 + (int)rng.below(2);
+  for (int i = 0; i < nIn; ++i) {
+    std::string name = "in" + std::to_string(i);
+    PortId port = fn.addInput(name, 1 + (int)rng.below(64));
+    p.inputNames.push_back(name);
+    pool.push_back(fn.emitRead(b, port));
+  }
+  std::vector<VarId> vars;
+  const int nVar = 1 + (int)rng.below(2);
+  for (int i = 0; i < nVar; ++i)
+    vars.push_back(fn.addVar("v" + std::to_string(i),
+                             1 + (int)rng.below(64)));
+  for (int i = 0; i < 3; ++i)
+    pool.push_back(fn.emitConst(b, (std::int64_t)rng.next(),
+                                1 + (int)rng.below(64)));
+
+  auto pick = [&] { return pool[rng.below(pool.size())]; };
+  constexpr OpKind shifts[] = {OpKind::ShlConst, OpKind::ShrConst,
+                               OpKind::SarConst};
+  constexpr OpKind compares[] = {OpKind::Eq,  OpKind::Ne,  OpKind::Lt,
+                                 OpKind::Le,  OpKind::Gt,  OpKind::Ge,
+                                 OpKind::ULt, OpKind::ULe, OpKind::UGt,
+                                 OpKind::UGe};
+  constexpr OpKind arith[] = {OpKind::Add, OpKind::Sub, OpKind::Mul,
+                              OpKind::Div, OpKind::UDiv, OpKind::Mod,
+                              OpKind::UMod, OpKind::And, OpKind::Or,
+                              OpKind::Xor, OpKind::Shl, OpKind::Shr,
+                              OpKind::Sar};
+
+  const int nOps = 12 + (int)rng.below(20);
+  for (int i = 0; i < nOps; ++i) {
+    const int w = 1 + (int)rng.below(64);
+    switch (rng.below(6)) {
+      case 0:
+        pool.push_back(fn.emitBinary(b, arith[rng.below(std::size(arith))],
+                                     pick(), pick(), w));
+        break;
+      case 1:
+        pool.push_back(fn.emitUnary(
+            b, kUnaryKinds[rng.below(std::size(kUnaryKinds))], pick(), w));
+        break;
+      case 2:
+        pool.push_back(fn.emitUnary(b, shifts[rng.below(std::size(shifts))],
+                                    pick(), w,
+                                    (std::int64_t)rng.below(64)));
+        break;
+      case 3:
+        pool.push_back(fn.emitBinary(
+            b, compares[rng.below(std::size(compares))], pick(), pick()));
+        break;
+      case 4:
+        pool.push_back(fn.emitSelect(b, pick(), pick(), pick()));
+        break;
+      case 5: {
+        VarId v = vars[rng.below(vars.size())];
+        fn.emitStore(b, v, pick());
+        pool.push_back(fn.emitLoad(b, v));
+        break;
+      }
+    }
+  }
+  PortId out = fn.addOutput("o", 1 + (int)rng.below(64));
+  fn.emitWrite(b, out, pick());
+  fn.setReturn(b);
+  return p;
+}
+
+std::map<std::string, std::uint64_t> fuzzInputs(
+    const std::vector<std::string>& names, Rng& rng, int trial) {
+  std::map<std::string, std::uint64_t> in;
+  for (const auto& n : names) {
+    std::uint64_t v = rng.next();
+    if (trial == 0) v = 0;
+    if (trial == 1) v = ~0ull;
+    in[n] = v;
+  }
+  return in;
+}
+
+/// One soundness run: analyze, execute, assert every observed value is
+/// inside its fact. Returns the number of containment violations.
+int soundnessViolations(const Function& fn, const AnalysisResult& res,
+                        const std::vector<std::string>& inputNames,
+                        Rng& rng, int trials) {
+  Interpreter interp(fn);
+  int bad = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    auto in = fuzzInputs(inputNames, rng, trial);
+    (void)interp.run(in, 100000, [&](ValueId v, std::uint64_t raw) {
+      if (!res.fact(v).contains(raw)) {
+        if (bad < 3)
+          ADD_FAILURE() << "unsound fact: v" << v.get() << " = " << raw
+                        << " not in " << res.fact(v).str() << "\n"
+                        << fn.dump();
+        ++bad;
+      }
+    });
+  }
+  return bad;
+}
+
+class AnalysisDfgFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnalysisDfgFuzz, FactsContainEveryObservedValue) {
+  Rng rng((std::uint64_t)GetParam() * 7919 + 17);
+  for (int prog = 0; prog < 25; ++prog) {
+    DfgProgram p = makeRandomDfg(rng);
+    verifyOrThrow(p.fn);
+    AnalysisResult res = analyzeFunction(p.fn);
+    ASSERT_EQ(soundnessViolations(p.fn, res, p.inputNames, rng, 3), 0)
+        << "seed " << GetParam() << " program " << prog;
+  }
+}
+
+TEST_P(AnalysisDfgFuzz, NarrowingPreservesBehavior) {
+  Rng rng((std::uint64_t)GetParam() * 7919 + 17);
+  for (int prog = 0; prog < 25; ++prog) {
+    DfgProgram p = makeRandomDfg(rng);
+    Function narrowed = p.fn.clone();
+    PassManager pm;
+    pm.add(createNarrowWidthsPass());
+    pm.run(narrowed);  // re-verifies the IR after the pass
+    Interpreter i0(p.fn), i1(narrowed);
+    for (int trial = 0; trial < 3; ++trial) {
+      auto in = fuzzInputs(p.inputNames, rng, trial);
+      auto r0 = i0.run(in);
+      auto r1 = i1.run(in);
+      ASSERT_TRUE(r0.finished && r1.finished);
+      ASSERT_EQ(r0.outputs, r1.outputs)
+          << "seed " << GetParam() << " program " << prog << "\n"
+          << p.fn.dump() << "\n--- narrowed ---\n" << narrowed.dump();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalysisDfgFuzz, ::testing::Range(0, 24));
+
+// ------------------------------------------------ random-BDL soundness
+
+/// Compact random BDL generator: mixed widths, nested if/else, bounded
+/// counted loops; every variable is initialized and every output assigned
+/// up front, so all programs compile and terminate.
+class BdlGen {
+ public:
+  explicit BdlGen(std::uint64_t seed) : rng_(seed) {}
+
+  struct Result {
+    std::string source;
+    std::vector<std::string> inputs;
+  };
+
+  Result generate() {
+    std::ostringstream out;
+    Result res;
+    const int nIn = 2 + (int)rng_.below(2);
+    const int nVar = 2 + (int)rng_.below(3);
+    out << "proc fuzz(";
+    for (int i = 0; i < nIn; ++i) {
+      std::string name = "in" + std::to_string(i);
+      syms_.push_back(name);
+      res.inputs.push_back(name);
+      out << (i ? ", " : "") << "in " << name << ": uint<" << randWidth()
+          << ">";
+    }
+    out << ", out out0: uint<" << randWidth() << ">) {\n";
+    for (int i = 0; i < nVar; ++i) {
+      std::string name = "v" + std::to_string(i);
+      out << "  var " << name << ": uint<" << randWidth() << ">;\n";
+      out << "  " << name << " = " << expr(1) << ";\n";
+      syms_.push_back(name);
+    }
+    writables_.insert(writables_.end(), syms_.begin() + nIn, syms_.end());
+    writables_.push_back("out0");
+    out << "  out0 = " << expr(1) << ";\n";
+    const int nStmt = 3 + (int)rng_.below(5);
+    for (int i = 0; i < nStmt; ++i) stmt(out, 0);
+    out << "}\n";
+    res.source = out.str();
+    return res;
+  }
+
+ private:
+  Rng rng_;
+  std::vector<std::string> syms_;       // readable
+  std::vector<std::string> writables_;  // vars + outputs
+  int loops_ = 0;
+
+  int randWidth() {
+    const int widths[] = {4, 8, 12, 16, 24, 32};
+    return widths[rng_.below(6)];
+  }
+
+  std::string expr(int depth) {
+    if (depth >= 3 || rng_.chance(35)) {
+      if (rng_.chance(30)) return std::to_string(rng_.below(1000));
+      return syms_[rng_.below(syms_.size())];
+    }
+    const char* ops[] = {" + ", " - ", " * ", " / ", " % ", " & ", " ^ "};
+    switch (rng_.below(10)) {
+      case 0:
+        return "(" + expr(depth + 1) + " >> " +
+               std::to_string(1 + rng_.below(3)) + ")";
+      case 1:
+        return "(" + expr(depth + 1) + (rng_.chance(50) ? " < " : " >= ") +
+               expr(depth + 1) + " ? " + expr(depth + 1) + " : " +
+               expr(depth + 1) + ")";
+      case 2:
+        return "zext<32>(" + expr(depth + 1) + ")";
+      default:
+        return "(" + expr(depth + 1) + ops[rng_.below(7)] + expr(depth + 1) +
+               ")";
+    }
+  }
+
+  void stmt(std::ostringstream& out, int depth) {
+    const int roll = (int)rng_.below(100);
+    const std::string pad((std::size_t)(2 * depth + 2), ' ');
+    if (roll < 55 || depth >= 2) {
+      out << pad << writables_[rng_.below(writables_.size())] << " = "
+          << expr(0) << ";\n";
+    } else if (roll < 80) {
+      out << pad << "if (" << expr(1)
+          << (rng_.chance(50) ? " != " : " > ") << expr(1) << ") {\n";
+      stmt(out, depth + 1);
+      if (rng_.chance(60)) {
+        out << pad << "} else {\n";
+        stmt(out, depth + 1);
+      }
+      out << pad << "}\n";
+    } else {
+      std::string c = "k" + std::to_string(loops_++);
+      out << pad << "var " << c << ": uint<4>;\n";
+      out << pad << c << " = 0;\n";
+      out << pad << "do {\n";
+      stmt(out, depth + 1);
+      out << pad << "  " << c << " = " << c << " + 1;\n";
+      out << pad << "} until (" << c << " == " << 2 + rng_.below(4) << ");\n";
+    }
+  }
+};
+
+class AnalysisBdlFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnalysisBdlFuzz, FactsContainEveryObservedValue) {
+  Rng rng((std::uint64_t)GetParam() * 104729 + 5);
+  for (int prog = 0; prog < 25; ++prog) {
+    auto gen = BdlGen((std::uint64_t)GetParam() * 1000 + prog).generate();
+    Function fn = compileBdlOrThrow(gen.source);
+    AnalysisResult res = analyzeFunction(fn);
+    ASSERT_EQ(soundnessViolations(fn, res, gen.inputs, rng, 3), 0)
+        << "seed " << GetParam() << " program " << prog << "\n"
+        << gen.source;
+  }
+}
+
+TEST_P(AnalysisBdlFuzz, NarrowingAfterOptimizationPreservesBehavior) {
+  Rng rng((std::uint64_t)GetParam() * 104729 + 5);
+  for (int prog = 0; prog < 25; ++prog) {
+    auto gen = BdlGen((std::uint64_t)GetParam() * 1000 + prog).generate();
+    Function fn = compileBdlOrThrow(gen.source);
+    Function opt = fn.clone();
+    optimize(opt);
+    Function narrowed = opt.clone();
+    PassManager pm;
+    pm.add(createNarrowWidthsPass());
+    pm.run(narrowed);
+    Interpreter i0(fn), i1(narrowed);
+    for (int trial = 0; trial < 3; ++trial) {
+      auto in = fuzzInputs(gen.inputs, rng, trial);
+      auto r0 = i0.run(in);
+      auto r1 = i1.run(in);
+      ASSERT_TRUE(r0.finished && r1.finished) << gen.source;
+      ASSERT_EQ(r0.outputs, r1.outputs)
+          << "seed " << GetParam() << " program " << prog << "\n"
+          << gen.source;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalysisBdlFuzz, ::testing::Range(0, 18));
+
+// --------------------------------------------- narrowing on the builtins
+
+TEST(Narrow, ShrinksBuiltinsAndKeepsRtlBitIdentical) {
+  SynthesisOptions base;
+  base.resources = ResourceLimits::universalSet(2);
+  SynthesisOptions narrowed = base;
+  narrowed.narrow = true;
+
+  int strictlySmaller = 0;
+  Rng rng(99);
+  for (const auto& d : designs::all()) {
+    SynthesisResult r0 = Synthesizer(base).synthesizeSource(d.source);
+    SynthesisResult r1 = Synthesizer(narrowed).synthesizeSource(d.source);
+    EXPECT_LE(r1.area.total(), r0.area.total()) << d.name;
+    if (r1.area.total() < r0.area.total()) ++strictlySmaller;
+
+    // Bit-identity of the narrowed RTL against the behavioral spec, on the
+    // designs' sample stimulus plus random stimulus.
+    EXPECT_EQ(verifyAgainstBehavior(r1, d.sampleInputs), "") << d.name;
+    for (int t = 0; t < 2; ++t) {
+      std::map<std::string, std::uint64_t> in;
+      for (const auto& [k, v] : d.sampleInputs) in[k] = rng.next();
+      EXPECT_EQ(verifyAgainstBehavior(r1, in), "") << d.name;
+    }
+
+    CheckOptions copts;
+    copts.resources = base.resources;
+    CheckReport rep = checkDesign(r1.design, copts);
+    EXPECT_TRUE(rep.clean()) << d.name << ":\n" << rep.render();
+  }
+  // The acceptance bar: estimated area strictly shrinks on at least two
+  // built-in designs (empirically sqrt, diffeq, ewf and fir8 all shrink).
+  EXPECT_GE(strictlySmaller, 2);
+}
+
+TEST(Narrow, NeverWidensAndRespectsPortWidths) {
+  for (const auto& d : designs::all()) {
+    Function fn = compileBdlOrThrow(d.source);
+    optimize(fn);
+    Function narrowed = fn.clone();
+    PassManager pm;
+    pm.add(createNarrowWidthsPass());
+    pm.run(narrowed);
+    ASSERT_EQ(fn.numValues(), narrowed.numValues());
+    for (const Value& v : fn.values()) {
+      const Value& nv = narrowed.value(v.id);
+      EXPECT_LE(nv.width, v.width) << d.name;
+      EXPECT_GE(nv.width, 1) << d.name;
+      if (fn.defOf(v.id).kind == OpKind::ReadPort) {
+        EXPECT_EQ(nv.width, v.width) << d.name << ": port read narrowed";
+      }
+    }
+  }
+}
+
+// --------------------------------- regression: defined edge-case arithmetic
+
+TEST(EvalPureRegression, SignedDivisionOverflowIsDefined) {
+  const std::uint64_t intMin = 1ull << 63;
+  const std::vector<int> w64{64, 64};
+  // INT64_MIN / -1 wraps to INT64_MIN (two's-complement negation).
+  EXPECT_EQ(Interpreter::evalPure(OpKind::Div, 64, 0, {intMin, ~0ull}, w64),
+            intMin);
+  EXPECT_EQ(Interpreter::evalPure(OpKind::Mod, 64, 0, {intMin, ~0ull}, w64),
+            0u);
+  // Same at narrow width: -128 / -1 == -128 at 8 bits.
+  EXPECT_EQ(Interpreter::evalPure(OpKind::Div, 8, 0, {0x80, 0xFF}, {8, 8}),
+            0x80u);
+  EXPECT_EQ(Interpreter::evalPure(OpKind::Mod, 8, 0, {0x80, 0xFF}, {8, 8}),
+            0u);
+}
+
+TEST(EvalPureRegression, DivisionByZeroIsDefined) {
+  EXPECT_EQ(Interpreter::evalPure(OpKind::Div, 8, 0, {5, 0}, {8, 8}),
+            maskBits(8));
+  EXPECT_EQ(Interpreter::evalPure(OpKind::UDiv, 16, 0, {5, 0}, {16, 16}),
+            maskBits(16));
+  EXPECT_EQ(Interpreter::evalPure(OpKind::Mod, 8, 0, {5, 0}, {8, 8}), 0u);
+  EXPECT_EQ(Interpreter::evalPure(OpKind::UMod, 8, 0, {5, 0}, {8, 8}), 0u);
+}
+
+TEST(EvalPureRegression, OversizeShiftAmountsAreDefined) {
+  // Constant shifts: amounts >= 64 shift everything out (or clamp for the
+  // arithmetic shift, which saturates to the sign).
+  EXPECT_EQ(Interpreter::evalPure(OpKind::ShlConst, 32, 64, {5}, {32}), 0u);
+  EXPECT_EQ(Interpreter::evalPure(OpKind::ShrConst, 32, 100, {5}, {32}), 0u);
+  EXPECT_EQ(Interpreter::evalPure(OpKind::SarConst, 8, 1000, {0x80}, {8}),
+            0xFFu);
+  EXPECT_EQ(Interpreter::evalPure(OpKind::SarConst, 8, 1000, {0x7F}, {8}),
+            0u);
+  // Variable shifts with amounts >= 64.
+  EXPECT_EQ(Interpreter::evalPure(OpKind::Shl, 32, 0, {5, 64}, {32, 32}),
+            0u);
+  EXPECT_EQ(Interpreter::evalPure(OpKind::Shr, 32, 0, {5, 64}, {32, 32}),
+            0u);
+  EXPECT_EQ(Interpreter::evalPure(OpKind::Sar, 8, 0, {0x80, 200}, {8, 8}),
+            0xFFu);
+}
+
+TEST(BitUtilRegression, BitsForStatesHugeCounts) {
+  EXPECT_EQ(bitsForStates(1ull << 62), 62);
+  EXPECT_EQ(bitsForStates((1ull << 63) + 1), 64);
+  EXPECT_EQ(bitsForStates(~0ull), 64);
+}
+
+}  // namespace
+}  // namespace mphls

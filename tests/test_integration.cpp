@@ -91,7 +91,7 @@ class EndToEnd
 
 TEST_P(EndToEnd, RtlMatchesBehavior) {
   const auto& design = designs::all()[(std::size_t)std::get<0>(GetParam())];
-  const Config& cfg = configMatrix()[(std::size_t)std::get<1>(GetParam())];
+  const Config cfg = configMatrix()[(std::size_t)std::get<1>(GetParam())];
 
   Synthesizer synth(cfg.opts);
   SynthesisResult r = synth.synthesizeSource(design.source);
