@@ -1,9 +1,10 @@
 #!/bin/sh
 # Tier-1 verification: warnings-clean build, full test suite, a static lint
 # of the paper's square-root design, the semantic-lint gate over every
-# built-in design, an AddressSanitizer+UBSan pass over the whole suite, a
-# ThreadSanitizer pass over the parallel-DSE layer, and a bench smoke run
-# with a schema check of the emitted BENCH_dse.json.
+# built-in design, a fixed-seed differential fuzz campaign (plus an
+# injected-miscompile round trip), an AddressSanitizer+UBSan pass over the
+# whole suite, a ThreadSanitizer pass over the parallel-DSE layer, and a
+# bench smoke run with a schema check of the emitted BENCH_dse.json.
 set -eu
 
 cd "$(dirname "$0")"
@@ -17,6 +18,20 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 # error-severity finding on any built-in design (warnings are allowed and
 # printed for review).
 ./build/src/cli/mphls analyze --builtins
+
+# --- Differential fuzz smoke: a fixed-seed campaign over the standard
+# scheduler/allocator/encoding matrix must co-simulate clean (any failure
+# is saved and auto-reduced under build/fuzz-smoke for inspection)...
+./build/src/cli/mphls fuzz --seeds 100 --jobs "$(nproc)" --reduce \
+  --corpus build/fuzz-smoke
+
+# ...and an injected Mul->Add miscompile must be *caught* (exit 1),
+# proving the mismatch-detection path works end to end.
+if ./build/src/cli/mphls fuzz --seeds 10 --matrix quick --inject mul \
+    --no-save --quiet > /dev/null; then
+  echo "fuzz: injected miscompile was NOT detected" >&2
+  exit 1
+fi
 
 # --- AddressSanitizer + UndefinedBehaviorSanitizer: the full suite — in
 # particular the interpreter/analysis soundness fuzzers, which drive every

@@ -92,7 +92,14 @@ AbsVal constrain(AbsVal fact, OpKind k, const AbsVal& other,
       fact.zeros |= other.zeros;
       fact.ones |= other.ones & maskBits(fact.width);
       fact.normalize();
-      if (signedExact && !fact.isBottom) fact = fact.meetS(other.slo, other.shi);
+      // Equality is raw-pattern equality, so `other`'s signed bounds carry
+      // over only when both sides sign-extend from the same width. After
+      // width narrowing the operands of a compare can differ (e.g. a w12
+      // zext against a w24 load): pattern 4095 is -1 at w12 but +4095 at
+      // w24, and meeting the w12 signed range into the w24 fact would
+      // wrongly cap it at 2047.
+      if (signedExact && fact.width == other.width && !fact.isBottom)
+        fact = fact.meetS(other.slo, other.shi);
       return fact;
     }
     case OpKind::Ne:

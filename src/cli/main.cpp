@@ -7,6 +7,10 @@
 //   mphls analyze --builtins
 //   mphls bench [--jobs N] [--points N] [--repeats N] [--sched-ops N]
 //               [--out DIR] [--quiet]
+//   mphls fuzz [--seeds N] [--seed-base S] [--jobs N]
+//              [--matrix quick|standard|full] [--trials N] [--reduce]
+//              [--corpus DIR] [--no-save] [--replay DIR] [--inject mul]
+//              [--no-check] [--out FILE] [--quiet]
 //
 // The `lint` subcommand synthesizes the design and prints the full static
 // verification report (schedule legality, binding consistency, controller
@@ -19,11 +23,21 @@
 // exits 1 if any error-severity finding is reported. `--dot-facts FILE`
 // additionally writes the CFG and per-block DFGs with each node annotated
 // by its fact; `--builtins` analyzes every built-in design instead of a
-// file (the CI gate).
+// file (the CI gate). With an explicit `--opt` (and optionally `--narrow`)
+// the analysis runs on the post-pipeline IR instead of the frontend
+// output — the facts the width-narrowing pass actually consumes.
 //
 // The `bench` subcommand runs the synthesis-throughput suite on built-in
 // designs and writes BENCH_dse.json / BENCH_sched.json (see
 // core/bench_runner.h); it needs no input file.
+//
+// The `fuzz` subcommand runs the differential co-simulation fuzzer
+// (src/fuzz/): deterministic random BDL programs are synthesized across a
+// scheduler × allocator × encoding × narrow matrix, every point is gated
+// through checkDesign, and the RTL is co-simulated against the behavioral
+// interpreter. Failures are saved (raw + delta-debug-minimized with
+// --reduce) under the corpus directory; --replay DIR re-runs saved corpus
+// entries as a regression gate. Exits 1 on any failure.
 //
 // Options:
 //   --top NAME             top procedure (default: last in file)
@@ -49,9 +63,11 @@
 #include <iostream>
 #include <sstream>
 
+#include "opt/pass.h"
 #include "analysis/dataflow.h"
 #include "check/check.h"
 #include "core/bench_runner.h"
+#include "fuzz/campaign.h"
 #include "core/designs.h"
 #include "core/dse.h"
 #include "core/synthesizer.h"
@@ -77,6 +93,7 @@ struct CliArgs {
   bool lint = false;
   bool analyze = false;
   bool builtins = false;
+  bool optExplicit = false;  ///< --opt given: analyze post-pipeline IR
   SynthesisOptions opts;
 };
 
@@ -93,7 +110,12 @@ void usage() {
       "  --verify a=1,b=2  --sweep N  --jobs N  --multicycle  --narrow\n"
       "  --check|--no-check  --quiet\n"
       "       mphls bench [--jobs N] [--points N] [--repeats N]\n"
-      "                   [--sched-ops N] [--out DIR] [--quiet]\n";
+      "                   [--sched-ops N] [--out DIR] [--quiet]\n"
+      "       mphls fuzz [--seeds N] [--seed-base S] [--jobs N]\n"
+      "                  [--matrix quick|standard|full] [--trials N]\n"
+      "                  [--reduce] [--corpus DIR] [--no-save]\n"
+      "                  [--replay DIR] [--inject mul] [--no-check]\n"
+      "                  [--out FILE] [--quiet]\n";
 }
 
 bool parseInputs(const std::string& spec,
@@ -162,6 +184,7 @@ std::optional<CliArgs> parseArgs(int argc, char** argv) {
       else if (s == "standard") a.opts.opt = OptLevel::Standard;
       else if (s == "aggressive") a.opts.opt = OptLevel::Aggressive;
       else return std::nullopt;
+      a.optExplicit = true;
     } else if (arg == "--fu-alloc") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -350,10 +373,138 @@ int runBench(int argc, char** argv) {
   return runBenchSuite(b);
 }
 
+/// `mphls fuzz`: differential co-simulation campaigns and corpus replay.
+int runFuzz(int argc, char** argv) {
+  fuzz::CampaignOptions c;
+  c.jobs = 0;  // hardware concurrency unless --jobs given
+  std::string matrixName = "standard";
+  std::string replayDir;
+  std::string outFile;
+  bool save = true;
+  bool quiet = false;
+  c.corpusDir = "fuzz-corpus";
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 1) return (usage(), 2);
+      c.seeds = std::atoi(v);
+    } else if (arg == "--seed-base") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      c.seedBase = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 1) return (usage(), 2);
+      c.jobs = std::atoi(v);
+    } else if (arg == "--matrix") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      matrixName = v;
+    } else if (arg == "--trials") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 1) return (usage(), 2);
+      c.diff.trials = std::atoi(v);
+    } else if (arg == "--reduce") {
+      c.reduce = true;
+    } else if (arg == "--corpus") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      c.corpusDir = v;
+    } else if (arg == "--no-save") {
+      save = false;
+    } else if (arg == "--replay") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      replayDir = v;
+    } else if (arg == "--inject") {
+      const char* v = next();
+      if (!v || std::string(v) != "mul") return (usage(), 2);
+      c.diff.inject = fuzz::InjectedBug::MulToAdd;
+    } else if (arg == "--no-check") {
+      c.diff.check = false;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      outFile = v;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  fuzz::FuzzMatrix matrix;
+  if (!fuzz::FuzzMatrix::parse(matrixName, matrix)) return (usage(), 2);
+  c.diff.points = matrix.points();
+  if (!save) c.corpusDir.clear();
+
+  if (!replayDir.empty()) {
+    auto r = fuzz::replayCorpus(replayDir, c.diff, c.jobs);
+    if (r.entries == 0) return fail("no corpus entries under " + replayDir);
+    for (const auto& o : r.outcomes) {
+      if (o.verdict.ok()) {
+        if (!quiet)
+          std::cout << "replay " << o.name << ": ok (" << o.verdict.pointsRun
+                    << " points)\n";
+        continue;
+      }
+      std::cout << "replay " << o.name << ": FAIL\n";
+      for (const auto& f : o.verdict.failures) {
+        const std::string pl = f.pointLabel();
+        std::cout << "  [" << f.kind << "]"
+                  << (pl.empty() ? "" : " " + pl) << ": " << f.detail << "\n";
+      }
+    }
+    std::cout << "fuzz replay: " << r.entries << " entries, " << r.failed
+              << " failing (" << matrixName << " matrix)\n";
+    return r.clean() ? 0 : 1;
+  }
+
+  fuzz::CampaignResult r = fuzz::runCampaign(c);
+  if (!quiet || !r.clean()) {
+    std::cout << "fuzz: " << r.seeds << " seeds x " << r.pointsPerProgram
+              << " matrix points (" << matrixName << "), "
+              << r.pointsRun << " designs synthesized, " << r.simulations
+              << " co-simulations in " << r.wallSeconds << "s\n";
+    for (const auto& fc : r.failures) {
+      const auto& first = fc.verdict.failures.front();
+      const std::string pl = first.pointLabel();
+      std::cout << "  seed " << fc.verdict.seed << ": [" << first.kind
+                << "]" << (pl.empty() ? "" : " " + pl) << ": " << first.detail
+                << "\n";
+      if (!fc.corpusPath.empty())
+        std::cout << "    saved " << fc.corpusPath << "\n";
+      if (!fc.reducedPath.empty())
+        std::cout << "    minimized (" << fc.reduceStats.finalStmts
+                  << " stmts, " << fc.reduceStats.attempts
+                  << " attempts) " << fc.reducedPath << "\n";
+    }
+    std::cout << "fuzz: " << r.failedPrograms << " failing programs ("
+              << r.mismatches << " mismatches, " << r.checkFailures
+              << " check findings, " << r.errors << " errors)\n";
+  }
+
+  if (outFile.empty() && !r.clean() && !c.corpusDir.empty())
+    outFile = c.corpusDir + "/FUZZ_report.json";
+  if (!outFile.empty()) {
+    std::ofstream out(outFile);
+    if (!out) return fail("cannot write " + outFile);
+    out << fuzz::campaignReport(c, r, matrixName).dump();
+    if (!quiet) std::cout << "wrote " << outFile << "\n";
+  }
+  return r.clean() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::string(argv[1]) == "bench") return runBench(argc, argv);
+  if (argc > 1 && std::string(argv[1]) == "fuzz") return runFuzz(argc, argv);
   auto parsed = parseArgs(argc, argv);
   if (!parsed) {
     usage();
@@ -373,7 +524,24 @@ int main(int argc, char** argv) {
   for (const auto& d : diags.all()) std::cerr << a.file << ":" << d.str() << "\n";
   if (!fn) return 1;
 
-  if (a.analyze) return runAnalyze(*fn, a.file, a.dotFactsOut, a.quiet);
+  if (a.analyze) {
+    // With an explicit --opt, analyze the post-pipeline IR — the facts the
+    // narrowing pass actually consumes (and a debugging aid for it). With
+    // --narrow as well, apply the narrowing pass too and show the widths
+    // and re-derived facts it left behind.
+    if (a.optExplicit && a.opts.opt != OptLevel::None) {
+      auto pm = a.opts.opt == OptLevel::Aggressive
+                    ? PassManager::aggressivePipeline()
+                    : PassManager::standardPipeline();
+      pm.run(*fn);
+    }
+    if (a.opts.narrow) {
+      PassManager pm;
+      pm.add(createNarrowWidthsPass());
+      pm.run(*fn);
+    }
+    return runAnalyze(*fn, a.file, a.dotFactsOut, a.quiet);
+  }
 
   if (a.lint) {
     // Lint collects every finding in one pass, so the stage-exit throwing

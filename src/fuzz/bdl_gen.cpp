@@ -1,0 +1,458 @@
+#include "fuzz/bdl_gen.h"
+
+#include <algorithm>
+#include <optional>
+#include <string_view>
+
+namespace mphls::fuzz {
+
+// --------------------------------------------------------------- rendering
+
+GenExpr GenExpr::makeConst(std::uint64_t v) {
+  GenExpr e;
+  e.kind = Kind::Const;
+  e.value = v;
+  return e;
+}
+
+GenExpr GenExpr::makeRef(std::string name) {
+  GenExpr e;
+  e.kind = Kind::Ref;
+  e.name = std::move(name);
+  return e;
+}
+
+void GenExpr::render(std::string& out) const {
+  switch (kind) {
+    case Kind::Const:
+      out += std::to_string(value);
+      break;
+    case Kind::Ref:
+      out += name;
+      break;
+    case Kind::Cast:
+      out += op;
+      out += '<';
+      out += std::to_string(castWidth);
+      out += ">(";
+      kids[0].render(out);
+      out += ')';
+      break;
+    case Kind::Binary:
+      out += '(';
+      kids[0].render(out);
+      out += ' ';
+      out += op;
+      out += ' ';
+      kids[1].render(out);
+      out += ')';
+      break;
+    case Kind::Ternary:
+      out += '(';
+      kids[0].render(out);
+      out += " ? ";
+      kids[1].render(out);
+      out += " : ";
+      kids[2].render(out);
+      out += ')';
+      break;
+  }
+}
+
+std::string GenExpr::str() const {
+  std::string s;
+  render(s);
+  return s;
+}
+
+std::size_t GenExpr::size() const {
+  std::size_t n = 1;
+  for (const GenExpr& k : kids) n += k.size();
+  return n;
+}
+
+void GenStmt::render(std::string& out, int depth) const {
+  const std::string pad((std::size_t)(2 * depth + 2), ' ');
+  switch (kind) {
+    case Kind::Assign:
+      out += pad + target + " = " + expr.str() + ";\n";
+      break;
+    case Kind::If:
+      out += pad + "if " + expr.str() + " {\n";
+      for (const GenStmt& s : body) s.render(out, depth + 1);
+      if (!elseBody.empty()) {
+        out += pad + "} else {\n";
+        for (const GenStmt& s : elseBody) s.render(out, depth + 1);
+      }
+      out += pad + "}\n";
+      break;
+    case Kind::DoUntil:
+      out += pad + "var " + counter + ": uint<" +
+             std::to_string(counterWidth) + ">;\n";
+      out += pad + counter + " = 0;\n";
+      out += pad + "do {\n";
+      for (const GenStmt& s : body) s.render(out, depth + 1);
+      out += pad + "  " + counter + " = " + counter + " + 1;\n";
+      out += pad + "} until (" + counter + " == " + std::to_string(trip) +
+             ");\n";
+      break;
+    case Kind::While: {
+      out += pad + "var " + counter + ": uint<" +
+             std::to_string(counterWidth) + ">;\n";
+      out += pad + counter + " = 0;\n";
+      std::string guard =
+          "(" + counter + " < " + std::to_string(trip) + ")";
+      if (hasCond) guard = "(" + guard + " && " + expr.str() + ")";
+      out += pad + "while " + guard + " {\n";
+      for (const GenStmt& s : body) s.render(out, depth + 1);
+      out += pad + "  " + counter + " = " + counter + " + 1;\n";
+      out += pad + "}\n";
+      break;
+    }
+  }
+}
+
+std::size_t GenStmt::size() const {
+  std::size_t n = 1;
+  for (const GenStmt& s : body) n += s.size();
+  for (const GenStmt& s : elseBody) n += s.size();
+  return n;
+}
+
+std::string GenProgram::render() const {
+  std::string out = "proc " + procName + "(";
+  bool first = true;
+  for (const Decl& d : ins) {
+    if (!first) out += ", ";
+    first = false;
+    out += "in " + d.name + ": uint<" + std::to_string(d.width) + ">";
+  }
+  for (const Decl& d : outs) {
+    if (!first) out += ", ";
+    first = false;
+    out += "out " + d.name + ": uint<" + std::to_string(d.width) + ">";
+  }
+  out += ") {\n";
+  for (const Decl& d : vars)
+    out += "  var " + d.name + ": uint<" + std::to_string(d.width) + ">;\n";
+  for (const GenStmt& s : stmts) s.render(out, 0);
+  out += "}\n";
+  return out;
+}
+
+std::vector<std::string> GenProgram::inputNames() const {
+  std::vector<std::string> names;
+  names.reserve(ins.size());
+  for (const Decl& d : ins) names.push_back(d.name);
+  return names;
+}
+
+std::size_t GenProgram::stmtCount() const {
+  std::size_t n = 0;
+  for (const GenStmt& s : stmts) n += s.size();
+  return n;
+}
+
+// -------------------------------------------------------------- generation
+
+namespace {
+
+/// Bits needed to represent `v` (>= 1).
+int bitsFor(std::uint64_t v) {
+  int b = 1;
+  while (v >>= 1) ++b;
+  return b;
+}
+
+class ProgramGen {
+ public:
+  ProgramGen(std::uint64_t seed, const GenOptions& opt)
+      : rng_(seed), opt_(opt) {}
+
+  GenProgram generate() {
+    GenProgram p;
+    const int nIn = draw(opt_.minInputs, opt_.maxInputs);
+    const int nOut = draw(opt_.minOutputs, opt_.maxOutputs);
+    const int nVar = draw(opt_.minVars, opt_.maxVars);
+
+    for (int i = 0; i < nIn; ++i)
+      p.ins.push_back({"in" + std::to_string(i), randWidth()});
+    for (int i = 0; i < nOut; ++i)
+      p.outs.push_back({"out" + std::to_string(i), randWidth()});
+    for (int i = 0; i < nVar; ++i)
+      p.vars.push_back({"v" + std::to_string(i), randWidth()});
+
+    // Initialization prologue: inputs are readable from the start; each
+    // var and output becomes readable once assigned, so expressions draw
+    // only from already-defined symbols.
+    for (const auto& d : p.ins) readable_.push_back({d.name, d.width});
+    for (const auto& d : p.vars) {
+      GenStmt s;
+      s.target = d.name;
+      s.expr = expr(1).e;
+      p.stmts.push_back(std::move(s));
+      readable_.push_back({d.name, d.width});
+      writable_.push_back(d.name);
+    }
+    for (const auto& d : p.outs) {
+      GenStmt s;
+      s.target = d.name;
+      s.expr = expr(1).e;
+      p.stmts.push_back(std::move(s));
+      readable_.push_back({d.name, d.width});
+      writable_.push_back(d.name);
+    }
+
+    const int nStmt = draw(opt_.minStmts, opt_.maxStmts);
+    for (int i = 0; i < nStmt; ++i) p.stmts.push_back(stmt(0));
+    return p;
+  }
+
+ private:
+  /// An expression plus its inferred BDL width, tracked so casts can be
+  /// emitted legally (zext/sext targets must be at least the operand
+  /// width) without consulting the frontend. `cv` mirrors the frontend's
+  /// literal-only constant folding: a folded subexpression lowers to a
+  /// constant whose width comes from its value, not from its operands.
+  struct WExpr {
+    GenExpr e;
+    int w = 1;
+    std::optional<std::uint64_t> cv;
+  };
+
+  /// Mirror of the frontend's tryConstEval for binary operators: folds only
+  /// when the result is representable (no overflow/underflow/div-by-zero).
+  static std::optional<std::uint64_t> foldBin(const char* op,
+                                              std::uint64_t a,
+                                              std::uint64_t b) {
+    const std::string_view o = op;
+    if (o == "+") {
+      const std::uint64_t r = a + b;
+      return r >= a ? std::optional(r) : std::nullopt;
+    }
+    if (o == "-") return a >= b ? std::optional(a - b) : std::nullopt;
+    if (o == "*") {
+      if (a != 0 && b > ~0ull / a) return std::nullopt;
+      return a * b;
+    }
+    if (o == "/") return b != 0 ? std::optional(a / b) : std::nullopt;
+    if (o == "%") return b != 0 ? std::optional(a % b) : std::nullopt;
+    if (o == "&") return a & b;
+    if (o == "|") return a | b;
+    if (o == "^") return a ^ b;
+    if (o == "<<")
+      return b < 64 && (a << b) >> b == a ? std::optional(a << b)
+                                          : std::nullopt;
+    if (o == ">>") return b < 64 ? std::optional(a >> b) : std::nullopt;
+    if (o == "==") return a == b ? 1 : 0;
+    if (o == "!=") return a != b ? 1 : 0;
+    if (o == "<") return a < b ? 1 : 0;
+    if (o == "<=") return a <= b ? 1 : 0;
+    if (o == ">") return a > b ? 1 : 0;
+    if (o == ">=") return a >= b ? 1 : 0;
+    return std::nullopt;
+  }
+
+  Rng rng_;
+  const GenOptions& opt_;
+  std::vector<std::pair<std::string, int>> readable_;  ///< name, width
+  std::vector<std::string> writable_;
+  int loopCounter_ = 0;
+
+  int draw(int lo, int hi) {
+    if (hi <= lo) return lo;
+    return lo + (int)rng_.below((std::size_t)(hi - lo + 1));
+  }
+
+  int randWidth() {
+    return opt_.widths[rng_.below(opt_.widths.size())];
+  }
+
+  WExpr readable() {
+    const auto& [name, w] = readable_[rng_.below(readable_.size())];
+    return {GenExpr::makeRef(name), w, std::nullopt};
+  }
+
+  std::string writable() {
+    return writable_[rng_.below(writable_.size())];
+  }
+
+  WExpr binary(const char* op, WExpr a, WExpr b, int width) {
+    std::optional<std::uint64_t> cv;
+    if (a.cv && b.cv) cv = foldBin(op, *a.cv, *b.cv);
+    GenExpr e;
+    e.kind = GenExpr::Kind::Binary;
+    e.op = op;
+    e.kids.push_back(std::move(a.e));
+    e.kids.push_back(std::move(b.e));
+    if (cv) return {std::move(e), bitsFor(*cv), cv};
+    return {std::move(e), width, std::nullopt};
+  }
+  /// Arithmetic/logic combine: the frontend gives these max(widths)
+  /// unless the whole subtree constant-folds.
+  WExpr binArith(const char* op, WExpr a, WExpr b) {
+    const int w = std::max(a.w, b.w);
+    return binary(op, std::move(a), std::move(b), w);
+  }
+
+  WExpr expr(int depth) {
+    if (depth >= opt_.maxExprDepth || rng_.chance(35)) {
+      if (rng_.chance(30)) {
+        const std::uint64_t v = rng_.below(1000);
+        return {GenExpr::makeConst(v), bitsFor(v), v};
+      }
+      return readable();
+    }
+    // The operator mix: arithmetic, logic, shifts, div/mod, casts,
+    // comparisons-under-ternary. Draw from a fixed table so the stream of
+    // rng values (and hence the whole program) is a pure function of the
+    // seed and options.
+    switch (rng_.below(14)) {
+      case 0: return binArith("+", expr(depth + 1), expr(depth + 1));
+      case 1: return binArith("-", expr(depth + 1), expr(depth + 1));
+      case 2:
+        if (opt_.mul) return binArith("*", expr(depth + 1), expr(depth + 1));
+        return binArith("+", expr(depth + 1), expr(depth + 1));
+      case 3:
+        if (opt_.divMod)
+          return binArith("/", expr(depth + 1), expr(depth + 1));
+        return binArith("-", expr(depth + 1), expr(depth + 1));
+      case 4:
+        if (opt_.divMod)
+          return binArith("%", expr(depth + 1), expr(depth + 1));
+        return binArith("^", expr(depth + 1), expr(depth + 1));
+      case 5: return binArith("^", expr(depth + 1), expr(depth + 1));
+      case 6: return binArith("&", expr(depth + 1), expr(depth + 1));
+      case 7: return binArith("|", expr(depth + 1), expr(depth + 1));
+      case 8:
+        if (opt_.shifts) {
+          // Constant shift: the result keeps the operand's width. A
+          // literal amount >= the operand width is a compile error unless
+          // the whole subtree folds, so clamp for non-constant operands.
+          WExpr a = expr(depth + 1);
+          const int w = a.w;
+          std::uint64_t sh = 1 + rng_.below(3);
+          if (!a.cv && (int)sh >= w) sh = (std::uint64_t)(w - 1);
+          return binary(">>", std::move(a),
+                        {GenExpr::makeConst(sh), bitsFor(sh), sh}, w);
+        }
+        return binArith("&", expr(depth + 1), expr(depth + 1));
+      case 9:
+        if (opt_.shifts) {
+          // Variable shift amounts exercise the shifter FU; both levels
+          // share evalPure so out-of-range amounts stay consistent.
+          WExpr a = expr(depth + 1);
+          const int w = a.w;
+          if (rng_.chance(40))
+            return binary(">>", std::move(a), readable(), w);
+          std::uint64_t sh = 1 + rng_.below(3);
+          if (!a.cv && (int)sh >= w) sh = (std::uint64_t)(w - 1);
+          return binary("<<", std::move(a),
+                        {GenExpr::makeConst(sh), bitsFor(sh), sh}, w);
+        }
+        return binArith("|", expr(depth + 1), expr(depth + 1));
+      case 10:
+        if (opt_.ternary) {
+          GenExpr e;
+          e.kind = GenExpr::Kind::Ternary;
+          WExpr c = cond(depth);
+          WExpr t = expr(depth + 1);
+          WExpr f = expr(depth + 1);
+          // Folds only when the condition AND the taken arm are literal.
+          std::optional<std::uint64_t> cv;
+          if (c.cv) cv = *c.cv ? t.cv : f.cv;
+          const int w = cv ? bitsFor(*cv) : std::max(t.w, f.w);
+          e.kids.push_back(std::move(c.e));
+          e.kids.push_back(std::move(t.e));
+          e.kids.push_back(std::move(f.e));
+          return {std::move(e), w, cv};
+        }
+        return binArith("+", expr(depth + 1), expr(depth + 1));
+      case 11:
+      case 12:
+        if (opt_.casts) {
+          GenExpr e;
+          e.kind = GenExpr::Kind::Cast;
+          WExpr a = expr(depth + 1);
+          const int pick = (int)rng_.below(3);
+          const int chosen = randWidth();
+          if (pick == 2) {
+            // trunc accepts any target width (a wider trunc extends).
+            e.op = "trunc";
+            e.castWidth = chosen;
+          } else {
+            // zext/sext targets must not be narrower than the operand.
+            e.op = pick == 0 ? "zext" : "sext";
+            e.castWidth = std::max(chosen, a.w);
+          }
+          const int w = e.castWidth;
+          e.kids.push_back(std::move(a.e));
+          return {std::move(e), w, std::nullopt};
+        }
+        return binArith("-", expr(depth + 1), expr(depth + 1));
+      default:
+        return binArith("+", expr(depth + 1), expr(depth + 1));
+    }
+  }
+
+  WExpr cond(int depth) {
+    static const char* const cmps[] = {"!=", ">", "<", ">=", "<=", "=="};
+    return binary(cmps[rng_.below(6)], expr(depth + 1), expr(depth + 1), 1);
+  }
+
+  GenStmt stmt(int depth) {
+    const int roll = (int)rng_.below(100);
+    if (roll < 55 || depth >= opt_.maxStmtDepth) {
+      GenStmt s;
+      s.target = writable();
+      s.expr = expr(0).e;
+      return s;
+    }
+    if (roll < 80) {
+      GenStmt s;
+      s.kind = GenStmt::Kind::If;
+      s.expr = cond(0).e;
+      const int n = draw(1, 2);
+      for (int i = 0; i < n; ++i) s.body.push_back(stmt(depth + 1));
+      if (rng_.chance(60))
+        for (int i = 0; i < n; ++i) s.elseBody.push_back(stmt(depth + 1));
+      return s;
+    }
+    GenStmt s;
+    const bool useWhile = opt_.whileLoops && rng_.chance(40);
+    s.kind = useWhile ? GenStmt::Kind::While : GenStmt::Kind::DoUntil;
+    s.counter = "k" + std::to_string(loopCounter_++);
+    // do-until bodies always run at least once, so the bound starts at 1;
+    // while loops may draw a zero bound and never enter the body.
+    s.trip = useWhile ? rng_.below((std::size_t)opt_.maxTrip + 1)
+                      : 1 + rng_.below((std::size_t)opt_.maxTrip);
+    if (useWhile && rng_.chance(40)) {
+      s.hasCond = true;
+      s.expr = cond(0).e;
+    }
+    const int n = draw(1, 2);
+    for (int i = 0; i < n; ++i) s.body.push_back(stmt(depth + 1));
+    return s;
+  }
+};
+
+}  // namespace
+
+GenProgram generateProgram(std::uint64_t seed, const GenOptions& options) {
+  return ProgramGen(seed, options).generate();
+}
+
+std::map<std::string, std::uint64_t> randomInputs(
+    const std::vector<std::string>& names, std::uint64_t seed, int trial) {
+  Rng rng(seed ^ (0xD1B54A32D192ED03ull * (std::uint64_t)(trial + 1)));
+  std::map<std::string, std::uint64_t> in;
+  for (const auto& n : names) {
+    std::uint64_t v = rng.next();
+    if (trial == 0) v = 0;
+    if (trial == 1) v = ~0ull;
+    in[n] = v;
+  }
+  return in;
+}
+
+}  // namespace mphls::fuzz

@@ -1,0 +1,155 @@
+// Reusable random-BDL program generator for differential fuzzing.
+//
+// Extracted and generalized from the fixed-seed property suite
+// (tests/test_property.cpp): a deterministic generator that produces
+// well-formed BDL programs with nested control flow (if/else, bounded
+// do-until loops, zero-trip while loops), a configurable bit-width mix,
+// and a configurable operator mix including division/modulus and the ops
+// that become multicycle under OpLatencyModel::multiCycle (mul/div).
+//
+// Programs are built as a small statement/expression tree (GenProgram) and
+// rendered to BDL text, so the delta-debugging reducer (fuzz/reduce.h) can
+// remove statements, hoist blocks and simplify expressions structurally
+// instead of hacking on text. Rendering is a pure function of the tree:
+// the same seed and options always produce byte-identical source.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mphls::fuzz {
+
+/// Deterministic 64-bit generator (splitmix64). Replaces the property
+/// suite's private xorshift whose multiplicative seeding collapsed related
+/// seeds onto correlated streams; splitmix64 gives full 64-bit avalanche
+/// on the seed, so seed k and seed k+1 share nothing.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : s_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (s_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform-ish draw in [0, n); n must be positive.
+  std::size_t below(std::size_t n) { return (std::size_t)(next() % n); }
+  bool chance(int percent) { return below(100) < (std::size_t)percent; }
+
+ private:
+  std::uint64_t s_;
+};
+
+// ------------------------------------------------------------ program tree
+
+/// An expression node. Binary operators carry their BDL spelling ("+",
+/// "%", ">>", "&&", ...); casts carry the kind ("zext"/"sext"/"trunc")
+/// and target width; ternaries have three children (cond, then, else).
+struct GenExpr {
+  enum class Kind { Const, Ref, Cast, Binary, Ternary };
+
+  Kind kind = Kind::Const;
+  std::uint64_t value = 0;  ///< Const
+  std::string name;         ///< Ref: variable/port name
+  std::string op;           ///< Binary spelling, or cast kind
+  int castWidth = 0;        ///< Cast target width
+  std::vector<GenExpr> kids;
+
+  [[nodiscard]] static GenExpr makeConst(std::uint64_t v);
+  [[nodiscard]] static GenExpr makeRef(std::string name);
+
+  void render(std::string& out) const;
+  [[nodiscard]] std::string str() const;
+  /// Total node count (used by the reducer's progress metric).
+  [[nodiscard]] std::size_t size() const;
+};
+
+/// A statement node. Loops declare and drive their own counter variable
+/// (`counter`), so deleting a loop removes every trace of it:
+///   DoUntil:  var k: uint<4>; k = 0; do { body; k = k + 1; } until (k == trip);
+///   While:    var k: uint<4>; k = 0; while ((k < trip) [&& cond]) { body; k = k + 1; }
+/// A While with trip == 0 (or a false data condition) executes zero times.
+struct GenStmt {
+  enum class Kind { Assign, If, While, DoUntil };
+
+  Kind kind = Kind::Assign;
+  std::string target;            ///< Assign target
+  GenExpr expr;                  ///< Assign rhs; If/While data condition
+  std::vector<GenStmt> body;     ///< If-then / loop body
+  std::vector<GenStmt> elseBody; ///< If-else
+  std::string counter;           ///< loop counter name
+  int counterWidth = 4;
+  std::uint64_t trip = 1;        ///< loop trip bound
+  bool hasCond = false;          ///< While: AND a data condition into the guard
+
+  void render(std::string& out, int depth) const;
+  /// Statements in this subtree, inclusive.
+  [[nodiscard]] std::size_t size() const;
+};
+
+/// A generated program: port/variable declarations plus a statement list.
+struct GenProgram {
+  struct Decl {
+    std::string name;
+    int width = 8;
+  };
+
+  std::string procName = "fuzz";
+  std::vector<Decl> ins, outs, vars;
+  std::vector<GenStmt> stmts;
+
+  /// Render to BDL source text (deterministic; byte-identical per tree).
+  [[nodiscard]] std::string render() const;
+  [[nodiscard]] std::vector<std::string> inputNames() const;
+  /// Total statement count across the whole tree.
+  [[nodiscard]] std::size_t stmtCount() const;
+};
+
+// ------------------------------------------------------------- generation
+
+/// Knobs for the generator. The defaults reproduce the flavor of the
+/// original property-suite generator (small programs, widths 4..32, full
+/// arithmetic mix) with the new constructs enabled.
+struct GenOptions {
+  int minInputs = 2, maxInputs = 4;
+  int minOutputs = 1, maxOutputs = 2;
+  int minVars = 2, maxVars = 5;
+  int minStmts = 3, maxStmts = 8;
+  /// Maximum control-flow nesting depth (if/loop inside if/loop ...).
+  int maxStmtDepth = 2;
+  /// Maximum expression tree depth.
+  int maxExprDepth = 3;
+  /// Bit widths drawn for ports and variables.
+  std::vector<int> widths = {4, 8, 12, 16, 24, 32};
+  /// Include / and % (and their multicycle behavior under --multicycle).
+  bool divMod = true;
+  /// Include * (2-step under the multicycle latency model).
+  bool mul = true;
+  /// Include zext/sext/trunc casts.
+  bool casts = true;
+  /// Include ?: selections.
+  bool ternary = true;
+  /// Include shifts (constant and variable amounts).
+  bool shifts = true;
+  /// Include zero-trip-capable while loops in the statement mix.
+  bool whileLoops = true;
+  /// Maximum loop trip bound (do-until draws in [1, maxTrip], while in
+  /// [0, maxTrip] — zero means the loop body never runs).
+  int maxTrip = 5;
+};
+
+/// Generate a random well-formed program. All variables are initialized
+/// before the statement soup; every output is assigned up front so each
+/// output is written on every path and readable in later expressions.
+[[nodiscard]] GenProgram generateProgram(std::uint64_t seed,
+                                         const GenOptions& options = {});
+
+/// Deterministic input patterns for differential trials: trial 0 is
+/// all-zeros, trial 1 all-ones, later trials are seeded random values.
+[[nodiscard]] std::map<std::string, std::uint64_t> randomInputs(
+    const std::vector<std::string>& names, std::uint64_t seed, int trial);
+
+}  // namespace mphls::fuzz

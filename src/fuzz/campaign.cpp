@@ -1,0 +1,184 @@
+#include "fuzz/campaign.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "common/thread_pool.h"
+#include "fuzz/corpus.h"
+
+namespace mphls::fuzz {
+
+namespace {
+
+std::string seedName(std::uint64_t seed) {
+  std::ostringstream oss;
+  oss << "seed-";
+  std::string digits = std::to_string(seed);
+  for (std::size_t i = digits.size(); i < 6; ++i) oss << '0';
+  oss << digits;
+  return oss.str();
+}
+
+void countFailures(const ProgramVerdict& v, CampaignResult& r) {
+  for (const PointFailure& f : v.failures) {
+    if (f.kind == "mismatch") ++r.mismatches;
+    else if (f.kind == "check") ++r.checkFailures;
+    else if (f.kind == "error") ++r.errors;
+    else ++r.other;
+  }
+}
+
+}  // namespace
+
+CampaignResult runCampaign(const CampaignOptions& options) {
+  WallTimer timer;
+  CampaignResult result;
+  result.seeds = options.seeds;
+  result.pointsPerProgram = (int)options.diff.points.size();
+
+  const std::size_t n = (std::size_t)std::max(options.seeds, 0);
+  std::vector<std::string> sources(n);
+  std::vector<ProgramVerdict> verdicts(n);
+
+  // Phase 1 — the sweep, parallel over seeds. Every iteration writes only
+  // its own slot, so results are identical at any thread count.
+  const int workers = resolveJobs(options.jobs);
+  std::unique_ptr<ThreadPool> pool;
+  if (workers > 1) pool = std::make_unique<ThreadPool>(workers);
+  parallelFor(pool.get(), n, [&](std::size_t i, int) {
+    const std::uint64_t seed = options.seedBase + i;
+    GenProgram prog = generateProgram(seed, options.gen);
+    sources[i] = prog.render();
+    verdicts[i] = runSource(sources[i], seed, options.diff);
+  });
+  pool.reset();
+
+  // Phase 2 — aggregation, reduction and corpus capture, in seed order on
+  // this thread (reduction shares no state across failures; the corpus
+  // files it writes are named by seed, so order only affects log output).
+  for (std::size_t i = 0; i < n; ++i) {
+    ProgramVerdict& v = verdicts[i];
+    result.pointsRun += v.pointsRun;
+    result.simulations += v.simulations;
+    if (v.ok()) continue;
+
+    ++result.failedPrograms;
+    countFailures(v, result);
+
+    FailureCase fc;
+    fc.source = sources[i];
+    fc.verdict = v;
+
+    const std::uint64_t seed = options.seedBase + i;
+    CorpusEntry entry;
+    entry.name = seedName(seed);
+    entry.seed = seed;
+    entry.kind = v.failures.front().kind;
+    entry.point = v.failures.front().pointLabel();
+    entry.note = v.failures.front().detail;
+    if (!options.corpusDir.empty())
+      if (auto p = saveEntry(options.corpusDir, entry, fc.source))
+        fc.corpusPath = *p;
+
+    if (options.reduce && v.compiled) {
+      // Re-check only the failing points while shrinking. A candidate
+      // counts as still-failing only if it reproduces the original
+      // failure *kind* — otherwise deleting statements can morph a
+      // mismatch into an unrelated error (e.g. a load of a variable
+      // whose initialization the reducer just removed) and the
+      // minimized program would witness the wrong bug.
+      DiffOptions rd = options.diff;
+      rd.points = v.failingPoints();
+      rd.stopAtFirstFailure = true;
+      const std::string wantKind = v.failures.front().kind;
+      GenProgram prog = generateProgram(seed, options.gen);
+      auto stillFails = [&](const GenProgram& cand) {
+        ProgramVerdict cv = runSource(cand.render(), seed, rd);
+        if (!cv.compiled) return false;
+        for (const PointFailure& f : cv.failures)
+          if (f.kind == wantKind) return true;
+        return false;
+      };
+      GenProgram reduced = reduceProgram(prog, stillFails, &fc.reduceStats,
+                                         options.maxReduceAttempts);
+      fc.reducedSource = reduced.render();
+      if (!options.corpusDir.empty()) {
+        CorpusEntry mini = entry;
+        mini.name = entry.name + ".min";
+        if (auto p = saveEntry(options.corpusDir, mini, fc.reducedSource))
+          fc.reducedPath = *p;
+      }
+    }
+    result.failures.push_back(std::move(fc));
+  }
+
+  result.wallSeconds = timer.seconds();
+  return result;
+}
+
+ReplayResult replayCorpus(const std::string& dir, const DiffOptions& diff,
+                          int jobs) {
+  ReplayResult result;
+  const std::vector<CorpusEntry> entries = loadCorpus(dir);
+  result.entries = (int)entries.size();
+  std::vector<ProgramVerdict> verdicts(entries.size());
+
+  const int workers = resolveJobs(jobs);
+  std::unique_ptr<ThreadPool> pool;
+  if (workers > 1) pool = std::make_unique<ThreadPool>(workers);
+  parallelFor(pool.get(), entries.size(), [&](std::size_t i, int) {
+    verdicts[i] = runSource(entries[i].source, entries[i].seed, diff);
+  });
+  pool.reset();
+
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (!verdicts[i].ok()) ++result.failed;
+    result.outcomes.push_back({entries[i].name, std::move(verdicts[i])});
+  }
+  return result;
+}
+
+JsonValue campaignReport(const CampaignOptions& options,
+                         const CampaignResult& result,
+                         const std::string& matrixName) {
+  JsonValue root = JsonValue::object();
+  root["benchmark"] = "fuzz_campaign";
+  root["seed_base"] = (std::size_t)options.seedBase;
+  root["seeds"] = result.seeds;
+  root["matrix"] = matrixName;
+  root["points_per_program"] = result.pointsPerProgram;
+  root["trials"] = options.diff.trials;
+  root["jobs"] = options.jobs;
+  root["points_run"] = result.pointsRun;
+  root["simulations"] = result.simulations;
+  root["failing_programs"] = result.failedPrograms;
+  root["mismatches"] = result.mismatches;
+  root["check_failures"] = result.checkFailures;
+  root["errors"] = result.errors;
+  root["other_failures"] = result.other;
+  root["reduced"] = options.reduce;
+  root["wall_seconds"] = result.wallSeconds;
+  root["seeds_per_sec"] =
+      result.wallSeconds > 0 ? result.seeds / result.wallSeconds : 0.0;
+  JsonValue failures = JsonValue::array();
+  for (const FailureCase& fc : result.failures) {
+    JsonValue f = JsonValue::object();
+    f["seed"] = (std::size_t)fc.verdict.seed;
+    f["first_kind"] = fc.verdict.failures.front().kind;
+    f["first_point"] = fc.verdict.failures.front().pointLabel();
+    f["note"] = fc.verdict.failures.front().detail;
+    f["failing_points"] = (std::size_t)fc.verdict.failingPoints().size();
+    if (!fc.corpusPath.empty()) f["corpus_path"] = fc.corpusPath;
+    if (!fc.reducedPath.empty()) {
+      f["reduced_path"] = fc.reducedPath;
+      f["reduced_stmts"] = fc.reduceStats.finalStmts;
+      f["reduce_attempts"] = fc.reduceStats.attempts;
+    }
+    failures.push(std::move(f));
+  }
+  root["failures"] = std::move(failures);
+  return root;
+}
+
+}  // namespace mphls::fuzz

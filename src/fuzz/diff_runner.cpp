@@ -1,0 +1,290 @@
+#include "fuzz/diff_runner.h"
+
+#include <exception>
+#include <sstream>
+
+#include "core/frontend_cache.h"
+#include "check/check.h"
+#include "fuzz/bdl_gen.h"
+#include "ir/interp.h"
+#include "lang/frontend.h"
+#include "opt/pass.h"
+#include "rtl/rtlsim.h"
+
+namespace mphls::fuzz {
+
+namespace {
+
+std::string_view regMethodName(RegAllocMethod m) {
+  switch (m) {
+    case RegAllocMethod::LeftEdge: return "leftedge";
+    case RegAllocMethod::Clique: return "clique";
+    case RegAllocMethod::Naive: return "naive";
+  }
+  return "?";
+}
+
+std::string_view optLevelName(OptLevel o) {
+  switch (o) {
+    case OptLevel::None: return "none";
+    case OptLevel::Standard: return "standard";
+    case OptLevel::Aggressive: return "aggressive";
+  }
+  return "?";
+}
+
+std::string describeMismatch(
+    const std::map<std::string, std::uint64_t>& want,
+    const std::map<std::string, std::uint64_t>& got,
+    const std::map<std::string, std::uint64_t>& inputs) {
+  std::ostringstream oss;
+  oss << "output mismatch on";
+  for (const auto& [k, v] : inputs) oss << " " << k << "=" << v;
+  oss << ":";
+  for (const auto& [k, v] : want) oss << " " << k << " behavioral=" << v;
+  for (const auto& [k, v] : got) oss << " " << k << " rtl=" << v;
+  if (got.size() != want.size())
+    oss << " (written-output sets differ: behavioral " << want.size()
+        << ", rtl " << got.size() << ")";
+  return oss.str();
+}
+
+}  // namespace
+
+std::string MatrixPoint::label() const {
+  std::ostringstream oss;
+  oss << "sched=" << schedulerName(sched) << " fu=" << fuAllocMethodName(fu)
+      << " reg=" << regMethodName(reg) << " enc=" << stateEncodingName(enc)
+      << " opt=" << optLevelName(opt) << " narrow=" << (narrow ? 1 : 0)
+      << " lat=" << (multicycle ? "multi" : "unit") << " fus=" << fus;
+  return oss.str();
+}
+
+SynthesisOptions MatrixPoint::toOptions() const {
+  SynthesisOptions so;
+  so.scheduler = sched;
+  so.fuMethod = fu;
+  so.regMethod = reg;
+  so.encoding = enc;
+  so.opt = opt;
+  so.resources = ResourceLimits::universalSet(fus);
+  so.latencies =
+      multicycle ? OpLatencyModel::multiCycle() : OpLatencyModel::unit();
+  so.check = true;
+  // The runner applies optimization and narrowing itself (through
+  // FrontendCache and an explicit pass run) so narrowed IR is shared
+  // between the points that want it; the Synthesizer only sees the
+  // backend stages.
+  so.narrow = false;
+  return so;
+}
+
+FuzzMatrix FuzzMatrix::quick() {
+  FuzzMatrix m;
+  m.schedulers = {SchedulerKind::List};
+  m.allocators = {{FuAllocMethod::GreedyLocal, RegAllocMethod::LeftEdge}};
+  m.encodings = {StateEncoding::Binary};
+  m.optLevels = {OptLevel::Standard};
+  m.narrows = {false, true};
+  m.multicycles = {false};
+  m.fuLimits = {2};
+  return m;
+}
+
+FuzzMatrix FuzzMatrix::standard() {
+  FuzzMatrix m;
+  m.schedulers = {SchedulerKind::List, SchedulerKind::Asap,
+                  SchedulerKind::ForceDirected};
+  m.allocators = {{FuAllocMethod::GreedyLocal, RegAllocMethod::LeftEdge},
+                  {FuAllocMethod::Clique, RegAllocMethod::Clique}};
+  m.encodings = {StateEncoding::Binary, StateEncoding::OneHot};
+  m.optLevels = {OptLevel::Standard};
+  m.narrows = {false, true};
+  m.multicycles = {false};
+  m.fuLimits = {2};
+  return m;
+}
+
+FuzzMatrix FuzzMatrix::full() {
+  FuzzMatrix m;
+  m.schedulers = {SchedulerKind::List,         SchedulerKind::Asap,
+                  SchedulerKind::ForceDirected, SchedulerKind::Serial,
+                  SchedulerKind::Freedom,       SchedulerKind::BranchBound,
+                  SchedulerKind::Transform};
+  m.allocators = {{FuAllocMethod::GreedyLocal, RegAllocMethod::LeftEdge},
+                  {FuAllocMethod::Clique, RegAllocMethod::Clique},
+                  {FuAllocMethod::InterconnectBlind, RegAllocMethod::Naive}};
+  m.encodings = {StateEncoding::Binary, StateEncoding::Gray,
+                 StateEncoding::OneHot};
+  m.optLevels = {OptLevel::Standard, OptLevel::Aggressive};
+  m.narrows = {false, true};
+  m.multicycles = {false, true};
+  m.fuLimits = {2};
+  return m;
+}
+
+bool FuzzMatrix::parse(const std::string& name, FuzzMatrix& out) {
+  if (name == "quick") out = quick();
+  else if (name == "standard") out = standard();
+  else if (name == "full") out = full();
+  else return false;
+  return true;
+}
+
+std::vector<MatrixPoint> FuzzMatrix::points() const {
+  std::vector<MatrixPoint> pts;
+  for (SchedulerKind s : schedulers)
+    for (const auto& [fu, reg] : allocators)
+      for (StateEncoding e : encodings)
+        for (OptLevel o : optLevels)
+          for (bool n : narrows)
+            for (bool mc : multicycles)
+              for (int f : fuLimits) {
+                if (mc && s == SchedulerKind::ForceDirected) continue;
+                MatrixPoint p;
+                p.sched = s;
+                p.fu = fu;
+                p.reg = reg;
+                p.enc = e;
+                p.opt = o;
+                p.narrow = n;
+                p.multicycle = mc;
+                p.fus = f;
+                pts.push_back(p);
+              }
+  return pts;
+}
+
+int injectMulToAdd(Function& fn) {
+  int rewritten = 0;
+  for (const Block& blk : fn.blocks())
+    for (OpId oid : blk.ops)
+      if (fn.op(oid).kind == OpKind::Mul) {
+        fn.op(oid).kind = OpKind::Add;
+        ++rewritten;
+      }
+  return rewritten;
+}
+
+std::vector<MatrixPoint> ProgramVerdict::failingPoints() const {
+  std::vector<MatrixPoint> pts;
+  for (const PointFailure& f : failures) {
+    bool seen = false;
+    for (const MatrixPoint& p : pts)
+      if (p.label() == f.point.label()) {
+        seen = true;
+        break;
+      }
+    if (!seen) pts.push_back(f.point);
+  }
+  return pts;
+}
+
+ProgramVerdict runSource(const std::string& source, std::uint64_t seed,
+                         const DiffOptions& options) {
+  ProgramVerdict v;
+  v.seed = seed;
+
+  // Golden behavior: the interpreter on the raw, unoptimized compile.
+  DiagEngine diags;
+  auto golden = compileBdl(source, diags, options.top);
+  if (!golden) {
+    v.failures.push_back({MatrixPoint{}, "compile", diags.summary(), -1});
+    return v;
+  }
+  v.compiled = true;
+
+  std::vector<std::string> names;
+  for (const Port& p : golden->ports())
+    if (p.isInput) names.push_back(p.name);
+
+  std::vector<std::map<std::string, std::uint64_t>> trialIns, goldenOuts;
+  Interpreter gi(*golden);
+  for (int t = 0; t < options.trials; ++t) {
+    auto in = randomInputs(names, seed, t);
+    auto r = gi.run(in, options.maxBlockExecs);
+    if (!r.finished) {
+      v.failures.push_back({MatrixPoint{}, "nonterminating",
+                            "behavioral execution hit the block budget",
+                            t});
+      return v;
+    }
+    trialIns.push_back(std::move(in));
+    goldenOuts.push_back(std::move(r.outputs));
+  }
+
+  // Narrowed IR is shared across the points that request it, keyed by opt
+  // level (narrowing runs after the optimization pipeline).
+  std::map<std::pair<OptLevel, bool>, std::shared_ptr<const Function>>
+      fronts;
+  auto frontendFor = [&](const MatrixPoint& p) {
+    auto key = std::make_pair(p.opt, p.narrow);
+    auto it = fronts.find(key);
+    if (it != fronts.end()) return it->second;
+    std::shared_ptr<const Function> fn =
+        FrontendCache::global().get(source, options.top, p.opt);
+    if (p.narrow) {
+      auto narrowed = std::make_shared<Function>(fn->clone());
+      PassManager pm;
+      pm.add(createNarrowWidthsPass());
+      pm.run(*narrowed);
+      fn = std::move(narrowed);
+    }
+    fronts.emplace(key, fn);
+    return fn;
+  };
+
+  for (const MatrixPoint& p : options.points) {
+    auto fail = [&](const std::string& kind, const std::string& detail,
+                    int trial = -1) {
+      v.failures.push_back({p, kind, detail, trial});
+    };
+    try {
+      Synthesizer synth(p.toOptions());
+      std::shared_ptr<const Function> base = frontendFor(p);
+      Function work = base->clone();
+      if (options.inject == InjectedBug::MulToAdd) injectMulToAdd(work);
+      if (options.preBackend) options.preBackend(work, p);
+      SynthesisResult r = synth.synthesizeOptimized(work);
+      if (options.postSynthesis) options.postSynthesis(r, p);
+      ++v.pointsRun;
+
+      if (options.check) {
+        CheckOptions co;
+        co.resources = p.resourceLimited()
+                           ? ResourceLimits::universalSet(p.fus)
+                           : ResourceLimits::unlimited();
+        co.latencies = p.multicycle ? OpLatencyModel::multiCycle()
+                                    : OpLatencyModel::unit();
+        CheckReport rep = checkDesign(r.design, co);
+        if (!rep.clean()) {
+          fail("check", rep.firstError());
+          if (options.stopAtFirstFailure) return v;
+          continue;
+        }
+      }
+
+      for (int t = 0; t < options.trials; ++t) {
+        RtlSimulator sim(r.design);
+        auto res = sim.run(trialIns[(std::size_t)t], options.maxCycles);
+        ++v.simulations;
+        if (!res.finished) {
+          fail("rtl-timeout",
+               "RTL simulation did not reach the halt state", t);
+        } else if (res.outputs != goldenOuts[(std::size_t)t]) {
+          fail("mismatch",
+               describeMismatch(goldenOuts[(std::size_t)t], res.outputs,
+                                trialIns[(std::size_t)t]),
+               t);
+        }
+        if (!v.failures.empty() && options.stopAtFirstFailure) return v;
+      }
+    } catch (const std::exception& e) {
+      fail("error", e.what());
+      if (options.stopAtFirstFailure) return v;
+    }
+  }
+  return v;
+}
+
+}  // namespace mphls::fuzz

@@ -1,0 +1,151 @@
+// Differential co-simulation oracle for the fuzzer.
+//
+// For one BDL program, the runner establishes golden behavior by running
+// the behavioral interpreter on the *unoptimized* compile (so optimizer
+// bugs are caught, not baked into the oracle), then sweeps a configurable
+// synthesis matrix — scheduler × allocator (FU + register method) ×
+// controller style (state encoding) × {narrow on/off} × latency model —
+// and for every matrix point:
+//
+//   1. synthesizes the design with the stage-exit checkers armed
+//      (SynthesisOptions::check), sharing the frontend through
+//      FrontendCache so the parse/optimize cost is paid once per
+//      (program, opt level) rather than per point;
+//   2. gates the finished design through the full checkDesign/lint pass;
+//   3. co-simulates the RTL against the golden outputs on several input
+//      patterns (all-zeros, all-ones, seeded random).
+//
+// Any disagreement — a mismatch, a check finding, a simulator that never
+// halts, or an exception out of the pipeline — is recorded as a
+// PointFailure naming the exact matrix point, which is what the reducer
+// and the corpus replay key on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/synthesizer.h"
+
+namespace mphls::fuzz {
+
+/// One coordinate of the synthesis matrix.
+struct MatrixPoint {
+  SchedulerKind sched = SchedulerKind::List;
+  FuAllocMethod fu = FuAllocMethod::GreedyLocal;
+  RegAllocMethod reg = RegAllocMethod::LeftEdge;
+  StateEncoding enc = StateEncoding::Binary;
+  OptLevel opt = OptLevel::Standard;
+  bool narrow = false;
+  bool multicycle = false;
+  int fus = 2;
+
+  /// Stable human-readable coordinates, e.g.
+  /// "sched=list fu=greedy reg=leftedge enc=binary opt=standard narrow=0
+  ///  lat=unit fus=2".
+  [[nodiscard]] std::string label() const;
+
+  /// Synthesis options for this point (check armed, narrow handled by the
+  /// runner itself so the narrowed IR is shared between points).
+  [[nodiscard]] SynthesisOptions toOptions() const;
+
+  /// Whether the schedule is produced under the resource limits (false
+  /// for the time-constrained and trivially-serial schedulers).
+  [[nodiscard]] bool resourceLimited() const {
+    return sched != SchedulerKind::ForceDirected &&
+           sched != SchedulerKind::Serial;
+  }
+};
+
+/// An axis-product description of the matrix; points() expands it,
+/// skipping invalid combinations (force-directed scheduling requires unit
+/// latency).
+struct FuzzMatrix {
+  std::vector<SchedulerKind> schedulers;
+  std::vector<std::pair<FuAllocMethod, RegAllocMethod>> allocators;
+  std::vector<StateEncoding> encodings;
+  std::vector<OptLevel> optLevels;
+  std::vector<bool> narrows;
+  std::vector<bool> multicycles;
+  std::vector<int> fuLimits;
+
+  /// 2 points: list scheduling, greedy/left-edge, binary, narrow off/on.
+  [[nodiscard]] static FuzzMatrix quick();
+  /// 24 points: {list, asap, force} × {greedy+leftedge, clique+clique} ×
+  /// {binary, onehot} × narrow {off, on}.
+  [[nodiscard]] static FuzzMatrix standard();
+  /// The whole space: every scheduler, three allocator pairings, all three
+  /// encodings, standard+aggressive optimization, narrow off/on, unit and
+  /// multicycle latency models.
+  [[nodiscard]] static FuzzMatrix full();
+
+  /// Parse "quick" | "standard" | "full"; returns false on anything else.
+  static bool parse(const std::string& name, FuzzMatrix& out);
+
+  [[nodiscard]] std::vector<MatrixPoint> points() const;
+};
+
+/// What the runner injects into the IR handed to the backend — a seeded,
+/// deliberate miscompile used to prove the oracle detects divergence and
+/// to exercise the reducer. MulToAdd rewrites every multiply into an add
+/// after optimization, so any program whose output depends on a product
+/// mismatches.
+enum class InjectedBug { None, MulToAdd };
+
+/// Rewrite every Mul op into Add; returns the number of ops rewritten.
+int injectMulToAdd(Function& fn);
+
+struct PointFailure {
+  MatrixPoint point;
+  std::string kind;    ///< "compile" | "nonterminating" | "check" |
+                       ///< "mismatch" | "rtl-timeout" | "error"
+  std::string detail;
+  int trial = -1;      ///< input-pattern index for co-simulation failures
+
+  /// The point's label, or "" for the program-level kinds ("compile",
+  /// "nonterminating") where `point` is a meaningless default.
+  [[nodiscard]] std::string pointLabel() const {
+    if (kind == "compile" || kind == "nonterminating") return "";
+    return point.label();
+  }
+};
+
+struct ProgramVerdict {
+  std::uint64_t seed = 0;
+  bool compiled = false;
+  int pointsRun = 0;       ///< points fully synthesized
+  long simulations = 0;    ///< co-simulation trials executed
+  std::vector<PointFailure> failures;
+
+  [[nodiscard]] bool ok() const { return compiled && failures.empty(); }
+  /// The distinct matrix points that failed (reduction re-checks only
+  /// these, which keeps the shrink loop cheap and the failure focused).
+  [[nodiscard]] std::vector<MatrixPoint> failingPoints() const;
+};
+
+struct DiffOptions {
+  std::vector<MatrixPoint> points = FuzzMatrix::standard().points();
+  int trials = 4;
+  /// Run the full checkDesign/lint gate on every synthesized point.
+  bool check = true;
+  /// Stop at the first failing point/trial (used by the reducer, where
+  /// only "still fails" matters, not the full failure inventory).
+  bool stopAtFirstFailure = false;
+  InjectedBug inject = InjectedBug::None;
+  /// Test hooks: mutate the optimized IR before the backend (a synthetic
+  /// miscompile), or the finished result before checking/simulation (a
+  /// synthetic corrupted design).
+  std::function<void(Function&, const MatrixPoint&)> preBackend;
+  std::function<void(SynthesisResult&, const MatrixPoint&)> postSynthesis;
+  std::string top;
+  long maxBlockExecs = 100000;
+  long maxCycles = 1000000;
+};
+
+/// Run the full differential matrix over one program.
+[[nodiscard]] ProgramVerdict runSource(const std::string& source,
+                                       std::uint64_t seed,
+                                       const DiffOptions& options);
+
+}  // namespace mphls::fuzz

@@ -1,0 +1,299 @@
+#include "fuzz/reduce.h"
+
+#include <optional>
+#include <utility>
+
+namespace mphls::fuzz {
+
+namespace {
+
+/// Address of a statement: descend through (list index, which child list)
+/// pairs — 0 selects body, 1 selects elseBody — then `index` in the final
+/// list. An empty descend addresses the program's top-level list.
+struct StmtLoc {
+  std::vector<std::pair<int, int>> descend;
+  int index = 0;
+};
+
+struct Edit {
+  enum class Kind {
+    DeleteStmt,   ///< remove the statement (and its whole subtree)
+    HoistBody,    ///< replace an If/loop by its body
+    HoistElse,    ///< replace an If by its else-body
+    DropElse,     ///< clear an If's else-body
+    ShrinkTrip,   ///< set a loop's trip bound to `arg`
+    DropLoopCond, ///< remove a while's data condition
+    ExprToConst,  ///< replace the addressed expr node by constant `arg`
+    ExprToChild,  ///< replace the addressed expr node by child `arg`
+    DropDecl,     ///< remove decl `index` from list `arg` (0 in/1 out/2 var)
+  };
+
+  Kind kind;
+  StmtLoc loc;
+  std::vector<int> exprPath;
+  int arg = 0;
+};
+
+std::vector<GenStmt>* listFor(GenProgram& p,
+                              const std::vector<std::pair<int, int>>& d) {
+  std::vector<GenStmt>* list = &p.stmts;
+  for (auto [idx, which] : d) {
+    if (idx < 0 || (std::size_t)idx >= list->size()) return nullptr;
+    GenStmt& s = (*list)[(std::size_t)idx];
+    list = which == 0 ? &s.body : &s.elseBody;
+  }
+  return list;
+}
+
+GenStmt* stmtAt(GenProgram& p, const StmtLoc& loc) {
+  std::vector<GenStmt>* list = listFor(p, loc.descend);
+  if (!list || loc.index < 0 || (std::size_t)loc.index >= list->size())
+    return nullptr;
+  return &(*list)[(std::size_t)loc.index];
+}
+
+GenExpr* exprAt(GenExpr& root, const std::vector<int>& path) {
+  GenExpr* e = &root;
+  for (int k : path) {
+    if (k < 0 || (std::size_t)k >= e->kids.size()) return nullptr;
+    e = &e->kids[(std::size_t)k];
+  }
+  return e;
+}
+
+/// The statement's editable expression, if it has one.
+GenExpr* stmtExpr(GenStmt& s) {
+  switch (s.kind) {
+    case GenStmt::Kind::Assign:
+    case GenStmt::Kind::If:
+      return &s.expr;
+    case GenStmt::Kind::While:
+      return s.hasCond ? &s.expr : nullptr;
+    case GenStmt::Kind::DoUntil:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+void collectExprEdits(const GenExpr& e, const StmtLoc& loc,
+                      std::vector<int>& path, std::vector<Edit>& out) {
+  if (e.kind != GenExpr::Kind::Const) {
+    for (int k = 0; k < (int)e.kids.size(); ++k)
+      out.push_back({Edit::Kind::ExprToChild, loc, path, k});
+    out.push_back({Edit::Kind::ExprToConst, loc, path, 0});
+    out.push_back({Edit::Kind::ExprToConst, loc, path, 1});
+  }
+  for (int k = 0; k < (int)e.kids.size(); ++k) {
+    path.push_back(k);
+    collectExprEdits(e.kids[(std::size_t)k], loc, path, out);
+    path.pop_back();
+  }
+}
+
+void collectStmtEdits(const std::vector<GenStmt>& list,
+                      std::vector<std::pair<int, int>>& descend,
+                      std::vector<Edit>& structural,
+                      std::vector<Edit>& exprEdits) {
+  for (int i = 0; i < (int)list.size(); ++i) {
+    const GenStmt& s = list[(std::size_t)i];
+    StmtLoc loc{descend, i};
+    structural.push_back({Edit::Kind::DeleteStmt, loc, {}, 0});
+    switch (s.kind) {
+      case GenStmt::Kind::Assign:
+        break;
+      case GenStmt::Kind::If:
+        structural.push_back({Edit::Kind::HoistBody, loc, {}, 0});
+        if (!s.elseBody.empty()) {
+          structural.push_back({Edit::Kind::HoistElse, loc, {}, 0});
+          structural.push_back({Edit::Kind::DropElse, loc, {}, 0});
+        }
+        break;
+      case GenStmt::Kind::While:
+        structural.push_back({Edit::Kind::HoistBody, loc, {}, 0});
+        if (s.trip > 1) structural.push_back({Edit::Kind::ShrinkTrip, loc, {}, 1});
+        if (s.hasCond)
+          structural.push_back({Edit::Kind::DropLoopCond, loc, {}, 0});
+        break;
+      case GenStmt::Kind::DoUntil:
+        structural.push_back({Edit::Kind::HoistBody, loc, {}, 0});
+        if (s.trip > 1) structural.push_back({Edit::Kind::ShrinkTrip, loc, {}, 1});
+        break;
+    }
+    if (const GenExpr* e = stmtExpr(const_cast<GenStmt&>(s))) {
+      std::vector<int> path;
+      collectExprEdits(*e, loc, path, exprEdits);
+    }
+    descend.push_back({i, 0});
+    collectStmtEdits(s.body, descend, structural, exprEdits);
+    descend.pop_back();
+    if (!s.elseBody.empty()) {
+      descend.push_back({i, 1});
+      collectStmtEdits(s.elseBody, descend, structural, exprEdits);
+      descend.pop_back();
+    }
+  }
+}
+
+void collectNames(const GenStmt& s, std::vector<std::string>& refs,
+                  std::vector<std::string>& targets);
+
+void collectExprNames(const GenExpr& e, std::vector<std::string>& refs) {
+  if (e.kind == GenExpr::Kind::Ref) refs.push_back(e.name);
+  for (const GenExpr& k : e.kids) collectExprNames(k, refs);
+}
+
+void collectNames(const GenStmt& s, std::vector<std::string>& refs,
+                  std::vector<std::string>& targets) {
+  if (s.kind == GenStmt::Kind::Assign) targets.push_back(s.target);
+  if (s.kind != GenStmt::Kind::DoUntil &&
+      (s.kind != GenStmt::Kind::While || s.hasCond))
+    collectExprNames(s.expr, refs);
+  for (const GenStmt& b : s.body) collectNames(b, refs, targets);
+  for (const GenStmt& b : s.elseBody) collectNames(b, refs, targets);
+}
+
+bool contains(const std::vector<std::string>& v, const std::string& n) {
+  for (const auto& s : v)
+    if (s == n) return true;
+  return false;
+}
+
+/// Edits that remove declarations no statement references. (A referenced
+/// decl could also be offered — the predicate would reject the
+/// now-uncompilable candidate — but that wastes expensive oracle calls.)
+void collectDeclEdits(const GenProgram& p, std::vector<Edit>& out) {
+  std::vector<std::string> refs, targets;
+  for (const GenStmt& s : p.stmts) collectNames(s, refs, targets);
+  const std::vector<GenProgram::Decl>* lists[3] = {&p.ins, &p.outs, &p.vars};
+  for (int which = 0; which < 3; ++which)
+    for (int i = 0; i < (int)lists[which]->size(); ++i) {
+      const std::string& n = (*lists[which])[(std::size_t)i].name;
+      if (!contains(refs, n) && !contains(targets, n))
+        out.push_back({Edit::Kind::DropDecl, StmtLoc{{}, i}, {}, which});
+    }
+}
+
+bool applyEdit(GenProgram& p, const Edit& e) {
+  switch (e.kind) {
+    case Edit::Kind::DeleteStmt: {
+      std::vector<GenStmt>* list = listFor(p, e.loc.descend);
+      if (!list || (std::size_t)e.loc.index >= list->size()) return false;
+      list->erase(list->begin() + e.loc.index);
+      return true;
+    }
+    case Edit::Kind::HoistBody:
+    case Edit::Kind::HoistElse: {
+      std::vector<GenStmt>* list = listFor(p, e.loc.descend);
+      if (!list || (std::size_t)e.loc.index >= list->size()) return false;
+      GenStmt& s = (*list)[(std::size_t)e.loc.index];
+      if (s.kind == GenStmt::Kind::Assign) return false;
+      std::vector<GenStmt> hoisted = std::move(
+          e.kind == Edit::Kind::HoistBody ? s.body : s.elseBody);
+      list->erase(list->begin() + e.loc.index);
+      list->insert(list->begin() + e.loc.index,
+                   std::make_move_iterator(hoisted.begin()),
+                   std::make_move_iterator(hoisted.end()));
+      return true;
+    }
+    case Edit::Kind::DropElse: {
+      GenStmt* s = stmtAt(p, e.loc);
+      if (!s || s->elseBody.empty()) return false;
+      s->elseBody.clear();
+      return true;
+    }
+    case Edit::Kind::ShrinkTrip: {
+      GenStmt* s = stmtAt(p, e.loc);
+      if (!s || s->trip <= (std::uint64_t)e.arg) return false;
+      s->trip = (std::uint64_t)e.arg;
+      return true;
+    }
+    case Edit::Kind::DropLoopCond: {
+      GenStmt* s = stmtAt(p, e.loc);
+      if (!s || !s->hasCond) return false;
+      s->hasCond = false;
+      s->expr = GenExpr::makeConst(0);
+      return true;
+    }
+    case Edit::Kind::ExprToConst:
+    case Edit::Kind::ExprToChild: {
+      GenStmt* s = stmtAt(p, e.loc);
+      if (!s) return false;
+      GenExpr* root = stmtExpr(*s);
+      if (!root) return false;
+      GenExpr* node = exprAt(*root, e.exprPath);
+      if (!node) return false;
+      if (e.kind == Edit::Kind::ExprToConst) {
+        if (node->kind == GenExpr::Kind::Const) return false;
+        *node = GenExpr::makeConst((std::uint64_t)e.arg);
+      } else {
+        if ((std::size_t)e.arg >= node->kids.size()) return false;
+        GenExpr child = std::move(node->kids[(std::size_t)e.arg]);
+        *node = std::move(child);
+      }
+      return true;
+    }
+    case Edit::Kind::DropDecl: {
+      std::vector<GenProgram::Decl>* lists[3] = {&p.ins, &p.outs, &p.vars};
+      std::vector<GenProgram::Decl>* list = lists[e.arg];
+      if ((std::size_t)e.loc.index >= list->size()) return false;
+      list->erase(list->begin() + e.loc.index);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Edit> collectEdits(const GenProgram& p) {
+  // Structural edits first (big deletions shrink fastest), then loop/expr
+  // simplifications, then dead declarations.
+  std::vector<Edit> structural, exprEdits;
+  std::vector<std::pair<int, int>> descend;
+  collectStmtEdits(p.stmts, descend, structural, exprEdits);
+  std::vector<Edit> edits = std::move(structural);
+  edits.insert(edits.end(), std::make_move_iterator(exprEdits.begin()),
+               std::make_move_iterator(exprEdits.end()));
+  collectDeclEdits(p, edits);
+  return edits;
+}
+
+}  // namespace
+
+GenProgram reduceProgram(const GenProgram& program,
+                         const FailPredicate& stillFails, ReduceStats* stats,
+                         int maxAttempts) {
+  ReduceStats local;
+  ReduceStats& st = stats ? *stats : local;
+  st.initialStmts = program.stmtCount();
+  st.initialBytes = program.render().size();
+
+  GenProgram cur = program;
+  ++st.attempts;
+  if (!stillFails(cur)) {
+    st.finalStmts = st.initialStmts;
+    st.finalBytes = st.initialBytes;
+    return cur;
+  }
+
+  bool progress = true;
+  while (progress && st.attempts < maxAttempts) {
+    progress = false;
+    for (const Edit& e : collectEdits(cur)) {
+      GenProgram cand = cur;
+      if (!applyEdit(cand, e)) continue;
+      ++st.attempts;
+      if (stillFails(cand)) {
+        cur = std::move(cand);
+        ++st.accepted;
+        progress = true;
+        break;  // restart enumeration on the smaller program
+      }
+      if (st.attempts >= maxAttempts) break;
+    }
+  }
+
+  st.finalStmts = cur.stmtCount();
+  st.finalBytes = cur.render().size();
+  return cur;
+}
+
+}  // namespace mphls::fuzz

@@ -1,0 +1,40 @@
+// Test-case reduction for failing fuzz programs.
+//
+// Greedy delta debugging over the GenProgram tree: repeatedly try the
+// smallest-description edits — delete a statement, hoist a block body into
+// its parent, drop an else-branch, shrink a loop bound, replace an
+// expression node by one of its children or by a constant, drop an unused
+// declaration — and keep any edit after which the failure predicate still
+// holds. The predicate re-renders and re-runs the candidate through the
+// differential oracle, so the reducer needs no well-formedness invariants:
+// a candidate that no longer compiles simply "no longer fails" and is
+// rejected. Runs to a fixpoint (one full pass with no accepted edit) or
+// until the predicate-call budget is exhausted. Fully deterministic: edits
+// are enumerated in a fixed order.
+#pragma once
+
+#include <functional>
+
+#include "fuzz/bdl_gen.h"
+
+namespace mphls::fuzz {
+
+/// Returns true while the candidate still exhibits the failure being
+/// chased (e.g. "the differential matrix still reports a mismatch").
+using FailPredicate = std::function<bool(const GenProgram&)>;
+
+struct ReduceStats {
+  int attempts = 0;       ///< predicate invocations
+  int accepted = 0;       ///< edits kept
+  std::size_t initialStmts = 0, finalStmts = 0;
+  std::size_t initialBytes = 0, finalBytes = 0;
+};
+
+/// Shrink `program` while `stillFails` holds. If the input does not fail
+/// the predicate, it is returned unchanged.
+[[nodiscard]] GenProgram reduceProgram(const GenProgram& program,
+                                       const FailPredicate& stillFails,
+                                       ReduceStats* stats = nullptr,
+                                       int maxAttempts = 2000);
+
+}  // namespace mphls::fuzz

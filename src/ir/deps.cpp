@@ -85,16 +85,39 @@ BlockDeps::BlockDeps(const Function& fn, const Block& block,
       auto it = defOf.find(def->result.get());
       return it == defOf.end() ? SIZE_MAX : it->second;
     };
-    // First store to each var after every position.
-    // Walk backward recording the next store per var.
-    std::unordered_map<std::uint32_t, std::size_t> nextStore;
-    std::vector<std::size_t> nextStoreOfLoad(n_, SIZE_MAX);
-    for (std::size_t k = n_; k-- > 0;) {
+    // A store that writes a load's value straight back into the same
+    // variable (store v <- load v, nothing between) leaves the register
+    // content unchanged, so it does not invalidate consumers of that load
+    // — the invalidating store is the first *later* store of a different
+    // value. Emitting an edge at the write-back store would contradict the
+    // WAW chain through it and create a cycle (seen after `0 ^ v` folds to
+    // the bare load and forwarding collapses a later reload into it); but
+    // the edge must then move to the following store, not vanish, or a
+    // consumer could be scheduled past a real overwrite. Only a bare Nop
+    // chain preserves the value — casts and constant shifts are free for
+    // scheduling but change the stored bits.
+    auto storesLoadBack = [&](std::size_t st, std::size_t ld) {
+      const Op* def = &fn.defOf(fn.op(opIds_[st]).args[0]);
+      while (def->kind == OpKind::Nop && !def->args.empty())
+        def = &fn.defOf(def->args[0]);
+      return def->result.get() == fn.op(opIds_[ld]).result.get();
+    };
+    std::unordered_map<std::uint32_t, std::vector<std::size_t>> storesOfVar;
+    for (std::size_t k = 0; k < n_; ++k) {
       const Op& o = fn.op(opIds_[k]);
-      if (o.kind == OpKind::StoreVar) nextStore[o.var.get()] = k;
-      if (o.kind == OpKind::LoadVar) {
-        auto it = nextStore.find(o.var.get());
-        if (it != nextStore.end()) nextStoreOfLoad[k] = it->second;
+      if (o.kind == OpKind::StoreVar) storesOfVar[o.var.get()].push_back(k);
+    }
+    // First store after each load that actually changes the register.
+    std::vector<std::size_t> invalidatingStoreOfLoad(n_, SIZE_MAX);
+    for (std::size_t k = 0; k < n_; ++k) {
+      const Op& o = fn.op(opIds_[k]);
+      if (o.kind != OpKind::LoadVar) continue;
+      auto it = storesOfVar.find(o.var.get());
+      if (it == storesOfVar.end()) continue;
+      for (std::size_t st : it->second) {
+        if (st < k || storesLoadBack(st, k)) continue;
+        invalidatingStoreOfLoad[k] = st;
+        break;
       }
     }
     for (std::size_t i = 0; i < n_; ++i) {
@@ -102,8 +125,9 @@ BlockDeps::BlockDeps(const Function& fn, const Block& block,
       for (ValueId a : o.args) {
         std::size_t ld = rootLoad(a);
         if (ld == SIZE_MAX) continue;
-        std::size_t st = nextStoreOfLoad[ld];
-        if (st != SIZE_MAX && st != i) addEdge(i, st, DepKind::VarWar);
+        std::size_t st = invalidatingStoreOfLoad[ld];
+        if (st == SIZE_MAX || st == i) continue;
+        addEdge(i, st, DepKind::VarWar);
       }
     }
   }

@@ -22,7 +22,7 @@ class AlgebraicPass final : public Pass {
     int changes = 0;
     for (const auto& blk : fn.blocks()) {
       for (OpId oid : std::vector<OpId>(blk.ops)) {
-        changes += rewrite(fn, oid);
+        changes += rewrite(fn, blk, oid);
       }
     }
     return changes;
@@ -37,12 +37,15 @@ class AlgebraicPass final : public Pass {
     return (w == 64 ? raw : (raw & ((1ULL << w) - 1))) == 0;
   }
 
-  static int rewrite(Function& fn, OpId oid) {
+  static int rewrite(Function& fn, const Block& blk, OpId oid) {
     Op& o = fn.op(oid);
     const int rw = o.result.valid() ? fn.value(o.result).width : 0;
 
     // Replace this op with a plain copy of `v` (free width adjustment).
+    // Refuse when the alias would root consumers at a register that is
+    // overwritten later in the block (same guard as forwarding).
     auto toCopy = [&](ValueId v) {
+      if (wiringWouldOutliveStore(fn, blk, v)) return 0;
       if (fn.value(v).width == rw) {
         fn.replaceAllUses(o.result, v);
         fn.removeOp(oid);

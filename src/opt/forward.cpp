@@ -21,17 +21,6 @@ class ForwardingPass final : public Pass {
   int run(Function& fn) override {
     int changes = 0;
     for (auto& blk : fn.blocks()) {
-      // Position of each op and of the last store per variable, to detect
-      // when a forwarded value would have to outlive an overwrite of its
-      // own root register (which no schedule can realize without a copy).
-      std::unordered_map<std::uint32_t, std::size_t> lastStorePosOfVar;
-      std::unordered_map<std::uint32_t, std::size_t> posOfOp;
-      for (std::size_t pos = 0; pos < blk.ops.size(); ++pos) {
-        const Op& o = fn.op(blk.ops[pos]);
-        posOfOp[blk.ops[pos].get()] = pos;
-        if (o.kind == OpKind::StoreVar) lastStorePosOfVar[o.var.get()] = pos;
-      }
-
       // Last in-block stored value per variable (+ position of the store).
       std::unordered_map<std::uint32_t, std::pair<ValueId, std::size_t>>
           lastStore;
@@ -50,15 +39,7 @@ class ForwardingPass final : public Pass {
           // Safety: if v is rooted at a load of variable w and w is stored
           // again later in the block, the forwarded uses would read w's
           // register after the overwrite — keep the explicit copy instead.
-          ValueId root = rootValue(fn, v);
-          const Op& rdef = fn.defOf(root);
-          if (rdef.kind == OpKind::LoadVar) {
-            auto ls = lastStorePosOfVar.find(rdef.var.get());
-            auto lp = posOfOp.find(rdef.id.get());
-            if (ls != lastStorePosOfVar.end() && lp != posOfOp.end() &&
-                ls->second > lp->second)
-              continue;
-          }
+          if (wiringWouldOutliveStore(fn, blk, v)) continue;
           fn.replaceAllUses(o.result, v);
           ++changes;
           // The dead load is swept by DCE.

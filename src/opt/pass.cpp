@@ -1,8 +1,26 @@
 #include "opt/pass.h"
 
+#include "ir/deps.h"
 #include "ir/verify.h"
 
 namespace mphls {
+
+bool wiringWouldOutliveStore(const Function& fn, const Block& blk,
+                             ValueId v) {
+  const Op& rdef = fn.defOf(rootValue(fn, v));
+  if (rdef.kind != OpKind::LoadVar) return false;
+  bool afterLoad = false;
+  for (OpId oid : blk.ops) {
+    if (oid == rdef.id) {
+      afterLoad = true;
+      continue;
+    }
+    const Op& o = fn.op(oid);
+    if (afterLoad && o.kind == OpKind::StoreVar && o.var == rdef.var)
+      return true;
+  }
+  return false;
+}
 
 std::vector<PassStats> PassManager::run(Function& fn, int maxRounds) {
   std::vector<PassStats> stats(passes_.size());

@@ -76,4 +76,14 @@ class PassManager {
 /// Convenience: run the standard pipeline in place.
 void optimize(Function& fn);
 
+/// True when turning a value into free wiring over `v` could let a consumer
+/// outlive `v`'s backing register: the free-wiring chain under `v` roots at
+/// a LoadVar whose variable is stored again later in `blk`. Any pass that
+/// aliases an occupying op's result to wiring over an operand (forwarding,
+/// algebraic identities, strength reduction) must refuse the rewrite when
+/// this holds — otherwise the use-before-overwrite dependence (deps.cpp)
+/// contradicts the store-order chain and the block becomes unschedulable.
+[[nodiscard]] bool wiringWouldOutliveStore(const Function& fn,
+                                           const Block& blk, ValueId v);
+
 }  // namespace mphls

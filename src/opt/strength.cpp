@@ -10,6 +10,7 @@
 //   x + 1    -> inc x           x - 1 -> dec x
 //   x << c, x >> c (variable shift by constant) -> free constant shift
 #include "common/bitutil.h"
+#include "ir/deps.h"
 #include "opt/pass.h"
 
 namespace mphls {
@@ -24,7 +25,7 @@ class StrengthPass final : public Pass {
     int changes = 0;
     for (const auto& blk : fn.blocks()) {
       for (OpId oid : std::vector<OpId>(blk.ops)) {
-        changes += rewrite(fn, oid);
+        changes += rewrite(fn, blk, oid);
       }
     }
     return changes;
@@ -42,9 +43,14 @@ class StrengthPass final : public Pass {
     return raw > (1ULL << 62) ? -1 : static_cast<std::int64_t>(raw);
   }
 
-  static int rewrite(Function& fn, OpId oid) {
+  static int rewrite(Function& fn, const Block& blk, OpId oid) {
     Op& o = fn.op(oid);
+    // Rewriting an occupying op into free wiring (casts, constant shifts)
+    // chains its consumers to the operand's root register; refuse when that
+    // register is overwritten later in the block (same guard as forwarding
+    // and the algebraic identities).
     auto toUnary = [&](OpKind k, ValueId arg, std::int64_t imm = 0) {
+      if (kindFlowsFree(k) && wiringWouldOutliveStore(fn, blk, arg)) return 0;
       o.kind = k;
       o.args = {arg};
       o.imm = imm;

@@ -115,11 +115,27 @@ FreedomResult freedomSchedule(const BlockDeps& deps,
       }
     }
     if (chosen < 0) {
-      // Resource cap reached everywhere in the frame: stretch the schedule
-      // and let ranges recompute.
+      // Resource cap reached everywhere in the frame. Growing the horizon
+      // alone cannot help once the op's successors are placed — their
+      // steps pin r.hi regardless of the horizon — so stretch the schedule
+      // by inserting a fresh control step at the front of the window:
+      // every placed op at or below the insertion point slides down one
+      // step, which opens capacity inside the window itself.
       ++horizon;
       MPHLS_CHECK(horizon <= li.criticalLength + 4 * static_cast<int>(n) + 16,
                   "freedom scheduler failed to converge");
+      const int at = r.lo[best];
+      for (std::size_t i = 0; i < n; ++i) {
+        if (placed[i] < at) continue;
+        FuClass ci = scheduleClassOf(deps, i);
+        usage.remove(ci, placed[i], deps.duration(i));
+        ++placed[i];
+        usage.place(ci, placed[i], deps.duration(i));
+      }
+      stepLoad.clear();
+      allocated.clear();
+      for (std::size_t i = 0; i < n; ++i)
+        if (placed[i] >= 0) addLoad(scheduleClassOf(deps, i), placed[i]);
       continue;
     }
     placed[best] = chosen;

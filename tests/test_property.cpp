@@ -12,13 +12,12 @@
 //   - clique covers are valid and the greedy heuristic is bounded by exact.
 #include <gtest/gtest.h>
 
-#include <sstream>
-
 #include "alloc/clique.h"
 #include "alloc/lifetime.h"
 #include "alloc/reg_alloc.h"
 #include "core/synthesizer.h"
 #include "ctrl/sop.h"
+#include "fuzz/bdl_gen.h"
 #include "ir/interp.h"
 #include "lang/frontend.h"
 #include "opt/pass.h"
@@ -34,183 +33,22 @@ namespace mphls {
 namespace {
 
 // ------------------------------------------------------------- generator
+//
+// The generator lives in src/fuzz/bdl_gen.* (shared with `mphls fuzz`); it
+// is the same deterministic splitmix64-seeded program source, so any seed
+// that fails here can be replayed and reduced with the fuzz CLI.
 
-class Rng {
- public:
-  explicit Rng(std::uint64_t seed) : s_(seed * 2654435761u + 1) {}
-  std::uint64_t next() {
-    s_ ^= s_ << 13;
-    s_ ^= s_ >> 7;
-    s_ ^= s_ << 17;
-    return s_;
-  }
-  std::size_t below(std::size_t n) { return (std::size_t)(next() % n); }
-  bool chance(int percent) { return below(100) < (std::size_t)percent; }
+using fuzz::Rng;
+using fuzz::randomInputs;
 
- private:
-  std::uint64_t s_;
+struct GenCase {
+  std::string source;
+  std::vector<std::string> inputs;
 };
 
-/// Generates a random but well-formed BDL program. All variables are
-/// initialized before use; loops are bounded counters; every output is
-/// assigned on every path (by assigning all outputs up front).
-class ProgramGen {
- public:
-  explicit ProgramGen(std::uint64_t seed) : rng_(seed) {}
-
-  struct Result {
-    std::string source;
-    std::vector<std::string> inputs;
-  };
-
-  Result generate() {
-    std::ostringstream out;
-    int nIn = 2 + (int)rng_.below(3);
-    int nOut = 1 + (int)rng_.below(2);
-    int nVar = 2 + (int)rng_.below(4);
-
-    out << "proc fuzz(";
-    Result res;
-    for (int i = 0; i < nIn; ++i) {
-      std::string name = "in" + std::to_string(i);
-      ins_.push_back({name, randWidth()});
-      res.inputs.push_back(name);
-      out << (i ? ", " : "") << "in " << name << ": uint<" << ins_.back().width
-          << ">";
-    }
-    for (int i = 0; i < nOut; ++i) {
-      std::string name = "out" + std::to_string(i);
-      outs_.push_back({name, randWidth()});
-      out << ", out " << name << ": uint<" << outs_.back().width << ">";
-    }
-    out << ") {\n";
-
-    for (int i = 0; i < nVar; ++i) {
-      std::string name = "v" + std::to_string(i);
-      vars_.push_back({name, randWidth()});
-      out << "  var " << name << ": uint<" << vars_.back().width << ">;\n";
-      out << "  " << name << " = " << expr(1) << ";\n";
-    }
-    // Outputs readable on all paths.
-    for (const auto& o : outs_) out << "  " << o.name << " = " << expr(1)
-                                    << ";\n";
-
-    int nStmt = 3 + (int)rng_.below(6);
-    for (int i = 0; i < nStmt; ++i) stmt(out, 0);
-
-    out << "}\n";
-    res.source = out.str();
-    return res;
-  }
-
- private:
-  struct Sym {
-    std::string name;
-    int width;
-  };
-  Rng rng_;
-  std::vector<Sym> ins_, outs_, vars_;
-  int loopCounter_ = 0;
-
-  int randWidth() {
-    const int widths[] = {4, 8, 12, 16, 24, 32};
-    return widths[rng_.below(6)];
-  }
-
-  std::string readable() {
-    std::size_t total = ins_.size() + outs_.size() + vars_.size();
-    std::size_t k = rng_.below(total);
-    if (k < ins_.size()) return ins_[k].name;
-    k -= ins_.size();
-    if (k < outs_.size()) return outs_[k].name;
-    return vars_[k - outs_.size()].name;
-  }
-
-  std::string writable() {
-    std::size_t total = outs_.size() + vars_.size();
-    std::size_t k = rng_.below(total);
-    if (k < outs_.size()) return outs_[k].name;
-    return vars_[k - outs_.size()].name;
-  }
-
-  std::string expr(int depth) {
-    if (depth >= 3 || rng_.chance(35)) {
-      // Leaf.
-      if (rng_.chance(30)) return std::to_string(rng_.below(1000));
-      return readable();
-    }
-    switch (rng_.below(10)) {
-      case 0:
-        return "(" + expr(depth + 1) + " + " + expr(depth + 1) + ")";
-      case 1:
-        return "(" + expr(depth + 1) + " - " + expr(depth + 1) + ")";
-      case 2:
-        return "(" + expr(depth + 1) + " * " + expr(depth + 1) + ")";
-      case 3:
-        return "(" + expr(depth + 1) + " / " + expr(depth + 1) + ")";
-      case 4:
-        return "(" + expr(depth + 1) + " ^ " + expr(depth + 1) + ")";
-      case 5:
-        return "(" + expr(depth + 1) + " & " + expr(depth + 1) + ")";
-      case 6:
-        return "(" + expr(depth + 1) + " >> " +
-               std::to_string(1 + rng_.below(3)) + ")";
-      case 7:
-        return "(" + expr(depth + 1) + " % " + expr(depth + 1) + ")";
-      case 8:
-        return "(" + expr(depth + 1) + (rng_.chance(50) ? " < " : " >= ") +
-               expr(depth + 1) + " ? " + expr(depth + 1) + " : " +
-               expr(depth + 1) + ")";
-      default:
-        return "zext<32>(" + expr(depth + 1) + ")";
-    }
-  }
-
-  std::string cond(int depth) {
-    return "(" + expr(depth + 1) +
-           (rng_.chance(50) ? " != " : " > ") + expr(depth + 1) + ")";
-  }
-
-  void stmt(std::ostringstream& out, int depth) {
-    int roll = (int)rng_.below(100);
-    std::string pad((std::size_t)(2 * depth + 2), ' ');
-    if (roll < 55 || depth >= 2) {
-      out << pad << writable() << " = " << expr(0) << ";\n";
-    } else if (roll < 80) {
-      out << pad << "if " << cond(0) << " {\n";
-      int n = 1 + (int)rng_.below(2);
-      for (int i = 0; i < n; ++i) stmt(out, depth + 1);
-      if (rng_.chance(60)) {
-        out << pad << "} else {\n";
-        for (int i = 0; i < n; ++i) stmt(out, depth + 1);
-      }
-      out << pad << "}\n";
-    } else {
-      // Bounded counted loop.
-      std::string c = "k" + std::to_string(loopCounter_++);
-      int trip = 2 + (int)rng_.below(4);
-      out << pad << "var " << c << ": uint<4>;\n";
-      out << pad << c << " = 0;\n";
-      out << pad << "do {\n";
-      int n = 1 + (int)rng_.below(2);
-      for (int i = 0; i < n; ++i) stmt(out, depth + 1);
-      out << pad << "  " << c << " = " << c << " + 1;\n";
-      out << pad << "} until (" << c << " == " << trip << ");\n";
-    }
-  }
-};
-
-std::map<std::string, std::uint64_t> randomInputs(
-    const std::vector<std::string>& names, std::uint64_t seed, int trial) {
-  Rng rng(seed * 131 + (std::uint64_t)trial);
-  std::map<std::string, std::uint64_t> in;
-  for (const auto& n : names) {
-    std::uint64_t v = rng.next();
-    if (trial == 0) v = 0;
-    if (trial == 1) v = ~0ull;
-    in[n] = v;
-  }
-  return in;
+GenCase genCase(std::uint64_t seed) {
+  fuzz::GenProgram p = fuzz::generateProgram(seed);
+  return {p.render(), p.inputNames()};
 }
 
 // ----------------------------------------------------- pipeline properties
@@ -218,7 +56,7 @@ std::map<std::string, std::uint64_t> randomInputs(
 class FuzzPipeline : public ::testing::TestWithParam<int> {};
 
 TEST_P(FuzzPipeline, OptimizationPreservesBehavior) {
-  auto gen = ProgramGen((std::uint64_t)GetParam()).generate();
+  GenCase gen = genCase((std::uint64_t)GetParam());
   DiagEngine diags;
   auto fnOpt = compileBdl(gen.source, diags);
   ASSERT_TRUE(fnOpt.has_value()) << diags.summary() << "\n" << gen.source;
@@ -241,7 +79,7 @@ TEST_P(FuzzPipeline, OptimizationPreservesBehavior) {
 }
 
 TEST_P(FuzzPipeline, EverySchedulerProducesValidSchedules) {
-  auto gen = ProgramGen((std::uint64_t)GetParam()).generate();
+  GenCase gen = genCase((std::uint64_t)GetParam());
   Function fn = compileBdlOrThrow(gen.source);
   optimize(fn);
 
@@ -271,7 +109,7 @@ TEST_P(FuzzPipeline, EverySchedulerProducesValidSchedules) {
 }
 
 TEST_P(FuzzPipeline, ListNeverBeatenByAsapAndBnbNeverWorse) {
-  auto gen = ProgramGen((std::uint64_t)GetParam()).generate();
+  GenCase gen = genCase((std::uint64_t)GetParam());
   Function fn = compileBdlOrThrow(gen.source);
   optimize(fn);
   auto limits = ResourceLimits::universalSet(2);
@@ -285,7 +123,7 @@ TEST_P(FuzzPipeline, ListNeverBeatenByAsapAndBnbNeverWorse) {
 }
 
 TEST_P(FuzzPipeline, RegisterAllocationValidAndLeftEdgeOptimal) {
-  auto gen = ProgramGen((std::uint64_t)GetParam()).generate();
+  GenCase gen = genCase((std::uint64_t)GetParam());
   Function fn = compileBdlOrThrow(gen.source);
   optimize(fn);
   auto limits = ResourceLimits::universalSet(2);
@@ -303,7 +141,7 @@ TEST_P(FuzzPipeline, RegisterAllocationValidAndLeftEdgeOptimal) {
 }
 
 TEST_P(FuzzPipeline, RtlMatchesBehaviorEndToEnd) {
-  auto gen = ProgramGen((std::uint64_t)GetParam()).generate();
+  GenCase gen = genCase((std::uint64_t)GetParam());
   SynthesisOptions opts;
   opts.scheduler = SchedulerKind::List;
   opts.resources = ResourceLimits::universalSet(1 + (GetParam() % 3));
