@@ -3,8 +3,10 @@
 # of the paper's square-root design, the semantic-lint gate over every
 # built-in design, a fixed-seed differential fuzz campaign (plus an
 # injected-miscompile round trip), an AddressSanitizer+UBSan pass over the
-# whole suite, a ThreadSanitizer pass over the parallel-DSE layer, and a
-# bench smoke run with a schema check of the emitted BENCH_dse.json.
+# whole suite (observability layer included), a ThreadSanitizer pass over
+# the parallel-DSE layer, a bench smoke run with a schema check of the
+# emitted BENCH_dse.json, and an observability smoke run validating the
+# Chrome trace, metrics JSON, and VCD waveform from `mphls profile`.
 set -eu
 
 cd "$(dirname "$0")"
@@ -90,6 +92,62 @@ for c in sched["cases"]:
     assert c["equal"], f"scheduler case {c['name']} diverged"
 
 print("bench smoke: schema ok, deterministic, schedulers equal")
+EOF
+
+# --- Observability smoke: `mphls profile` must emit a well-formed Chrome
+# trace (balanced B/E nesting on every track, monotone timestamps), a
+# metrics JSON with full FSM state coverage on the sqrt controller, and a
+# VCD that declares wires and replays at least one FSM state change.
+OBS_OUT=build/obs-smoke
+mkdir -p "$OBS_OUT"
+./build/src/cli/mphls profile examples/sqrt.bdl \
+  --trace "$OBS_OUT/trace.json" --vcd "$OBS_OUT/wave.vcd" \
+  --stats "$OBS_OUT/metrics.json" --quiet > /dev/null
+python3 - "$OBS_OUT/trace.json" "$OBS_OUT/metrics.json" \
+  "$OBS_OUT/wave.vcd" << 'EOF'
+import json, sys
+
+trace = json.load(open(sys.argv[1]))
+assert trace.get("displayTimeUnit") == "ms"
+events = trace["traceEvents"]
+assert events, "trace has no events"
+stacks, last_ts = {}, {}
+for e in events:
+    assert e["pid"] == 1 and isinstance(e["tid"], int)
+    if e["ph"] == "M":
+        continue
+    assert e["ts"] >= last_ts.get(e["tid"], 0.0), "timestamps regress"
+    last_ts[e["tid"]] = e["ts"]
+    if e["ph"] == "B":
+        stacks.setdefault(e["tid"], []).append(e["name"])
+    elif e["ph"] == "E":
+        assert stacks.get(e["tid"]), f"E without B on tid {e['tid']}"
+        top = stacks[e["tid"]].pop()
+        assert top == e["name"], f"mismatched span: {top} vs {e['name']}"
+for tid, stack in stacks.items():
+    assert not stack, f"unbalanced spans on tid {tid}: {stack}"
+names = {e["name"] for e in events if e["ph"] == "B"}
+for span in ("stage.schedule", "stage.allocate", "stage.control",
+             "sim.rtl", "opt.pipeline"):
+    assert span in names, f"trace missing span {span}"
+
+metrics = json.load(open(sys.argv[2]))
+cov = metrics["gauges"]["sim.fsm_state_coverage"]
+assert cov == 100.0, f"sqrt FSM state coverage {cov} != 100"
+assert metrics["counters"]["synth.runs"] >= 1
+
+vcd = open(sys.argv[3]).read()
+defs = [l for l in vcd.splitlines() if l.startswith("$var wire ")]
+assert defs, "VCD has no $var definitions"
+assert any("fsm_state" in l for l in defs), "VCD missing fsm_state wire"
+state_code = next(l.split()[3] for l in defs if "fsm_state" in l)
+state_changes = sum(
+    1 for l in vcd.splitlines()
+    if l.startswith("b") and l.endswith(" " + state_code))
+assert state_changes >= 2, "VCD replays no FSM state change"
+
+print("obs smoke: trace balanced, sqrt FSM coverage 100%, VCD has "
+      f"{state_changes} state changes")
 EOF
 
 echo "ci: all checks passed"

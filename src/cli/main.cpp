@@ -5,12 +5,14 @@
 //   mphls lint [options] design.bdl
 //   mphls analyze [--dot-facts FILE] design.bdl
 //   mphls analyze --builtins
+//   mphls profile [options] design.bdl
 //   mphls bench [--jobs N] [--points N] [--repeats N] [--sched-ops N]
-//               [--out DIR] [--quiet]
+//               [--out DIR] [--trace FILE] [--stats FILE] [--quiet]
 //   mphls fuzz [--seeds N] [--seed-base S] [--jobs N]
 //              [--matrix quick|standard|full] [--trials N] [--reduce]
 //              [--corpus DIR] [--no-save] [--replay DIR] [--inject mul]
-//              [--no-check] [--out FILE] [--quiet]
+//              [--no-check] [--trace FILE] [--stats FILE] [--out FILE]
+//              [--quiet]
 //
 // The `lint` subcommand synthesizes the design and prints the full static
 // verification report (schedule legality, binding consistency, controller
@@ -30,6 +32,13 @@
 // The `bench` subcommand runs the synthesis-throughput suite on built-in
 // designs and writes BENCH_dse.json / BENCH_sched.json (see
 // core/bench_runner.h); it needs no input file.
+//
+// The `profile` subcommand synthesizes the design, simulates it under the
+// waveform/coverage recorder, and prints a stage/pass time + counter +
+// FSM-coverage table. `--trace FILE` (Chrome trace_event JSON for
+// Perfetto), `--vcd FILE` (GTKWave waveform) and `--stats FILE` (metrics
+// registry JSON) work on the synth, profile, bench and fuzz paths; see
+// DESIGN.md §10.
 //
 // The `fuzz` subcommand runs the differential co-simulation fuzzer
 // (src/fuzz/): deterministic random BDL programs are synthesized across a
@@ -59,9 +68,14 @@
 //   --multicycle           2-step multipliers / 4-step dividers
 //   --check / --no-check   enable/disable stage-boundary checkers (default on)
 //   --quiet                suppress the report
+#include <unistd.h>
+
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
+#include <string_view>
 
 #include "opt/pass.h"
 #include "analysis/dataflow.h"
@@ -73,7 +87,10 @@
 #include "core/synthesizer.h"
 #include "ir/dot.h"
 #include "lang/frontend.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rtl/rtlsim.h"
+#include "rtl/sim_trace.h"
 #include "rtl/verilog.h"
 #include "sched/schedule.h"
 
@@ -88,10 +105,14 @@ struct CliArgs {
   std::string dotOut;
   std::vector<std::map<std::string, std::uint64_t>> verifyRuns;
   std::string dotFactsOut;
+  std::string traceOut;  ///< --trace: Chrome trace_event JSON
+  std::string vcdOut;    ///< --vcd: simulation waveform
+  std::string statsOut;  ///< --stats: metrics registry JSON
   int sweep = 0;
   bool quiet = false;
   bool lint = false;
   bool analyze = false;
+  bool profile = false;
   bool builtins = false;
   bool optExplicit = false;  ///< --opt given: analyze post-pipeline IR
   SynthesisOptions opts;
@@ -102,19 +123,23 @@ void usage() {
       "usage: mphls [options] design.bdl\n"
       "       mphls lint [options] design.bdl\n"
       "       mphls analyze [--dot-facts FILE] design.bdl | --builtins\n"
+      "       mphls profile [options] design.bdl\n"
       "  --top NAME  --scheduler serial|asap|list|force|freedom|bnb|transform\n"
       "  --fus N  --priority path|mobility|urgency|program\n"
       "  --opt none|standard|aggressive  --fu-alloc greedy|global|blind|clique\n"
       "  --reg-alloc leftedge|clique|naive  --encoding binary|gray|onehot\n"
       "  --time-constraint N  --verilog FILE  --dot FILE\n"
       "  --verify a=1,b=2  --sweep N  --jobs N  --multicycle  --narrow\n"
+      "  --trace FILE  --vcd FILE  --stats FILE\n"
       "  --check|--no-check  --quiet\n"
       "       mphls bench [--jobs N] [--points N] [--repeats N]\n"
-      "                   [--sched-ops N] [--out DIR] [--quiet]\n"
+      "                   [--sched-ops N] [--out DIR] [--trace FILE]\n"
+      "                   [--stats FILE] [--quiet]\n"
       "       mphls fuzz [--seeds N] [--seed-base S] [--jobs N]\n"
       "                  [--matrix quick|standard|full] [--trials N]\n"
       "                  [--reduce] [--corpus DIR] [--no-save]\n"
       "                  [--replay DIR] [--inject mul] [--no-check]\n"
+      "                  [--trace FILE] [--stats FILE]\n"
       "                  [--out FILE] [--quiet]\n";
 }
 
@@ -134,6 +159,146 @@ bool parseInputs(const std::string& spec,
 int fail(const std::string& msg) {
   std::cerr << "mphls: " << msg << "\n";
   return 1;
+}
+
+/// Turn the tracer on (with a named main-thread track) when --trace was
+/// given; instrumentation stays on the null-sink fast path otherwise.
+void enableTracing(const std::string& traceOut) {
+  if (traceOut.empty()) return;
+  obs::Tracer::global().setThreadName("main");
+  obs::Tracer::global().enable();
+}
+
+/// Write the --trace / --stats artifacts at command exit.
+int writeObsOutputs(const std::string& traceOut, const std::string& statsOut,
+                    bool quiet) {
+  if (!traceOut.empty()) {
+    if (!obs::Tracer::global().writeChromeTrace(traceOut))
+      return fail("cannot write " + traceOut);
+    if (!quiet) std::cout << "wrote trace to " << traceOut << "\n";
+  }
+  if (!statsOut.empty()) {
+    if (!obs::MetricsRegistry::global().writeJson(statsOut))
+      return fail("cannot write " + statsOut);
+    if (!quiet) std::cout << "wrote metrics to " << statsOut << "\n";
+  }
+  return 0;
+}
+
+/// One recorded RTL simulation: waveform (written to `vcdOut` when
+/// non-empty), FSM coverage and FU utilization, published as sim.* gauges.
+struct RecordedSim {
+  RtlExecResult res;
+  FsmCoverage cov;
+  std::vector<double> util;
+  long cycles = 0;
+};
+
+std::optional<RecordedSim> recordSimulation(
+    const RtlDesign& d, const std::map<std::string, std::uint64_t>& inputs,
+    const std::string& vcdOut, bool quiet) {
+  SimTraceRecorder rec(d);
+  rec.begin(inputs);
+  RtlSimulator sim(d);
+  RecordedSim out;
+  {
+    obs::TraceSpan span("sim.rtl", d.fn.name());
+    out.res = sim.run(inputs, 1000000, rec.observer());
+  }
+  rec.finish();
+  out.cov = rec.coverage();
+  out.util = rec.fuUtilization();
+  out.cycles = rec.cycles();
+
+  double utilMean = 0;
+  for (double u : out.util) utilMean += u;
+  if (!out.util.empty()) utilMean /= (double)out.util.size();
+  auto& mr = obs::MetricsRegistry::global();
+  mr.gauge("sim.cycles").set((double)out.res.cycles);
+  mr.gauge("sim.finished").set(out.res.finished ? 1.0 : 0.0);
+  mr.gauge("sim.fsm_state_coverage").set(100.0 * out.cov.stateCoverage());
+  mr.gauge("sim.fsm_transition_coverage")
+      .set(100.0 * out.cov.transitionCoverage());
+  mr.gauge("sim.fu_utilization_mean").set(utilMean);
+
+  if (!vcdOut.empty()) {
+    if (!rec.writeVcd(vcdOut)) {
+      fail("cannot write " + vcdOut);
+      return std::nullopt;
+    }
+    if (!quiet)
+      std::cout << "wrote VCD to " << vcdOut << " (" << out.cycles
+                << " cycles)\n";
+  }
+  return out;
+}
+
+/// Inputs for a recorded simulation: the first --verify run, topped up
+/// with zeros for any input port it leaves unset.
+std::map<std::string, std::uint64_t> simInputs(const CliArgs& a,
+                                               const RtlDesign& d) {
+  std::map<std::string, std::uint64_t> inputs;
+  if (!a.verifyRuns.empty()) inputs = a.verifyRuns.front();
+  for (const auto& p : d.fn.ports())
+    if (p.isInput && inputs.find(p.name) == inputs.end()) inputs[p.name] = 0;
+  return inputs;
+}
+
+/// `mphls profile design.bdl`: run the flow once, simulate it with the
+/// recorder, and print a stage/pass time + counter table. The sim.*
+/// gauges (FSM coverage, FU utilization) land in --stats output.
+int runProfile(const CliArgs& a, const SynthesisResult& result) {
+  const RtlDesign& d = result.design;
+  const auto inputs = simInputs(a, d);
+  const auto sim = recordSimulation(d, inputs, a.vcdOut, a.quiet);
+  if (!sim) return 1;
+
+  std::printf("profile of '%s'\n", d.fn.name().c_str());
+  const StageTimes& st = result.stages;
+  std::printf("\n%-20s %12s\n", "stage", "seconds");
+  std::printf("  %-18s %12.6f\n", "optimize", st.optimize);
+  std::printf("  %-18s %12.6f\n", "schedule", st.schedule);
+  std::printf("  %-18s %12.6f\n", "allocate", st.allocate);
+  std::printf("  %-18s %12.6f\n", "control", st.control);
+  std::printf("  %-18s %12.6f\n", "estimate", st.estimate);
+  std::printf("  %-18s %12.6f\n", "check", st.check);
+  std::printf("  %-18s %12.6f\n", "total", st.total());
+
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  std::printf("\n%-20s %12s %10s\n", "pass", "seconds", "changes");
+  for (const auto& [name, h] : snap.histograms) {
+    constexpr std::string_view kPre = "pass.", kSuf = ".seconds";
+    if (name.size() <= kPre.size() + kSuf.size() ||
+        name.compare(0, kPre.size(), kPre) != 0 ||
+        name.compare(name.size() - kSuf.size(), kSuf.size(), kSuf) != 0)
+      continue;
+    const std::string pass =
+        name.substr(kPre.size(), name.size() - kPre.size() - kSuf.size());
+    std::uint64_t changes = 0;
+    for (const auto& [cname, v] : snap.counters)
+      if (cname == "pass." + pass + ".changes") changes = v;
+    std::printf("  %-18s %12.6f %10llu\n", pass.c_str(), h.sum,
+                (unsigned long long)changes);
+  }
+
+  std::printf("\nsimulation: %ld cycles (%s)\n", sim->res.cycles,
+              sim->res.finished ? "halted" : "did not halt");
+  std::printf("  %-18s %zu/%zu visited (%.1f%%)\n", "fsm states",
+              sim->cov.visitedStates, sim->cov.totalStates,
+              100.0 * sim->cov.stateCoverage());
+  std::printf("  %-18s %zu/%zu covered (%.1f%%)\n", "fsm transitions",
+              sim->cov.visitedTransitions, sim->cov.totalTransitions,
+              100.0 * sim->cov.transitionCoverage());
+  for (std::size_t f = 0; f < sim->util.size(); ++f)
+    std::printf("  fu%zu (%s) busy %.1f%% of cycles\n", f,
+                d.lib.component(d.binding.fus[f].comp).name.c_str(),
+                100.0 * sim->util[f]);
+
+  std::printf("\n%-32s %10s\n", "counter", "value");
+  for (const auto& [name, v] : snap.counters)
+    std::printf("  %-30s %10llu\n", name.c_str(), (unsigned long long)v);
+
+  return writeObsOutputs(a.traceOut, a.statsOut, a.quiet);
 }
 
 std::optional<CliArgs> parseArgs(int argc, char** argv) {
@@ -245,6 +410,18 @@ std::optional<CliArgs> parseArgs(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       a.dotFactsOut = v;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.traceOut = v;
+    } else if (arg == "--vcd") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.vcdOut = v;
+    } else if (arg == "--stats") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.statsOut = v;
     } else if (arg == "--builtins") {
       a.builtins = true;
     } else if (arg == "--check") {
@@ -257,6 +434,8 @@ std::optional<CliArgs> parseArgs(int argc, char** argv) {
       a.lint = true;
     } else if (arg == "analyze" && a.file.empty() && !a.analyze) {
       a.analyze = true;
+    } else if (arg == "profile" && a.file.empty() && !a.profile) {
+      a.profile = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return std::nullopt;
     } else {
@@ -337,6 +516,7 @@ int runAnalyzeBuiltins(bool quiet) {
 int runBench(int argc, char** argv) {
   BenchOptions b;
   b.jobs = 0;  // hardware concurrency unless --jobs given
+  std::string traceOut, statsOut;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -363,6 +543,14 @@ int runBench(int argc, char** argv) {
       const char* v = next();
       if (!v) return (usage(), 2);
       b.outDir = v;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      traceOut = v;
+    } else if (arg == "--stats") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      statsOut = v;
     } else if (arg == "--quiet") {
       b.quiet = true;
     } else {
@@ -370,7 +558,10 @@ int runBench(int argc, char** argv) {
       return 2;
     }
   }
-  return runBenchSuite(b);
+  enableTracing(traceOut);
+  int rc = runBenchSuite(b);
+  if (writeObsOutputs(traceOut, statsOut, b.quiet) != 0 && rc == 0) rc = 1;
+  return rc;
 }
 
 /// `mphls fuzz`: differential co-simulation campaigns and corpus replay.
@@ -380,6 +571,7 @@ int runFuzz(int argc, char** argv) {
   std::string matrixName = "standard";
   std::string replayDir;
   std::string outFile;
+  std::string traceOut, statsOut;
   bool save = true;
   bool quiet = false;
   c.corpusDir = "fuzz-corpus";
@@ -431,6 +623,14 @@ int runFuzz(int argc, char** argv) {
       const char* v = next();
       if (!v) return (usage(), 2);
       outFile = v;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      traceOut = v;
+    } else if (arg == "--stats") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      statsOut = v;
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -442,6 +642,10 @@ int runFuzz(int argc, char** argv) {
   if (!fuzz::FuzzMatrix::parse(matrixName, matrix)) return (usage(), 2);
   c.diff.points = matrix.points();
   if (!save) c.corpusDir.clear();
+  enableTracing(traceOut);
+  // The live progress line is cosmetic, so it only runs when a human is
+  // plausibly watching: stderr is a terminal and --quiet was not given.
+  c.heartbeat = !quiet && isatty(2) != 0;
 
   if (!replayDir.empty()) {
     auto r = fuzz::replayCorpus(replayDir, c.diff, c.jobs);
@@ -462,6 +666,7 @@ int runFuzz(int argc, char** argv) {
     }
     std::cout << "fuzz replay: " << r.entries << " entries, " << r.failed
               << " failing (" << matrixName << " matrix)\n";
+    if (writeObsOutputs(traceOut, statsOut, quiet) != 0) return 1;
     return r.clean() ? 0 : 1;
   }
 
@@ -497,6 +702,7 @@ int runFuzz(int argc, char** argv) {
     out << fuzz::campaignReport(c, r, matrixName).dump();
     if (!quiet) std::cout << "wrote " << outFile << "\n";
   }
+  if (writeObsOutputs(traceOut, statsOut, quiet) != 0) return 1;
   return r.clean() ? 0 : 1;
 }
 
@@ -511,6 +717,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   CliArgs& a = *parsed;
+  enableTracing(a.traceOut);
 
   if (a.analyze && a.builtins) return runAnalyzeBuiltins(a.quiet);
 
@@ -575,6 +782,8 @@ int main(int argc, char** argv) {
   Synthesizer synth(a.opts);
   SynthesisResult result = synth.synthesize(std::move(*fn));
   const RtlDesign& d = result.design;
+
+  if (a.profile) return runProfile(a, result);
 
   if (!a.quiet) {
     std::cout << "design '" << d.fn.name() << "': " << d.fn.numLiveOps()
@@ -647,5 +856,9 @@ int main(int argc, char** argv) {
       std::printf("  %-8d %8d %12.2f %12.1f %8s\n", p.limit, p.latencySteps,
                   p.cycleTime, p.area, p.pareto ? "*" : "");
   }
+
+  if (!a.vcdOut.empty())
+    if (!recordSimulation(d, simInputs(a, d), a.vcdOut, a.quiet)) ++failures;
+  if (writeObsOutputs(a.traceOut, a.statsOut, a.quiet) != 0) ++failures;
   return failures == 0 ? 0 : 1;
 }

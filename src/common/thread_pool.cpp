@@ -2,6 +2,8 @@
 
 #include <exception>
 
+#include "obs/trace.h"
+
 namespace mphls {
 
 namespace {
@@ -13,8 +15,11 @@ thread_local int tlsWorker = -1;
 
 }  // namespace
 
-ThreadPool::ThreadPool(int numThreads) {
+ThreadPool::ThreadPool(int numThreads, std::string namePrefix)
+    : namePrefix_(std::move(namePrefix)),
+      traceTids_(static_cast<std::size_t>(numThreads < 1 ? 1 : numThreads)) {
   if (numThreads < 1) numThreads = 1;
+  for (auto& t : traceTids_) t.store(-1, std::memory_order_relaxed);
   queues_.reserve(static_cast<std::size_t>(numThreads));
   for (int i = 0; i < numThreads; ++i)
     queues_.push_back(std::make_unique<WorkerQueue>());
@@ -37,6 +42,16 @@ ThreadPool::~ThreadPool() {
 
 int ThreadPool::currentWorker() const {
   return tlsPool == this ? tlsWorker : -1;
+}
+
+std::string ThreadPool::workerName(int i) const {
+  return namePrefix_ + "-" + std::to_string(i);
+}
+
+int ThreadPool::workerTraceTid(int i) const {
+  if (i < 0 || i >= size()) return -1;
+  return traceTids_[static_cast<std::size_t>(i)].load(
+      std::memory_order_acquire);
 }
 
 int ThreadPool::hardwareConcurrency() {
@@ -90,6 +105,9 @@ bool ThreadPool::popOrSteal(std::size_t self, std::function<void()>& out) {
 void ThreadPool::workerLoop(std::size_t idx) {
   tlsPool = this;
   tlsWorker = static_cast<int>(idx);
+  traceTids_[idx].store(
+      obs::Tracer::global().setThreadName(workerName(static_cast<int>(idx))),
+      std::memory_order_release);
   for (;;) {
     std::function<void()> task;
     if (popOrSteal(idx, task)) {

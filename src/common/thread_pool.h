@@ -20,6 +20,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -27,8 +28,10 @@ namespace mphls {
 
 class ThreadPool {
  public:
-  /// Spawns `numThreads` workers (clamped to >= 1).
-  explicit ThreadPool(int numThreads);
+  /// Spawns `numThreads` workers (clamped to >= 1). Each worker registers
+  /// a stable tracer track named "<namePrefix>-<index>" so spans executed
+  /// on the pool land on named per-worker lanes in the trace viewer.
+  explicit ThreadPool(int numThreads, std::string namePrefix = "pool");
 
   /// Joins all workers after draining the queues.
   ~ThreadPool();
@@ -53,6 +56,13 @@ class ThreadPool {
   /// Index of the calling thread within this pool, or -1 for outsiders.
   [[nodiscard]] int currentWorker() const;
 
+  /// Stable tracer track name of worker `i` ("<namePrefix>-<i>").
+  [[nodiscard]] std::string workerName(int i) const;
+
+  /// Tracer track id (obs::Tracer tid) of worker `i`, or -1 if the worker
+  /// has not started yet (registration happens on the worker thread).
+  [[nodiscard]] int workerTraceTid(int i) const;
+
   /// std::thread::hardware_concurrency with a >= 1 floor.
   [[nodiscard]] static int hardwareConcurrency();
 
@@ -67,6 +77,9 @@ class ThreadPool {
   void workerLoop(std::size_t idx);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::string namePrefix_;
+  /// Tracer tid per worker; written once by the worker thread on startup.
+  std::vector<std::atomic<int>> traceTids_;
   std::vector<std::thread> threads_;
   std::mutex wakeMutex_;
   std::condition_variable wake_;

@@ -10,6 +10,7 @@
 #include "core/frontend_cache.h"
 #include "ir/analysis.h"
 #include "ir/deps.h"
+#include "obs/metrics.h"
 #include "sched/force_directed.h"
 #include "sched/schedule.h"
 
@@ -128,6 +129,18 @@ int runBenchSuite(const BenchOptions& opts) {
   JsonValue& ptArr = dse.root()["point_wall_seconds"] = JsonValue::array();
   for (const auto& p : parallelPts) ptArr.push(p.wallSeconds);
 
+  // Which thread ran each point: the pool worker index plus its tracer
+  // track identity (named "dse-<worker>" by the pool, "thread-0" for the
+  // serial path on the caller's thread).
+  JsonValue& thrArr = dse.root()["point_threads"] = JsonValue::array();
+  for (const auto& p : parallelPts) {
+    JsonValue t = JsonValue::object();
+    t["worker"] = p.threadId;
+    t["tid"] = p.traceTid;
+    t["name"] = p.threadName;
+    thrArr.push(std::move(t));
+  }
+
   // Stage breakdown of one representative synthesis (2 universal FUs).
   {
     SynthesisOptions o;
@@ -157,6 +170,28 @@ int runBenchSuite(const BenchOptions& opts) {
     auto times = exploreTimeSweep(src, 4, base);
     dse.root()["time_sweep_wall_seconds"] = t.seconds();
     dse.root()["time_sweep_points"] = times.size();
+  }
+
+  // Unified metrics: the same registry snapshot --stats would export, so
+  // bench JSON and metrics JSON can never disagree on the counters.
+  {
+    const auto snap = obs::MetricsRegistry::global().snapshot();
+    JsonValue& metrics = dse.root()["metrics"] = JsonValue::object();
+    JsonValue& counters = metrics["counters"] = JsonValue::object();
+    for (const auto& [name, v] : snap.counters)
+      counters[name] = (std::size_t)v;
+    JsonValue& gauges = metrics["gauges"] = JsonValue::object();
+    for (const auto& [name, v] : snap.gauges) gauges[name] = v;
+    JsonValue& hists = metrics["histograms"] = JsonValue::object();
+    for (const auto& [name, h] : snap.histograms) {
+      JsonValue hv = JsonValue::object();
+      hv["count"] = (std::size_t)h.count;
+      hv["sum"] = h.sum;
+      hv["min"] = h.min;
+      hv["max"] = h.max;
+      hv["mean"] = h.mean();
+      hists[name] = std::move(hv);
+    }
   }
 
   const std::string dsePath = opts.outDir + sep + "BENCH_dse.json";

@@ -8,9 +8,10 @@
 #include <numeric>
 #include <optional>
 
-#include "common/bench_report.h"
 #include "common/thread_pool.h"
 #include "core/frontend_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rtl/verilog.h"
 
 namespace mphls {
@@ -24,25 +25,34 @@ std::unique_ptr<ThreadPool> makePool(int jobs, std::size_t numPoints) {
   if (n <= 1 || numPoints <= 1) return nullptr;
   return std::make_unique<ThreadPool>(
       static_cast<int>(std::min<std::size_t>(
-          static_cast<std::size_t>(n), numPoints)));
+          static_cast<std::size_t>(n), numPoints)),
+      "dse");
 }
 
 /// Synthesize one sweep point from the shared optimized IR.
 DsePoint synthesizePoint(const Function& fn, const SynthesisOptions& opts,
                          std::string label, int limit, int worker) {
-  WallTimer timer;
-  Synthesizer synth(opts);
-  SynthesisResult r = synth.synthesizeOptimized(fn);
   DsePoint p;
-  p.label = std::move(label);
-  p.limit = limit;
-  p.latencySteps = r.staticLatency();
-  p.cycleTime = r.timing.cycleTime;
-  p.area = r.area.total();
-  if (opts.dseCaptureVerilog && opts.latencies.isUnit())
-    p.verilog = emitVerilog(r.design);
-  p.wallSeconds = timer.seconds();
+  {
+    // The span both shows the point on the executing thread's trace lane
+    // and measures DsePoint::wallSeconds — one clock pair for both.
+    obs::TraceSpan span("dse.point", label, &p.wallSeconds);
+    Synthesizer synth(opts);
+    SynthesisResult r = synth.synthesizeOptimized(fn);
+    p.label = std::move(label);
+    p.limit = limit;
+    p.latencySteps = r.staticLatency();
+    p.cycleTime = r.timing.cycleTime;
+    p.area = r.area.total();
+    if (opts.dseCaptureVerilog && opts.latencies.isUnit())
+      p.verilog = emitVerilog(r.design);
+  }
   p.threadId = worker < 0 ? 0 : worker;
+  p.traceTid = obs::Tracer::global().currentTid();
+  p.threadName = obs::Tracer::global().currentThreadName();
+  auto& mr = obs::MetricsRegistry::global();
+  mr.counter("dse.points").add();
+  mr.histogram("dse.point_seconds").observe(p.wallSeconds);
   return p;
 }
 

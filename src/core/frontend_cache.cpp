@@ -6,6 +6,8 @@
 
 #include "ir/verify.h"
 #include "lang/frontend.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/pass.h"
 
 namespace mphls {
@@ -59,16 +61,19 @@ std::shared_ptr<const Function> FrontendCache::get(const std::string& source,
     if (it != im.index.end()) {
       im.lru.splice(im.lru.begin(), im.lru, it->second);
       ++im.hits;
+      obs::MetricsRegistry::global().counter("frontend_cache.hits").add();
       return im.lru.front().fn;
     }
     ++im.misses;
   }
+  obs::MetricsRegistry::global().counter("frontend_cache.misses").add();
 
   // Compile outside the lock: concurrent misses on different keys must not
   // serialize on each other. Two racing misses on the same key both
   // compile; the second insert wins and the loser's copy is dropped —
   // wasteful but correct, and sweeps only race on a key they share after
   // it is already cached.
+  obs::TraceSpan span("frontend.compile", top);
   Function fn = compileBdlOrThrow(source, top);
   verifyOrThrow(fn);
   switch (opt) {

@@ -3,13 +3,14 @@
 #include <sstream>
 
 #include "alloc/interconnect.h"
-#include "common/bench_report.h"
 #include "check/check_binding.h"
 #include "check/check_controller.h"
 #include "check/check_schedule.h"
 #include "ir/interp.h"
 #include "ir/verify.h"
 #include "lang/frontend.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/pass.h"
 #include "rtl/rtlsim.h"
 #include "sched/asap.h"
@@ -62,27 +63,28 @@ SynthesisResult Synthesizer::synthesize(Function fn) {
 
   // 1. High-level transformations (Section 2).
   StageTimes st;
-  WallTimer timer;
-  switch (options_.opt) {
-    case OptLevel::None:
-      break;
-    case OptLevel::Standard: {
-      auto pm = PassManager::standardPipeline();
-      pm.run(fn);
-      break;
+  {
+    obs::TraceSpan span("stage.optimize", &st.optimize);
+    switch (options_.opt) {
+      case OptLevel::None:
+        break;
+      case OptLevel::Standard: {
+        auto pm = PassManager::standardPipeline();
+        pm.run(fn);
+        break;
+      }
+      case OptLevel::Aggressive: {
+        auto pm = PassManager::aggressivePipeline();
+        pm.run(fn);
+        break;
+      }
     }
-    case OptLevel::Aggressive: {
-      auto pm = PassManager::aggressivePipeline();
+    if (options_.narrow) {
+      PassManager pm;
+      pm.add(createNarrowWidthsPass());
       pm.run(fn);
-      break;
     }
   }
-  if (options_.narrow) {
-    PassManager pm;
-    pm.add(createNarrowWidthsPass());
-    pm.run(fn);
-  }
-  st.optimize = timer.seconds();
   return backend(std::move(fn), st);
 }
 
@@ -91,40 +93,46 @@ SynthesisResult Synthesizer::synthesizeOptimized(const Function& fn) {
 }
 
 SynthesisResult Synthesizer::backend(Function fn, StageTimes st) {
-  WallTimer timer;
+  // Each stage runs inside a TraceSpan that both emits the trace event
+  // (when tracing is on) and accumulates the corresponding StageTimes
+  // field — one pair of clock reads is the single source of truth for
+  // bench JSON and --trace output.
+  Schedule sched;
 
-  // 2. Scheduling (Section 3.1).
-  MPHLS_CHECK(options_.latencies.isUnit() ||
-                  options_.scheduler != SchedulerKind::ForceDirected,
-              "force-directed scheduling supports unit latency only");
-  Schedule sched = scheduleFunction(fn, [&](const BlockDeps& deps) {
-    switch (options_.scheduler) {
-      case SchedulerKind::Serial:
-        return serialSchedule(deps);
-      case SchedulerKind::Asap:
-        return asapResourceSchedule(deps, options_.resources);
-      case SchedulerKind::List:
-        return listSchedule(deps, options_.resources, options_.listPriority);
-      case SchedulerKind::ForceDirected:
-        return forceDirectedSchedule(deps, options_.timeConstraint);
-      case SchedulerKind::Freedom:
-        return freedomSchedule(deps, options_.resources).schedule;
-      case SchedulerKind::BranchBound:
-        return branchBoundSchedule(deps, options_.resources).schedule;
-      case SchedulerKind::Transform:
-        return transformationalSchedule(deps, options_.resources).schedule;
+  {
+    obs::TraceSpan span("stage.schedule", &st.schedule);
+    // 2. Scheduling (Section 3.1).
+    MPHLS_CHECK(options_.latencies.isUnit() ||
+                    options_.scheduler != SchedulerKind::ForceDirected,
+                "force-directed scheduling supports unit latency only");
+    sched = scheduleFunction(fn, [&](const BlockDeps& deps) {
+      switch (options_.scheduler) {
+        case SchedulerKind::Serial:
+          return serialSchedule(deps);
+        case SchedulerKind::Asap:
+          return asapResourceSchedule(deps, options_.resources);
+        case SchedulerKind::List:
+          return listSchedule(deps, options_.resources, options_.listPriority);
+        case SchedulerKind::ForceDirected:
+          return forceDirectedSchedule(deps, options_.timeConstraint);
+        case SchedulerKind::Freedom:
+          return freedomSchedule(deps, options_.resources).schedule;
+        case SchedulerKind::BranchBound:
+          return branchBoundSchedule(deps, options_.resources).schedule;
+        case SchedulerKind::Transform:
+          return transformationalSchedule(deps, options_.resources).schedule;
+      }
+      return serialSchedule(deps);
+    }, options_.latencies);
+    if (options_.scheduler != SchedulerKind::ForceDirected &&
+        options_.scheduler != SchedulerKind::Serial) {
+      std::string msg =
+          validateSchedule(fn, sched, options_.resources, options_.latencies);
+      MPHLS_CHECK(msg.empty(), "invalid schedule: " << msg);
     }
-    return serialSchedule(deps);
-  }, options_.latencies);
-  if (options_.scheduler != SchedulerKind::ForceDirected &&
-      options_.scheduler != SchedulerKind::Serial) {
-    std::string msg =
-        validateSchedule(fn, sched, options_.resources, options_.latencies);
-    MPHLS_CHECK(msg.empty(), "invalid schedule: " << msg);
   }
-  st.schedule = timer.seconds();
-  timer.reset();
   if (options_.check) {
+    obs::TraceSpan span("stage.check", "schedule", &st.check);
     // Stage exit: schedule legality. Time-constrained (force-directed) and
     // trivially-serial schedules are not produced under the resource
     // limits, so only their dependence legality is checked.
@@ -139,34 +147,38 @@ SynthesisResult Synthesizer::backend(Function fn, StageTimes st) {
                                  << rep.errorCount()
                                  << " finding(s)): " << rep.firstError());
   }
-  st.check += timer.seconds();
-  timer.reset();
 
   // 3. Data-path allocation (Section 3.2).
-  HwLibrary lib = HwLibrary::defaultLibrary();
-  LifetimeInfo lt = computeLifetimes(fn, sched, options_.latencies);
-  RegAssignment regs = allocateRegisters(lt, options_.regMethod);
+  HwLibrary lib;
+  LifetimeInfo lt;
+  RegAssignment regs;
+  FuBinding binding;
+  InterconnectResult ic;
   {
-    std::string msg = validateRegAssignment(lt, regs);
-    MPHLS_CHECK(msg.empty(), "invalid register allocation: " << msg);
+    obs::TraceSpan span("stage.allocate", &st.allocate);
+    lib = HwLibrary::defaultLibrary();
+    lt = computeLifetimes(fn, sched, options_.latencies);
+    regs = allocateRegisters(lt, options_.regMethod);
+    {
+      std::string msg = validateRegAssignment(lt, regs);
+      MPHLS_CHECK(msg.empty(), "invalid register allocation: " << msg);
+    }
+    binding = allocateFus(fn, sched, lt, regs, lib,
+                          options_.fuMethod, options_.latencies);
+    {
+      std::string msg =
+          validateFuBinding(fn, sched, binding, lib, options_.latencies);
+      MPHLS_CHECK(msg.empty(), "invalid FU binding: " << msg);
+    }
+    ic = buildInterconnect(fn, sched, lt, regs, binding, lib,
+                           options_.latencies);
+    {
+      std::string msg = validateInterconnect(ic);
+      MPHLS_CHECK(msg.empty(), "invalid interconnect: " << msg);
+    }
   }
-  FuBinding binding = allocateFus(fn, sched, lt, regs, lib,
-                                  options_.fuMethod, options_.latencies);
-  {
-    std::string msg =
-        validateFuBinding(fn, sched, binding, lib, options_.latencies);
-    MPHLS_CHECK(msg.empty(), "invalid FU binding: " << msg);
-  }
-  InterconnectResult ic =
-      buildInterconnect(fn, sched, lt, regs, binding, lib,
-                        options_.latencies);
-  {
-    std::string msg = validateInterconnect(ic);
-    MPHLS_CHECK(msg.empty(), "invalid interconnect: " << msg);
-  }
-  st.allocate = timer.seconds();
-  timer.reset();
   if (options_.check) {
+    obs::TraceSpan span("stage.check", "binding", &st.check);
     // Stage exit: binding consistency (registers, units, multiplexers).
     CheckReport rep;
     checkBinding(fn, sched, lt, regs, binding, ic, lib, options_.latencies,
@@ -175,19 +187,18 @@ SynthesisResult Synthesizer::backend(Function fn, StageTimes st) {
                                  << rep.errorCount()
                                  << " finding(s)): " << rep.firstError());
   }
-  st.check += timer.seconds();
-  timer.reset();
 
   // 4. Controller synthesis (Section 2).
-  Controller ctrl =
-      buildController(fn, sched, lt, regs, binding, ic, options_.latencies);
+  Controller ctrl;
   {
+    obs::TraceSpan span("stage.control", &st.control);
+    ctrl =
+        buildController(fn, sched, lt, regs, binding, ic, options_.latencies);
     std::string msg = validateController(ctrl, ic, binding);
     MPHLS_CHECK(msg.empty(), "invalid controller: " << msg);
   }
-  st.control = timer.seconds();
-  timer.reset();
   if (options_.check) {
+    obs::TraceSpan span("stage.check", "controller", &st.check);
     // Stage exit: controller completeness.
     CheckReport rep;
     checkController(fn, sched, ctrl, ic, binding, options_.latencies, rep);
@@ -195,28 +206,37 @@ SynthesisResult Synthesizer::backend(Function fn, StageTimes st) {
                                  << rep.errorCount()
                                  << " finding(s)): " << rep.firstError());
   }
-  st.check += timer.seconds();
-  timer.reset();
 
   SynthesisResult result{
       RtlDesign{std::move(fn), std::move(sched), std::move(lt),
                 std::move(regs), std::move(binding), std::move(ic),
                 std::move(ctrl), std::move(lib)},
       {}, {}, {}, {}, {}, {}};
-  result.fsm = encodeController(result.design.ctrl, result.design.ic,
-                                result.design.binding, options_.encoding);
-  result.microHorizontal =
-      buildMicrocode(result.design.ctrl, result.design.ic,
-                     result.design.binding, MicrocodeStyle::Horizontal);
-  result.microEncoded =
-      buildMicrocode(result.design.ctrl, result.design.ic,
-                     result.design.binding, MicrocodeStyle::Encoded);
-  st.control += timer.seconds();
-  timer.reset();
-  result.area = estimateArea(result.design, result.fsm);
-  result.timing = estimateTiming(result.design);
-  st.estimate = timer.seconds();
+  {
+    obs::TraceSpan span("stage.control", "encode", &st.control);
+    result.fsm = encodeController(result.design.ctrl, result.design.ic,
+                                  result.design.binding, options_.encoding);
+    result.microHorizontal =
+        buildMicrocode(result.design.ctrl, result.design.ic,
+                       result.design.binding, MicrocodeStyle::Horizontal);
+    result.microEncoded =
+        buildMicrocode(result.design.ctrl, result.design.ic,
+                       result.design.binding, MicrocodeStyle::Encoded);
+  }
+  {
+    obs::TraceSpan span("stage.estimate", &st.estimate);
+    result.area = estimateArea(result.design, result.fsm);
+    result.timing = estimateTiming(result.design);
+  }
   result.stages = st;
+
+  auto& mr = obs::MetricsRegistry::global();
+  mr.counter("synth.runs").add();
+  mr.histogram("synth.total_seconds").observe(st.total());
+  mr.histogram("design.registers").observe(result.design.regs.numRegs);
+  mr.histogram("design.fus").observe(result.design.binding.numFus());
+  mr.histogram("design.fsm_states")
+      .observe((double)result.design.ctrl.numStates());
   return result;
 }
 

@@ -1,11 +1,17 @@
 #include "fuzz/campaign.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <memory>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "common/thread_pool.h"
 #include "fuzz/corpus.h"
+#include "obs/metrics.h"
 
 namespace mphls::fuzz {
 
@@ -41,18 +47,71 @@ CampaignResult runCampaign(const CampaignOptions& options) {
   std::vector<std::string> sources(n);
   std::vector<ProgramVerdict> verdicts(n);
 
+  // Live campaign counters. Global and monotonic, so the heartbeat (and
+  // any --stats export) reads deltas from the values at campaign start.
+  auto& mr = obs::MetricsRegistry::global();
+  auto& cSeeds = mr.counter("fuzz.seeds_done");
+  auto& cPoints = mr.counter("fuzz.points_run");
+  auto& cSims = mr.counter("fuzz.simulations");
+  auto& cMismatches = mr.counter("fuzz.mismatches");
+  auto& cFailing = mr.counter("fuzz.failing_programs");
+  const std::uint64_t seeds0 = cSeeds.value();
+  const std::uint64_t mismatches0 = cMismatches.value();
+
+  std::thread heartbeat;
+  std::mutex hbMutex;
+  std::condition_variable hbCv;
+  bool hbStop = false;
+  if (options.heartbeat && n > 0) {
+    heartbeat = std::thread([&] {
+      WallTimer hbTimer;
+      std::unique_lock<std::mutex> lk(hbMutex);
+      while (!hbCv.wait_for(lk, std::chrono::milliseconds(250),
+                            [&] { return hbStop; })) {
+        const auto done = (unsigned long long)(cSeeds.value() - seeds0);
+        const auto mism =
+            (unsigned long long)(cMismatches.value() - mismatches0);
+        const double secs = hbTimer.seconds();
+        std::fprintf(stderr,
+                     "\r\033[Kfuzz: %llu/%zu seeds (%.1f/s), %llu "
+                     "mismatch(es)",
+                     done, n, secs > 0 ? (double)done / secs : 0.0, mism);
+        std::fflush(stderr);
+      }
+      std::fprintf(stderr, "\r\033[K");  // erase the progress line
+      std::fflush(stderr);
+    });
+  }
+
   // Phase 1 — the sweep, parallel over seeds. Every iteration writes only
   // its own slot, so results are identical at any thread count.
   const int workers = resolveJobs(options.jobs);
   std::unique_ptr<ThreadPool> pool;
-  if (workers > 1) pool = std::make_unique<ThreadPool>(workers);
+  if (workers > 1) pool = std::make_unique<ThreadPool>(workers, "fuzz");
   parallelFor(pool.get(), n, [&](std::size_t i, int) {
     const std::uint64_t seed = options.seedBase + i;
     GenProgram prog = generateProgram(seed, options.gen);
     sources[i] = prog.render();
     verdicts[i] = runSource(sources[i], seed, options.diff);
+    cSeeds.add();
+    cPoints.add((std::uint64_t)verdicts[i].pointsRun);
+    cSims.add((std::uint64_t)verdicts[i].simulations);
+    std::uint64_t mm = 0;
+    for (const PointFailure& f : verdicts[i].failures)
+      if (f.kind == "mismatch") ++mm;
+    if (mm > 0) cMismatches.add(mm);
+    if (!verdicts[i].ok()) cFailing.add();
   });
   pool.reset();
+
+  if (heartbeat.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(hbMutex);
+      hbStop = true;
+    }
+    hbCv.notify_one();
+    heartbeat.join();
+  }
 
   // Phase 2 — aggregation, reduction and corpus capture, in seed order on
   // this thread (reduction shares no state across failures; the corpus

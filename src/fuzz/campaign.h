@@ -34,6 +34,11 @@ struct CampaignOptions {
   int maxReduceAttempts = 600;
   /// Save failing (and minimized) programs here; empty disables saving.
   std::string corpusDir;
+  /// Print a live one-line progress counter (seeds/sec, mismatches) to
+  /// stderr, refreshed ~4x/sec and erased when the sweep ends. The CLI
+  /// enables this only when stderr is a TTY. Read from the same
+  /// obs::MetricsRegistry counters the campaign publishes.
+  bool heartbeat = false;
 };
 
 struct FailureCase {

@@ -1,0 +1,145 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/trace.h"
+
+namespace mphls::obs {
+
+void Histogram::observe(double v) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (s_.count == 0) {
+    s_.min = s_.max = v;
+  } else {
+    if (v < s_.min) s_.min = v;
+    if (v > s_.max) s_.max = v;
+  }
+  ++s_.count;
+  s_.sum += v;
+}
+
+Histogram::Stats Histogram::stats() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return s_;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lk(m_);
+  s_ = Stats{};
+}
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex m;  ///< guards the maps, not instrument values
+  // std::map: pointer-stable nodes (handles live as long as the registry)
+  // and name-sorted iteration for deterministic export.
+  std::map<std::string, Counter> counters;
+  std::map<std::string, Gauge> gauges;
+  std::map<std::string, Histogram> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(impl_->m);
+  return impl_->counters[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(impl_->m);
+  return impl_->gauges[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(impl_->m);
+  return impl_->histograms[name];
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(impl_->m);
+  Snapshot s;
+  s.counters.reserve(impl_->counters.size());
+  for (const auto& [name, c] : impl_->counters)
+    s.counters.emplace_back(name, c.value());
+  s.gauges.reserve(impl_->gauges.size());
+  for (const auto& [name, g] : impl_->gauges)
+    s.gauges.emplace_back(name, g.value());
+  s.histograms.reserve(impl_->histograms.size());
+  for (const auto& [name, h] : impl_->histograms)
+    s.histograms.emplace_back(name, h.stats());
+  return s;
+}
+
+namespace {
+
+void appendNumber(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::toJson() const {
+  const Snapshot s = snapshot();
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : s.counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    appendJsonString(out, name);
+    out += ": " + std::to_string(v);
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : s.gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    appendJsonString(out, name);
+    out += ": ";
+    appendNumber(out, v);
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : s.histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    appendJsonString(out, name);
+    out += ": {\"count\": " + std::to_string(h.count) + ", \"sum\": ";
+    appendNumber(out, h.sum);
+    out += ", \"min\": ";
+    appendNumber(out, h.min);
+    out += ", \"max\": ";
+    appendNumber(out, h.max);
+    out += ", \"mean\": ";
+    appendNumber(out, h.mean());
+    out += "}";
+  }
+  out += first ? "}" : "\n  }";
+  out += "\n}\n";
+  return out;
+}
+
+bool MetricsRegistry::writeJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << toJson();
+  return static_cast<bool>(out);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lk(impl_->m);
+  for (auto& [name, c] : impl_->counters) c.reset();
+  for (auto& [name, g] : impl_->gauges) g.reset();
+  for (auto& [name, h] : impl_->histograms) h.reset();
+}
+
+}  // namespace mphls::obs

@@ -1,0 +1,108 @@
+// Process-wide metrics registry: counters, gauges, histograms.
+//
+// Pipeline stages publish here (pass change counts, stage seconds, cache
+// hit/miss, DSE point timings, fuzz campaign progress, simulation
+// coverage); the CLI exports a snapshot as JSON via --stats and `mphls
+// profile`, and `mphls bench` embeds the same snapshot in its report so
+// there is one source of numeric truth.
+//
+// Handles returned by counter()/gauge()/histogram() are stable for the
+// registry's lifetime: reset() zeroes values but never invalidates them,
+// so instrumentation sites may cache handles across test cases.
+//
+// Zero-dependency (std only) — see trace.h for the layering rationale.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mphls::obs {
+
+/// Monotonic event count (thread-safe).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value (thread-safe).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+/// Running distribution summary: count/sum/min/max (thread-safe; one
+/// mutex per histogram — observation sites are not hot enough to need
+/// sharding, and exact min/max beat lossy atomics).
+class Histogram {
+ public:
+  void observe(double v);
+  struct Stats {
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    [[nodiscard]] double mean() const { return count ? sum / count : 0; }
+  };
+  [[nodiscard]] Stats stats() const;
+  void reset();
+
+ private:
+  mutable std::mutex m_;
+  Stats s_;
+};
+
+/// Name -> instrument registry. Lookups intern the name on first use and
+/// return a stable reference; values snapshot/export as JSON.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Point-in-time copy of every instrument, sorted by name.
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, Histogram::Stats>> histograms;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+  /// sum, min, max, mean}, ...}}
+  [[nodiscard]] std::string toJson() const;
+  bool writeJson(const std::string& path) const;
+
+  /// Zero every instrument. Handles stay valid (names persist).
+  void reset();
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace mphls::obs

@@ -1,0 +1,183 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace mphls::obs {
+
+namespace {
+
+// Per-thread track cache. Keyed by owner so a thread touching a second
+// Tracer instance re-registers there; the registry keeps every track alive
+// (shared_ptr), so the raw cached pointer never dangles.
+thread_local const Tracer* tlsOwner = nullptr;
+thread_local Tracer::ThreadBuf* tlsBuf = nullptr;
+
+}  // namespace
+
+struct Tracer::ThreadBuf {
+  int tid = 0;
+  std::mutex m;  ///< guards name + events (owner appends, exporter reads)
+  std::string name;
+  std::vector<TraceEvent> events;
+};
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::ThreadBuf& Tracer::localBuf() {
+  if (tlsOwner == this && tlsBuf != nullptr) return *tlsBuf;
+  std::lock_guard<std::mutex> lk(m_);
+  auto buf = std::make_shared<ThreadBuf>();
+  buf->tid = static_cast<int>(threads_.size());
+  buf->name = "thread-" + std::to_string(buf->tid);
+  threads_.push_back(buf);
+  tlsOwner = this;
+  tlsBuf = buf.get();
+  return *buf;
+}
+
+int Tracer::currentTid() { return localBuf().tid; }
+
+std::string Tracer::currentThreadName() {
+  ThreadBuf& b = localBuf();
+  std::lock_guard<std::mutex> lk(b.m);
+  return b.name;
+}
+
+int Tracer::setThreadName(const std::string& name) {
+  ThreadBuf& b = localBuf();
+  std::lock_guard<std::mutex> lk(b.m);
+  b.name = name;
+  return b.tid;
+}
+
+void Tracer::beginSpanAt(std::string name, double tsMicros,
+                         std::string arg) {
+  ThreadBuf& b = localBuf();
+  std::lock_guard<std::mutex> lk(b.m);
+  b.events.push_back({std::move(name), std::move(arg), 'B', tsMicros});
+}
+
+void Tracer::endSpanAt(std::string name, double tsMicros) {
+  ThreadBuf& b = localBuf();
+  std::lock_guard<std::mutex> lk(b.m);
+  b.events.push_back({std::move(name), std::string(), 'E', tsMicros});
+}
+
+void Tracer::instant(std::string name, std::string arg) {
+  if (!enabled()) return;
+  ThreadBuf& b = localBuf();
+  const double ts = nowMicros();
+  std::lock_guard<std::mutex> lk(b.m);
+  b.events.push_back({std::move(name), std::move(arg), 'i', ts});
+}
+
+std::vector<Tracer::TrackSnapshot> Tracer::snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    bufs = threads_;
+  }
+  std::vector<TrackSnapshot> out;
+  out.reserve(bufs.size());
+  for (const auto& b : bufs) {
+    std::lock_guard<std::mutex> lk(b->m);
+    out.push_back({b->tid, b->name, b->events});
+  }
+  return out;
+}
+
+std::size_t Tracer::eventCount() const {
+  std::size_t n = 0;
+  for (const auto& t : snapshot()) n += t.events.size();
+  return n;
+}
+
+void Tracer::clear() {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    bufs = threads_;
+  }
+  for (const auto& b : bufs) {
+    std::lock_guard<std::mutex> lk(b->m);
+    b->events.clear();
+  }
+}
+
+void appendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string Tracer::chromeTraceJson() const {
+  const auto tracks = snapshot();
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",";
+    out += "\n  ";
+    first = false;
+  };
+  for (const auto& t : tracks) {
+    sep();
+    out += "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " +
+           std::to_string(t.tid) + ", \"args\": {\"name\": ";
+    appendJsonString(out, t.name);
+    out += "}}";
+  }
+  char ts[40];
+  for (const auto& t : tracks) {
+    for (const TraceEvent& e : t.events) {
+      sep();
+      out += "{\"name\": ";
+      appendJsonString(out, e.name);
+      out += ", \"cat\": \"mphls\", \"ph\": \"";
+      out += e.phase;
+      out += "\", \"pid\": 1, \"tid\": " + std::to_string(t.tid);
+      std::snprintf(ts, sizeof ts, ", \"ts\": %.3f", e.tsMicros);
+      out += ts;
+      if (e.phase == 'i') out += ", \"s\": \"t\"";
+      if (!e.arg.empty()) {
+        out += ", \"args\": {\"detail\": ";
+        appendJsonString(out, e.arg);
+        out += "}";
+      }
+      out += "}";
+    }
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+bool Tracer::writeChromeTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << chromeTraceJson();
+  return static_cast<bool>(out);
+}
+
+}  // namespace mphls::obs

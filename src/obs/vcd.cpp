@@ -1,0 +1,128 @@
+#include "obs/vcd.h"
+
+#include <cassert>
+#include <fstream>
+
+namespace mphls::obs {
+
+namespace {
+
+/// Short identifier codes: base-94 over the printable ASCII range
+/// '!'..'~', least-significant digit first ("!", "\"", ..., "~", "!!").
+std::string idCode(int index) {
+  std::string code;
+  int n = index;
+  do {
+    code += static_cast<char>('!' + n % 94);
+    n /= 94;
+  } while (n > 0);
+  return code;
+}
+
+std::uint64_t maskTo(std::uint64_t value, int width) {
+  if (width >= 64) return value;
+  return value & ((std::uint64_t{1} << width) - 1);
+}
+
+/// One value-change line: "0!" / "1!" for scalars, "b1010 !" for vectors.
+void appendChange(std::string& out, const std::string& code, int width,
+                  std::uint64_t value) {
+  if (width == 1) {
+    out += value ? '1' : '0';
+    out += code;
+  } else {
+    out += 'b';
+    bool seen = false;
+    for (int bit = width - 1; bit >= 0; --bit) {
+      const bool set = (value >> bit) & 1;
+      if (set) seen = true;
+      if (seen || bit == 0) out += set ? '1' : '0';
+    }
+    out += ' ';
+    out += code;
+  }
+  out += '\n';
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(std::string scopeName) : scope_(std::move(scopeName)) {}
+
+int VcdWriter::addWire(const std::string& name, int width) {
+  assert(width >= 1 && width <= 64);
+  const int id = static_cast<int>(wires_.size());
+  wires_.push_back({name, width, idCode(id), false, 0});
+  return id;
+}
+
+void VcdWriter::change(int id, std::uint64_t t, std::uint64_t value) {
+  Wire& w = wires_.at(static_cast<std::size_t>(id));
+  value = maskTo(value, w.width);
+  if (w.written && w.last == value) return;
+  assert(changes_.empty() || t >= changes_.back().t);
+  w.written = true;
+  w.last = value;
+  changes_.push_back({t, id, value});
+}
+
+std::string VcdWriter::render() const {
+  std::string out;
+  out += "$date\n  mphls simulation\n$end\n";
+  out += "$version\n  mphls VcdWriter\n$end\n";
+  out += "$timescale 1ns $end\n";
+  out += "$scope module " + scope_ + " $end\n";
+  for (const Wire& w : wires_) {
+    out += "$var wire " + std::to_string(w.width) + " " + w.code + " " +
+           w.name;
+    if (w.width > 1)
+      out += " [" + std::to_string(w.width - 1) + ":0]";
+    out += " $end\n";
+  }
+  out += "$upscope $end\n";
+  out += "$enddefinitions $end\n";
+
+  // $dumpvars: initial value of every wire at the earliest time. Wires
+  // with a change exactly at t0 take that value; wires first written
+  // later (or never) start as x.
+  const std::uint64_t t0 = changes_.empty() ? 0 : changes_.front().t;
+  std::size_t i = 0;
+  std::vector<bool> inDump(wires_.size(), false);
+  out += "#" + std::to_string(t0) + "\n$dumpvars\n";
+  while (i < changes_.size() && changes_[i].t == t0) {
+    const Change& c = changes_[i];
+    const Wire& w = wires_[static_cast<std::size_t>(c.wire)];
+    appendChange(out, w.code, w.width, c.value);
+    inDump[static_cast<std::size_t>(c.wire)] = true;
+    ++i;
+  }
+  for (const Wire& w : wires_) {
+    if (inDump[static_cast<std::size_t>(&w - wires_.data())]) continue;
+    if (w.width == 1) {
+      out += "x" + w.code + "\n";
+    } else {
+      out += "bx " + w.code + "\n";
+    }
+  }
+  out += "$end\n";
+
+  std::uint64_t cur = t0;
+  for (; i < changes_.size(); ++i) {
+    const Change& c = changes_[i];
+    if (c.t != cur) {
+      cur = c.t;
+      out += "#" + std::to_string(cur) + "\n";
+    }
+    const Wire& w = wires_[static_cast<std::size_t>(c.wire)];
+    appendChange(out, w.code, w.width, c.value);
+  }
+  return out;
+}
+
+bool VcdWriter::writeFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << render();
+  return static_cast<bool>(out);
+}
+
+}  // namespace mphls::obs

@@ -1,0 +1,64 @@
+// Value Change Dump (IEEE 1364 §18) writer, GTKWave-compatible.
+//
+// The simulator-facing recorder (rtl/sim_trace.*) maps cycles onto VCD
+// time so edges are visible: cycle i occupies ticks [2i, 2i+2); clk
+// rises at 2i and falls at 2i+1; registers, FSM state, and output ports
+// latch their cycle-i results at 2(i+1) (the next rising edge), matching
+// the posedge semantics of the generated Verilog.
+//
+// This writer is simulator-agnostic: declare wires, then report value
+// changes at monotonically non-decreasing times. Repeated writes of an
+// unchanged value are deduplicated (VCD records *changes*). Signals never
+// written before the first timestamp dump as 'x' in $dumpvars.
+//
+// Zero-dependency (std only) — see trace.h for the layering rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mphls::obs {
+
+class VcdWriter {
+ public:
+  /// Declare a wire inside `scope` (top-level module name, set once via
+  /// the constructor). Returns a handle for change(). Widths 1..64.
+  explicit VcdWriter(std::string scopeName = "top");
+
+  int addWire(const std::string& name, int width);
+
+  /// Record `value` for wire `id` at time `t` (ticks of the declared
+  /// 1ns timescale). Times must be non-decreasing overall; changes at
+  /// the same time coalesce into one #t block. Value is truncated to
+  /// the wire's width. No-op if the value is unchanged.
+  void change(int id, std::uint64_t t, std::uint64_t value);
+
+  /// Number of change records emitted so far (post-dedup), for tests.
+  [[nodiscard]] std::size_t changeCount() const { return changes_.size(); }
+
+  /// Full VCD document: header, $var defs, $dumpvars at the earliest
+  /// time (signals never written dump as x), then #t change blocks.
+  [[nodiscard]] std::string render() const;
+  bool writeFile(const std::string& path) const;
+
+ private:
+  struct Wire {
+    std::string name;
+    int width = 1;
+    std::string code;  ///< short id, base-94 printable from '!'
+    bool written = false;
+    std::uint64_t last = 0;
+  };
+  struct Change {
+    std::uint64_t t = 0;
+    int wire = 0;
+    std::uint64_t value = 0;
+  };
+
+  std::string scope_;
+  std::vector<Wire> wires_;
+  std::vector<Change> changes_;  ///< in emission order (non-decreasing t)
+};
+
+}  // namespace mphls::obs

@@ -2,6 +2,8 @@
 
 #include "ir/deps.h"
 #include "ir/verify.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mphls {
 
@@ -23,14 +25,20 @@ bool wiringWouldOutliveStore(const Function& fn, const Block& blk,
 }
 
 std::vector<PassStats> PassManager::run(Function& fn, int maxRounds) {
+  obs::TraceSpan pipelineSpan("opt.pipeline", fn.name());
   std::vector<PassStats> stats(passes_.size());
+  std::vector<double> seconds(passes_.size(), 0.0);
   for (std::size_t i = 0; i < passes_.size(); ++i)
     stats[i].pass = passes_[i]->name();
 
   for (int round = 0; round < maxRounds; ++round) {
     int total = 0;
     for (std::size_t i = 0; i < passes_.size(); ++i) {
-      int c = passes_[i]->run(fn);
+      int c;
+      {
+        obs::TraceSpan span("pass." + stats[i].pass, &seconds[i]);
+        c = passes_[i]->run(fn);
+      }
       verifyOrThrow(fn);
       stats[i].changes += c;
       if (c > 0) ++stats[i].iterations;
@@ -40,6 +48,13 @@ std::vector<PassStats> PassManager::run(Function& fn, int maxRounds) {
   }
   fn.compact();
   verifyOrThrow(fn);
+
+  auto& mr = obs::MetricsRegistry::global();
+  for (std::size_t i = 0; i < passes_.size(); ++i) {
+    mr.counter("pass." + stats[i].pass + ".changes")
+        .add((std::uint64_t)stats[i].changes);
+    mr.histogram("pass." + stats[i].pass + ".seconds").observe(seconds[i]);
+  }
   return stats;
 }
 

@@ -23,7 +23,8 @@ int decodeSel(std::uint64_t value, bool horizontal) {
 }  // namespace
 
 RtlExecResult MicrocodeSimulator::run(
-    const std::map<std::string, std::uint64_t>& inputs, long maxCycles) const {
+    const std::map<std::string, std::uint64_t>& inputs, long maxCycles,
+    const SimObserver& observe) const {
   for (const CtrlState& st : d_.ctrl.states)
     for (const FuAction& fa : st.fuActions)
       MPHLS_CHECK(fa.cycles <= 1,
@@ -185,6 +186,16 @@ RtlExecResult MicrocodeSimulator::run(
     for (auto& [p, v] : portWrites) {
       outVal[p] = truncBits(v, d_.fn.ports()[p].width);
       outWritten[p] = true;
+    }
+    if (observe) {
+      SimCycle sc;
+      sc.cycle = cycle;
+      sc.state = addr;
+      sc.nextState = nextAddr;
+      sc.regs = &regVal;
+      sc.outs = &outVal;
+      sc.fuActive = &fuActive;
+      observe(sc);
     }
     addr = nextAddr;
   }

@@ -27,9 +27,11 @@ class MicrocodeSimulator {
   MicrocodeSimulator(const RtlDesign& design, const Microprogram& program)
       : d_(design), mp_(program) {}
 
+  /// As RtlSimulator::run; the observer's state/nextState are microcode
+  /// addresses rather than FSM state indices.
   [[nodiscard]] RtlExecResult run(
       const std::map<std::string, std::uint64_t>& inputs,
-      long maxCycles = 1000000) const;
+      long maxCycles = 1000000, const SimObserver& observe = {}) const;
 
  private:
   const RtlDesign& d_;

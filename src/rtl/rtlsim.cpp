@@ -8,7 +8,8 @@
 namespace mphls {
 
 RtlExecResult RtlSimulator::run(
-    const std::map<std::string, std::uint64_t>& inputs, long maxCycles) const {
+    const std::map<std::string, std::uint64_t>& inputs, long maxCycles,
+    const SimObserver& observe) const {
   RtlExecResult res;
 
   // Stable input port values.
@@ -115,6 +116,16 @@ RtlExecResult RtlSimulator::run(
       outVal[(std::size_t)p] =
           truncBits(v, d_.fn.ports()[(std::size_t)p].width);
       outWritten[(std::size_t)p] = true;
+    }
+    if (observe) {
+      SimCycle sc;
+      sc.cycle = cycle;
+      sc.state = (std::uint64_t)cur.index();
+      sc.nextState = (std::uint64_t)next.index();
+      sc.regs = &regVal;
+      sc.outs = &outVal;
+      sc.fuActive = &fuActive;
+      observe(sc);
     }
     cur = next;
   }

@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "rtl/design.h"
 
@@ -23,6 +25,26 @@ struct RtlExecResult {
   bool finished = false;  ///< reached the halt state
 };
 
+/// Post-edge snapshot of one executed cycle, handed to a SimObserver
+/// after registers and output ports have committed their cycle results.
+/// `state` is the FSM state index (RtlSimulator) or microcode address
+/// (MicrocodeSimulator) that drove the cycle; `nextState` is where the
+/// sequencer goes on the clock edge. The pointed-to vectors are owned by
+/// the simulator and valid only for the duration of the callback.
+struct SimCycle {
+  long cycle = 0;
+  std::uint64_t state = 0;
+  std::uint64_t nextState = 0;
+  const std::vector<std::uint64_t>* regs = nullptr;
+  const std::vector<std::uint64_t>* outs = nullptr;  ///< by port id, all ports
+  const std::vector<bool>* fuActive = nullptr;  ///< by fu, busy this cycle
+};
+
+/// Per-cycle hook (waveform recording, coverage). Mirrors
+/// Interpreter::ValueObserver: an empty function means "not observed" and
+/// costs one bool check per cycle.
+using SimObserver = std::function<void(const SimCycle&)>;
+
 class RtlSimulator {
  public:
   explicit RtlSimulator(const RtlDesign& design) : d_(design) {}
@@ -30,7 +52,7 @@ class RtlSimulator {
   /// Run from reset with the given stable input-port values.
   [[nodiscard]] RtlExecResult run(
       const std::map<std::string, std::uint64_t>& inputs,
-      long maxCycles = 1000000) const;
+      long maxCycles = 1000000, const SimObserver& observe = {}) const;
 
  private:
   const RtlDesign& d_;

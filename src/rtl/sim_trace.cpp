@@ -1,0 +1,116 @@
+#include "rtl/sim_trace.h"
+
+#include "common/bitutil.h"
+
+namespace mphls {
+
+SimTraceRecorder::SimTraceRecorder(const RtlDesign& design)
+    : d_(design), vcd_(design.fn.name().empty() ? "top" : design.fn.name()) {
+  clkW_ = vcd_.addWire("clk", 1);
+  const int stateBits =
+      std::max(1, bitsForStates((std::uint64_t)d_.ctrl.numStates()));
+  stateW_ = vcd_.addWire("fsm_state", stateBits);
+  regW_.reserve((std::size_t)d_.regs.numRegs);
+  for (int r = 0; r < d_.regs.numRegs; ++r)
+    regW_.push_back(vcd_.addWire(
+        "r" + std::to_string(r),
+        std::max(1, d_.regs.regWidth[(std::size_t)r])));
+  fuW_.reserve((std::size_t)d_.binding.numFus());
+  for (int f = 0; f < d_.binding.numFus(); ++f)
+    fuW_.push_back(vcd_.addWire("fu" + std::to_string(f) + "_busy", 1));
+  portW_.assign(d_.fn.ports().size(), -1);
+  for (const auto& p : d_.fn.ports())
+    portW_[p.id.index()] =
+        vcd_.addWire("port_" + p.name, std::max(1, p.width));
+
+  finalRegs_.assign((std::size_t)d_.regs.numRegs, 0);
+  fuBusy_.assign((std::size_t)d_.binding.numFus(), 0);
+}
+
+void SimTraceRecorder::begin(
+    const std::map<std::string, std::uint64_t>& inputs) {
+  vcd_.change(clkW_, 0, 1);
+  vcd_.change(stateW_, 0, (std::uint64_t)d_.ctrl.initial.index());
+  visitedStates_.insert((std::uint64_t)d_.ctrl.initial.index());
+  for (int r = 0; r < d_.regs.numRegs; ++r)
+    vcd_.change(regW_[(std::size_t)r], 0, 0);
+  for (int f = 0; f < d_.binding.numFus(); ++f)
+    vcd_.change(fuW_[(std::size_t)f], 0, 0);
+  for (const auto& p : d_.fn.ports()) {
+    std::uint64_t v = 0;
+    if (p.isInput) {
+      auto it = inputs.find(p.name);
+      if (it != inputs.end()) v = truncBits(it->second, p.width);
+    }
+    vcd_.change(portW_[p.id.index()], 0, v);
+  }
+}
+
+SimObserver SimTraceRecorder::observer() {
+  return [this](const SimCycle& sc) { onCycle(sc); };
+}
+
+void SimTraceRecorder::onCycle(const SimCycle& sc) {
+  const std::uint64_t t = 2 * (std::uint64_t)sc.cycle;
+
+  vcd_.change(clkW_, t, 1);
+  for (std::size_t f = 0; f < fuW_.size(); ++f) {
+    const bool busy = sc.fuActive != nullptr && (*sc.fuActive)[f];
+    vcd_.change(fuW_[f], t, busy ? 1 : 0);
+    if (busy) ++fuBusy_[f];
+  }
+  vcd_.change(clkW_, t + 1, 0);
+
+  // The clock edge closing this cycle: latched registers / ports and the
+  // state the sequencer steps into.
+  if (sc.regs != nullptr)
+    for (std::size_t r = 0; r < regW_.size(); ++r)
+      vcd_.change(regW_[r], t + 2, (*sc.regs)[r]);
+  if (sc.outs != nullptr)
+    for (const auto& p : d_.fn.ports())
+      if (!p.isInput)
+        vcd_.change(portW_[p.id.index()], t + 2, (*sc.outs)[p.id.index()]);
+  vcd_.change(stateW_, t + 2, sc.nextState);
+
+  visitedStates_.insert(sc.state);
+  visitedStates_.insert(sc.nextState);
+  visitedTransitions_.insert({sc.state, sc.nextState});
+  if (sc.regs != nullptr) finalRegs_ = *sc.regs;
+  cycles_ = sc.cycle + 1;
+}
+
+void SimTraceRecorder::finish() {
+  const std::uint64_t t = 2 * (std::uint64_t)cycles_;
+  vcd_.change(clkW_, t, 1);
+  vcd_.change(clkW_, t + 1, 0);
+}
+
+FsmCoverage SimTraceRecorder::coverage() const {
+  FsmCoverage cov;
+  cov.totalStates = d_.ctrl.numStates();
+  cov.visitedStates = visitedStates_.size();
+  std::set<std::pair<std::uint64_t, std::uint64_t>> edges;
+  for (const CtrlState& st : d_.ctrl.states) {
+    const auto from = (std::uint64_t)st.id.index();
+    if (st.halt) continue;
+    if (st.conditional) {
+      edges.insert({from, (std::uint64_t)st.nextTaken.index()});
+      edges.insert({from, (std::uint64_t)st.nextNot.index()});
+    } else {
+      edges.insert({from, (std::uint64_t)st.next.index()});
+    }
+  }
+  cov.totalTransitions = edges.size();
+  cov.visitedTransitions = visitedTransitions_.size();
+  return cov;
+}
+
+std::vector<double> SimTraceRecorder::fuUtilization() const {
+  std::vector<double> util(fuBusy_.size(), 0.0);
+  if (cycles_ == 0) return util;
+  for (std::size_t f = 0; f < fuBusy_.size(); ++f)
+    util[f] = (double)fuBusy_[f] / (double)cycles_;
+  return util;
+}
+
+}  // namespace mphls
