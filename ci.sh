@@ -2,7 +2,9 @@
 # Tier-1 verification: warnings-clean build, full test suite, a static lint
 # of the paper's square-root design, the semantic-lint gate over every
 # built-in design, a fixed-seed differential fuzz campaign (plus an
-# injected-miscompile round trip), an AddressSanitizer+UBSan pass over the
+# injected-miscompile round trip), the formal equivalence gate (`mphls
+# prove` over every built-in at every opt level, plus must-fail runs for
+# each injected bug class), an AddressSanitizer+UBSan pass over the
 # whole suite (observability layer included), a ThreadSanitizer pass over
 # the parallel-DSE layer, a bench smoke run with a schema check of the
 # emitted BENCH_dse.json, and an observability smoke run validating the
@@ -34,6 +36,23 @@ if ./build/src/cli/mphls fuzz --seeds 10 --matrix quick --inject mul \
   echo "fuzz: injected miscompile was NOT detected" >&2
   exit 1
 fi
+
+# --- Formal equivalence gate: every built-in design must *prove*
+# behavioral/RTL equivalent (and every optimization pass equivalence-
+# preserving) at every optimization level, with and without width
+# narrowing...
+for opt in none standard aggressive; do
+  ./build/src/cli/mphls prove --builtins --opt "$opt" --prove-passes --quiet
+  ./build/src/cli/mphls prove --builtins --opt "$opt" --narrow \
+    --prove-passes --quiet
+done
+
+# ...and each injected miscompile class must make the proof *fail* on every
+# design it applies to (`prove --inject` exits 0 only when the bug was
+# caught everywhere it was planted).
+for bug in mul sched bind; do
+  ./build/src/cli/mphls prove --builtins --inject "$bug" --quiet
+done
 
 # --- AddressSanitizer + UndefinedBehaviorSanitizer: the full suite — in
 # particular the interpreter/analysis soundness fuzzers, which drive every

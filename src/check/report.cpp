@@ -1,6 +1,10 @@
 #include "check/report.h"
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
+
+#include "obs/trace.h"
 
 namespace mphls {
 
@@ -54,11 +58,47 @@ std::string CheckReport::firstError() const {
   return {};
 }
 
+std::vector<CheckDiag> CheckReport::sorted() const {
+  std::vector<CheckDiag> out = diags_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CheckDiag& a, const CheckDiag& b) {
+                     // Errors first, then warnings, then notes.
+                     if (a.severity != b.severity)
+                       return (int)a.severity > (int)b.severity;
+                     return std::tie(a.id, a.where, a.message) <
+                            std::tie(b.id, b.where, b.message);
+                   });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 std::string CheckReport::render() const {
   std::ostringstream oss;
-  for (const auto& d : diags_) oss << d.str() << "\n";
+  for (const auto& d : sorted()) oss << d.str() << "\n";
   oss << errorCount() << " error(s), " << warningCount() << " warning(s)\n";
   return oss.str();
+}
+
+std::string CheckReport::renderJson() const {
+  std::string out = "{\"diagnostics\":[";
+  bool first = true;
+  for (const auto& d : sorted()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"severity\":\"";
+    out += checkSeverityName(d.severity);
+    out += "\",\"code\":";
+    obs::appendJsonString(out, d.id);
+    out += ",\"where\":";
+    obs::appendJsonString(out, d.where);
+    out += ",\"message\":";
+    obs::appendJsonString(out, d.message);
+    out += "}";
+  }
+  out += "],\"errors\":" + std::to_string(errorCount()) +
+         ",\"warnings\":" + std::to_string(warningCount()) +
+         ",\"clean\":" + (clean() ? "true" : "false") + "}";
+  return out;
 }
 
 }  // namespace mphls

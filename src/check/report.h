@@ -29,6 +29,11 @@ struct CheckDiag {
 
   /// "error [sched.dep-order] block loop op 3 (add): ..." rendering.
   [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const CheckDiag& a, const CheckDiag& b) {
+    return a.severity == b.severity && a.id == b.id && a.where == b.where &&
+           a.message == b.message;
+  }
 };
 
 /// Accumulates findings across one or more analyzers. Analyzers never throw:
@@ -71,11 +76,23 @@ class CheckReport {
   }
 
   /// Text of the first error finding ("" when clean) — used by the pipeline
-  /// to build a throwable message.
+  /// to build a throwable message. First in *insertion* order, so a
+  /// translation-validation run pinpoints the first guilty pass.
   [[nodiscard]] std::string firstError() const;
 
-  /// Full multi-line report, one finding per line, plus a summary line.
+  /// Findings in deterministic presentation order — sorted by descending
+  /// severity, then id, then where, then message, with exact duplicates
+  /// collapsed — so report text is stable across analyzer orderings.
+  [[nodiscard]] std::vector<CheckDiag> sorted() const;
+
+  /// Full multi-line report in `sorted()` order, one finding per line,
+  /// plus a summary line.
   [[nodiscard]] std::string render() const;
+
+  /// Machine-readable report: {"diagnostics":[{"severity","code","where",
+  /// "message"},...],"errors":N,"warnings":N,"clean":bool}, diagnostics in
+  /// `sorted()` order.
+  [[nodiscard]] std::string renderJson() const;
 
  private:
   std::vector<CheckDiag> diags_;

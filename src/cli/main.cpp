@@ -2,9 +2,11 @@
 //
 // Usage:
 //   mphls [options] design.bdl
-//   mphls lint [options] design.bdl
+//   mphls lint [--format text|json] [options] design.bdl
 //   mphls analyze [--dot-facts FILE] design.bdl
 //   mphls analyze --builtins
+//   mphls prove [--prove-passes] [--inject mul|sched|bind]
+//               [--format text|json] [options] design.bdl | --builtins
 //   mphls profile [options] design.bdl
 //   mphls bench [--jobs N] [--points N] [--repeats N] [--sched-ops N]
 //               [--out DIR] [--trace FILE] [--stats FILE] [--quiet]
@@ -17,7 +19,21 @@
 // The `lint` subcommand synthesizes the design and prints the full static
 // verification report (schedule legality, binding consistency, controller
 // completeness, Verilog netlist lint) instead of the synthesis summary;
-// it exits 1 if any error-severity finding is reported.
+// it exits 1 if any error-severity finding is reported. `--format json`
+// switches the report to one machine-readable JSON object
+// ({"file","diagnostics":[{"severity","code","where","message"}],...}).
+//
+// The `prove` subcommand runs the symbolic equivalence engine (src/sec/,
+// DESIGN.md §11): the synthesized FSM/datapath is proved equivalent to the
+// behavioral CDFG block by block, with every obligation discharged by
+// bit-blasting to the built-in CDCL SAT solver. `--prove-passes`
+// additionally validates each optimization pass application (translation
+// validation), pinpointing the first non-equivalence-preserving pass.
+// `--inject mul|sched|bind` flips the gate into its self-test: a known
+// miscompile is injected and the command exits 0 only when the proof
+// *fails* on every design it applies to. `--builtins` proves every
+// built-in design (the CI gate). The plain synthesis path accepts
+// `--prove` to run the same proof as a pipeline stage.
 //
 // The `analyze` subcommand runs the abstract-interpretation dataflow engine
 // (value ranges + known bits) on the compiled behavior and prints the
@@ -85,6 +101,9 @@
 #include "core/designs.h"
 #include "core/dse.h"
 #include "core/synthesizer.h"
+#include "fuzz/diff_runner.h"
+#include "sec/passes.h"
+#include "sec/prove.h"
 #include "ir/dot.h"
 #include "lang/frontend.h"
 #include "obs/metrics.h"
@@ -113,6 +132,10 @@ struct CliArgs {
   bool lint = false;
   bool analyze = false;
   bool profile = false;
+  bool prove = false;        ///< `prove` subcommand
+  bool provePasses = false;  ///< --prove-passes: per-pass validation
+  bool jsonFormat = false;   ///< --format json (lint and prove)
+  fuzz::InjectedBug inject = fuzz::InjectedBug::None;
   bool builtins = false;
   bool optExplicit = false;  ///< --opt given: analyze post-pipeline IR
   SynthesisOptions opts;
@@ -121,8 +144,11 @@ struct CliArgs {
 void usage() {
   std::cerr <<
       "usage: mphls [options] design.bdl\n"
-      "       mphls lint [options] design.bdl\n"
+      "       mphls lint [--format text|json] [options] design.bdl\n"
       "       mphls analyze [--dot-facts FILE] design.bdl | --builtins\n"
+      "       mphls prove [--prove-passes] [--inject mul|sched|bind]\n"
+      "                   [--format text|json] [options] design.bdl |"
+      " --builtins\n"
       "       mphls profile [options] design.bdl\n"
       "  --top NAME  --scheduler serial|asap|list|force|freedom|bnb|transform\n"
       "  --fus N  --priority path|mobility|urgency|program\n"
@@ -131,14 +157,15 @@ void usage() {
       "  --time-constraint N  --verilog FILE  --dot FILE\n"
       "  --verify a=1,b=2  --sweep N  --jobs N  --multicycle  --narrow\n"
       "  --trace FILE  --vcd FILE  --stats FILE\n"
-      "  --check|--no-check  --quiet\n"
+      "  --check|--no-check  --prove  --quiet\n"
       "       mphls bench [--jobs N] [--points N] [--repeats N]\n"
       "                   [--sched-ops N] [--out DIR] [--trace FILE]\n"
       "                   [--stats FILE] [--quiet]\n"
       "       mphls fuzz [--seeds N] [--seed-base S] [--jobs N]\n"
       "                  [--matrix quick|standard|full] [--trials N]\n"
       "                  [--reduce] [--corpus DIR] [--no-save]\n"
-      "                  [--replay DIR] [--inject mul] [--no-check]\n"
+      "                  [--replay DIR] [--inject mul|sched|bind]\n"
+      "                  [--no-check]\n"
       "                  [--trace FILE] [--stats FILE]\n"
       "                  [--out FILE] [--quiet]\n";
 }
@@ -262,6 +289,7 @@ int runProfile(const CliArgs& a, const SynthesisResult& result) {
   std::printf("  %-18s %12.6f\n", "control", st.control);
   std::printf("  %-18s %12.6f\n", "estimate", st.estimate);
   std::printf("  %-18s %12.6f\n", "check", st.check);
+  std::printf("  %-18s %12.6f\n", "prove", st.prove);
   std::printf("  %-18s %12.6f\n", "total", st.total());
 
   const auto snap = obs::MetricsRegistry::global().snapshot();
@@ -428,12 +456,27 @@ std::optional<CliArgs> parseArgs(int argc, char** argv) {
       a.opts.check = true;
     } else if (arg == "--no-check") {
       a.opts.check = false;
+    } else if (arg == "--prove") {
+      a.opts.prove = true;
+    } else if (arg == "--prove-passes") {
+      a.provePasses = true;
+    } else if (arg == "--format") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      std::string s = v;
+      if (s == "json") a.jsonFormat = true;
+      else if (s != "text") return std::nullopt;
+    } else if (arg == "--inject") {
+      const char* v = next();
+      if (!v || !fuzz::parseInjectedBug(v, a.inject)) return std::nullopt;
     } else if (arg == "--quiet") {
       a.quiet = true;
     } else if (arg == "lint" && a.file.empty() && !a.lint) {
       a.lint = true;
     } else if (arg == "analyze" && a.file.empty() && !a.analyze) {
       a.analyze = true;
+    } else if (arg == "prove" && a.file.empty() && !a.prove) {
+      a.prove = true;
     } else if (arg == "profile" && a.file.empty() && !a.profile) {
       a.profile = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -443,8 +486,9 @@ std::optional<CliArgs> parseArgs(int argc, char** argv) {
     }
   }
   a.opts.resources = ResourceLimits::universalSet(fus);
-  if (a.builtins && !a.analyze) return std::nullopt;
+  if (a.builtins && !a.analyze && !a.prove) return std::nullopt;
   if (a.file.empty() && !a.builtins) return std::nullopt;
+  if (a.inject != fuzz::InjectedBug::None && !a.prove) return std::nullopt;
   return a;
 }
 
@@ -511,6 +555,162 @@ int runAnalyzeBuiltins(bool quiet) {
     if (!report.clean()) ++failures;
   }
   return failures == 0 ? 0 : 1;
+}
+
+/// One machine-readable report object for lint/prove --format json.
+std::string reportJson(const std::string& key, const std::string& name,
+                       const CheckReport& rep) {
+  std::string out = "{\"" + key + "\":";
+  obs::appendJsonString(out, name);
+  out += ",";
+  // Splice the report object's fields in after the name.
+  out += rep.renderJson().substr(1);
+  return out;
+}
+
+/// Prove one already-compiled function: run the (optionally validated)
+/// optimization pipeline, synthesize, apply the requested injection, and
+/// prove behavioral/RTL equivalence. `applicable` comes back false when an
+/// injection found no site in this design.
+CheckReport proveOne(const CliArgs& a, Function& fn, bool& applicable) {
+  CheckReport rep;
+  applicable = true;
+
+  auto runPipe = [&](PassManager& pm) {
+    if (a.provePasses)
+      sec::runPipelineValidated(pm, fn, rep);
+    else
+      pm.run(fn);
+  };
+  switch (a.opts.opt) {
+    case OptLevel::None:
+      break;
+    case OptLevel::Standard: {
+      auto pm = PassManager::standardPipeline();
+      runPipe(pm);
+      break;
+    }
+    case OptLevel::Aggressive: {
+      auto pm = PassManager::aggressivePipeline();
+      runPipe(pm);
+      break;
+    }
+  }
+  if (a.opts.narrow) {
+    PassManager pm;
+    pm.add(createNarrowWidthsPass());
+    runPipe(pm);
+  }
+
+  if (a.inject == fuzz::InjectedBug::MulToAdd) {
+    // MulToAdd corrupts the IR before the backend, so the whole design —
+    // controller included — is consistently wrong; it can only be caught
+    // by proving the mutated function against the trusted one.
+    Function mutated = fn.clone();
+    if (fuzz::injectMulToAdd(mutated) == 0) {
+      applicable = false;
+      rep.note("sec.inject.inapplicable", fn.name(),
+               "design has no multiply to inject into");
+      return rep;
+    }
+    sec::proveFunctionEquivalence(fn, mutated, "inject:mul-to-add", rep);
+    return rep;
+  }
+
+  SynthesisOptions so = a.opts;
+  so.prove = false;  // the proof runs below, reporting instead of throwing
+  so.narrow = false;
+  so.opt = OptLevel::None;  // pipeline already applied above
+  Synthesizer synth(so);
+  SynthesisResult r = synth.synthesizeOptimized(fn);
+  if (a.inject == fuzz::InjectedBug::ScheduleShift &&
+      fuzz::injectScheduleShift(r.design, a.opts.latencies) == 0)
+    applicable = false;
+  if (a.inject == fuzz::InjectedBug::SwappedBinding &&
+      fuzz::injectSwappedBinding(r.design, a.opts.latencies) == 0)
+    applicable = false;
+  if (!applicable) {
+    rep.note("sec.inject.inapplicable", fn.name(),
+             "no eligible mutation site in this design");
+    return rep;
+  }
+  rep.merge(sec::proveEquivalence(r.design));
+  return rep;
+}
+
+/// `mphls prove`: the formal equivalence gate over one file or every
+/// built-in design. Without --inject, exits 0 iff every proof is clean;
+/// with --inject, exits 0 iff the injected bug was caught (proof NOT
+/// clean) on every design it applies to — the gate's self-test.
+int runProve(const CliArgs& a, std::optional<Function> fileFn) {
+  struct Target {
+    std::string name;
+    std::string source;
+  };
+  std::vector<Target> targets;
+  if (a.builtins) {
+    for (const auto& d : designs::all()) targets.push_back({d.name, d.source});
+  } else {
+    targets.push_back({a.file, ""});
+  }
+
+  const bool injecting = a.inject != fuzz::InjectedBug::None;
+  int applicableCount = 0, cleanCount = 0, caughtCount = 0;
+  std::string json = "[";
+  bool ok = true;
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    std::optional<Function> compiled;
+    if (!a.builtins) {
+      compiled = std::move(fileFn);
+    } else {
+      DiagEngine diags;
+      auto fn = compileBdl(targets[t].source, diags);
+      if (!fn)
+        return fail("builtin '" + targets[t].name + "' failed to compile");
+      compiled = std::move(*fn);
+    }
+    bool applicable = true;
+    CheckReport rep = proveOne(a, *compiled, applicable);
+    if (applicable) {
+      ++applicableCount;
+      if (rep.clean()) ++cleanCount;
+      else ++caughtCount;
+    }
+
+    if (a.jsonFormat) {
+      if (t > 0) json += ",";
+      json += reportJson(a.builtins ? "design" : "file", targets[t].name,
+                         rep);
+      continue;
+    }
+    std::string verdict;
+    if (!applicable)
+      verdict = "injection not applicable (skipped)";
+    else if (injecting)
+      verdict = rep.clean() ? "injected bug NOT caught"
+                            : "injected bug caught (proof failed as it"
+                              " should)";
+    else
+      verdict = rep.clean() ? "proved equivalent" : "NOT proved";
+    std::cout << targets[t].name << ": " << verdict << "\n";
+    const bool bad = injecting ? (applicable && rep.clean()) : !rep.clean();
+    if (!a.quiet || bad)
+      if (!rep.empty()) std::cout << rep.render();
+  }
+
+  if (injecting)
+    ok = applicableCount > 0 && cleanCount == 0;
+  else
+    ok = cleanCount == applicableCount;
+  if (a.jsonFormat) {
+    json += "]";
+    std::cout << json << "\n";
+  } else if (injecting) {
+    std::cout << "prove --inject: " << caughtCount << "/" << applicableCount
+              << " applicable design(s) caught\n";
+  }
+  int rc = writeObsOutputs(a.traceOut, a.statsOut, a.quiet);
+  return ok ? rc : 1;
 }
 
 int runBench(int argc, char** argv) {
@@ -615,8 +815,8 @@ int runFuzz(int argc, char** argv) {
       replayDir = v;
     } else if (arg == "--inject") {
       const char* v = next();
-      if (!v || std::string(v) != "mul") return (usage(), 2);
-      c.diff.inject = fuzz::InjectedBug::MulToAdd;
+      if (!v || !fuzz::parseInjectedBug(v, c.diff.inject))
+        return (usage(), 2);
     } else if (arg == "--no-check") {
       c.diff.check = false;
     } else if (arg == "--out") {
@@ -720,6 +920,7 @@ int main(int argc, char** argv) {
   enableTracing(a.traceOut);
 
   if (a.analyze && a.builtins) return runAnalyzeBuiltins(a.quiet);
+  if (a.prove && a.builtins) return runProve(a, std::nullopt);
 
   std::ifstream in(a.file);
   if (!in) return fail("cannot open " + a.file);
@@ -750,6 +951,8 @@ int main(int argc, char** argv) {
     return runAnalyze(*fn, a.file, a.dotFactsOut, a.quiet);
   }
 
+  if (a.prove) return runProve(a, std::move(*fn));
+
   if (a.lint) {
     // Lint collects every finding in one pass, so the stage-exit throwing
     // checks inside the pipeline are disabled and checkDesign runs on the
@@ -771,6 +974,10 @@ int main(int argc, char** argv) {
         limited ? a.opts.resources : ResourceLimits::unlimited();
     copts.latencies = a.opts.latencies;
     CheckReport report = checkDesign(result->design, copts);
+    if (a.jsonFormat) {
+      std::cout << reportJson("file", a.file, report) << "\n";
+      return report.clean() ? 0 : 1;
+    }
     if (report.empty()) {
       std::cout << a.file << ": clean (0 findings)\n";
       return 0;

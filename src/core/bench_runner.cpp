@@ -155,6 +155,7 @@ int runBenchSuite(const BenchOptions& opts) {
     st["control"] = r.stages.control;
     st["estimate"] = r.stages.estimate;
     st["check"] = r.stages.check;
+    st["prove"] = r.stages.prove;
     st["total"] = r.stages.total();
   }
 

@@ -13,6 +13,7 @@
 #include "obs/trace.h"
 #include "opt/pass.h"
 #include "rtl/rtlsim.h"
+#include "sec/prove.h"
 #include "sched/asap.h"
 #include "sched/bnb.h"
 #include "sched/force_directed.h"
@@ -56,6 +57,7 @@ void StageTimes::accumulate(const StageTimes& o) {
   control += o.control;
   estimate += o.estimate;
   check += o.check;
+  prove += o.prove;
 }
 
 SynthesisResult Synthesizer::synthesize(Function fn) {
@@ -227,6 +229,13 @@ SynthesisResult Synthesizer::backend(Function fn, StageTimes st) {
     obs::TraceSpan span("stage.estimate", &st.estimate);
     result.area = estimateArea(result.design, result.fsm);
     result.timing = estimateTiming(result.design);
+  }
+  if (options_.prove) {
+    obs::TraceSpan span("stage.prove", &st.prove);
+    CheckReport rep = sec::proveEquivalence(result.design);
+    MPHLS_CHECK(rep.clean(), "behavioral/RTL equivalence proof failed ("
+                                 << rep.errorCount()
+                                 << " finding(s)): " << rep.firstError());
   }
   result.stages = st;
 

@@ -59,6 +59,12 @@ struct SynthesisOptions {
   /// it changes declared datapath widths, which matters when the RTL
   /// interface is inspected externally; `mphls --narrow` enables it.
   bool narrow = false;
+  /// Formally prove the synthesized RTL equivalent to the behavioral CDFG
+  /// (src/sec/): symbolic execution of both sides per block, discharged by
+  /// bit-blasting to SAT. Throws InternalError on the first failed proof
+  /// obligation. Off by default (proof cost grows with datapath width);
+  /// `mphls --prove` / `mphls prove` enables it.
+  bool prove = false;
   /// Worker threads for design-space exploration (core/dse.h): <= 0 means
   /// one per hardware thread, 1 bypasses the thread pool entirely and runs
   /// the legacy serial loop. Results are identical at any value; only wall
@@ -81,9 +87,11 @@ struct StageTimes {
   double control = 0;    ///< controller build + FSM encode + microcode
   double estimate = 0;   ///< area/timing estimation
   double check = 0;      ///< stage-boundary analyzers (options.check)
+  double prove = 0;      ///< formal equivalence proof (options.prove)
 
   [[nodiscard]] double total() const {
-    return optimize + schedule + allocate + control + estimate + check;
+    return optimize + schedule + allocate + control + estimate + check +
+           prove;
   }
   /// Accumulate another run's times (used when averaging over DSE points).
   void accumulate(const StageTimes& o);

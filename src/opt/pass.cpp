@@ -34,12 +34,15 @@ std::vector<PassStats> PassManager::run(Function& fn, int maxRounds) {
   for (int round = 0; round < maxRounds; ++round) {
     int total = 0;
     for (std::size_t i = 0; i < passes_.size(); ++i) {
+      Function before("");
+      if (observer_) before = fn.clone();
       int c;
       {
         obs::TraceSpan span("pass." + stats[i].pass, &seconds[i]);
         c = passes_[i]->run(fn);
       }
       verifyOrThrow(fn);
+      if (observer_) observer_(stats[i].pass, before, fn, c);
       stats[i].changes += c;
       if (c > 0) ++stats[i].iterations;
       total += c;

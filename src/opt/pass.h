@@ -53,10 +53,20 @@ struct PassStats {
 
 class PassManager {
  public:
+  /// Called after each pass application with the pass name, the function
+  /// before and after, and the reported change count. Installed by the
+  /// translation validator (src/sec/) to prove per-pass equivalence; the
+  /// pre-pass snapshot is only cloned while an observer is set.
+  using PassObserver = std::function<void(
+      std::string_view pass, const Function& before, const Function& after,
+      int changes)>;
+
   PassManager& add(std::unique_ptr<Pass> p) {
     passes_.push_back(std::move(p));
     return *this;
   }
+
+  void setObserver(PassObserver obs) { observer_ = std::move(obs); }
 
   /// Run all passes round-robin until a full round changes nothing (or
   /// `maxRounds` is hit). Verifies the IR after every pass. Returns stats.
@@ -71,6 +81,7 @@ class PassManager {
 
  private:
   std::vector<std::unique_ptr<Pass>> passes_;
+  PassObserver observer_;
 };
 
 /// Convenience: run the standard pipeline in place.

@@ -1,0 +1,480 @@
+#include "sec/bitblast.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+#include "common/diag.h"
+
+namespace mphls::sec {
+
+// ---------------------------------------------------------------- Aig ----
+
+Aig::Aig(SatSolver& s) : s_(s) {
+  int v = s_.newVar();
+  false_ = SatSolver::lit(v, false);
+  s_.addClause({SatSolver::neg(false_)});
+}
+
+int Aig::input() { return SatSolver::lit(s_.newVar(), false); }
+
+void Aig::assertTrue(int l) {
+  if (l == trueLit()) return;
+  if (l == falseLit()) {
+    s_.addClause({});
+    return;
+  }
+  s_.addClause({l});
+}
+
+int Aig::andL(int a, int b) {
+  if (a == falseLit() || b == falseLit()) return falseLit();
+  if (a == trueLit()) return b;
+  if (b == trueLit()) return a;
+  if (a == b) return a;
+  if (a == neg(b)) return falseLit();
+  auto key = std::minmax(a, b);
+  auto it = andCache_.find(key);
+  if (it != andCache_.end()) return it->second;
+  int o = input();
+  s_.addClause({neg(o), a});
+  s_.addClause({neg(o), b});
+  s_.addClause({o, neg(a), neg(b)});
+  andCache_.emplace(key, o);
+  return o;
+}
+
+int Aig::xorL(int a, int b) {
+  if (a == falseLit()) return b;
+  if (b == falseLit()) return a;
+  if (a == trueLit()) return neg(b);
+  if (b == trueLit()) return neg(a);
+  if (a == b) return falseLit();
+  if (a == neg(b)) return trueLit();
+  auto key = std::minmax(a, b);
+  auto it = xorCache_.find(key);
+  if (it != xorCache_.end()) return it->second;
+  int o = input();
+  s_.addClause({neg(o), a, b});
+  s_.addClause({neg(o), neg(a), neg(b)});
+  s_.addClause({o, neg(a), b});
+  s_.addClause({o, a, neg(b)});
+  xorCache_.emplace(key, o);
+  return o;
+}
+
+// ---------------------------------------------------------- vector ops ----
+
+namespace {
+
+using Vec = std::vector<int>;
+
+Vec zeros(Aig& g, std::size_t n) { return Vec(n, g.falseLit()); }
+Vec ones(Aig& g, std::size_t n) { return Vec(n, g.trueLit()); }
+
+Vec truncTo(const Vec& a, std::size_t n) { return Vec(a.begin(), a.begin() + (long)n); }
+
+Vec zextTo(Aig& g, Vec a, std::size_t n) {
+  a.resize(n, g.falseLit());
+  return a;
+}
+
+Vec zextOrTrunc(Aig& g, const Vec& a, std::size_t n) {
+  return a.size() >= n ? truncTo(a, n) : zextTo(g, a, n);
+}
+
+Vec sextTo(Vec a, std::size_t n) {
+  int sign = a.back();
+  a.resize(n, sign);
+  return a;
+}
+
+Vec sextOrTrunc(const Vec& a, std::size_t n) {
+  return a.size() >= n ? truncTo(a, n) : sextTo(a, n);
+}
+
+Vec notVec(const Vec& a) {
+  Vec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = Aig::neg(a[i]);
+  return r;
+}
+
+/// Ripple-carry a + b + cin; optional carry-out.
+Vec adder(Aig& g, const Vec& a, const Vec& b, int cin, int* cout = nullptr) {
+  MPHLS_CHECK(a.size() == b.size(), "adder width mismatch");
+  Vec s(a.size());
+  int c = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    int axb = g.xorL(a[i], b[i]);
+    s[i] = g.xorL(axb, c);
+    c = g.orL(g.andL(a[i], b[i]), g.andL(c, axb));
+  }
+  if (cout != nullptr) *cout = c;
+  return s;
+}
+
+Vec negVec(Aig& g, const Vec& a) {
+  return adder(g, notVec(a), zeros(g, a.size()), g.trueLit());
+}
+
+Vec muxVec(Aig& g, int c, const Vec& t, const Vec& f) {
+  MPHLS_CHECK(t.size() == f.size(), "mux width mismatch");
+  Vec r(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) r[i] = g.muxL(c, t[i], f[i]);
+  return r;
+}
+
+int orReduce(Aig& g, const Vec& a) {
+  int r = g.falseLit();
+  for (int l : a) r = g.orL(r, l);
+  return r;
+}
+
+int andReduce(Aig& g, const Vec& a) {
+  int r = g.trueLit();
+  for (int l : a) r = g.andL(r, l);
+  return r;
+}
+
+int eqVec(Aig& g, const Vec& a, const Vec& b) {
+  MPHLS_CHECK(a.size() == b.size(), "eq width mismatch");
+  int r = g.trueLit();
+  for (std::size_t i = 0; i < a.size(); ++i)
+    r = g.andL(r, Aig::neg(g.xorL(a[i], b[i])));
+  return r;
+}
+
+/// Unsigned a < b, MSB-first compare chain.
+int ultVec(Aig& g, const Vec& a, const Vec& b) {
+  MPHLS_CHECK(a.size() == b.size(), "ult width mismatch");
+  int lt = g.falseLit();
+  int eq = g.trueLit();
+  for (std::size_t i = a.size(); i > 0; --i) {
+    int ai = a[i - 1];
+    int bi = b[i - 1];
+    lt = g.orL(lt, g.andL(eq, g.andL(Aig::neg(ai), bi)));
+    eq = g.andL(eq, Aig::neg(g.xorL(ai, bi)));
+  }
+  return lt;
+}
+
+/// Signed a < b on equal-width vectors: flip MSBs, compare unsigned.
+int sltVec(Aig& g, Vec a, Vec b) {
+  a.back() = Aig::neg(a.back());
+  b.back() = Aig::neg(b.back());
+  return ultVec(g, a, b);
+}
+
+Vec mulVec(Aig& g, const Vec& a, const Vec& b, std::size_t w) {
+  Vec A = zextOrTrunc(g, a, w);
+  Vec B = zextOrTrunc(g, b, w);
+  Vec acc = zeros(g, w);
+  for (std::size_t i = 0; i < w; ++i) {
+    Vec addend(w, g.falseLit());
+    for (std::size_t j = i; j < w; ++j) addend[j] = g.andL(A[j - i], B[i]);
+    acc = adder(g, acc, addend, g.falseLit());
+  }
+  return acc;
+}
+
+/// Restoring division of the unsigned values of `a` by `b`. Quotient has
+/// a.size() bits, remainder max(a.size(), b.size()) bits. b == 0 gives
+/// quotient all-ones, remainder == a (callers gate that case).
+std::pair<Vec, Vec> udivmod(Aig& g, const Vec& a, const Vec& b) {
+  std::size_t W = std::max(a.size(), b.size());
+  Vec d = zextTo(g, b, W + 1);
+  Vec r = zeros(g, W + 1);
+  Vec q(a.size(), g.falseLit());
+  for (std::size_t i = a.size(); i > 0; --i) {
+    Vec r2(W + 1);
+    r2[0] = a[i - 1];
+    for (std::size_t j = 1; j <= W; ++j) r2[j] = r[j - 1];
+    int noBorrow = 0;
+    Vec diff = adder(g, r2, notVec(d), g.trueLit(), &noBorrow);
+    r = muxVec(g, noBorrow, diff, r2);
+    q[i - 1] = noBorrow;
+  }
+  r.resize(W);
+  return {std::move(q), std::move(r)};
+}
+
+Vec shlConstVec(Aig& g, const Vec& a, std::size_t sh) {
+  Vec r(a.size(), g.falseLit());
+  for (std::size_t i = sh; i < a.size(); ++i) r[i] = a[i - sh];
+  return r;
+}
+
+Vec shrConstVec(Aig& g, const Vec& a, std::size_t sh) {
+  Vec r(a.size(), g.falseLit());
+  for (std::size_t i = 0; i + sh < a.size(); ++i) r[i] = a[i + sh];
+  return r;
+}
+
+Vec sarConstVec(const Vec& a, std::size_t sh) {
+  Vec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    r[i] = i + sh < a.size() ? a[i + sh] : a.back();
+  return r;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- BitBlaster ----
+
+const std::vector<int>& BitBlaster::bits(int node) {
+  auto it = memo_.find(node);
+  if (it != memo_.end()) return it->second;
+  const Expr& e = ctx_.node(node);
+  Vec v = lower(e);
+  MPHLS_CHECK((int)v.size() == e.width, "blasted width mismatch");
+  const std::vector<int>& slot = memo_.emplace(node, std::move(v)).first->second;
+  if (e.kind == Expr::Kind::Var) inputs_.emplace_back(node, slot);
+  return slot;
+}
+
+std::vector<int> BitBlaster::lower(const Expr& e) {
+  Aig& g = aig_;
+  std::size_t w = (std::size_t)e.width;
+
+  if (e.kind == Expr::Kind::Var) {
+    Vec v(w);
+    for (std::size_t i = 0; i < w; ++i) v[i] = g.input();
+    return v;
+  }
+  if (e.kind == Expr::Kind::Const) {
+    Vec v(w);
+    for (std::size_t i = 0; i < w; ++i)
+      v[i] = (((std::uint64_t)e.imm >> i) & 1) != 0 ? g.trueLit()
+                                                    : g.falseLit();
+    return v;
+  }
+
+  // Operation nodes. Operand vectors first.
+  std::vector<Vec> as(e.args.size());
+  for (std::size_t i = 0; i < e.args.size(); ++i) as[i] = bits(e.args[i]);
+
+  switch (e.op) {
+    case OpKind::Trunc:
+    case OpKind::ZExt:
+      return zextOrTrunc(g, as[0], w);
+    case OpKind::SExt:
+      return sextOrTrunc(as[0], w);
+    case OpKind::Not: {
+      Vec r(w, g.trueLit());
+      for (std::size_t i = 0; i < w && i < as[0].size(); ++i)
+        r[i] = Aig::neg(as[0][i]);
+      return r;
+    }
+    case OpKind::ShlConst: {
+      if (e.imm < 0 || e.imm >= 64) return zeros(g, w);
+      Vec x = zextOrTrunc(g, as[0], w);
+      return shlConstVec(g, x, (std::size_t)e.imm);
+    }
+    case OpKind::ShrConst: {
+      if (e.imm < 0 || e.imm >= 64) return zeros(g, w);
+      Vec r(w, g.falseLit());
+      for (std::size_t i = 0; i + (std::size_t)e.imm < as[0].size() && i < w;
+           ++i)
+        r[i] = as[0][i + (std::size_t)e.imm];
+      return r;
+    }
+    case OpKind::SarConst: {
+      std::size_t sh =
+          e.imm < 0 ? 0 : (e.imm > 63 ? 63 : (std::size_t)e.imm);
+      Vec r(w);
+      for (std::size_t i = 0; i < w; ++i)
+        r[i] = i + sh < as[0].size() ? as[0][i + sh] : as[0].back();
+      return r;
+    }
+    case OpKind::Add:
+      return adder(g, zextOrTrunc(g, as[0], w), zextOrTrunc(g, as[1], w),
+                   g.falseLit());
+    case OpKind::Sub:
+      return adder(g, zextOrTrunc(g, as[0], w),
+                   notVec(zextOrTrunc(g, as[1], w)), g.trueLit());
+    case OpKind::Mul:
+      return mulVec(g, as[0], as[1], w);
+    case OpKind::And:
+    case OpKind::Or:
+    case OpKind::Xor: {
+      Vec a = zextOrTrunc(g, as[0], w);
+      Vec b = zextOrTrunc(g, as[1], w);
+      Vec r(w);
+      for (std::size_t i = 0; i < w; ++i)
+        r[i] = e.op == OpKind::And  ? g.andL(a[i], b[i])
+               : e.op == OpKind::Or ? g.orL(a[i], b[i])
+                                    : g.xorL(a[i], b[i]);
+      return r;
+    }
+    case OpKind::Shl: {
+      Vec x = zextOrTrunc(g, as[0], w);
+      const Vec& amt = as[1];
+      for (std::size_t k = 0; k < amt.size(); ++k) {
+        if (k <= 5 && ((std::size_t)1 << k) < w)
+          x = muxVec(g, amt[k], shlConstVec(g, x, (std::size_t)1 << k), x);
+        else
+          x = muxVec(g, amt[k], zeros(g, w), x);
+      }
+      return x;
+    }
+    case OpKind::Shr: {
+      Vec x = as[0];
+      const Vec& amt = as[1];
+      for (std::size_t k = 0; k < amt.size(); ++k) {
+        if (k <= 5 && ((std::size_t)1 << k) < x.size())
+          x = muxVec(g, amt[k], shrConstVec(g, x, (std::size_t)1 << k), x);
+        else
+          x = muxVec(g, amt[k], zeros(g, x.size()), x);
+      }
+      return zextOrTrunc(g, x, w);
+    }
+    case OpKind::Sar: {
+      // Work wide enough that every result bit exists pre-truncation; the
+      // barrel saturates at shift 63, matching evalPure's clamp.
+      std::size_t W = std::max(w, as[0].size());
+      Vec x = sextTo(as[0], W);
+      const Vec& amt = as[1];
+      for (std::size_t k = 0; k < amt.size(); ++k) {
+        std::size_t sh = k <= 5 ? ((std::size_t)1 << k) : 63;
+        x = muxVec(g, amt[k], sarConstVec(x, sh), x);
+      }
+      return truncTo(x, w);
+    }
+    case OpKind::UDiv:
+    case OpKind::UMod: {
+      auto [q, r] = udivmod(g, as[0], as[1]);
+      int bz = Aig::neg(orReduce(g, as[1]));
+      if (e.op == OpKind::UDiv)
+        return muxVec(g, bz, ones(g, w), zextOrTrunc(g, q, w));
+      return muxVec(g, bz, zeros(g, w), zextOrTrunc(g, r, w));
+    }
+    case OpKind::Div:
+    case OpKind::Mod: {
+      std::size_t W = std::max(as[0].size(), as[1].size());
+      int sa = as[0].back();
+      int sb = as[1].back();
+      int bz = Aig::neg(orReduce(g, as[1]));   // divisor == 0
+      int bm1 = andReduce(g, as[1]);           // divisor == -1
+      Vec sA = sextTo(as[0], W);
+      Vec sB = sextTo(as[1], W);
+      Vec absA = muxVec(g, sa, negVec(g, sA), sA);
+      Vec absB = muxVec(g, sb, negVec(g, sB), sB);
+      auto [q, r] = udivmod(g, absA, absB);
+      if (e.op == OpKind::Div) {
+        Vec qv = zextOrTrunc(g, q, w);
+        Vec qs = muxVec(g, g.xorL(sa, sb), negVec(g, qv), qv);
+        Vec negCase = negVec(g, sextOrTrunc(as[0], w));
+        return muxVec(g, bz, ones(g, w), muxVec(g, bm1, negCase, qs));
+      }
+      Vec rv = zextOrTrunc(g, r, w);
+      Vec rs = muxVec(g, sa, negVec(g, rv), rv);
+      return muxVec(g, g.orL(bz, bm1), zeros(g, w), rs);
+    }
+    case OpKind::Eq:
+    case OpKind::Ne: {
+      std::size_t wc = std::max(as[0].size(), as[1].size());
+      int eq = eqVec(g, zextTo(g, as[0], wc), zextTo(g, as[1], wc));
+      Vec r = zeros(g, w);
+      r[0] = e.op == OpKind::Eq ? eq : Aig::neg(eq);
+      return r;
+    }
+    case OpKind::ULt:
+    case OpKind::ULe:
+    case OpKind::UGt:
+    case OpKind::UGe:
+    case OpKind::Lt:
+    case OpKind::Le:
+    case OpKind::Gt:
+    case OpKind::Ge: {
+      std::size_t wc = std::max(as[0].size(), as[1].size());
+      bool isSigned = e.op == OpKind::Lt || e.op == OpKind::Le ||
+                      e.op == OpKind::Gt || e.op == OpKind::Ge;
+      Vec a = isSigned ? sextTo(as[0], wc) : zextTo(g, as[0], wc);
+      Vec b = isSigned ? sextTo(as[1], wc) : zextTo(g, as[1], wc);
+      int bit = 0;
+      switch (e.op) {
+        case OpKind::ULt: bit = ultVec(g, a, b); break;
+        case OpKind::UGt: bit = ultVec(g, b, a); break;
+        case OpKind::ULe: bit = Aig::neg(ultVec(g, b, a)); break;
+        case OpKind::UGe: bit = Aig::neg(ultVec(g, a, b)); break;
+        case OpKind::Lt: bit = sltVec(g, a, b); break;
+        case OpKind::Gt: bit = sltVec(g, b, a); break;
+        case OpKind::Le: bit = Aig::neg(sltVec(g, b, a)); break;
+        case OpKind::Ge: bit = Aig::neg(sltVec(g, a, b)); break;
+        default: break;
+      }
+      Vec r = zeros(g, w);
+      r[0] = bit;
+      return r;
+    }
+    case OpKind::Select: {
+      int c = orReduce(g, as[0]);
+      return muxVec(g, c, zextOrTrunc(g, as[1], w),
+                    zextOrTrunc(g, as[2], w));
+    }
+    default:
+      MPHLS_CHECK(false, "unexpected op in bit-blaster: " << opName(e.op));
+      return {};
+  }
+}
+
+// ----------------------------------------------------------- proveEqual ----
+
+ProveResult proveEqual(const ExprContext& ctx, int a, int b,
+                       const std::vector<int>& assumptions,
+                       long conflictBudget) {
+  MPHLS_CHECK(ctx.node(a).width == ctx.node(b).width,
+              "proveEqual width mismatch: " << ctx.node(a).width << " vs "
+                                            << ctx.node(b).width);
+  ProveResult res;
+  if (a == b) {
+    res.verdict = ProveResult::Verdict::Equal;
+    res.structural = true;
+    return res;
+  }
+
+  SatSolver solver;
+  Aig aig(solver);
+  BitBlaster bl(ctx, aig);
+
+  // Record Var-node input literals for counterexamples: walk all nodes the
+  // blaster touches by blasting the roots (the memoized bits() calls hit
+  // every reachable node).
+  for (int n : assumptions) {
+    const std::vector<int>& v = bl.bits(n);
+    MPHLS_CHECK(v.size() == 1, "assumption must be 1-bit");
+    aig.assertTrue(v[0]);
+  }
+  const std::vector<int> va = bl.bits(a);
+  const std::vector<int> vb = bl.bits(b);
+  int miter = aig.falseLit();
+  for (std::size_t i = 0; i < va.size(); ++i)
+    miter = aig.orL(miter, aig.xorL(va[i], vb[i]));
+  aig.assertTrue(miter);
+
+  SatSolver::Result sr = solver.solve(conflictBudget);
+  res.conflicts = solver.conflicts();
+  switch (sr) {
+    case SatSolver::Result::Unsat:
+      res.verdict = ProveResult::Verdict::Equal;
+      break;
+    case SatSolver::Result::Unknown:
+      res.verdict = ProveResult::Verdict::Unknown;
+      break;
+    case SatSolver::Result::Sat: {
+      res.verdict = ProveResult::Verdict::NotEqual;
+      for (const auto& [nodeId, lits] : bl.inputs()) {
+        std::uint64_t v = 0;
+        for (std::size_t i = 0; i < lits.size(); ++i) {
+          bool bitVal = solver.modelValue(SatSolver::varOf(lits[i]));
+          if ((lits[i] & 1) != 0) bitVal = !bitVal;
+          if (bitVal) v |= (std::uint64_t)1 << i;
+        }
+        res.counterexample.emplace_back(ctx.node(nodeId).name, v);
+      }
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace mphls::sec

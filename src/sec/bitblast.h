@@ -1,0 +1,93 @@
+// Bit-blasting: lower expression DAGs to an AND-inverter graph, Tseitin-
+// encode into CNF, and decide miter equivalence with the CDCL solver.
+//
+// The lowering mirrors Interpreter::evalPure bit-for-bit (same truncation,
+// sign-extension, shift-clamp and divide-by-zero conventions), so a SAT
+// "Equal" verdict really is equivalence under mphls arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sec/expr.h"
+#include "sec/sat.h"
+
+namespace mphls::sec {
+
+/// Conflict budget applied to each obligation; exhausting it yields
+/// Verdict::Unknown, which every caller treats as a failed proof.
+inline constexpr long kDefaultConflictBudget = 200000;
+
+struct ProveResult {
+  enum class Verdict { Equal, NotEqual, Unknown };
+  Verdict verdict = Verdict::Unknown;
+  /// For NotEqual: witness assignment, one entry per Var node reachable
+  /// from the miter (name -> raw pattern).
+  std::vector<std::pair<std::string, std::uint64_t>> counterexample;
+  long conflicts = 0;
+  bool structural = false;  ///< discharged by node identity, no SAT call
+  [[nodiscard]] bool equal() const { return verdict == Verdict::Equal; }
+};
+
+/// Decide whether nodes `a` and `b` (same width) agree on every input
+/// satisfying all `assumptions` (1-bit nodes required to be 1).
+[[nodiscard]] ProveResult proveEqual(
+    const ExprContext& ctx, int a, int b,
+    const std::vector<int>& assumptions = {},
+    long conflictBudget = kDefaultConflictBudget);
+
+/// Hash-consed AND-inverter layer over a SAT solver. Literals are solver
+/// literals; inversion is the low bit, constants fold structurally.
+class Aig {
+ public:
+  explicit Aig(SatSolver& s);
+
+  [[nodiscard]] int falseLit() const { return false_; }
+  [[nodiscard]] int trueLit() const { return SatSolver::neg(false_); }
+  static int neg(int l) { return SatSolver::neg(l); }
+
+  int input();  ///< fresh unconstrained literal
+  int andL(int a, int b);
+  int orL(int a, int b) { return neg(andL(neg(a), neg(b))); }
+  int xorL(int a, int b);
+  int muxL(int c, int t, int f) { return orL(andL(c, t), andL(neg(c), f)); }
+  void assertTrue(int l);
+
+  [[nodiscard]] SatSolver& solver() { return s_; }
+
+ private:
+  SatSolver& s_;
+  int false_ = 0;
+  std::map<std::pair<int, int>, int> andCache_;
+  std::map<std::pair<int, int>, int> xorCache_;
+};
+
+/// Expression-DAG to AIG lowering with per-node memoization. Exposed for
+/// unit tests; proveEqual is the normal entry point.
+class BitBlaster {
+ public:
+  BitBlaster(const ExprContext& ctx, Aig& aig) : ctx_(ctx), aig_(aig) {}
+
+  /// LSB-first literal vector for `node`, length == node width.
+  const std::vector<int>& bits(int node);
+
+  /// Var nodes encountered so far with their input literals (model
+  /// extraction for counterexamples).
+  [[nodiscard]] const std::vector<std::pair<int, std::vector<int>>>& inputs()
+      const {
+    return inputs_;
+  }
+
+ private:
+  std::vector<int> lower(const Expr& e);
+
+  const ExprContext& ctx_;
+  Aig& aig_;
+  std::map<int, std::vector<int>> memo_;
+  std::vector<std::pair<int, std::vector<int>>> inputs_;
+};
+
+}  // namespace mphls::sec

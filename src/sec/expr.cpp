@@ -1,0 +1,335 @@
+#include "sec/expr.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+#include "common/diag.h"
+#include "ir/interp.h"
+
+namespace mphls::sec {
+
+namespace {
+
+bool isResizeKind(OpKind k) { return k == OpKind::Trunc || k == OpKind::ZExt; }
+
+/// Associative-commutative kinds canonicalized by chain flattening. All are
+/// AC over raw patterns at a fixed width (add/mul mod 2^w, bitwise for the
+/// logic kinds), so any re-association or re-ordering of the same leaf
+/// multiset denotes the same value.
+bool isAcKind(OpKind k) {
+  switch (k) {
+    case OpKind::Add:
+    case OpKind::Mul:
+    case OpKind::And:
+    case OpKind::Or:
+    case OpKind::Xor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+int ExprContext::mkVar(std::string name, int width) {
+  MPHLS_CHECK(width >= 1 && width <= kMaxWidth, "bad var width " << width);
+  Expr e;
+  e.kind = Expr::Kind::Var;
+  e.width = width;
+  e.name = std::move(name);
+  nodes_.push_back(std::move(e));
+  return (int)nodes_.size() - 1;
+}
+
+int ExprContext::mkConst(std::uint64_t value, int width) {
+  MPHLS_CHECK(width >= 1 && width <= kMaxWidth, "bad const width " << width);
+  Expr e;
+  e.kind = Expr::Kind::Const;
+  e.width = width;
+  e.imm = (std::int64_t)truncBits(value, width);
+  return intern(std::move(e));
+}
+
+bool ExprContext::constValue(int id, std::uint64_t& value) const {
+  const Expr& e = node(id);
+  if (e.kind != Expr::Kind::Const) return false;
+  value = (std::uint64_t)e.imm;
+  return true;
+}
+
+int ExprContext::resize(int n, int width) {
+  int w = node(n).width;
+  if (w == width) return n;
+  if (width < w) return mkOp(OpKind::Trunc, width, 0, {n});
+  return mkOp(OpKind::ZExt, width, 0, {n});
+}
+
+int ExprContext::intern(Expr e) {
+  auto key = std::make_tuple((int)e.kind, (int)e.op, e.width, e.imm, e.args);
+  auto it = consed_.find(key);
+  if (it != consed_.end()) return it->second;
+  nodes_.push_back(std::move(e));
+  int id = (int)nodes_.size() - 1;
+  consed_.emplace(std::move(key), id);
+  return id;
+}
+
+int ExprContext::mkOp(OpKind op, int width, std::int64_t imm,
+                      std::vector<int> args) {
+  MPHLS_CHECK(width >= 1 && width <= kMaxWidth, "bad op width " << width);
+  MPHLS_CHECK((int)args.size() == opArity(op),
+              "arity mismatch for " << opName(op));
+
+  // Constant folding: all-const operands evaluate through the interpreter's
+  // evalPure, the single definition of mphls arithmetic.
+  {
+    bool allConst = true;
+    std::vector<std::uint64_t> vals(args.size());
+    std::vector<int> widths(args.size());
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (!constValue(args[i], vals[i])) {
+        allConst = false;
+        break;
+      }
+      widths[i] = node(args[i]).width;
+    }
+    if (allConst)
+      return mkConst(Interpreter::evalPure(op, width, imm, vals, widths),
+                     width);
+  }
+
+  // Canonicalize op families so equivalent spellings share one shape.
+  std::uint64_t c = 0;
+  switch (op) {
+    case OpKind::Inc:
+      return mkOp(OpKind::Add, width, 0,
+                  {args[0], mkConst(1, node(args[0]).width)});
+    case OpKind::Dec:
+      return mkOp(OpKind::Sub, width, 0,
+                  {args[0], mkConst(1, node(args[0]).width)});
+    case OpKind::Neg:
+      return mkOp(OpKind::Sub, width, 0,
+                  {mkConst(0, node(args[0]).width), args[0]});
+    case OpKind::Shl:
+      if (constValue(args[1], c))
+        return c >= 64 ? mkConst(0, width)
+                       : mkOp(OpKind::ShlConst, width, (std::int64_t)c,
+                              {args[0]});
+      break;
+    case OpKind::Shr:
+      if (constValue(args[1], c))
+        return c >= 64 ? mkConst(0, width)
+                       : mkOp(OpKind::ShrConst, width, (std::int64_t)c,
+                              {args[0]});
+      break;
+    case OpKind::Sar:
+      // evalPure clamps variable arithmetic shifts to 63; SarConst clamps
+      // its imm the same way, so no explicit min() is needed here.
+      if (constValue(args[1], c))
+        return mkOp(OpKind::SarConst, width,
+                    (std::int64_t)(c > 63 ? 63 : c), {args[0]});
+      break;
+    case OpKind::Mul:
+      for (int i = 0; i < 2; ++i)
+        if (constValue(args[i], c) && isPowerOfTwo(c))
+          return mkOp(OpKind::ShlConst, width, log2Floor(c), {args[1 - i]});
+      break;
+    case OpKind::UDiv:
+      if (constValue(args[1], c) && isPowerOfTwo(c))
+        return mkOp(OpKind::ShrConst, width, log2Floor(c), {args[0]});
+      break;
+    case OpKind::UMod:
+      if (constValue(args[1], c) && isPowerOfTwo(c))
+        return mkOp(OpKind::And, width, 0,
+                    {args[0], mkConst(c - 1, node(args[0]).width)});
+      break;
+    default:
+      break;
+  }
+
+  // Canonicalize associative-commutative chains: flatten same-kind
+  // same-width subtrees into their leaf multiset, fold the constant
+  // leaves, dedupe (And/Or) or cancel (Xor) repeated leaves, and rebuild a
+  // deterministic chain over the id-sorted leaves. Any re-association or
+  // commutation of the same computation — e.g. the tree-height pass
+  // rebalancing a linear FIR sum into a balanced adder tree — then lands
+  // on the identical node, keeping the obligation structural instead of
+  // handing the SAT core a reassociated-multiplier/adder miter.
+  if (isAcKind(op)) {
+    std::vector<int> leaves;
+    std::vector<int> work{args[0], args[1]};
+    while (!work.empty()) {
+      int n = work.back();
+      work.pop_back();
+      const Expr& en = node(n);
+      if (en.kind == Expr::Kind::Op && en.op == op && en.width == width) {
+        work.push_back(en.args[0]);
+        work.push_back(en.args[1]);
+      } else {
+        leaves.push_back(n);
+      }
+    }
+    // Fold every constant leaf into one pattern (operands are consumed as
+    // raw zero-extended patterns, and the result is truncated to `width`,
+    // so folding mod 2^width is exact for all five kinds).
+    bool haveConst = false;
+    std::uint64_t acc = 0;
+    std::vector<int> rest;
+    for (int n : leaves) {
+      std::uint64_t v = 0;
+      if (constValue(n, v)) {
+        acc = haveConst
+                  ? Interpreter::evalPure(op, width, 0, {acc, v}, {64, 64})
+                  : truncBits(v, width);
+        haveConst = true;
+      } else {
+        rest.push_back(n);
+      }
+    }
+    std::sort(rest.begin(), rest.end());
+    if (op == OpKind::And || op == OpKind::Or) {
+      rest.erase(std::unique(rest.begin(), rest.end()), rest.end());
+    } else if (op == OpKind::Xor) {
+      // x ^ x == 0: drop leaves that appear an even number of times.
+      std::vector<int> kept;
+      for (std::size_t i = 0; i < rest.size();) {
+        std::size_t j = i;
+        while (j < rest.size() && rest[j] == rest[i]) ++j;
+        if ((j - i) % 2) kept.push_back(rest[i]);
+        i = j;
+      }
+      rest = std::move(kept);
+    }
+    if (haveConst) {
+      // Absorbing and identity constants.
+      if (op == OpKind::Mul && acc == 0) return mkConst(0, width);
+      if (op == OpKind::And && acc == 0) return mkConst(0, width);
+      if (op == OpKind::Or && acc == maskBits(width))
+        return mkConst(maskBits(width), width);
+      bool identity = (op == OpKind::Mul && acc == 1) ||
+                      (op == OpKind::And && acc == maskBits(width)) ||
+                      (op != OpKind::Mul && op != OpKind::And && acc == 0);
+      if (!identity) {
+        int cn = mkConst(acc, width);
+        rest.insert(std::lower_bound(rest.begin(), rest.end(), cn), cn);
+      }
+    }
+    if (rest.empty())
+      return mkConst(op == OpKind::And   ? maskBits(width)
+                     : op == OpKind::Mul ? 1
+                                         : 0,
+                     width);
+    if (rest.size() == 1) return resize(rest[0], width);
+    int accN = rest[0];
+    for (std::size_t i = 1; i < rest.size(); ++i) {
+      Expr link;
+      link.kind = Expr::Kind::Op;
+      link.op = op;
+      link.width = width;
+      link.args = {std::min(accN, rest[i]), std::max(accN, rest[i])};
+      accN = intern(std::move(link));
+    }
+    return accN;
+  }
+
+  // Commutative operands in node-id order.
+  if (opIsCommutative(op) && args.size() == 2 && args[0] > args[1])
+    std::swap(args[0], args[1]);
+
+  // Local identities. `a0`/`a1` below are operand node ids.
+  int a0 = args.empty() ? -1 : args[0];
+  int a1 = args.size() > 1 ? args[1] : -1;
+  auto isConstEq = [&](int n, std::uint64_t want) {
+    std::uint64_t v = 0;
+    return n >= 0 && constValue(n, v) && v == want;
+  };
+  switch (op) {
+    case OpKind::Add:
+    case OpKind::Or:
+    case OpKind::Xor:
+      if (isConstEq(a0, 0)) return resize(a1, width);
+      if (isConstEq(a1, 0)) return resize(a0, width);
+      if (op == OpKind::Xor && a0 == a1) return mkConst(0, width);
+      if (op == OpKind::Or && a0 == a1) return resize(a0, width);
+      if (op == OpKind::Or &&
+          ((isConstEq(a0, maskBits(width)) && node(a1).width <= width) ||
+           (isConstEq(a1, maskBits(width)) && node(a0).width <= width)))
+        return mkConst(maskBits(width), width);
+      break;
+    case OpKind::Sub:
+      if (isConstEq(a1, 0)) return resize(a0, width);
+      if (a0 == a1) return mkConst(0, width);
+      break;
+    case OpKind::Mul:
+      if (isConstEq(a0, 0) || isConstEq(a1, 0)) return mkConst(0, width);
+      if (isConstEq(a0, 1)) return resize(a1, width);
+      if (isConstEq(a1, 1)) return resize(a0, width);
+      break;
+    case OpKind::And:
+      if (isConstEq(a0, 0) || isConstEq(a1, 0)) return mkConst(0, width);
+      if (a0 == a1) return resize(a0, width);
+      if (isConstEq(a0, maskBits(width)) && node(a1).width <= width)
+        return resize(a1, width);
+      if (isConstEq(a1, maskBits(width)) && node(a0).width <= width)
+        return resize(a0, width);
+      break;
+    case OpKind::Eq:
+    case OpKind::ULe:
+    case OpKind::UGe:
+    case OpKind::Le:
+    case OpKind::Ge:
+      if (a0 == a1) return mkConst(1, width);
+      break;
+    case OpKind::Ne:
+    case OpKind::ULt:
+    case OpKind::UGt:
+    case OpKind::Lt:
+    case OpKind::Gt:
+      if (a0 == a1) return mkConst(0, width);
+      break;
+    case OpKind::Select: {
+      std::uint64_t cv = 0;
+      if (constValue(args[0], cv))
+        return resize(cv != 0 ? args[1] : args[2], width);
+      if (args[1] == args[2]) return resize(args[1], width);
+      break;
+    }
+    case OpKind::ShlConst:
+    case OpKind::ShrConst:
+      if (imm < 0 || imm >= 64) return mkConst(0, width);
+      if (imm == 0) return resize(a0, width);
+      break;
+    case OpKind::SarConst:
+      if (imm == 0) return mkOp(OpKind::SExt, width, 0, {a0});
+      break;
+    case OpKind::Trunc:
+    case OpKind::ZExt: {
+      if (node(a0).width == width) return a0;
+      // Collapse a resize-of-resize when the inner hop loses nothing the
+      // outer hop keeps: trunc/zext_w(trunc/zext_w1(x)) == resize(x, w)
+      // whenever w1 >= w or w1 >= width(x).
+      const Expr& inner = node(a0);
+      if (inner.kind == Expr::Kind::Op && isResizeKind(inner.op)) {
+        int base = inner.args[0];
+        if (inner.width >= width || inner.width >= node(base).width)
+          return resize(base, width);
+      }
+      break;
+    }
+    case OpKind::SExt:
+      if (node(a0).width == width) return a0;
+      break;
+    default:
+      break;
+  }
+
+  Expr e;
+  e.kind = Expr::Kind::Op;
+  e.op = op;
+  e.width = width;
+  e.imm = imm;
+  e.args = std::move(args);
+  return intern(std::move(e));
+}
+
+}  // namespace mphls::sec

@@ -1,0 +1,470 @@
+#include "sec/passes.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "analysis/dataflow.h"
+#include "common/bitutil.h"
+#include "common/diag.h"
+#include "ir/analysis.h"
+#include "obs/trace.h"
+#include "sec/prove.h"
+#include "sec/symexec.h"
+
+namespace mphls::sec {
+
+namespace {
+
+bool sameCfgShape(const Function& a, const Function& b) {
+  if (a.numBlocks() != b.numBlocks()) return false;
+  if (a.entry().index() != b.entry().index()) return false;
+  if (a.vars().size() != b.vars().size()) return false;
+  if (a.ports().size() != b.ports().size()) return false;
+  for (std::size_t i = 0; i < a.numBlocks(); ++i) {
+    const Terminator& ta = a.blocks()[i].term;
+    const Terminator& tb = b.blocks()[i].term;
+    if (ta.kind != tb.kind) return false;
+    switch (ta.kind) {
+      case Terminator::Kind::Return:
+        break;
+      case Terminator::Kind::Jump:
+        if (ta.target.index() != tb.target.index()) return false;
+        break;
+      case Terminator::Kind::Branch:
+        if (ta.target.index() != tb.target.index() ||
+            ta.elseTarget.index() != tb.elseTarget.index())
+          return false;
+        break;
+    }
+  }
+  return true;
+}
+
+/// Encode an abstract-value fact about `n` (whose width == f.width) as
+/// 1-bit assumption nodes.
+void appendFactAssumptions(ExprContext& ctx, const AbsVal& f, int n,
+                           std::vector<int>& out) {
+  if (f.isBottom || f.isTop()) return;
+  int w = f.width;
+  MPHLS_CHECK(ctx.node(n).width == w, "fact width mismatch");
+  if (f.ulo != 0)
+    out.push_back(
+        ctx.mkOp(OpKind::UGe, 1, 0, {n, ctx.mkConst(f.ulo, w)}));
+  if (f.uhi != maskBits(w))
+    out.push_back(
+        ctx.mkOp(OpKind::ULe, 1, 0, {n, ctx.mkConst(f.uhi, w)}));
+  std::int64_t smin = w == 64 ? INT64_MIN : -(std::int64_t(1) << (w - 1));
+  std::int64_t smax =
+      w == 64 ? INT64_MAX : (std::int64_t(1) << (w - 1)) - 1;
+  if (f.slo != smin)
+    out.push_back(ctx.mkOp(
+        OpKind::Ge, 1, 0, {n, ctx.mkConst((std::uint64_t)f.slo, w)}));
+  if (f.shi != smax)
+    out.push_back(ctx.mkOp(
+        OpKind::Le, 1, 0, {n, ctx.mkConst((std::uint64_t)f.shi, w)}));
+  std::uint64_t z = f.zeros & maskBits(w);
+  if (z != 0)
+    out.push_back(ctx.mkOp(
+        OpKind::Eq, 1, 0,
+        {ctx.mkOp(OpKind::And, w, 0, {n, ctx.mkConst(z, w)}),
+         ctx.mkConst(0, w)}));
+  if (f.ones != 0)
+    out.push_back(ctx.mkOp(
+        OpKind::Eq, 1, 0,
+        {ctx.mkOp(OpKind::And, w, 0, {n, ctx.mkConst(f.ones, w)}),
+         ctx.mkConst(f.ones, w)}));
+}
+
+/// 1-bit node asserting that `n` (width wide) has no bits at/above `keep`.
+int fitAssumption(ExprContext& ctx, int n, int keep) {
+  int wide = ctx.node(n).width;
+  int roundTrip = ctx.resize(ctx.resize(n, keep), wide);
+  return ctx.mkOp(OpKind::Eq, 1, 0, {n, roundTrip});
+}
+
+/// True when `after` is `before` with some value/variable widths reduced
+/// and everything else — blocks, ops, operands, immediates, terminators,
+/// ports — byte-identical. This is exactly the footprint of a pure width-
+/// narrowing pass, and it unlocks a far cheaper validation strategy than a
+/// general two-sided miter (see proveNarrowing).
+bool widthOnlyChange(const Function& a, const Function& b) {
+  if (a.numBlocks() != b.numBlocks()) return false;
+  if (a.entry().index() != b.entry().index()) return false;
+  if (a.vars().size() != b.vars().size()) return false;
+  if (a.ports().size() != b.ports().size()) return false;
+  if (a.numValues() != b.numValues()) return false;
+  for (std::size_t i = 0; i < a.ports().size(); ++i) {
+    const Port& pa = a.ports()[i];
+    const Port& pb = b.ports()[i];
+    if (pa.width != pb.width || pa.isInput != pb.isInput) return false;
+  }
+  for (std::size_t i = 0; i < a.values().size(); ++i)
+    if (b.values()[i].width > a.values()[i].width) return false;
+  for (std::size_t i = 0; i < a.vars().size(); ++i)
+    if (b.vars()[i].width > a.vars()[i].width) return false;
+  for (std::size_t i = 0; i < a.numBlocks(); ++i) {
+    const Block& ba = a.blocks()[i];
+    const Block& bb = b.blocks()[i];
+    if (ba.ops.size() != bb.ops.size()) return false;
+    const Terminator& ta = ba.term;
+    const Terminator& tb = bb.term;
+    if (ta.kind != tb.kind) return false;
+    if (ta.kind != Terminator::Kind::Return &&
+        ta.target.index() != tb.target.index())
+      return false;
+    if (ta.kind == Terminator::Kind::Branch &&
+        (ta.elseTarget.index() != tb.elseTarget.index() ||
+         ta.cond.index() != tb.cond.index()))
+      return false;
+    for (std::size_t j = 0; j < ba.ops.size(); ++j) {
+      const Op& oa = a.op(ba.ops[j]);
+      const Op& ob = b.op(bb.ops[j]);
+      if (oa.kind != ob.kind || oa.imm != ob.imm) return false;
+      if (oa.result.valid() != ob.result.valid()) return false;
+      if (oa.result.valid() && oa.result.index() != ob.result.index())
+        return false;
+      if (oa.var.valid() != ob.var.valid()) return false;
+      if (oa.var.valid() && oa.var.index() != ob.var.index()) return false;
+      if (oa.port.valid() != ob.port.valid()) return false;
+      if (oa.port.valid() && oa.port.index() != ob.port.index())
+        return false;
+      if (oa.args.size() != ob.args.size()) return false;
+      for (std::size_t k = 0; k < oa.args.size(); ++k)
+        if (oa.args[k].index() != ob.args[k].index()) return false;
+    }
+  }
+  return true;
+}
+
+/// Operand positions evalPure consumes via s() — sign-extended from the
+/// operand's own width. Everything else reads the raw zero-extended
+/// pattern.
+bool argIsSigned(OpKind k, std::size_t i) {
+  switch (k) {
+    case OpKind::Div:
+    case OpKind::Mod:
+    case OpKind::Lt:
+    case OpKind::Le:
+    case OpKind::Gt:
+    case OpKind::Ge:
+      return i == 0 || i == 1;
+    case OpKind::Sar:
+    case OpKind::SarConst:
+    case OpKind::SExt:
+      return i == 0;
+    default:
+      return false;
+  }
+}
+
+/// Validate a width-only pass (narrow-widths) without ever building a
+/// wide-vs-narrow miter. Cross-width equivalence of a multiplier or
+/// divider is intractable for bit-level SAT, so instead of symbolically
+/// executing both sides we execute only the *wide* function and discharge
+/// per-use-site fit obligations:
+///
+///   - an operand evalPure reads via u() (raw pattern) must zext-roundtrip
+///     through its narrowed width — truncation loses nothing;
+///   - an operand evalPure reads via s() (signed div/mod/compares,
+///     arithmetic shifts, SExt) must sext-roundtrip — the sign bit at the
+///     narrowed width equals the wide sign;
+///   - a load from a narrowed variable whose result is wider than the new
+///     variable width must fit the variable's narrowed width.
+///
+/// Resize-semantics consumers (Trunc/ZExt results, stores, port writes)
+/// only need the fit up to the bits they can observe, so narrower
+/// observation windows skip the obligation. Given every fit holds, a
+/// per-op-kind induction over evalPure shows each narrow value is the
+/// truncation of its wide counterpart and every observable (port write,
+/// stored variable, branch bit) is preserved — that induction is the
+/// meta-theorem this validator trusts, in the same way every obligation
+/// trusts evalPure as the semantic ground truth.
+///
+/// The obligations themselves are single-sided (wide expressions only) and
+/// are discharged under the dataflow facts of the wide function — this is
+/// translation validation *modulo the analysis*, as documented in
+/// PassTvOptions::assumeFacts.
+bool proveNarrowing(const Function& before, const Function& after,
+                    const std::string& label, CheckReport& rep,
+                    const PassTvOptions& opts) {
+  bool clean = true;
+  AnalysisResult facts = analyzeFunction(before);
+
+  for (std::size_t bi = 0; bi < before.numBlocks(); ++bi) {
+    const Block& blk = before.blocks()[bi];
+    std::string where = "pass " + label + " block " + blk.name;
+    if (!facts.blockReachable[bi]) {
+      rep.note("sec.tv.unreachable", where,
+               "block proved unreachable by analysis; skipping");
+      continue;
+    }
+
+    ExprContext ctx;
+    std::vector<int> portIn(before.ports().size(), -1);
+    for (const Port& p : before.ports())
+      if (p.isInput) portIn[p.id.index()] = ctx.mkVar(p.name, p.width);
+
+    SymState entry;
+    entry.portIn = portIn;
+    entry.var.resize(before.vars().size());
+    std::vector<int> assumptions;
+    for (const Variable& v : before.vars()) {
+      int sym = ctx.mkVar(v.name, v.width);
+      entry.var[v.id.index()] = sym;
+      appendFactAssumptions(ctx, facts.varFacts[v.id.index()], sym,
+                            assumptions);
+    }
+
+    SymBlockOut beh = evalBlock(ctx, before, blk.id, entry);
+    if (!beh.ok) {
+      rep.warning("sec.pass.unsupported", where, beh.why);
+      continue;
+    }
+    for (const Value& val : before.values()) {
+      int n = beh.valNode[val.id.index()];
+      if (n < 0) continue;
+      appendFactAssumptions(ctx, facts.fact(val.id), n, assumptions);
+    }
+
+    // One obligation per distinct (node, narrowed width, signedness).
+    std::set<std::tuple<int, int, bool>> done;
+    auto discharge = [&](int n, int keep, bool sgn, const std::string& what) {
+      if (!done.insert({n, keep, sgn}).second) return;
+      int wide = ctx.node(n).width;
+      int rhs = sgn ? ctx.mkOp(OpKind::SExt, wide, 0, {ctx.resize(n, keep)})
+                    : ctx.resize(ctx.resize(n, keep), wide);
+      if (!dischargeEqual(ctx, n, rhs, assumptions, opts.conflictBudget,
+                          "sec.tv.narrow-overflow", where, what, rep))
+        clean = false;
+    };
+
+    for (OpId oid : blk.ops) {
+      const Op& o = before.op(oid);
+      if (o.kind == OpKind::LoadVar) {
+        int wVn = after.vars()[o.var.index()].width;
+        int wRn = after.values()[o.result.index()].width;
+        if (wVn < wRn)
+          discharge(beh.valNode[o.result.index()], wVn, false,
+                    "variable '" + before.vars()[o.var.index()].name +
+                        "' fits its narrowed " + std::to_string(wVn) +
+                        " bits at a " + std::to_string(wRn) + "-bit load");
+        continue;
+      }
+      for (std::size_t i = 0; i < o.args.size(); ++i) {
+        std::size_t vi = o.args[i].index();
+        int wA = after.values()[vi].width;
+        int wB = before.values()[vi].width;
+        if (wA >= wB) continue;
+        bool sgn = argIsSigned(o.kind, i);
+        // Consumers with resize semantics only observe `obs` low bits.
+        int obs = 64;
+        if (o.kind == OpKind::Trunc || o.kind == OpKind::ZExt)
+          obs = after.values()[o.result.index()].width;
+        else if (o.kind == OpKind::StoreVar)
+          obs = after.vars()[o.var.index()].width;
+        else if (o.kind == OpKind::WritePort)
+          obs = after.ports()[o.port.index()].width;
+        if (!sgn && obs <= wA) continue;
+        discharge(beh.valNode[vi], wA, sgn,
+                  std::string(opName(o.kind)) + " operand " +
+                      std::to_string(i) + " fits its narrowed " +
+                      std::to_string(wA) + " of " + std::to_string(wB) +
+                      " bits" + (sgn ? " (sign-extended use)" : ""));
+      }
+    }
+  }
+  return clean;
+}
+
+bool provePerBlock(const Function& before, const Function& after,
+                   const std::string& label, CheckReport& rep,
+                   const PassTvOptions& opts) {
+  bool clean = true;
+  VarLiveness lvB = computeVarLiveness(before);
+  VarLiveness lvA = computeVarLiveness(after);
+  AnalysisResult facts;
+  if (opts.assumeFacts) facts = analyzeFunction(before);
+
+  for (std::size_t bi = 0; bi < before.numBlocks(); ++bi) {
+    const Block& blk = before.blocks()[bi];
+    BlockId b = blk.id;
+    std::string where = "pass " + label + " block " + blk.name;
+    if (opts.assumeFacts && !facts.blockReachable[bi]) {
+      rep.note("sec.tv.unreachable", where,
+               "block proved unreachable by analysis; skipping");
+      continue;
+    }
+
+    ExprContext ctx;
+    std::vector<int> portIn(before.ports().size(), -1);
+    for (const Port& p : before.ports())
+      if (p.isInput) portIn[p.id.index()] = ctx.mkVar(p.name, p.width);
+
+    SymState entryB, entryA;
+    entryB.portIn = portIn;
+    entryA.portIn = portIn;
+    entryB.var.resize(before.vars().size());
+    entryA.var.resize(after.vars().size());
+    std::vector<int> assumptions;
+    for (const Variable& v : before.vars()) {
+      int wB = v.width;
+      int wA = after.vars()[v.id.index()].width;
+      int sym = ctx.mkVar(v.name, wB);
+      entryB.var[v.id.index()] = sym;
+      entryA.var[v.id.index()] = ctx.resize(sym, wA);
+      // Inductive half of the narrowing invariant: live-in values already
+      // fit their narrowed storage (re-established below for live-outs).
+      if (wA < wB && lvB.liveIn[bi][v.id.index()])
+        assumptions.push_back(fitAssumption(ctx, sym, wA));
+    }
+
+    SymBlockOut behB = evalBlock(ctx, before, b, entryB);
+    SymBlockOut behA = evalBlock(ctx, after, b, entryA);
+    if (!behB.ok || !behA.ok) {
+      rep.warning("sec.pass.unsupported", where,
+                  !behB.ok ? behB.why : behA.why);
+      continue;
+    }
+
+    if (opts.assumeFacts) {
+      for (const Value& val : before.values()) {
+        int n = behB.valNode[val.id.index()];
+        if (n < 0) continue;
+        appendFactAssumptions(ctx, facts.fact(val.id), n, assumptions);
+      }
+    }
+
+    for (const Variable& v : before.vars()) {
+      std::size_t vi = v.id.index();
+      bool liveOut = lvB.liveOut[bi][vi] || lvA.liveOut[bi][vi];
+      if (!liveOut) continue;
+      int wA = after.vars()[vi].width;
+      if (!dischargeEqual(ctx, ctx.resize(behB.varOut[vi], wA),
+                          behA.varOut[vi], assumptions,
+                          opts.conflictBudget, "sec.tv.mismatch", where,
+                          "variable '" + v.name + "'", rep))
+        clean = false;
+      if (wA < v.width &&
+          !dischargeEqual(ctx, behB.varOut[vi],
+                          ctx.resize(ctx.resize(behB.varOut[vi], wA),
+                                     v.width),
+                          assumptions, opts.conflictBudget,
+                          "sec.tv.narrow-overflow", where,
+                          "variable '" + v.name +
+                              "' overflows its narrowed width",
+                          rep))
+        clean = false;
+    }
+
+    if (behB.portWrites.size() != behA.portWrites.size()) {
+      rep.error("sec.tv.mismatch", where,
+                "output-port write sets differ across the pass");
+      clean = false;
+    } else {
+      for (std::size_t i = 0; i < behB.portWrites.size(); ++i) {
+        if (behB.portWrites[i].first != behA.portWrites[i].first) {
+          rep.error("sec.tv.mismatch", where,
+                    "output-port write sets differ across the pass");
+          clean = false;
+          break;
+        }
+        const Port& p =
+            before.ports()[(std::size_t)behB.portWrites[i].first];
+        if (!dischargeEqual(ctx, behB.portWrites[i].second,
+                            behA.portWrites[i].second, assumptions,
+                            opts.conflictBudget, "sec.tv.mismatch", where,
+                            "output port '" + p.name + "'", rep))
+          clean = false;
+      }
+    }
+
+    if (blk.term.kind == Terminator::Kind::Branch) {
+      if (!dischargeEqual(ctx, behB.branchCond, behA.branchCond,
+                          assumptions, opts.conflictBudget,
+                          "sec.tv.mismatch", where, "branch condition",
+                          rep))
+        clean = false;
+    }
+  }
+  return clean;
+}
+
+bool proveWholeFunction(const Function& before, const Function& after,
+                        const std::string& label, CheckReport& rep,
+                        const PassTvOptions& opts) {
+  std::string where = "pass " + label;
+  ExprContext ctx;
+  MPHLS_CHECK(before.ports().size() == after.ports().size(),
+              "pass changed the port interface");
+  std::vector<int> portIn(before.ports().size(), -1);
+  for (const Port& p : before.ports())
+    if (p.isInput) portIn[p.id.index()] = ctx.mkVar(p.name, p.width);
+
+  SymFnOut outB = evalFunction(ctx, before, portIn, opts.maxBlockExecs);
+  SymFnOut outA = evalFunction(ctx, after, portIn, opts.maxBlockExecs);
+  if (!outB.ok || !outA.ok) {
+    rep.warning("sec.pass.unsupported", where,
+                "CFG changed and " +
+                    (!outB.ok ? outB.why : outA.why) +
+                    "; pass not validated");
+    return true;
+  }
+
+  bool clean = true;
+  if (outB.portFinal.size() != outA.portFinal.size()) {
+    rep.error("sec.tv.mismatch", where,
+              "final output-port sets differ across the pass");
+    return false;
+  }
+  for (std::size_t i = 0; i < outB.portFinal.size(); ++i) {
+    if (outB.portFinal[i].first != outA.portFinal[i].first) {
+      rep.error("sec.tv.mismatch", where,
+                "final output-port sets differ across the pass");
+      return false;
+    }
+    const Port& p = before.ports()[(std::size_t)outB.portFinal[i].first];
+    if (!dischargeEqual(ctx, outB.portFinal[i].second,
+                        outA.portFinal[i].second, {}, opts.conflictBudget,
+                        "sec.tv.mismatch", where,
+                        "final value of output port '" + p.name + "'",
+                        rep))
+      clean = false;
+  }
+  return clean;
+}
+
+}  // namespace
+
+bool proveFunctionEquivalence(const Function& before, const Function& after,
+                              const std::string& label, CheckReport& rep,
+                              const PassTvOptions& opts) {
+  obs::TraceSpan span("sec.tv", label);
+  // A pure width-narrowing change gets the dedicated single-sided
+  // validator: a general two-sided proof would miter a wide multiplier or
+  // divider against its narrowed twin, which bit-level SAT cannot decide
+  // in reasonable time. Only taken when facts may be assumed — the fit
+  // obligations are exactly the analysis results the pass consumed.
+  if (opts.assumeFacts && widthOnlyChange(before, after))
+    return proveNarrowing(before, after, label, rep, opts);
+  if (sameCfgShape(before, after))
+    return provePerBlock(before, after, label, rep, opts);
+  return proveWholeFunction(before, after, label, rep, opts);
+}
+
+std::vector<PassStats> runPipelineValidated(PassManager& pm, Function& fn,
+                                            CheckReport& rep,
+                                            const PassTvOptions& opts) {
+  pm.setObserver([&rep, opts](std::string_view pass, const Function& before,
+                              const Function& after, int changes) {
+    if (changes == 0) return;
+    PassTvOptions o = opts;
+    o.assumeFacts = pass == "narrow-widths";
+    proveFunctionEquivalence(before, after, std::string(pass), rep, o);
+  });
+  std::vector<PassStats> stats = pm.run(fn);
+  pm.setObserver({});
+  return stats;
+}
+
+}  // namespace mphls::sec

@@ -1,0 +1,61 @@
+// Per-pass translation validation: prove each optimization pass preserved
+// the function's observable behavior (final output-port values, and — for
+// the per-block protocol — per-block variable/port/branch effects).
+//
+// Two proof modes, chosen by CFG shape:
+//  - shape-preserving passes (everything except unroll): per-block proof
+//    under shared symbolic entry state, which handles loops and data-
+//    dependent control for free;
+//  - CFG-reshaping passes: whole-function symbolic execution with concrete
+//    control (branch conditions must constant-fold, which is exactly the
+//    situation after unrolling a constant-trip loop). When control cannot
+//    be resolved the validator reports a warning (sec.pass.unsupported)
+//    rather than a bogus verdict — the co-sim fuzzer still covers the pass.
+//
+// Width-narrowing gets a third, dedicated mode: when the pass changed
+// nothing but value/variable widths, the validator symbolically executes
+// only the *wide* function and discharges per-use-site fit obligations
+// (zext-roundtrip for raw-pattern uses, sext-roundtrip for sign-extended
+// uses) under the dataflow facts — a wide-vs-narrow multiplier or divider
+// miter would be intractable for bit-level SAT. This is translation
+// validation *modulo the analysis*; see DESIGN.md §11 for the soundness
+// caveat.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/report.h"
+#include "opt/pass.h"
+#include "sec/bitblast.h"
+
+namespace mphls::sec {
+
+struct PassTvOptions {
+  long conflictBudget = kDefaultConflictBudget;
+  /// Assume the abstract-interpretation facts of the *before* function
+  /// when discharging obligations (and, for width-only changes, use the
+  /// dedicated fit-obligation validator). Set for the narrow-widths pass,
+  /// whose correctness is exactly "the analysis facts justify every width".
+  bool assumeFacts = false;
+  /// Block-execution budget for the whole-function fallback.
+  long maxBlockExecs = 100000;
+};
+
+/// Prove `after` observation-equivalent to `before`. `label` names the
+/// transformation in diagnostics (e.g. the pass name, or an injection
+/// site), so a failed proof pinpoints the guilty stage. Returns true when
+/// no error finding was appended.
+bool proveFunctionEquivalence(const Function& before, const Function& after,
+                              const std::string& label, CheckReport& rep,
+                              const PassTvOptions& opts = {});
+
+/// Run `pm` on `fn` with a translation-validation observer installed:
+/// every pass application that reports changes is proved equivalence-
+/// preserving, findings accumulate in `rep`. Narrowing passes are detected
+/// by name and validated with assumeFacts.
+std::vector<PassStats> runPipelineValidated(PassManager& pm, Function& fn,
+                                            CheckReport& rep,
+                                            const PassTvOptions& opts = {});
+
+}  // namespace mphls::sec

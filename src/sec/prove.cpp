@@ -1,0 +1,258 @@
+#include "sec/prove.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/diag.h"
+#include "ir/analysis.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sec/rtlsym.h"
+#include "sec/symexec.h"
+
+namespace mphls::sec {
+
+namespace {
+
+/// Mirror of the controller builder's firstStateOf: where a control
+/// transfer into `b` lands, skipping zero-step blocks.
+StateId entryStateOf(const RtlDesign& d, BlockId b, int depth, bool& ok) {
+  if (depth >= (int)d.fn.numBlocks() + 2) {
+    ok = false;
+    return d.ctrl.haltState;
+  }
+  if (d.sched.of(b).numSteps > 0) return d.ctrl.stateAt(b, 0);
+  const Terminator& t = d.fn.block(b).term;
+  switch (t.kind) {
+    case Terminator::Kind::Return:
+      return d.ctrl.haltState;
+    case Terminator::Kind::Jump:
+      return entryStateOf(d, t.target, depth + 1, ok);
+    case Terminator::Kind::Branch:
+      ok = false;
+      return d.ctrl.haltState;
+  }
+  return d.ctrl.haltState;
+}
+
+void checkControlStructure(const RtlDesign& d, CheckReport& rep) {
+  auto entryOf = [&](BlockId b) {
+    bool ok = true;
+    StateId s = entryStateOf(d, b, 0, ok);
+    if (!ok)
+      rep.error("sec.rtl.control", "block " + d.fn.block(b).name,
+                "cannot resolve entry state (empty-block cycle or branch "
+                "in zero-step block)");
+    return s;
+  };
+
+  if (d.ctrl.initial != entryOf(d.fn.entry()))
+    rep.error("sec.rtl.control", "initial state",
+              "controller does not start at the entry block's first state");
+
+  for (const Block& blk : d.fn.blocks()) {
+    int numSteps = d.sched.of(blk.id).numSteps;
+    for (int s = 0; s < numSteps; ++s) {
+      const CtrlState& st = d.ctrl.state(d.ctrl.stateAt(blk.id, s));
+      std::string where =
+          "block " + blk.name + " step " + std::to_string(s);
+      if (s + 1 < numSteps) {
+        if (st.conditional || st.next != d.ctrl.stateAt(blk.id, s + 1))
+          rep.error("sec.rtl.control", where,
+                    "intermediate state does not fall through to the next "
+                    "step");
+        continue;
+      }
+      switch (blk.term.kind) {
+        case Terminator::Kind::Return:
+          if (st.conditional || st.next != d.ctrl.haltState)
+            rep.error("sec.rtl.control", where,
+                      "Return block does not transition to halt");
+          break;
+        case Terminator::Kind::Jump:
+          if (st.conditional || st.next != entryOf(blk.term.target))
+            rep.error("sec.rtl.control", where,
+                      "Jump does not transition to the target block's "
+                      "first state");
+          break;
+        case Terminator::Kind::Branch:
+          if (!st.conditional || st.nextTaken != entryOf(blk.term.target) ||
+              st.nextNot != entryOf(blk.term.elseTarget))
+            rep.error("sec.rtl.control", where,
+                      "Branch transition targets do not match the CFG");
+          break;
+      }
+    }
+  }
+}
+
+std::string renderCounterexample(const ProveResult& res) {
+  std::ostringstream oss;
+  oss << "counterexample:";
+  std::size_t shown = 0;
+  for (const auto& [name, val] : res.counterexample) {
+    if (shown++ == 8) {
+      oss << " ...";
+      break;
+    }
+    oss << " " << name << "=" << val;
+  }
+  return oss.str();
+}
+
+void proveBlock(const RtlDesign& d, const Block& blk, const VarLiveness& lv,
+                const ProveOptions& opts, CheckReport& rep) {
+  obs::TraceSpan span("sec.prove.block", blk.name);
+  const Function& fn = d.fn;
+  std::size_t bi = blk.id.index();
+  std::string where = "block " + blk.name;
+
+  ExprContext ctx;
+  std::vector<int> portIn(fn.ports().size(), -1);
+  for (const Port& p : fn.ports())
+    if (p.isInput) portIn[p.id.index()] = ctx.mkVar(p.name, p.width);
+  std::vector<int> regIn((std::size_t)d.regs.numRegs);
+  for (int r = 0; r < d.regs.numRegs; ++r)
+    regIn[(std::size_t)r] = ctx.mkVar("r" + std::to_string(r), 64);
+
+  // Behavioral entry state under the correspondence invariant.
+  SymState entry;
+  entry.portIn = portIn;
+  entry.var.resize(fn.vars().size());
+  for (const Variable& v : fn.vars()) {
+    int item = d.lifetimes.itemOfVar[v.id.index()];
+    if (item >= 0 && lv.liveIn[bi][v.id.index()]) {
+      int r = d.regs.regOfItem[(std::size_t)item];
+      entry.var[v.id.index()] = ctx.resize(regIn[(std::size_t)r], v.width);
+    } else {
+      entry.var[v.id.index()] = ctx.mkVar(v.name, v.width);
+    }
+  }
+
+  SymBlockOut beh = evalBlock(ctx, fn, blk.id, entry);
+  if (!beh.ok) {
+    rep.error("sec.unsupported", where, beh.why);
+    return;
+  }
+  RtlSymOut rtl = evalRtlBlock(ctx, d, blk.id, regIn, portIn);
+  if (!rtl.ok) {
+    rep.error("sec.rtl.unsupported", where, rtl.why);
+    return;
+  }
+
+  // 1. Live-out variables agree with their registers.
+  for (const Variable& v : fn.vars()) {
+    if (!lv.liveOut[bi][v.id.index()]) continue;
+    int item = d.lifetimes.itemOfVar[v.id.index()];
+    if (item < 0) continue;  // never stored: interpreter value is always 0
+    int r = d.regs.regOfItem[(std::size_t)item];
+    int lhs = ctx.resize(rtl.regOut[(std::size_t)r], v.width);
+    dischargeEqual(ctx, lhs, beh.varOut[v.id.index()], {},
+                   opts.conflictBudget, "sec.rtl.mismatch", where,
+                   "live-out variable '" + v.name + "' vs register r" +
+                       std::to_string(r),
+                   rep);
+  }
+
+  // 2. Output-port writes agree (same ports, same last values).
+  if (beh.portWrites.size() != rtl.portWrites.size()) {
+    rep.error("sec.rtl.mismatch", where,
+              "output-port write sets differ between behavior and RTL");
+  } else {
+    for (std::size_t i = 0; i < beh.portWrites.size(); ++i) {
+      if (beh.portWrites[i].first != rtl.portWrites[i].first) {
+        rep.error("sec.rtl.mismatch", where,
+                  "output-port write sets differ between behavior and RTL");
+        break;
+      }
+      const Port& p =
+          fn.ports()[(std::size_t)beh.portWrites[i].first];
+      dischargeEqual(ctx, rtl.portWrites[i].second,
+                     beh.portWrites[i].second, {}, opts.conflictBudget,
+                     "sec.rtl.mismatch", where,
+                     "output port '" + p.name + "'", rep);
+    }
+  }
+
+  // 3. Branch steering agrees.
+  if (blk.term.kind == Terminator::Kind::Branch) {
+    if (rtl.branchCond < 0) {
+      rep.error("sec.rtl.mismatch", where,
+                "RTL block has no branch condition");
+    } else {
+      dischargeEqual(ctx, rtl.branchCond, beh.branchCond, {},
+                     opts.conflictBudget, "sec.rtl.mismatch", where,
+                     "branch condition", rep);
+    }
+  }
+}
+
+}  // namespace
+
+bool dischargeEqual(ExprContext& ctx, int a, int b,
+                    const std::vector<int>& assumptions, long conflictBudget,
+                    const std::string& id, const std::string& where,
+                    const std::string& what, CheckReport& rep) {
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter("sec.obligations").add(1);
+  const bool dbg = std::getenv("MPHLS_SEC_DEBUG") != nullptr;
+  if (dbg)
+    std::cerr << "[sec] begin " << where << ": " << what << "\n";
+  auto t0 = std::chrono::steady_clock::now();
+  ProveResult res = proveEqual(ctx, a, b, assumptions, conflictBudget);
+  auto t1 = std::chrono::steady_clock::now();
+  if (dbg)
+    std::cerr << "[sec] end   " << where << ": " << what << " t="
+              << std::chrono::duration<double>(t1 - t0).count()
+              << "s structural=" << res.structural
+              << " conflicts=" << res.conflicts << "\n";
+  metrics.histogram("sec.obligation_seconds")
+      .observe(std::chrono::duration<double>(t1 - t0).count());
+  if (res.structural) {
+    metrics.counter("sec.structural").add(1);
+  } else {
+    metrics.counter("sec.sat.calls").add(1);
+    metrics.histogram("sec.sat.conflicts").observe((double)res.conflicts);
+  }
+  switch (res.verdict) {
+    case ProveResult::Verdict::Equal:
+      return true;
+    case ProveResult::Verdict::NotEqual:
+      rep.error(id, where, what + " differ; " + renderCounterexample(res));
+      return false;
+    case ProveResult::Verdict::Unknown:
+      rep.error("sec.budget-exhausted", where,
+                what + ": SAT conflict budget exhausted after " +
+                    std::to_string(res.conflicts) +
+                    " conflicts (obligation undecided)");
+      return false;
+  }
+  return false;
+}
+
+CheckReport proveEquivalence(const RtlDesign& d, const ProveOptions& opts) {
+  CheckReport rep;
+  obs::TraceSpan span("sec.prove", d.fn.name());
+  obs::MetricsRegistry::global().counter("sec.proofs").add(1);
+
+  checkControlStructure(d, rep);
+
+  VarLiveness lv = computeVarLiveness(d.fn);
+  for (const Block& blk : d.fn.blocks()) {
+    if (d.sched.of(blk.id).numSteps == 0) {
+      // Zero-step blocks are skipped by the controller; they must have no
+      // observable effects.
+      for (OpId oid : blk.ops)
+        if (d.fn.op(oid).isSink())
+          rep.error("sec.rtl.unsupported", "block " + blk.name,
+                    "zero-step block contains a store/write");
+      continue;
+    }
+    proveBlock(d, blk, lv, opts, rep);
+  }
+  return rep;
+}
+
+}  // namespace mphls::sec

@@ -1,0 +1,143 @@
+#include "sec/rtlsym.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+#include "common/diag.h"
+
+namespace mphls::sec {
+
+RtlSymOut evalRtlBlock(ExprContext& ctx, const RtlDesign& d, BlockId b,
+                       const std::vector<int>& regIn,
+                       const std::vector<int>& portIn) {
+  RtlSymOut out;
+  out.regOut = regIn;
+  MPHLS_CHECK((int)regIn.size() == d.regs.numRegs, "register file size");
+
+  int numSteps = d.sched.of(b).numSteps;
+  std::size_t numFus = (std::size_t)d.binding.numFus();
+  std::vector<int> pendingDone(numFus, -1);
+  std::vector<int> pendingVal(numFus, -1);
+
+  auto fail = [&](std::string why) {
+    out.ok = false;
+    if (out.why.empty()) out.why = std::move(why);
+  };
+
+  auto setPortWrite = [&](int port, int node) {
+    for (auto& [p, n] : out.portWrites) {
+      if (p == port) {
+        n = node;
+        return;
+      }
+    }
+    out.portWrites.emplace_back(port, node);
+  };
+
+  for (int s = 0; s < numSteps && out.ok; ++s) {
+    StateId sid = d.ctrl.stateAt(b, s);
+    if (!sid.valid()) {
+      fail("missing controller state");
+      break;
+    }
+    const CtrlState& st = d.ctrl.state(sid);
+
+    // Combinational phase: completions first, then this step's issues.
+    std::vector<int> fuOut(numFus, -1);
+    std::vector<bool> fuActive(numFus, false);
+    for (std::size_t f = 0; f < numFus; ++f) {
+      if (pendingDone[f] == s) {
+        fuOut[f] = pendingVal[f];
+        fuActive[f] = true;
+        pendingDone[f] = -1;
+      }
+    }
+
+    auto srcSym = [&](const Source& src) -> int {
+      int v = -1;
+      switch (src.kind) {
+        case Source::Kind::Reg:
+          v = ctx.resize(out.regOut[(std::size_t)src.id], src.rootWidth);
+          break;
+        case Source::Kind::Port:
+          v = ctx.resize(portIn[(std::size_t)src.id], src.rootWidth);
+          break;
+        case Source::Kind::Const:
+          v = ctx.mkConst((std::uint64_t)src.imm, src.rootWidth);
+          break;
+        case Source::Kind::Fu:
+          if (src.id < 0 || !fuActive[(std::size_t)src.id]) {
+            fail("read of inactive unit output");
+            return ctx.mkConst(0, src.rootWidth > 0 ? src.rootWidth : 1);
+          }
+          v = ctx.resize(fuOut[(std::size_t)src.id], src.rootWidth);
+          break;
+      }
+      for (const WireXform& x : src.xform)
+        v = ctx.mkOp(x.kind, x.width, x.imm, {v});
+      return v;
+    };
+
+    for (const FuAction& fa : st.fuActions) {
+      std::vector<int> args;
+      auto pushPort = [&](int p) {
+        const MuxSpec& mux = d.ic.fuInput[(std::size_t)fa.fu][(std::size_t)p];
+        MPHLS_CHECK(fa.muxSel[p] >= 0 && fa.muxSel[p] < mux.legs(),
+                    "bad mux select");
+        args.push_back(srcSym(mux.sources[(std::size_t)fa.muxSel[p]]));
+      };
+      if (fa.kind == OpKind::Select) {
+        pushPort(2);
+        pushPort(0);
+        pushPort(1);
+      } else {
+        int arity = opArity(fa.kind);
+        for (int p = 0; p < arity; ++p) pushPort(p);
+      }
+      if (!out.ok) break;
+      int value = ctx.mkOp(fa.kind, fa.width, 0, std::move(args));
+      if (fa.cycles <= 1) {
+        fuOut[(std::size_t)fa.fu] = value;
+        fuActive[(std::size_t)fa.fu] = true;
+      } else {
+        if (pendingDone[(std::size_t)fa.fu] >= 0) {
+          fail("unit issued while busy");
+          break;
+        }
+        pendingDone[(std::size_t)fa.fu] = s + fa.cycles - 1;
+        pendingVal[(std::size_t)fa.fu] = value;
+      }
+    }
+    if (!out.ok) break;
+
+    // Sequential phase: compute every latched value against the
+    // pre-commit register file, then commit.
+    std::vector<std::pair<int, int>> regWrites;
+    for (const RegAction& ra : st.regActions) {
+      const MuxSpec& mux = d.ic.regInput[(std::size_t)ra.reg];
+      regWrites.emplace_back(ra.reg,
+                             srcSym(mux.sources[(std::size_t)ra.muxSel]));
+    }
+    std::vector<std::pair<int, int>> portCommits;
+    for (const PortAction& pa : st.portActions) {
+      const MuxSpec& mux = d.ic.outPortInput[(std::size_t)pa.port];
+      portCommits.emplace_back(pa.port,
+                               srcSym(mux.sources[(std::size_t)pa.muxSel]));
+    }
+    if (st.conditional) out.branchCond = ctx.resize(srcSym(st.cond), 1);
+    if (!out.ok) break;
+
+    for (auto& [r, v] : regWrites) out.regOut[(std::size_t)r] = v;
+    for (auto& [p, v] : portCommits)
+      setPortWrite(p, ctx.resize(v, d.fn.ports()[(std::size_t)p].width));
+  }
+
+  for (std::size_t f = 0; f < numFus && out.ok; ++f)
+    if (pendingDone[f] >= 0)
+      fail("multicycle operation does not complete within its block");
+
+  std::sort(out.portWrites.begin(), out.portWrites.end());
+  return out;
+}
+
+}  // namespace mphls::sec

@@ -1,0 +1,36 @@
+// Symbolic execution of the synthesized FSM + datapath, one basic block at
+// a time. Mirrors rtl/rtlsim.cpp state-for-state: multicycle completions,
+// FU issue, mux-leg source resolution with wiring transforms, and the
+// compute-then-commit register/port semantics — but over expression DAGs
+// instead of concrete values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtl/design.h"
+#include "sec/expr.h"
+
+namespace mphls::sec {
+
+struct RtlSymOut {
+  /// Per register index: node after the block's last commit (entry node
+  /// when the block never writes the register).
+  std::vector<int> regOut;
+  /// Last value driven per output port (port index, node at the port's
+  /// width), sorted by port index.
+  std::vector<std::pair<int, int>> portWrites;
+  int branchCond = -1;  ///< width-1 node steering the conditional exit
+  bool ok = true;
+  std::string why;  ///< first unsupported construct when !ok
+};
+
+/// Execute the controller states of block `b` (steps 0..numSteps-1) with
+/// symbolic register file `regIn` (one node per register) and stable input
+/// ports `portIn` (one node per PortId, -1 for outputs).
+[[nodiscard]] RtlSymOut evalRtlBlock(ExprContext& ctx, const RtlDesign& d,
+                                     BlockId b,
+                                     const std::vector<int>& regIn,
+                                     const std::vector<int>& portIn);
+
+}  // namespace mphls::sec

@@ -1,0 +1,244 @@
+#include "sec/sat.h"
+
+#include <algorithm>
+
+#include "common/diag.h"
+
+namespace mphls::sec {
+
+namespace {
+
+// Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+long luby(long i) {
+  long k = 1;
+  while ((1L << k) - 1 < i + 1) ++k;
+  while ((1L << k) - 1 != i + 1) {
+    --k;
+    i -= (1L << k) - 1;
+  }
+  return 1L << (k - 1);
+}
+
+constexpr long kRestartUnit = 128;
+constexpr double kActivityDecay = 1.0 / 0.95;
+constexpr double kActivityRescale = 1e100;
+
+}  // namespace
+
+int SatSolver::newVar() {
+  int v = (int)assign_.size();
+  assign_.push_back(-1);
+  level_.push_back(0);
+  reason_.push_back(-1);
+  activity_.push_back(0.0);
+  phase_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+void SatSolver::addClause(std::vector<int> lits) {
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  for (std::size_t i = 0; i + 1 < lits.size(); ++i)
+    if (lits[i + 1] == neg(lits[i])) return;  // tautology
+  for (int l : lits)
+    MPHLS_CHECK(varOf(l) >= 0 && varOf(l) < numVars(),
+                "clause references unknown variable");
+  if (lits.empty()) {
+    ok_ = false;
+    return;
+  }
+  if (lits.size() == 1) {
+    units_.push_back(lits[0]);
+    return;
+  }
+  clauses_.push_back(Clause{std::move(lits)});
+  attach((int)clauses_.size() - 1);
+}
+
+void SatSolver::attach(int ci) {
+  const Clause& c = clauses_[(std::size_t)ci];
+  watches_[(std::size_t)c.lits[0]].push_back(ci);
+  watches_[(std::size_t)c.lits[1]].push_back(ci);
+}
+
+bool SatSolver::enqueue(int l, int reasonClause) {
+  int val = valueLit(l);
+  if (val == 0) return false;  // already false: conflict at caller
+  if (val == 1) return true;
+  int v = varOf(l);
+  assign_[(std::size_t)v] = (l & 1) ? 0 : 1;
+  level_[(std::size_t)v] = decisionLevel();
+  reason_[(std::size_t)v] = reasonClause;
+  trail_.push_back(l);
+  return true;
+}
+
+int SatSolver::propagate() {
+  while (qhead_ < trail_.size()) {
+    int p = trail_[qhead_++];
+    int falsified = neg(p);
+    std::vector<int>& ws = watches_[(std::size_t)falsified];
+    std::size_t keep = 0;
+    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+      int ci = ws[wi];
+      Clause& c = clauses_[(std::size_t)ci];
+      // Ensure the falsified literal sits at lits[1].
+      if (c.lits[0] == falsified) std::swap(c.lits[0], c.lits[1]);
+      if (valueLit(c.lits[0]) == 1) {
+        ws[keep++] = ci;  // satisfied: keep watching
+        continue;
+      }
+      // Look for a replacement watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (valueLit(c.lits[k]) != 0) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[(std::size_t)c.lits[1]].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflicting.
+      ws[keep++] = ci;
+      if (!enqueue(c.lits[0], ci)) {
+        // Conflict: keep the remaining watchers and report.
+        for (std::size_t k = wi + 1; k < ws.size(); ++k) ws[keep++] = ws[k];
+        ws.resize(keep);
+        return ci;
+      }
+    }
+    ws.resize(keep);
+  }
+  return -1;
+}
+
+void SatSolver::bumpVar(int v) {
+  activity_[(std::size_t)v] += varInc_;
+  if (activity_[(std::size_t)v] > kActivityRescale) {
+    for (double& a : activity_) a /= kActivityRescale;
+    varInc_ /= kActivityRescale;
+  }
+}
+
+void SatSolver::analyze(int conflClause, std::vector<int>& learnt,
+                        int& btLevel) {
+  learnt.clear();
+  learnt.push_back(0);  // slot for the asserting literal
+  std::vector<signed char> seen((std::size_t)numVars(), 0);
+  int counter = 0;
+  int p = -1;
+  std::size_t idx = trail_.size();
+  int ci = conflClause;
+  do {
+    const Clause& c = clauses_[(std::size_t)ci];
+    // When `c` is the reason of `p`, lits[0] is `p` itself; skip it.
+    for (std::size_t k = (p == -1 ? 0 : 1); k < c.lits.size(); ++k) {
+      int q = c.lits[k];
+      int v = varOf(q);
+      if (seen[(std::size_t)v] || level_[(std::size_t)v] == 0) continue;
+      seen[(std::size_t)v] = 1;
+      bumpVar(v);
+      if (level_[(std::size_t)v] == decisionLevel())
+        ++counter;
+      else
+        learnt.push_back(q);
+    }
+    while (!seen[(std::size_t)varOf(trail_[idx - 1])]) --idx;
+    p = trail_[idx - 1];
+    --idx;
+    ci = reason_[(std::size_t)varOf(p)];
+    seen[(std::size_t)varOf(p)] = 0;
+    --counter;
+  } while (counter > 0);
+  learnt[0] = neg(p);
+
+  btLevel = 0;
+  if (learnt.size() > 1) {
+    // Second literal must carry the highest level below the current one.
+    std::size_t maxI = 1;
+    for (std::size_t k = 2; k < learnt.size(); ++k)
+      if (level_[(std::size_t)varOf(learnt[k])] >
+          level_[(std::size_t)varOf(learnt[maxI])])
+        maxI = k;
+    std::swap(learnt[1], learnt[maxI]);
+    btLevel = level_[(std::size_t)varOf(learnt[1])];
+  }
+}
+
+void SatSolver::backtrackTo(int lvl) {
+  if (decisionLevel() <= lvl) return;
+  std::size_t bound = (std::size_t)trailLim_[(std::size_t)lvl];
+  for (std::size_t i = trail_.size(); i > bound; --i) {
+    int v = varOf(trail_[i - 1]);
+    phase_[(std::size_t)v] = assign_[(std::size_t)v];
+    assign_[(std::size_t)v] = -1;
+    reason_[(std::size_t)v] = -1;
+  }
+  trail_.resize(bound);
+  trailLim_.resize((std::size_t)lvl);
+  qhead_ = trail_.size();
+}
+
+int SatSolver::pickBranchVar() {
+  int best = -1;
+  double bestAct = -1.0;
+  for (int v = 0; v < numVars(); ++v) {
+    if (assign_[(std::size_t)v] >= 0) continue;
+    if (activity_[(std::size_t)v] > bestAct) {
+      bestAct = activity_[(std::size_t)v];
+      best = v;
+    }
+  }
+  return best;
+}
+
+SatSolver::Result SatSolver::solve(long conflictBudget) {
+  if (!ok_) return Result::Unsat;
+  for (int l : units_)
+    if (!enqueue(l, -1)) return Result::Unsat;
+
+  long restartNum = 0;
+  long restartLimit = luby(restartNum) * kRestartUnit;
+  long conflictsSinceRestart = 0;
+  std::vector<int> learnt;
+
+  for (;;) {
+    int confl = propagate();
+    if (confl >= 0) {
+      ++conflicts_;
+      ++conflictsSinceRestart;
+      if (decisionLevel() == 0) return Result::Unsat;
+      if (conflictBudget >= 0 && conflicts_ > conflictBudget)
+        return Result::Unknown;
+      int btLevel = 0;
+      analyze(confl, learnt, btLevel);
+      backtrackTo(btLevel);
+      if (learnt.size() == 1) {
+        if (!enqueue(learnt[0], -1)) return Result::Unsat;
+      } else {
+        clauses_.push_back(Clause{learnt});
+        attach((int)clauses_.size() - 1);
+        bool okEnq = enqueue(learnt[0], (int)clauses_.size() - 1);
+        MPHLS_CHECK(okEnq, "learnt clause not asserting");
+      }
+      varInc_ *= kActivityDecay;
+    } else {
+      if (conflictsSinceRestart >= restartLimit) {
+        conflictsSinceRestart = 0;
+        restartLimit = luby(++restartNum) * kRestartUnit;
+        backtrackTo(0);
+        continue;
+      }
+      int v = pickBranchVar();
+      if (v < 0) return Result::Sat;
+      trailLim_.push_back((int)trail_.size());
+      bool okEnq = enqueue(lit(v, phase_[(std::size_t)v] != 1), -1);
+      MPHLS_CHECK(okEnq, "decision on assigned variable");
+    }
+  }
+}
+
+}  // namespace mphls::sec

@@ -1,0 +1,82 @@
+// Minimal CDCL SAT solver for miter equivalence queries.
+//
+// Standard architecture: two-watched-literal propagation, first-UIP conflict
+// analysis with clause learning, VSIDS-style variable activity, and Luby
+// restarts. Deliberately small (no clause deletion, no preprocessing): the
+// CNFs bit-blasted from per-block proof obligations are tiny by SAT
+// standards, and a conflict budget turns pathological instances into an
+// explicit Unknown rather than a hang.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mphls::sec {
+
+/// Literal encoding: 2*var for the positive literal, 2*var+1 for the
+/// negation. Variables are dense indices from newVar().
+class SatSolver {
+ public:
+  enum class Result { Sat, Unsat, Unknown };
+
+  static int lit(int var, bool negated) { return 2 * var + (negated ? 1 : 0); }
+  static int neg(int l) { return l ^ 1; }
+  static int varOf(int l) { return l >> 1; }
+
+  int newVar();
+  [[nodiscard]] int numVars() const { return (int)assign_.size(); }
+
+  /// Add a clause (disjunction of literals). An empty clause makes the
+  /// instance trivially unsatisfiable. Must be called before solve().
+  void addClause(std::vector<int> lits);
+
+  /// Decide satisfiability. `conflictBudget` < 0 means unlimited; when the
+  /// budget is exhausted the result is Unknown (callers treat that as a
+  /// failed proof, never as success).
+  Result solve(long conflictBudget = -1);
+
+  /// Model value of a variable after solve() returned Sat.
+  [[nodiscard]] bool modelValue(int var) const {
+    return assign_[(std::size_t)var] == 1;
+  }
+
+  [[nodiscard]] long conflicts() const { return conflicts_; }
+
+ private:
+  struct Clause {
+    std::vector<int> lits;  ///< lits[0] is the asserting literal for reasons
+  };
+
+  // -1 unassigned, 0 false, 1 true (value of the *variable*).
+  [[nodiscard]] int valueLit(int l) const {
+    int v = assign_[(std::size_t)varOf(l)];
+    if (v < 0) return -1;
+    return (l & 1) ? 1 - v : v;
+  }
+
+  bool enqueue(int l, int reasonClause);
+  int propagate();  ///< returns conflicting clause index or -1
+  void analyze(int conflClause, std::vector<int>& learnt, int& btLevel);
+  void backtrackTo(int level);
+  int pickBranchVar();
+  void bumpVar(int var);
+  void attach(int clauseIdx);
+  [[nodiscard]] int decisionLevel() const { return (int)trailLim_.size(); }
+
+  std::vector<Clause> clauses_;
+  std::vector<int> units_;
+  std::vector<std::vector<int>> watches_;  ///< per literal: clause indices
+  std::vector<signed char> assign_;
+  std::vector<int> level_;
+  std::vector<int> reason_;
+  std::vector<double> activity_;
+  std::vector<signed char> phase_;  ///< saved polarity per variable
+  std::vector<int> trail_;
+  std::vector<int> trailLim_;
+  std::size_t qhead_ = 0;
+  double varInc_ = 1.0;
+  long conflicts_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace mphls::sec

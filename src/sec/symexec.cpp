@@ -1,0 +1,139 @@
+#include "sec/symexec.h"
+
+#include <algorithm>
+
+#include "common/diag.h"
+
+namespace mphls::sec {
+
+namespace {
+
+/// Run one block's op list over (vars, portCur); mirrors Interpreter::run.
+/// Returns false (with `why`) on constructs outside the symbolic fragment.
+bool runOps(ExprContext& ctx, const Function& fn, const Block& blk,
+            std::vector<int>& vars, const std::vector<int>& portIn,
+            std::vector<std::pair<int, int>>& portWrites,
+            std::vector<int>& valNode, std::string& why) {
+  auto setPortWrite = [&](int port, int node) {
+    for (auto& [p, n] : portWrites) {
+      if (p == port) {
+        n = node;
+        return;
+      }
+    }
+    portWrites.emplace_back(port, node);
+  };
+
+  for (OpId oid : blk.ops) {
+    const Op& o = fn.op(oid);
+    switch (o.kind) {
+      case OpKind::Nop:
+        break;
+      case OpKind::ReadPort: {
+        if (!fn.port(o.port).isInput) {
+          why = "read of an output port";
+          return false;
+        }
+        valNode[o.result.index()] = portIn[o.port.index()];
+        break;
+      }
+      case OpKind::LoadVar: {
+        // The interpreter truncates the stored pattern to the result width.
+        valNode[o.result.index()] =
+            ctx.resize(vars[o.var.index()], fn.value(o.result).width);
+        break;
+      }
+      case OpKind::StoreVar:
+        vars[o.var.index()] = ctx.resize(valNode[o.args[0].index()],
+                                         fn.var(o.var).width);
+        break;
+      case OpKind::WritePort:
+        setPortWrite((int)o.port.index(),
+                     ctx.resize(valNode[o.args[0].index()],
+                                fn.port(o.port).width));
+        break;
+      default: {
+        MPHLS_CHECK(opIsPure(o.kind), "unexpected op kind in symexec");
+        std::vector<int> args(o.args.size());
+        for (std::size_t i = 0; i < o.args.size(); ++i) {
+          args[i] = valNode[o.args[i].index()];
+          MPHLS_CHECK(args[i] >= 0, "use of value before definition");
+        }
+        valNode[o.result.index()] =
+            ctx.mkOp(o.kind, fn.value(o.result).width, o.imm,
+                     std::move(args));
+        break;
+      }
+    }
+  }
+  // Sort port writes for deterministic comparison.
+  std::sort(portWrites.begin(), portWrites.end());
+  return true;
+}
+
+}  // namespace
+
+SymBlockOut evalBlock(ExprContext& ctx, const Function& fn, BlockId b,
+                      const SymState& entry) {
+  SymBlockOut out;
+  out.varOut = entry.var;
+  out.valNode.assign(fn.numValues(), -1);
+  const Block& blk = fn.block(b);
+  out.ok = runOps(ctx, fn, blk, out.varOut, entry.portIn, out.portWrites,
+                  out.valNode, out.why);
+  if (!out.ok) return out;
+  if (blk.term.kind == Terminator::Kind::Branch)
+    out.branchCond = ctx.resize(out.valNode[blk.term.cond.index()], 1);
+  return out;
+}
+
+SymFnOut evalFunction(ExprContext& ctx, const Function& fn,
+                      const std::vector<int>& portIn, long maxBlockExecs) {
+  SymFnOut out;
+  std::vector<int> vars(fn.vars().size());
+  for (const Variable& v : fn.vars())
+    vars[v.id.index()] = ctx.mkConst(0, v.width);
+
+  std::vector<std::pair<int, int>> portWrites;
+  std::vector<int> valNode;
+  BlockId cur = fn.entry();
+  for (long execs = 0;; ++execs) {
+    if (execs >= maxBlockExecs) {
+      out.why = "block-execution budget exhausted";
+      return out;
+    }
+    const Block& blk = fn.block(cur);
+    valNode.assign(fn.numValues(), -1);
+    std::vector<std::pair<int, int>> blockWrites;
+    if (!runOps(ctx, fn, blk, vars, portIn, blockWrites, valNode, out.why))
+      return out;
+    for (auto& [p, n] : blockWrites) {
+      bool found = false;
+      for (auto& [fp, fnNode] : portWrites) {
+        if (fp == p) {
+          fnNode = n;
+          found = true;
+        }
+      }
+      if (!found) portWrites.emplace_back(p, n);
+    }
+    if (blk.term.kind == Terminator::Kind::Return) break;
+    if (blk.term.kind == Terminator::Kind::Jump) {
+      cur = blk.term.target;
+      continue;
+    }
+    std::uint64_t cv = 0;
+    int cond = ctx.resize(valNode[blk.term.cond.index()], 1);
+    if (!ctx.constValue(cond, cv)) {
+      out.why = "branch condition does not constant-fold";
+      return out;
+    }
+    cur = cv != 0 ? blk.term.target : blk.term.elseTarget;
+  }
+  std::sort(portWrites.begin(), portWrites.end());
+  out.portFinal = std::move(portWrites);
+  out.ok = true;
+  return out;
+}
+
+}  // namespace mphls::sec

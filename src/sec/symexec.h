@@ -1,0 +1,59 @@
+// Symbolic evaluation of behavioral CDFG functions into expression DAGs.
+//
+// Two granularities:
+//  - evalBlock: one basic block under symbolic entry state. This is the
+//    workhorse of both the per-pass translation validator and the
+//    behavioral side of the sequential (behavioral-vs-RTL) prover, which
+//    decomposes whole-run equivalence into per-block obligations.
+//  - evalFunction: whole function under concrete control flow (branch
+//    conditions must constant-fold). Fallback for CFG-reshaping passes
+//    such as loop unrolling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/cdfg.h"
+#include "sec/expr.h"
+
+namespace mphls::sec {
+
+/// Symbolic machine state at a block boundary.
+struct SymState {
+  /// Per VarId: node at the variable's declared width.
+  std::vector<int> var;
+  /// Per PortId: node at the port's width for inputs, -1 for outputs.
+  std::vector<int> portIn;
+};
+
+struct SymBlockOut {
+  std::vector<int> varOut;  ///< per VarId, at the variable's width
+  /// Last value written per output port this block touched (port index,
+  /// node at the port's width), in port-index order.
+  std::vector<std::pair<int, int>> portWrites;
+  /// Per ValueId computed in this block (-1 elsewhere); lets callers
+  /// attach analysis facts to specific op results.
+  std::vector<int> valNode;
+  int branchCond = -1;  ///< width-1 node when the terminator is a Branch
+  bool ok = true;
+  std::string why;
+};
+
+[[nodiscard]] SymBlockOut evalBlock(ExprContext& ctx, const Function& fn,
+                                    BlockId b, const SymState& entry);
+
+struct SymFnOut {
+  /// Final value per written output port (port index, node), port order.
+  std::vector<std::pair<int, int>> portFinal;
+  bool ok = false;
+  std::string why;
+};
+
+/// Execute the whole function symbolically: variables start at 0 (the
+/// interpreter's initial store), ports are the given symbols, and control
+/// flow must resolve concretely (every branch condition a Const node).
+[[nodiscard]] SymFnOut evalFunction(ExprContext& ctx, const Function& fn,
+                                    const std::vector<int>& portIn,
+                                    long maxBlockExecs = 100000);
+
+}  // namespace mphls::sec
