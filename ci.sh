@@ -4,11 +4,14 @@
 # built-in design, a fixed-seed differential fuzz campaign (plus an
 # injected-miscompile round trip), the formal equivalence gate (`mphls
 # prove` over every built-in at every opt level, plus must-fail runs for
-# each injected bug class), an AddressSanitizer+UBSan pass over the
-# whole suite (observability layer included), a ThreadSanitizer pass over
-# the parallel-DSE layer, a bench smoke run with a schema check of the
-# emitted BENCH_dse.json, and an observability smoke run validating the
-# Chrome trace, metrics JSON, and VCD waveform from `mphls profile`.
+# each injected bug class), a bytecode-VM oracle gate (200 seeds co-
+# simulated on both the VM and the interpreters, zero divergences
+# tolerated), an AddressSanitizer+UBSan pass over the whole suite
+# (observability layer and VM dispatch loop included), a ThreadSanitizer
+# pass over the parallel-DSE layer, bench smoke runs with schema checks of
+# the emitted BENCH_dse.json and BENCH_sim.json, and an observability
+# smoke run validating the Chrome trace, metrics JSON, and VCD waveform
+# from `mphls profile`.
 set -eu
 
 cd "$(dirname "$0")"
@@ -36,6 +39,13 @@ if ./build/src/cli/mphls fuzz --seeds 10 --matrix quick --inject mul \
   echo "fuzz: injected miscompile was NOT detected" >&2
   exit 1
 fi
+
+# --- Bytecode-VM oracle gate: every one of 200 seeds runs on both the VM
+# and the tree-walking interpreters (100% cross-check sampling is implied
+# by --engine both) and must agree bit-for-bit — a single divergence is a
+# VM bug and fails the build.
+./build/src/cli/mphls fuzz --seeds 200 --jobs "$(nproc)" --engine both \
+  --no-save --quiet
 
 # --- Formal equivalence gate: every built-in design must *prove*
 # behavioral/RTL equivalent (and every optimization pass equivalence-
@@ -111,6 +121,42 @@ for c in sched["cases"]:
     assert c["equal"], f"scheduler case {c['name']} diverged"
 
 print("bench smoke: schema ok, deterministic, schedulers equal")
+EOF
+
+# --- Simulation-throughput smoke: interp-vs-VM bench must run and emit a
+# report with the expected schema (single repeat: CI checks shape and
+# sanity, not the headline speedup, which BENCH_sim.json reports from
+# best-of-5 runs).
+./build/src/cli/mphls bench --sim --repeats 1 --out "$BENCH_OUT" --quiet
+python3 - "$BENCH_OUT/BENCH_sim.json" << 'EOF'
+import json, sys
+
+sim = json.load(open(sys.argv[1]))
+need = {
+    "benchmark": str, "repeats": int,
+    "behav_speedup_geomean": (int, float), "behav_speedup_min": (int, float),
+    "rtl_speedup_geomean": (int, float), "rtl_speedup_min": (int, float),
+    "designs": list, "fuzz": dict, "wall_seconds": (int, float),
+}
+for key, ty in need.items():
+    assert key in sim, f"BENCH_sim.json missing key: {key}"
+    assert isinstance(sim[key], ty), f"BENCH_sim.json bad type for {key}"
+assert sim["benchmark"] == "sim_throughput"
+assert sim["designs"], "BENCH_sim.json has no designs"
+for d in sim["designs"]:
+    assert "name" in d, "BENCH_sim.json design missing name"
+    for key in ("interp_runs_per_sec", "vm_runs_per_sec", "speedup"):
+        assert key in d["behavioral"], f"design behavioral missing {key}"
+    for key in ("cycles_per_run", "interp_cycles_per_sec",
+                "vm_cycles_per_sec", "speedup", "vm_compile_seconds"):
+        assert key in d["rtl"], f"design rtl missing {key}"
+    assert d["behavioral"]["speedup"] > 0 and d["rtl"]["speedup"] > 0
+for key in ("seeds", "matrix", "cosims", "interp_seconds", "vm_seconds",
+            "interp_cosims_per_sec", "vm_cosims_per_sec", "speedup"):
+    assert key in sim["fuzz"], f"BENCH_sim.json fuzz missing key: {key}"
+
+print("sim bench smoke: schema ok, "
+      f"rtl geomean {sim['rtl_speedup_geomean']:.1f}x (single repeat)")
 EOF
 
 # --- Observability smoke: `mphls profile` must emit a well-formed Chrome

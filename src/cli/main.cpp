@@ -96,8 +96,10 @@
 #include "opt/pass.h"
 #include "analysis/dataflow.h"
 #include "check/check.h"
+#include "common/bench_report.h"
 #include "core/bench_runner.h"
 #include "fuzz/campaign.h"
+#include "fuzz/sim_bench.h"
 #include "core/designs.h"
 #include "core/dse.h"
 #include "core/synthesizer.h"
@@ -112,6 +114,7 @@
 #include "rtl/sim_trace.h"
 #include "rtl/verilog.h"
 #include "sched/schedule.h"
+#include "vm/sim_engine.h"
 
 using namespace mphls;
 
@@ -158,11 +161,12 @@ void usage() {
       "  --verify a=1,b=2  --sweep N  --jobs N  --multicycle  --narrow\n"
       "  --trace FILE  --vcd FILE  --stats FILE\n"
       "  --check|--no-check  --prove  --quiet\n"
-      "       mphls bench [--jobs N] [--points N] [--repeats N]\n"
+      "       mphls bench [--sim] [--jobs N] [--points N] [--repeats N]\n"
       "                   [--sched-ops N] [--out DIR] [--trace FILE]\n"
       "                   [--stats FILE] [--quiet]\n"
       "       mphls fuzz [--seeds N] [--seed-base S] [--jobs N]\n"
       "                  [--matrix quick|standard|full] [--trials N]\n"
+      "                  [--engine interp|vm|both] [--cross-check RATE]\n"
       "                  [--reduce] [--corpus DIR] [--no-save]\n"
       "                  [--replay DIR] [--inject mul|sched|bind]\n"
       "                  [--no-check]\n"
@@ -226,12 +230,14 @@ std::optional<RecordedSim> recordSimulation(
     const std::string& vcdOut, bool quiet) {
   SimTraceRecorder rec(d);
   rec.begin(inputs);
-  RtlSimulator sim(d);
+  vm::RtlSim sim(d);  // bytecode VM with default interpreter cross-checking
   RecordedSim out;
+  WallTimer simTimer;
   {
     obs::TraceSpan span("sim.rtl", d.fn.name());
     out.res = sim.run(inputs, 1000000, rec.observer());
   }
+  const double simSeconds = simTimer.seconds();
   rec.finish();
   out.cov = rec.coverage();
   out.util = rec.fuUtilization();
@@ -242,6 +248,8 @@ std::optional<RecordedSim> recordSimulation(
   if (!out.util.empty()) utilMean /= (double)out.util.size();
   auto& mr = obs::MetricsRegistry::global();
   mr.gauge("sim.cycles").set((double)out.res.cycles);
+  mr.gauge("sim.cycles_per_sec")
+      .set(simSeconds > 0 ? (double)out.res.cycles / simSeconds : 0.0);
   mr.gauge("sim.finished").set(out.res.finished ? 1.0 : 0.0);
   mr.gauge("sim.fsm_state_coverage").set(100.0 * out.cov.stateCoverage());
   mr.gauge("sim.fsm_transition_coverage")
@@ -717,13 +725,17 @@ int runBench(int argc, char** argv) {
   BenchOptions b;
   b.jobs = 0;  // hardware concurrency unless --jobs given
   std::string traceOut, statsOut;
+  bool simSuite = false;
+  bool repeatsGiven = false;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) return nullptr;
       return argv[++i];
     };
-    if (arg == "--jobs") {
+    if (arg == "--sim") {
+      simSuite = true;
+    } else if (arg == "--jobs") {
       const char* v = next();
       if (!v || std::atoi(v) < 1) return (usage(), 2);
       b.jobs = std::atoi(v);
@@ -735,6 +747,7 @@ int runBench(int argc, char** argv) {
       const char* v = next();
       if (!v || std::atoi(v) < 1) return (usage(), 2);
       b.repeats = std::atoi(v);
+      repeatsGiven = true;
     } else if (arg == "--sched-ops") {
       const char* v = next();
       if (!v || std::atoi(v) < 4) return (usage(), 2);
@@ -759,7 +772,16 @@ int runBench(int argc, char** argv) {
     }
   }
   enableTracing(traceOut);
-  int rc = runBenchSuite(b);
+  int rc;
+  if (simSuite) {
+    fuzz::SimBenchOptions sb;
+    sb.repeats = repeatsGiven ? b.repeats : 5;  // sim suite: best-of-5
+    sb.outDir = b.outDir;
+    sb.quiet = b.quiet;
+    rc = fuzz::runSimBenchSuite(sb);
+  } else {
+    rc = runBenchSuite(b);
+  }
   if (writeObsOutputs(traceOut, statsOut, b.quiet) != 0 && rc == 0) rc = 1;
   return rc;
 }
@@ -801,6 +823,16 @@ int runFuzz(int argc, char** argv) {
       const char* v = next();
       if (!v || std::atoi(v) < 1) return (usage(), 2);
       c.diff.trials = std::atoi(v);
+    } else if (arg == "--engine") {
+      const char* v = next();
+      if (!v || !vm::parseEngineKind(v, c.diff.engine.kind))
+        return (usage(), 2);
+    } else if (arg == "--cross-check") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      const double rate = std::atof(v);
+      if (rate < 0.0 || rate > 1.0) return (usage(), 2);
+      c.diff.engine.crossCheck = rate;
     } else if (arg == "--reduce") {
       c.reduce = true;
     } else if (arg == "--corpus") {
@@ -873,9 +905,14 @@ int runFuzz(int argc, char** argv) {
   fuzz::CampaignResult r = fuzz::runCampaign(c);
   if (!quiet || !r.clean()) {
     std::cout << "fuzz: " << r.seeds << " seeds x " << r.pointsPerProgram
-              << " matrix points (" << matrixName << "), "
+              << " matrix points (" << matrixName << ", engine="
+              << vm::engineKindName(c.diff.engine.kind) << "), "
               << r.pointsRun << " designs synthesized, " << r.simulations
-              << " co-simulations in " << r.wallSeconds << "s\n";
+              << " co-simulations in " << r.wallSeconds << "s ("
+              << (r.wallSeconds > 0
+                      ? (double)r.simulations / r.wallSeconds
+                      : 0.0)
+              << " cosims/s)\n";
     for (const auto& fc : r.failures) {
       const auto& first = fc.verdict.failures.front();
       const std::string pl = first.pointLabel();
@@ -891,7 +928,8 @@ int runFuzz(int argc, char** argv) {
     }
     std::cout << "fuzz: " << r.failedPrograms << " failing programs ("
               << r.mismatches << " mismatches, " << r.checkFailures
-              << " check findings, " << r.errors << " errors)\n";
+              << " check findings, " << r.errors << " errors, "
+              << r.divergences << " vm divergences)\n";
   }
 
   if (outFile.empty() && !r.clean() && !c.corpusDir.empty())
@@ -1038,19 +1076,22 @@ int main(int argc, char** argv) {
   }
 
   int failures = 0;
-  for (const auto& inputs : a.verifyRuns) {
-    std::string msg = verifyAgainstBehavior(result, inputs);
-    RtlSimulator sim(d);
-    auto res = sim.run(inputs);
-    std::cout << "verify";
-    for (const auto& [k, v] : inputs) std::cout << " " << k << "=" << v;
-    if (msg.empty()) {
-      std::cout << " -> OK (" << res.cycles << " cycles;";
-      for (const auto& [k, v] : res.outputs) std::cout << " " << k << "=" << v;
-      std::cout << ")\n";
-    } else {
-      std::cout << " -> " << msg << "\n";
-      ++failures;
+  if (!a.verifyRuns.empty()) {
+    vm::RtlSim verifySim(d);  // compiled once, reused across --verify runs
+    for (const auto& inputs : a.verifyRuns) {
+      std::string msg = verifyAgainstBehavior(result, inputs);
+      auto res = verifySim.run(inputs);
+      std::cout << "verify";
+      for (const auto& [k, v] : inputs) std::cout << " " << k << "=" << v;
+      if (msg.empty()) {
+        std::cout << " -> OK (" << res.cycles << " cycles;";
+        for (const auto& [k, v] : res.outputs)
+          std::cout << " " << k << "=" << v;
+        std::cout << ")\n";
+      } else {
+        std::cout << " -> " << msg << "\n";
+        ++failures;
+      }
     }
   }
 

@@ -144,6 +144,15 @@ EncodedFsm encodeController(const Controller& ctrl,
       for (std::size_t s = 0; s < n; ++s) out.codeOf[s] = grayCode(s);
       break;
     case StateEncoding::OneHot:
+      if (n > 64) {
+        // One-hot codes live in a 64-bit word; a controller with more
+        // states than that cannot be one-hot encoded here (and a >64-input
+        // SOP cover would be useless anyway), so fall back to binary.
+        out.encoding = StateEncoding::Binary;
+        out.stateBits = bitsForStates(n);
+        for (std::size_t s = 0; s < n; ++s) out.codeOf[s] = s;
+        break;
+      }
       out.stateBits = (int)n;
       for (std::size_t s = 0; s < n; ++s) out.codeOf[s] = 1ULL << s;
       break;
@@ -158,7 +167,9 @@ EncodedFsm encodeController(const Controller& ctrl,
 
   auto inputCube = [&](std::size_t state) {
     std::vector<std::uint8_t> in((std::size_t)cover.numInputs, 2);
-    if (encoding == StateEncoding::OneHot) {
+    // out.encoding, not the requested one: one-hot may have fallen back
+    // to binary above.
+    if (out.encoding == StateEncoding::OneHot) {
       in[state] = 1;  // single-literal one-hot decode
     } else {
       for (int b = 0; b < out.stateBits; ++b)

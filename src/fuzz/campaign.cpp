@@ -31,6 +31,8 @@ void countFailures(const ProgramVerdict& v, CampaignResult& r) {
     if (f.kind == "mismatch") ++r.mismatches;
     else if (f.kind == "check") ++r.checkFailures;
     else if (f.kind == "error") ++r.errors;
+    else if (f.kind == "vm-divergence" || f.kind == "vm-divergence-behav")
+      ++r.divergences;
     else ++r.other;
   }
 }
@@ -55,7 +57,9 @@ CampaignResult runCampaign(const CampaignOptions& options) {
   auto& cSims = mr.counter("fuzz.simulations");
   auto& cMismatches = mr.counter("fuzz.mismatches");
   auto& cFailing = mr.counter("fuzz.failing_programs");
+  auto& gCosimRate = mr.gauge("fuzz.cosims_per_sec");
   const std::uint64_t seeds0 = cSeeds.value();
+  const std::uint64_t sims0 = cSims.value();
   const std::uint64_t mismatches0 = cMismatches.value();
 
   std::thread heartbeat;
@@ -69,13 +73,17 @@ CampaignResult runCampaign(const CampaignOptions& options) {
       while (!hbCv.wait_for(lk, std::chrono::milliseconds(250),
                             [&] { return hbStop; })) {
         const auto done = (unsigned long long)(cSeeds.value() - seeds0);
+        const auto sims = (unsigned long long)(cSims.value() - sims0);
         const auto mism =
             (unsigned long long)(cMismatches.value() - mismatches0);
         const double secs = hbTimer.seconds();
+        const double cosimRate = secs > 0 ? (double)sims / secs : 0.0;
+        gCosimRate.set(cosimRate);
         std::fprintf(stderr,
-                     "\r\033[Kfuzz: %llu/%zu seeds (%.1f/s), %llu "
-                     "mismatch(es)",
-                     done, n, secs > 0 ? (double)done / secs : 0.0, mism);
+                     "\r\033[Kfuzz: %llu/%zu seeds (%.1f/s), %.0f "
+                     "cosims/s, %llu mismatch(es)",
+                     done, n, secs > 0 ? (double)done / secs : 0.0,
+                     cosimRate, mism);
         std::fflush(stderr);
       }
       std::fprintf(stderr, "\r\033[K");  // erase the progress line
@@ -173,6 +181,9 @@ CampaignResult runCampaign(const CampaignOptions& options) {
   }
 
   result.wallSeconds = timer.seconds();
+  gCosimRate.set(result.wallSeconds > 0
+                     ? (double)result.simulations / result.wallSeconds
+                     : 0.0);
   return result;
 }
 
@@ -215,11 +226,17 @@ JsonValue campaignReport(const CampaignOptions& options,
   root["mismatches"] = result.mismatches;
   root["check_failures"] = result.checkFailures;
   root["errors"] = result.errors;
+  root["vm_divergences"] = result.divergences;
   root["other_failures"] = result.other;
   root["reduced"] = options.reduce;
+  root["engine"] = std::string(vm::engineKindName(options.diff.engine.kind));
+  root["cross_check"] = options.diff.engine.crossCheck;
   root["wall_seconds"] = result.wallSeconds;
   root["seeds_per_sec"] =
       result.wallSeconds > 0 ? result.seeds / result.wallSeconds : 0.0;
+  root["cosims_per_sec"] = result.wallSeconds > 0
+                               ? result.simulations / result.wallSeconds
+                               : 0.0;
   JsonValue failures = JsonValue::array();
   for (const FailureCase& fc : result.failures) {
     JsonValue f = JsonValue::object();

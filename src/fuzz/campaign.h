@@ -57,6 +57,9 @@ struct CampaignResult {
   long simulations = 0;
   int failedPrograms = 0;
   long mismatches = 0, checkFailures = 0, errors = 0, other = 0;
+  /// VM/interpreter disagreements ("vm-divergence*" failure kinds) —
+  /// always 0 unless the bytecode VM itself miscompiles.
+  long divergences = 0;
   std::vector<FailureCase> failures;
   double wallSeconds = 0;
 

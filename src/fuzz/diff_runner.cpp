@@ -294,11 +294,24 @@ ProgramVerdict runSource(const std::string& source, std::uint64_t seed,
   for (const Port& p : golden->ports())
     if (p.isInput) names.push_back(p.name);
 
+  // Per-program engine options: mix the program seed into the sampling
+  // stream so "2% cross-checks" draws differently (but reproducibly) for
+  // every program.
+  vm::EngineOptions eng = options.engine;
+  eng.seed ^= seed * 0x9e3779b97f4a7c15ull;
+
   std::vector<std::map<std::string, std::uint64_t>> trialIns, goldenOuts;
-  Interpreter gi(*golden);
+  vm::BehavSim gi(*golden, eng);
   for (int t = 0; t < options.trials; ++t) {
     auto in = randomInputs(names, seed, t);
-    auto r = gi.run(in, options.maxBlockExecs);
+    ExecResult r;
+    try {
+      r = gi.run(in, options.maxBlockExecs);
+    } catch (const vm::DivergenceError& e) {
+      v.failures.push_back(
+          {MatrixPoint{}, "vm-divergence-behav", e.what(), t});
+      return v;
+    }
     if (!r.finished) {
       v.failures.push_back({MatrixPoint{}, "nonterminating",
                             "behavioral execution hit the block budget",
@@ -366,8 +379,10 @@ ProgramVerdict runSource(const std::string& source, std::uint64_t seed,
         }
       }
 
+      // One engine per point: the bytecode program is compiled once here
+      // and reused across all input trials (the compile cache).
+      vm::RtlSim sim(r.design, eng);
       for (int t = 0; t < options.trials; ++t) {
-        RtlSimulator sim(r.design);
         auto res = sim.run(trialIns[(std::size_t)t], options.maxCycles);
         ++v.simulations;
         if (!res.finished) {
@@ -381,6 +396,9 @@ ProgramVerdict runSource(const std::string& source, std::uint64_t seed,
         }
         if (!v.failures.empty() && options.stopAtFirstFailure) return v;
       }
+    } catch (const vm::DivergenceError& e) {
+      fail("vm-divergence", e.what());
+      if (options.stopAtFirstFailure) return v;
     } catch (const std::exception& e) {
       fail("error", e.what());
       if (options.stopAtFirstFailure) return v;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/synthesizer.h"
+#include "vm/sim_engine.h"
 
 namespace mphls::fuzz {
 
@@ -123,14 +124,18 @@ int injectSwappedBinding(RtlDesign& d,
 struct PointFailure {
   MatrixPoint point;
   std::string kind;    ///< "compile" | "nonterminating" | "check" |
-                       ///< "mismatch" | "rtl-timeout" | "error"
+                       ///< "mismatch" | "rtl-timeout" | "error" |
+                       ///< "vm-divergence" | "vm-divergence-behav"
   std::string detail;
   int trial = -1;      ///< input-pattern index for co-simulation failures
 
   /// The point's label, or "" for the program-level kinds ("compile",
-  /// "nonterminating") where `point` is a meaningless default.
+  /// "nonterminating", "vm-divergence-behav") where `point` is a
+  /// meaningless default.
   [[nodiscard]] std::string pointLabel() const {
-    if (kind == "compile" || kind == "nonterminating") return "";
+    if (kind == "compile" || kind == "nonterminating" ||
+        kind == "vm-divergence-behav")
+      return "";
     return point.label();
   }
 };
@@ -165,6 +170,12 @@ struct DiffOptions {
   std::string top;
   long maxBlockExecs = 100000;
   long maxCycles = 1000000;
+  /// Simulation engine selection: the compiled bytecode VM (default), the
+  /// tree-walking interpreters, or both with every run cross-checked. A
+  /// VM/interpreter disagreement surfaces as a "vm-divergence" /
+  /// "vm-divergence-behav" failure. The engine seed is mixed with the
+  /// program seed so sampled cross-checks stay deterministic per program.
+  vm::EngineOptions engine;
 };
 
 /// Run the full differential matrix over one program.

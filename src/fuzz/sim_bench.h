@@ -1,0 +1,25 @@
+// Simulation-throughput benchmark (`mphls bench --sim`): interpreter vs
+// bytecode VM on every built-in design, at both levels (behavioral runs/sec
+// and RTL cycles/sec), plus an end-to-end fuzz batch (full runSource over a
+// fixed seed range, quick matrix) timed per engine. Batch sizes are
+// auto-calibrated so each timed pass is long enough to measure, the
+// reported rate is the best of `repeats` passes (the standard estimator on
+// a noisy shared machine), and everything lands in BENCH_sim.json.
+#pragma once
+
+#include <string>
+
+namespace mphls::fuzz {
+
+struct SimBenchOptions {
+  int repeats = 5;      ///< best-of-N timing passes per measurement
+  std::string outDir;   ///< where BENCH_sim.json is written ("" = cwd)
+  int fuzzSeeds = 12;   ///< seeds in the end-to-end fuzz batch
+  bool quiet = false;
+};
+
+/// Run the suite and write BENCH_sim.json. Returns a process exit code
+/// (non-zero only on I/O failure).
+int runSimBenchSuite(const SimBenchOptions& options);
+
+}  // namespace mphls::fuzz

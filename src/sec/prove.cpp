@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <sstream>
 
 #include "common/diag.h"
@@ -11,6 +12,7 @@
 #include "obs/trace.h"
 #include "sec/rtlsym.h"
 #include "sec/symexec.h"
+#include "vm/sim_engine.h"
 
 namespace mphls::sec {
 
@@ -103,7 +105,8 @@ std::string renderCounterexample(const ProveResult& res) {
 }
 
 void proveBlock(const RtlDesign& d, const Block& blk, const VarLiveness& lv,
-                const ProveOptions& opts, CheckReport& rep) {
+                const ProveOptions& opts, CheckReport& rep,
+                std::vector<std::pair<std::string, std::uint64_t>>* cex) {
   obs::TraceSpan span("sec.prove.block", blk.name);
   const Function& fn = d.fn;
   std::size_t bi = blk.id.index();
@@ -153,7 +156,7 @@ void proveBlock(const RtlDesign& d, const Block& blk, const VarLiveness& lv,
                    opts.conflictBudget, "sec.rtl.mismatch", where,
                    "live-out variable '" + v.name + "' vs register r" +
                        std::to_string(r),
-                   rep);
+                   rep, cex);
   }
 
   // 2. Output-port writes agree (same ports, same last values).
@@ -172,7 +175,7 @@ void proveBlock(const RtlDesign& d, const Block& blk, const VarLiveness& lv,
       dischargeEqual(ctx, rtl.portWrites[i].second,
                      beh.portWrites[i].second, {}, opts.conflictBudget,
                      "sec.rtl.mismatch", where,
-                     "output port '" + p.name + "'", rep);
+                     "output port '" + p.name + "'", rep, cex);
     }
   }
 
@@ -184,7 +187,7 @@ void proveBlock(const RtlDesign& d, const Block& blk, const VarLiveness& lv,
     } else {
       dischargeEqual(ctx, rtl.branchCond, beh.branchCond, {},
                      opts.conflictBudget, "sec.rtl.mismatch", where,
-                     "branch condition", rep);
+                     "branch condition", rep, cex);
     }
   }
 }
@@ -194,7 +197,9 @@ void proveBlock(const RtlDesign& d, const Block& blk, const VarLiveness& lv,
 bool dischargeEqual(ExprContext& ctx, int a, int b,
                     const std::vector<int>& assumptions, long conflictBudget,
                     const std::string& id, const std::string& where,
-                    const std::string& what, CheckReport& rep) {
+                    const std::string& what, CheckReport& rep,
+                    std::vector<std::pair<std::string, std::uint64_t>>*
+                        cexOut) {
   auto& metrics = obs::MetricsRegistry::global();
   metrics.counter("sec.obligations").add(1);
   const bool dbg = std::getenv("MPHLS_SEC_DEBUG") != nullptr;
@@ -220,6 +225,7 @@ bool dischargeEqual(ExprContext& ctx, int a, int b,
     case ProveResult::Verdict::Equal:
       return true;
     case ProveResult::Verdict::NotEqual:
+      if (cexOut && cexOut->empty()) *cexOut = res.counterexample;
       rep.error(id, where, what + " differ; " + renderCounterexample(res));
       return false;
     case ProveResult::Verdict::Unknown:
@@ -240,6 +246,7 @@ CheckReport proveEquivalence(const RtlDesign& d, const ProveOptions& opts) {
   checkControlStructure(d, rep);
 
   VarLiveness lv = computeVarLiveness(d.fn);
+  std::vector<std::pair<std::string, std::uint64_t>> cex;
   for (const Block& blk : d.fn.blocks()) {
     if (d.sched.of(blk.id).numSteps == 0) {
       // Zero-step blocks are skipped by the controller; they must have no
@@ -250,7 +257,49 @@ CheckReport proveEquivalence(const RtlDesign& d, const ProveOptions& opts) {
                     "zero-step block contains a store/write");
       continue;
     }
-    proveBlock(d, blk, lv, opts, rep);
+    proveBlock(d, blk, lv, opts, rep, &cex);
+  }
+
+  // Decode the first SAT witness concretely: replay its input-port
+  // assignment end-to-end on the bytecode co-sim. Witness symbols that are
+  // not design inputs (the arbitrary register file, free variables)
+  // default to zero, so the note distinguishes a counterexample that
+  // reproduces from whole-design inputs from one that needs the block's
+  // particular register state.
+  if (!cex.empty()) {
+    std::map<std::string, std::uint64_t> inputs;
+    for (const Port& p : d.fn.ports())
+      if (p.isInput) inputs[p.name] = 0;
+    // Raw witness patterns are fine here: the VM truncates every input to
+    // its port width at load.
+    for (const auto& [name, val] : cex) {
+      auto it = inputs.find(name);
+      if (it != inputs.end()) it->second = val;
+    }
+    std::ostringstream oss;
+    oss << "replayed witness on vm co-sim:";
+    for (const auto& [name, val] : inputs) oss << " " << name << "=" << val;
+    try {
+      vm::BehavSim behav(d.fn);
+      ExecResult want = behav.run(inputs);
+      vm::RtlSim sim(d);
+      RtlExecResult got = sim.run(inputs);
+      if (!want.finished || !got.finished) {
+        oss << " -> execution did not finish";
+      } else if (want.outputs != got.outputs) {
+        oss << " -> behavioral and RTL outputs differ end-to-end";
+        for (const auto& [name, val] : want.outputs)
+          oss << "; " << name << ": behav=" << val
+              << " rtl=" << got.outputs[name];
+      } else {
+        oss << " -> outputs agree end-to-end (divergence requires the "
+               "witness register state, not reachable from these inputs "
+               "alone)";
+      }
+    } catch (const std::exception& e) {
+      oss << " -> replay failed: " << e.what();
+    }
+    rep.note("sec.cex.replay", "design " + d.fn.name(), oss.str());
   }
   return rep;
 }

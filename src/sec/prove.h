@@ -15,7 +15,9 @@
 // symbols quantify over every iteration's register file at once.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "check/report.h"
@@ -39,9 +41,14 @@ struct ProveOptions {
 /// structural identity first, SAT miter second. On failure appends an
 /// error finding (`id`, `where`, message built from `what` plus the
 /// counterexample). Updates the sec.* metrics. Returns true on success.
+/// When `cexOut` is given and still empty, a NotEqual verdict stores its
+/// witness assignment there (used by proveEquivalence to replay the first
+/// counterexample on the bytecode co-sim).
 bool dischargeEqual(ExprContext& ctx, int a, int b,
                     const std::vector<int>& assumptions, long conflictBudget,
                     const std::string& id, const std::string& where,
-                    const std::string& what, CheckReport& rep);
+                    const std::string& what, CheckReport& rep,
+                    std::vector<std::pair<std::string, std::uint64_t>>*
+                        cexOut = nullptr);
 
 }  // namespace mphls::sec

@@ -1,0 +1,579 @@
+// Bytecode compilers: Function -> BehavProgram, RtlDesign -> RtlProgram.
+//
+// Lowering is where all the per-execution work of the interpreters is paid
+// once: operand slots, operand widths, result masks, constant folding of
+// wired-constant sources, shift-range validation and mux-select validation
+// all happen here, so the dispatch loop in exec.cpp touches nothing but
+// the frame.
+
+#include <algorithm>
+#include <map>
+
+#include "common/bitutil.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rtl/source_eval.h"
+#include "vm/vm.h"
+
+namespace mphls::vm {
+
+namespace {
+
+/// Lower one pure op (shared semantics with Interpreter::evalPure) into a
+/// single instruction. `slots`/`widths` list the operands in evalPure
+/// argument order; `width` is the result width, `imm` the constant-shift
+/// amount. Out-of-range constant shifts fold to 0 and SarConst clamps its
+/// amount, exactly as evalPure defines them.
+Insn pureInsn(OpKind kind, int width, std::int64_t imm,
+              const std::vector<std::int32_t>& slots,
+              const std::vector<int>& widths, std::int32_t dst) {
+  Insn in;
+  in.dst = dst;
+  in.mask = maskBits(width);
+  if (!slots.empty()) {
+    in.a = slots[0];
+    in.aw = (std::uint8_t)widths[0];
+  }
+  if (slots.size() > 1) {
+    in.b = slots[1];
+    in.bw = (std::uint8_t)widths[1];
+  }
+  if (slots.size() > 2) in.c = slots[2];
+  switch (kind) {
+    case OpKind::Not: in.op = BOp::NotN; break;
+    case OpKind::Neg: in.op = BOp::NegN; break;
+    case OpKind::Inc: in.op = BOp::IncN; break;
+    case OpKind::Dec: in.op = BOp::DecN; break;
+    case OpKind::ShlConst:
+    case OpKind::ShrConst:
+      if (imm < 0 || imm >= 64) {
+        in.op = BOp::ConstK;
+        in.imm = 0;
+      } else {
+        in.op = kind == OpKind::ShlConst ? BOp::ShlC : BOp::ShrC;
+        in.imm = imm;
+      }
+      break;
+    case OpKind::SarConst:
+      in.op = BOp::SarC;
+      in.imm = imm < 0 ? 0 : imm > 63 ? 63 : imm;
+      break;
+    case OpKind::Trunc:
+    case OpKind::ZExt:
+      in.op = BOp::Move;
+      break;
+    case OpKind::SExt: in.op = BOp::SExtN; break;
+    case OpKind::Add: in.op = BOp::AddN; break;
+    case OpKind::Sub: in.op = BOp::SubN; break;
+    case OpKind::Mul: in.op = BOp::MulN; break;
+    case OpKind::Div: in.op = BOp::DivS; break;
+    case OpKind::UDiv: in.op = BOp::DivU; break;
+    case OpKind::Mod: in.op = BOp::ModS; break;
+    case OpKind::UMod: in.op = BOp::ModU; break;
+    case OpKind::And: in.op = BOp::AndN; break;
+    case OpKind::Or: in.op = BOp::OrN; break;
+    case OpKind::Xor: in.op = BOp::XorN; break;
+    case OpKind::Shl: in.op = BOp::ShlV; break;
+    case OpKind::Shr: in.op = BOp::ShrV; break;
+    case OpKind::Sar: in.op = BOp::SarV; break;
+    case OpKind::Eq: in.op = BOp::EqN; break;
+    case OpKind::Ne: in.op = BOp::NeN; break;
+    case OpKind::Lt: in.op = BOp::LtS; break;
+    case OpKind::Le: in.op = BOp::LeS; break;
+    case OpKind::Gt: in.op = BOp::GtS; break;
+    case OpKind::Ge: in.op = BOp::GeS; break;
+    case OpKind::ULt: in.op = BOp::LtU; break;
+    case OpKind::ULe: in.op = BOp::LeU; break;
+    case OpKind::UGt: in.op = BOp::GtU; break;
+    case OpKind::UGe: in.op = BOp::GeU; break;
+    case OpKind::Select: in.op = BOp::Sel; break;
+    default:
+      MPHLS_CHECK(false, "vm: cannot lower op " << opName(kind));
+  }
+  return in;
+}
+
+std::vector<PortInfo> portTable(const Function& fn) {
+  std::vector<PortInfo> ports;
+  ports.reserve(fn.ports().size());
+  for (const Port& p : fn.ports()) ports.push_back({p.name, p.width, p.isInput});
+  return ports;
+}
+
+std::vector<std::int32_t> inputOrder(const std::vector<PortInfo>& ports) {
+  std::vector<std::int32_t> order;
+  for (std::size_t i = 0; i < ports.size(); ++i)
+    if (ports[i].isInput) order.push_back((std::int32_t)i);
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    return ports[(std::size_t)a].name < ports[(std::size_t)b].name;
+  });
+  return order;
+}
+
+}  // namespace
+
+BehavProgram compileBehavioral(const Function& fn) {
+  obs::TraceSpan span("vm.compile", fn.name());
+  obs::MetricsRegistry::global().counter("vm.compiles").add(1);
+
+  BehavProgram p;
+  const std::int32_t numVals = (std::int32_t)fn.numValues();
+  p.varBase = numVals;
+  p.portBase = p.varBase + (std::int32_t)fn.vars().size();
+  p.numSlots = p.portBase + (std::int32_t)fn.ports().size();
+  p.ports = portTable(fn);
+  p.inOrder = inputOrder(p.ports);
+
+  auto valSlot = [&](ValueId v) { return (std::int32_t)v.index(); };
+  auto varSlot = [&](VarId v) { return p.varBase + (std::int32_t)v.index(); };
+  auto portSlot = [&](PortId q) {
+    return p.portBase + (std::int32_t)q.index();
+  };
+
+  std::vector<std::int32_t> blockPc(fn.numBlocks(), 0);
+  // (instruction index, operand selector, target block) patched once all
+  // block offsets are known. Selector: 0 = a, 1 = b, 2 = c.
+  std::vector<std::tuple<std::size_t, int, BlockId>> fixups;
+
+  for (const Block& blk : fn.blocks()) {
+    blockPc[blk.id.index()] = (std::int32_t)p.code.size();
+
+    Insn enter;
+    enter.op = BOp::Enter;
+    enter.a = (std::int32_t)blk.id.index();
+    for (OpId oid : blk.ops)
+      if (!fn.op(oid).isFree()) ++enter.imm;
+    p.code.push_back(enter);
+
+    for (OpId oid : blk.ops) {
+      const Op& o = fn.op(oid);
+      Insn in;
+      switch (o.kind) {
+        case OpKind::Nop:
+          continue;
+        case OpKind::Const:
+          in.op = BOp::ConstK;
+          in.dst = valSlot(o.result);
+          in.imm = (std::int64_t)truncBits((std::uint64_t)o.imm,
+                                           fn.value(o.result).width);
+          break;
+        case OpKind::ReadPort:
+          // The interpreter copies the port value raw (ports only ever
+          // hold width-truncated values).
+          in.op = BOp::Move;
+          in.dst = valSlot(o.result);
+          in.a = portSlot(o.port);
+          break;
+        case OpKind::LoadVar:
+          in.op = BOp::Move;
+          in.dst = valSlot(o.result);
+          in.a = varSlot(o.var);
+          in.mask = maskBits(fn.value(o.result).width);
+          break;
+        case OpKind::StoreVar:
+          in.op = BOp::Move;
+          in.dst = varSlot(o.var);
+          in.a = valSlot(o.args[0]);
+          in.mask = maskBits(fn.var(o.var).width);
+          break;
+        case OpKind::WritePort:
+          in.op = BOp::OutW;
+          in.dst = portSlot(o.port);
+          in.a = valSlot(o.args[0]);
+          in.b = (std::int32_t)o.port.index();
+          in.mask = maskBits(fn.port(o.port).width);
+          break;
+        default: {
+          std::vector<std::int32_t> slots;
+          std::vector<int> widths;
+          slots.reserve(o.args.size());
+          for (ValueId v : o.args) {
+            slots.push_back(valSlot(v));
+            widths.push_back(fn.value(v).width);
+          }
+          in = pureInsn(o.kind, fn.value(o.result).width, o.imm, slots,
+                        widths, valSlot(o.result));
+          break;
+        }
+      }
+      p.code.push_back(in);
+    }
+
+    const Terminator& t = blk.term;
+    Insn term;
+    switch (t.kind) {
+      case Terminator::Kind::Return:
+        term.op = BOp::Ret;
+        break;
+      case Terminator::Kind::Jump:
+        term.op = BOp::Jmp;
+        fixups.emplace_back(p.code.size(), 0, t.target);
+        break;
+      case Terminator::Kind::Branch:
+        term.op = BOp::Br;
+        term.a = valSlot(t.cond);
+        fixups.emplace_back(p.code.size(), 1, t.target);
+        fixups.emplace_back(p.code.size(), 2, t.elseTarget);
+        break;
+    }
+    p.code.push_back(term);
+  }
+
+  for (const auto& [idx, sel, target] : fixups) {
+    std::int32_t pc = blockPc[target.index()];
+    if (sel == 0) p.code[idx].a = pc;
+    else if (sel == 1) p.code[idx].b = pc;
+    else p.code[idx].c = pc;
+  }
+  p.entryPc = blockPc[fn.entry().index()];
+  return p;
+}
+
+namespace {
+
+/// Per-state lowering context for RTL sources: emits the read of a Source
+/// into a frame slot, folding Const roots (with their transform chains)
+/// into the shared constant pool.
+class RtlLowerer {
+ public:
+  RtlLowerer(const RtlDesign& d, RtlProgram& p) : d_(d), p_(p) {}
+
+  void beginState() { nextTemp_ = tempBase_; }
+
+  /// Slot holding the value of `s` this cycle (evaluation order matters:
+  /// emitted instructions read FU outputs and registers as of "now").
+  /// `deferred` marks a read whose consumer executes after commits have
+  /// begun (a commit operand or the next-state condition); such a read may
+  /// not alias the register file directly, because a commit this cycle
+  /// could overwrite the root before the consumer runs.
+  std::int32_t lowerSource(const Source& s, bool deferred = false) {
+    switch (s.kind) {
+      case Source::Kind::Const: {
+        std::uint64_t v = truncBits((std::uint64_t)s.imm, s.rootWidth);
+        int w = s.rootWidth;
+        for (const WireXform& x : s.xform) {
+          v = Interpreter::evalPure(x.kind, x.width, x.imm, {v}, {w});
+          w = x.width;
+        }
+        return poolSlot(v);
+      }
+      case Source::Kind::Reg: {
+        // Registers commit raw, so the root read truncates.
+        std::int32_t root = p_.regBase + s.id;
+        if (s.rootWidth >= kMaxWidth && s.xform.empty() && !deferred)
+          return root;
+        std::int32_t t = temp();
+        Insn in;
+        in.op = BOp::Move;
+        in.dst = t;
+        in.a = root;
+        in.mask = maskBits(s.rootWidth);
+        p_.code.push_back(in);
+        return xformChain(t, s);
+      }
+      case Source::Kind::Port: {
+        std::int32_t root = p_.inBase + s.id;
+        int pw = d_.fn.ports()[(std::size_t)s.id].width;
+        if (s.rootWidth >= pw && s.xform.empty()) return root;
+        std::int32_t t = temp();
+        Insn in;
+        in.op = BOp::Move;
+        in.dst = t;
+        in.a = root;
+        in.mask = maskBits(s.rootWidth);
+        p_.code.push_back(in);
+        return xformChain(t, s);
+      }
+      case Source::Kind::Fu: {
+        MPHLS_CHECK(s.id >= 0 && s.id < p_.numFus,
+                    "vm: source reads out-of-range unit " << s.id);
+        std::int32_t t = temp();
+        Insn in;
+        in.op = BOp::FuRd;
+        in.dst = t;
+        in.a = p_.fuBase + s.id;
+        in.b = s.id;
+        p_.code.push_back(in);
+        return xformChain(t, s);
+      }
+    }
+    MPHLS_CHECK(false, "vm: unknown source kind");
+    return 0;
+  }
+
+  std::int32_t temp() { return nextTemp_++; }
+
+  void setTempBase(std::int32_t base) {
+    tempBase_ = base;
+    nextTemp_ = base;
+  }
+  [[nodiscard]] std::int32_t maxTempsUsed() const { return maxTemps_; }
+  void endState() {
+    if (nextTemp_ - tempBase_ > maxTemps_) maxTemps_ = nextTemp_ - tempBase_;
+  }
+
+ private:
+  /// Apply a wiring-transform chain in place on the temp holding the root.
+  std::int32_t xformChain(std::int32_t slot, const Source& s) {
+    int w = s.rootWidth;
+    for (const WireXform& x : s.xform) {
+      p_.code.push_back(pureInsn(x.kind, x.width, x.imm, {slot}, {w}, slot));
+      w = x.width;
+    }
+    return slot;
+  }
+
+  std::int32_t poolSlot(std::uint64_t v) {
+    auto it = pool_.find(v);
+    if (it != pool_.end()) return it->second;
+    std::int32_t slot = -(std::int32_t)pool_.size() - 1;  // patched later
+    pool_.emplace(v, slot);
+    return slot;
+  }
+
+ public:
+  /// Pool slots are assigned after temps (their count is only known at the
+  /// end); until then they are negative placeholders patched here.
+  void finalizePool(std::int32_t poolBase) {
+    for (auto& [v, slot] : pool_) {
+      std::int32_t real = poolBase + (-slot - 1);
+      p_.pool.emplace_back(real, v);
+      slot = real;
+    }
+    for (Insn& in : p_.code) {
+      if (in.a < 0) in.a = poolBase + (-in.a - 1);
+      if (in.b < 0 && in.op != BOp::CycEnd && in.op != BOp::CycBr)
+        in.b = poolBase + (-in.b - 1);
+      if (in.c < 0 && in.op != BOp::CycBr) in.c = poolBase + (-in.c - 1);
+    }
+  }
+
+  [[nodiscard]] std::size_t poolSize() const { return pool_.size(); }
+
+ private:
+  const RtlDesign& d_;
+  RtlProgram& p_;
+  std::map<std::uint64_t, std::int32_t> pool_;
+  std::int32_t tempBase_ = 0;
+  std::int32_t nextTemp_ = 0;
+  std::int32_t maxTemps_ = 0;
+};
+
+}  // namespace
+
+RtlProgram compileRtl(const RtlDesign& d) {
+  obs::TraceSpan span("vm.compile", d.fn.name());
+  obs::MetricsRegistry::global().counter("vm.compiles").add(1);
+
+  RtlProgram p;
+  const std::int32_t numPorts = (std::int32_t)d.fn.ports().size();
+  p.numRegs = d.regs.numRegs;
+  p.numFus = d.binding.numFus();
+  p.regBase = 0;
+  p.inBase = p.regBase + p.numRegs;
+  p.outBase = p.inBase + numPorts;
+  p.fuBase = p.outBase + numPorts;
+  const std::int32_t tempBase = p.fuBase + p.numFus;
+  p.ports = portTable(d.fn);
+  p.inOrder = inputOrder(p.ports);
+  p.initialState = (std::int32_t)d.ctrl.initial.index();
+
+  RtlLowerer lower(d, p);
+  lower.setTempBase(tempBase);
+
+  p.stateStart.reserve(d.ctrl.numStates());
+  for (const CtrlState& st : d.ctrl.states) {
+    p.stateStart.push_back((std::int32_t)p.code.size());
+    if (st.halt) {
+      Insn halt;
+      halt.op = BOp::CycHalt;
+      p.code.push_back(halt);
+      continue;
+    }
+    lower.beginState();
+
+    // Functional units, in action order: an earlier unit's output is
+    // readable by a later unit in the same state.
+    for (const FuAction& fa : st.fuActions) {
+      std::vector<std::int32_t> slots;
+      std::vector<int> widths;
+      auto pushPort = [&](int port) {
+        const MuxSpec& mux =
+            d.ic.fuInput[(std::size_t)fa.fu][(std::size_t)port];
+        MPHLS_CHECK(fa.muxSel[port] >= 0 && fa.muxSel[port] < mux.legs(),
+                    "bad mux select");
+        const Source& s = mux.sources[(std::size_t)fa.muxSel[port]];
+        slots.push_back(lower.lowerSource(s));
+        widths.push_back(s.finalWidth());
+      };
+      if (fa.kind == OpKind::Select) {
+        pushPort(2);  // condition
+        pushPort(0);  // taken value
+        pushPort(1);  // not-taken value
+      } else {
+        int arity = opArity(fa.kind);
+        for (int port = 0; port < arity; ++port) pushPort(port);
+      }
+      if (fa.cycles <= 1) {
+        p.code.push_back(
+            pureInsn(fa.kind, fa.width, 0, slots, widths, p.fuBase + fa.fu));
+        Insn act;
+        act.op = BOp::FuAct;
+        act.a = fa.fu;
+        p.code.push_back(act);
+      } else {
+        std::int32_t t = lower.temp();
+        p.code.push_back(pureInsn(fa.kind, fa.width, 0, slots, widths, t));
+        Insn iss;
+        iss.op = BOp::FuIss;
+        iss.a = fa.fu;
+        iss.b = t;
+        iss.imm = fa.cycles - 1;
+        p.code.push_back(iss);
+        p.hasMulticycle = true;
+      }
+    }
+
+    // Sequential phase. RtlSimulator reads every latched source and the
+    // next-state condition before committing anything, so a deferred read
+    // (one consumed by a commit or the trailer) may only alias frame
+    // slots that no commit this cycle overwrites. Slots that qualify —
+    // pool constants, input ports, FU outputs, and registers not
+    // themselves committed this state — skip the stage-through-temp copy:
+    // the commit instruction reads the root directly and applies the
+    // source's truncation mask itself. Everything else (transform chains,
+    // committed registers, FU reads feeding ports or the condition, which
+    // need a FuRd for the liveness check) stages through a temp emitted
+    // before the first commit, exactly as the simulator's read phase.
+    std::vector<std::int32_t> clobbered;
+    for (const RegAction& ra : st.regActions)
+      clobbered.push_back(p.regBase + ra.reg);
+    // Resolve `s` to a slot a deferred consumer may read directly, with
+    // the truncation mask that read must apply. `allowFu` lets register
+    // commits absorb the FU read (a FuRd targeting the register keeps the
+    // liveness check); other consumers cannot.
+    auto directSlot = [&](const Source& s, bool allowFu, std::int32_t& slot,
+                          std::uint64_t& mask) -> bool {
+      if (s.kind == Source::Kind::Const) {
+        slot = lower.lowerSource(s);  // pool: pre-folded, pre-truncated
+        mask = ~0ull;
+        return true;
+      }
+      if (!s.xform.empty()) return false;
+      switch (s.kind) {
+        case Source::Kind::Port:
+          slot = p.inBase + s.id;
+          mask = maskBits(s.rootWidth);
+          return true;
+        case Source::Kind::Reg:
+          slot = p.regBase + s.id;
+          mask = maskBits(s.rootWidth);
+          return std::find(clobbered.begin(), clobbered.end(), slot) ==
+                 clobbered.end();
+        case Source::Kind::Fu:
+          slot = p.fuBase + s.id;
+          mask = ~0ull;  // FU outputs are computed pre-truncated
+          return allowFu;
+        default:
+          return false;
+      }
+    };
+
+    struct RegCommit {
+      std::int32_t reg;
+      std::int32_t src;
+      std::uint64_t mask;
+      std::int32_t fu;  ///< >= 0: src is a live FU output, commit via FuRd
+    };
+    std::vector<RegCommit> regCommits;
+    for (const RegAction& ra : st.regActions) {
+      const MuxSpec& mux = d.ic.regInput[(std::size_t)ra.reg];
+      MPHLS_CHECK(ra.muxSel >= 0 && ra.muxSel < mux.legs(), "bad mux select");
+      const Source& s = mux.sources[(std::size_t)ra.muxSel];
+      RegCommit rc{p.regBase + ra.reg, 0, ~0ull, -1};
+      if (directSlot(s, /*allowFu=*/true, rc.src, rc.mask)) {
+        if (s.kind == Source::Kind::Fu) rc.fu = s.id;
+      } else {
+        rc.src = lower.lowerSource(s, /*deferred=*/true);
+        rc.mask = ~0ull;  // temp already holds the final source value
+      }
+      regCommits.push_back(rc);
+    }
+    struct PortCommit {
+      std::int32_t port;
+      std::int32_t src;
+      std::uint64_t mask;
+    };
+    std::vector<PortCommit> portCommits;
+    for (const PortAction& pa : st.portActions) {
+      const MuxSpec& mux = d.ic.outPortInput[(std::size_t)pa.port];
+      MPHLS_CHECK(pa.muxSel >= 0 && pa.muxSel < mux.legs(), "bad mux select");
+      const Source& s = mux.sources[(std::size_t)pa.muxSel];
+      const std::uint64_t pw =
+          maskBits(d.fn.ports()[(std::size_t)pa.port].width);
+      std::int32_t slot;
+      std::uint64_t m;
+      if (directSlot(s, /*allowFu=*/false, slot, m))
+        portCommits.push_back({pa.port, slot, m & pw});
+      else
+        portCommits.push_back(
+            {pa.port, lower.lowerSource(s, /*deferred=*/true), pw});
+    }
+    std::int32_t condSlot = -1;
+    if (st.conditional) {
+      std::int32_t slot;
+      std::uint64_t m;
+      // CycBr consumes only bit 0, which any truncation (rootWidth >= 1)
+      // preserves, so a direct slot needs no masking copy.
+      if (directSlot(st.cond, /*allowFu=*/false, slot, m))
+        condSlot = slot;
+      else
+        condSlot = lower.lowerSource(st.cond, /*deferred=*/true);
+    }
+
+    for (const RegCommit& rc : regCommits) {
+      Insn in;
+      if (rc.fu >= 0) {
+        in.op = BOp::FuRd;
+        in.b = rc.fu;
+      } else {
+        in.op = BOp::Move;  // registers commit raw: mask only truncates
+        in.mask = rc.mask;  // the source read folded into the commit
+      }
+      in.dst = rc.reg;
+      in.a = rc.src;
+      p.code.push_back(in);
+    }
+    for (const PortCommit& pc : portCommits) {
+      Insn in;
+      in.op = BOp::OutW;
+      in.dst = p.outBase + pc.port;
+      in.a = pc.src;
+      in.b = pc.port;
+      in.mask = pc.mask;
+      p.code.push_back(in);
+    }
+
+    Insn trail;
+    if (st.conditional) {
+      trail.op = BOp::CycBr;
+      trail.a = condSlot;
+      trail.b = (std::int32_t)st.nextTaken.index();
+      trail.c = (std::int32_t)st.nextNot.index();
+    } else {
+      MPHLS_CHECK(st.next.valid(),
+                  "vm: non-halt state " << st.id.index() << " has no next");
+      trail.op = BOp::CycEnd;
+      trail.a = (std::int32_t)st.next.index();
+    }
+    p.code.push_back(trail);
+    lower.endState();
+  }
+
+  const std::int32_t poolBase = tempBase + lower.maxTempsUsed();
+  lower.finalizePool(poolBase);
+  p.numSlots = poolBase + (std::int32_t)p.pool.size();
+  return p;
+}
+
+}  // namespace mphls::vm

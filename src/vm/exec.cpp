@@ -1,0 +1,410 @@
+// Bytecode execution: computed-goto dispatch (GNU extension) with a plain
+// switch fallback. Both variants share the opcode handlers through the
+// VM_CASE/VM_NEXT macros so their semantics cannot drift.
+//
+// Every handler is the compiled form of one case in Interpreter::evalPure
+// or one phase of RtlSimulator::run; the edge-case semantics (division by
+// zero, INT64_MIN / -1, shift amounts >= the word width) are reproduced
+// exactly so the interpreters stay bit-identical oracles.
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bitutil.h"
+#include "vm/vm.h"
+
+#if defined(__GNUC__) && !defined(MPHLS_VM_FORCE_SWITCH)
+#define MPHLS_VM_CGOTO 1
+#else
+#define MPHLS_VM_CGOTO 0
+#endif
+
+namespace mphls::vm {
+
+namespace {
+
+inline std::int64_t sx(std::uint64_t v, int w) { return signExtend(v, w); }
+
+}  // namespace
+
+#if MPHLS_VM_CGOTO
+#define VM_LABEL_ENTRY(name) &&lbl_##name,
+#define VM_DISPATCH()                      \
+  do {                                     \
+    in = &code[pc++];                      \
+    goto* kLabels[(std::size_t)in->op];    \
+  } while (0)
+#define VM_LOOP_BEGIN() VM_DISPATCH();
+#define VM_CASE(name) lbl_##name:
+#define VM_NEXT() VM_DISPATCH()
+#define VM_LOOP_END()
+#define VM_UNREACHABLE_OPS()
+#else
+#define VM_DISPATCH()
+#define VM_LOOP_BEGIN()              \
+  for (;;) {                         \
+    in = &code[pc++];                \
+    switch (in->op) {
+#define VM_CASE(name) case BOp::name:
+#define VM_NEXT() continue
+#define VM_LOOP_END()                                      \
+    default:                                               \
+      MPHLS_CHECK(false, "vm: bad opcode");                \
+    }                                                      \
+  }
+#endif
+
+ExecResult runBehavProgram(const BehavProgram& p, BehavScratch& s,
+                           const std::map<std::string, std::uint64_t>& inputs,
+                           long maxBlockExecs) {
+  ExecResult res;
+  s.frame.assign((std::size_t)p.numSlots, 0);
+  s.portWritten.assign(p.ports.size(), 0);
+  res.blockTrace.reserve(s.lastTraceLen);
+  std::uint64_t* f = s.frame.data();
+  // One merge pass: inOrder and the inputs map are both name-ordered.
+  auto it = inputs.begin();
+  for (std::int32_t i : p.inOrder) {
+    const PortInfo& pm = p.ports[(std::size_t)i];
+    while (it != inputs.end() && it->first < pm.name) ++it;
+    MPHLS_CHECK(it != inputs.end() && it->first == pm.name,
+                "missing input '" << pm.name << "'");
+    f[(std::size_t)(p.portBase + i)] = truncBits(it->second, pm.width);
+    ++it;
+  }
+
+  const Insn* code = p.code.data();
+  const Insn* in = nullptr;
+  std::int32_t pc = p.entryPc;
+  long execs = 0;
+
+#if MPHLS_VM_CGOTO
+  static const void* const kLabels[] = {MPHLS_VM_OPS(VM_LABEL_ENTRY)};
+  static_assert(sizeof(kLabels) / sizeof(kLabels[0]) ==
+                (std::size_t)BOp::Count);
+#endif
+
+  VM_LOOP_BEGIN()
+  VM_CASE(Nop) VM_NEXT();
+  VM_CASE(ConstK) f[in->dst] = (std::uint64_t)in->imm; VM_NEXT();
+  VM_CASE(Move) f[in->dst] = f[in->a] & in->mask; VM_NEXT();
+  VM_CASE(SExtN)
+    f[in->dst] = (std::uint64_t)sx(f[in->a], in->aw) & in->mask;
+    VM_NEXT();
+  VM_CASE(NotN) f[in->dst] = ~f[in->a] & in->mask; VM_NEXT();
+  VM_CASE(NegN) f[in->dst] = (~f[in->a] + 1) & in->mask; VM_NEXT();
+  VM_CASE(IncN) f[in->dst] = (f[in->a] + 1) & in->mask; VM_NEXT();
+  VM_CASE(DecN) f[in->dst] = (f[in->a] - 1) & in->mask; VM_NEXT();
+  VM_CASE(ShlC) f[in->dst] = (f[in->a] << in->imm) & in->mask; VM_NEXT();
+  VM_CASE(ShrC) f[in->dst] = (f[in->a] >> in->imm) & in->mask; VM_NEXT();
+  VM_CASE(SarC)
+    f[in->dst] = (std::uint64_t)(sx(f[in->a], in->aw) >> in->imm) & in->mask;
+    VM_NEXT();
+  VM_CASE(AddN) f[in->dst] = (f[in->a] + f[in->b]) & in->mask; VM_NEXT();
+  VM_CASE(SubN) f[in->dst] = (f[in->a] - f[in->b]) & in->mask; VM_NEXT();
+  VM_CASE(MulN) f[in->dst] = (f[in->a] * f[in->b]) & in->mask; VM_NEXT();
+  VM_CASE(DivS) {
+    std::int64_t d = sx(f[in->b], in->bw);
+    // Division by zero yields all-ones; INT64_MIN / -1 is defined as the
+    // two's-complement negation (see Interpreter::evalPure).
+    f[in->dst] = d == 0   ? in->mask
+                 : d == -1 ? (0 - (std::uint64_t)sx(f[in->a], in->aw)) & in->mask
+                           : (std::uint64_t)(sx(f[in->a], in->aw) / d) &
+                                 in->mask;
+    VM_NEXT();
+  }
+  VM_CASE(DivU)
+    f[in->dst] = f[in->b] == 0 ? in->mask : (f[in->a] / f[in->b]) & in->mask;
+    VM_NEXT();
+  VM_CASE(ModS) {
+    std::int64_t d = sx(f[in->b], in->bw);
+    f[in->dst] = (d == 0 || d == -1)
+                     ? 0
+                     : (std::uint64_t)(sx(f[in->a], in->aw) % d) & in->mask;
+    VM_NEXT();
+  }
+  VM_CASE(ModU)
+    f[in->dst] = f[in->b] == 0 ? 0 : (f[in->a] % f[in->b]) & in->mask;
+    VM_NEXT();
+  VM_CASE(AndN) f[in->dst] = (f[in->a] & f[in->b]) & in->mask; VM_NEXT();
+  VM_CASE(OrN) f[in->dst] = (f[in->a] | f[in->b]) & in->mask; VM_NEXT();
+  VM_CASE(XorN) f[in->dst] = (f[in->a] ^ f[in->b]) & in->mask; VM_NEXT();
+  VM_CASE(ShlV)
+    f[in->dst] =
+        f[in->b] >= 64 ? 0 : (f[in->a] << f[in->b]) & in->mask;
+    VM_NEXT();
+  VM_CASE(ShrV)
+    f[in->dst] =
+        f[in->b] >= 64 ? 0 : (f[in->a] >> f[in->b]) & in->mask;
+    VM_NEXT();
+  VM_CASE(SarV) {
+    std::uint64_t sh = f[in->b] >= 63 ? 63 : f[in->b];
+    f[in->dst] = (std::uint64_t)(sx(f[in->a], in->aw) >> sh) & in->mask;
+    VM_NEXT();
+  }
+  VM_CASE(EqN) f[in->dst] = f[in->a] == f[in->b] ? 1 : 0; VM_NEXT();
+  VM_CASE(NeN) f[in->dst] = f[in->a] != f[in->b] ? 1 : 0; VM_NEXT();
+  VM_CASE(LtS)
+    f[in->dst] = sx(f[in->a], in->aw) < sx(f[in->b], in->bw) ? 1 : 0;
+    VM_NEXT();
+  VM_CASE(LeS)
+    f[in->dst] = sx(f[in->a], in->aw) <= sx(f[in->b], in->bw) ? 1 : 0;
+    VM_NEXT();
+  VM_CASE(GtS)
+    f[in->dst] = sx(f[in->a], in->aw) > sx(f[in->b], in->bw) ? 1 : 0;
+    VM_NEXT();
+  VM_CASE(GeS)
+    f[in->dst] = sx(f[in->a], in->aw) >= sx(f[in->b], in->bw) ? 1 : 0;
+    VM_NEXT();
+  VM_CASE(LtU) f[in->dst] = f[in->a] < f[in->b] ? 1 : 0; VM_NEXT();
+  VM_CASE(LeU) f[in->dst] = f[in->a] <= f[in->b] ? 1 : 0; VM_NEXT();
+  VM_CASE(GtU) f[in->dst] = f[in->a] > f[in->b] ? 1 : 0; VM_NEXT();
+  VM_CASE(GeU) f[in->dst] = f[in->a] >= f[in->b] ? 1 : 0; VM_NEXT();
+  VM_CASE(Sel)
+    f[in->dst] = f[in->a] ? f[in->b] & in->mask : f[in->c] & in->mask;
+    VM_NEXT();
+  VM_CASE(OutW)
+    f[in->dst] = f[in->a] & in->mask;
+    s.portWritten[(std::size_t)in->b] = 1;
+    VM_NEXT();
+  VM_CASE(Enter)
+    if (++execs > maxBlockExecs) {  // finished stays false
+      s.lastTraceLen = res.blockTrace.size();
+      return res;
+    }
+    res.blockTrace.push_back(BlockId((std::uint32_t)in->a));
+    res.opsExecuted += in->imm;
+    VM_NEXT();
+  VM_CASE(Jmp) pc = in->a; VM_NEXT();
+  VM_CASE(Br) pc = f[in->a] ? in->b : in->c; VM_NEXT();
+  VM_CASE(Ret) goto done;
+  // RTL-only opcodes can never appear in a behavioral program.
+  VM_CASE(FuRd)
+  VM_CASE(FuAct)
+  VM_CASE(FuIss)
+  VM_CASE(CycEnd)
+  VM_CASE(CycBr)
+  VM_CASE(CycHalt)
+    MPHLS_CHECK(false, "vm: RTL opcode in behavioral program");
+    VM_NEXT();
+  VM_LOOP_END()
+
+done:
+  s.lastTraceLen = res.blockTrace.size();
+  for (std::size_t i = 0; i < p.ports.size(); ++i)
+    if (!p.ports[i].isInput && s.portWritten[i])
+      res.outputs[p.ports[i].name] = f[(std::size_t)p.portBase + i];
+  res.finished = true;
+  return res;
+}
+
+RtlExecResult runRtlProgram(const RtlProgram& p, RtlScratch& s,
+                            const std::map<std::string, std::uint64_t>& inputs,
+                            long maxCycles, const SimObserver& observe) {
+  RtlExecResult res;
+  // The pool region [numSlots - pool.size(), numSlots) is written only at
+  // priming; execution never stores there, so repeat runs on the same
+  // program just re-zero the mutable prefix.
+  const std::size_t poolBase = (std::size_t)p.numSlots - p.pool.size();
+  if (s.primedFor != &p) {
+    s.frame.assign((std::size_t)p.numSlots, 0);
+    s.fuActive.assign((std::size_t)p.numFus, 0);
+    s.outWritten.assign(p.ports.size(), 0);
+    s.pendingDone.assign((std::size_t)p.numFus, -1);
+    s.pendingVal.assign((std::size_t)p.numFus, 0);
+    for (const auto& [slot, v] : p.pool) s.frame[(std::size_t)slot] = v;
+    s.primedFor = &p;
+  } else {
+    std::memset(s.frame.data(), 0, poolBase * sizeof(std::uint64_t));
+    if (p.numFus > 0) {
+      std::memset(s.fuActive.data(), 0, (std::size_t)p.numFus);
+      // pendingVal needs no reset: it is read only after FuIss stores it.
+      // pendingDone stays all -1 when the program never issues (FuIss is
+      // the only writer and the delivery sweep restores -1 on completion
+      // ... except when a run ends with an issue still in flight).
+      if (p.hasMulticycle)
+        std::fill(s.pendingDone.begin(), s.pendingDone.end(), -1L);
+    }
+    if (!p.ports.empty())
+      std::memset(s.outWritten.data(), 0, p.ports.size());
+  }
+  std::uint64_t* f = s.frame.data();
+  // One merge pass: inOrder and the inputs map are both name-ordered.
+  auto it = inputs.begin();
+  for (std::int32_t i : p.inOrder) {
+    const PortInfo& pm = p.ports[(std::size_t)i];
+    while (it != inputs.end() && it->first < pm.name) ++it;
+    MPHLS_CHECK(it != inputs.end() && it->first == pm.name,
+                "missing input '" << pm.name << "'");
+    f[(std::size_t)(p.inBase + i)] = truncBits(it->second, pm.width);
+    ++it;
+  }
+
+  const Insn* code = p.code.data();
+  const Insn* in = nullptr;
+  std::int32_t pc = 0;
+  std::int32_t cur = p.initialState;
+  std::int32_t next = 0;
+
+#if MPHLS_VM_CGOTO
+  static const void* const kLabels[] = {MPHLS_VM_OPS(VM_LABEL_ENTRY)};
+  static_assert(sizeof(kLabels) / sizeof(kLabels[0]) ==
+                (std::size_t)BOp::Count);
+#endif
+
+  for (long cycle = 0; cycle < maxCycles; ++cycle) {
+    if (code[p.stateStart[(std::size_t)cur]].op == BOp::CycHalt) {
+      res.finished = true;
+      break;
+    }
+    ++res.cycles;
+
+    // Combinational prologue: fresh unit activity, multicycle completions
+    // deliver first.
+    if (p.numFus > 0)
+      std::memset(s.fuActive.data(), 0, (std::size_t)p.numFus);
+    if (p.hasMulticycle) {
+      for (std::size_t u = 0; u < s.pendingDone.size(); ++u) {
+        if (s.pendingDone[u] == cycle) {
+          f[(std::size_t)p.fuBase + u] = s.pendingVal[u];
+          s.fuActive[u] = 1;
+          s.pendingDone[u] = -1;
+        }
+      }
+    }
+
+    pc = p.stateStart[(std::size_t)cur];
+
+    VM_LOOP_BEGIN()
+    VM_CASE(Nop) VM_NEXT();
+    VM_CASE(ConstK) f[in->dst] = (std::uint64_t)in->imm; VM_NEXT();
+    VM_CASE(Move) f[in->dst] = f[in->a] & in->mask; VM_NEXT();
+    VM_CASE(SExtN)
+      f[in->dst] = (std::uint64_t)sx(f[in->a], in->aw) & in->mask;
+      VM_NEXT();
+    VM_CASE(NotN) f[in->dst] = ~f[in->a] & in->mask; VM_NEXT();
+    VM_CASE(NegN) f[in->dst] = (~f[in->a] + 1) & in->mask; VM_NEXT();
+    VM_CASE(IncN) f[in->dst] = (f[in->a] + 1) & in->mask; VM_NEXT();
+    VM_CASE(DecN) f[in->dst] = (f[in->a] - 1) & in->mask; VM_NEXT();
+    VM_CASE(ShlC) f[in->dst] = (f[in->a] << in->imm) & in->mask; VM_NEXT();
+    VM_CASE(ShrC) f[in->dst] = (f[in->a] >> in->imm) & in->mask; VM_NEXT();
+    VM_CASE(SarC)
+      f[in->dst] =
+          (std::uint64_t)(sx(f[in->a], in->aw) >> in->imm) & in->mask;
+      VM_NEXT();
+    VM_CASE(AddN) f[in->dst] = (f[in->a] + f[in->b]) & in->mask; VM_NEXT();
+    VM_CASE(SubN) f[in->dst] = (f[in->a] - f[in->b]) & in->mask; VM_NEXT();
+    VM_CASE(MulN) f[in->dst] = (f[in->a] * f[in->b]) & in->mask; VM_NEXT();
+    VM_CASE(DivS) {
+      std::int64_t d = sx(f[in->b], in->bw);
+      f[in->dst] =
+          d == 0    ? in->mask
+          : d == -1 ? (0 - (std::uint64_t)sx(f[in->a], in->aw)) & in->mask
+                    : (std::uint64_t)(sx(f[in->a], in->aw) / d) & in->mask;
+      VM_NEXT();
+    }
+    VM_CASE(DivU)
+      f[in->dst] =
+          f[in->b] == 0 ? in->mask : (f[in->a] / f[in->b]) & in->mask;
+      VM_NEXT();
+    VM_CASE(ModS) {
+      std::int64_t d = sx(f[in->b], in->bw);
+      f[in->dst] = (d == 0 || d == -1)
+                       ? 0
+                       : (std::uint64_t)(sx(f[in->a], in->aw) % d) & in->mask;
+      VM_NEXT();
+    }
+    VM_CASE(ModU)
+      f[in->dst] = f[in->b] == 0 ? 0 : (f[in->a] % f[in->b]) & in->mask;
+      VM_NEXT();
+    VM_CASE(AndN) f[in->dst] = (f[in->a] & f[in->b]) & in->mask; VM_NEXT();
+    VM_CASE(OrN) f[in->dst] = (f[in->a] | f[in->b]) & in->mask; VM_NEXT();
+    VM_CASE(XorN) f[in->dst] = (f[in->a] ^ f[in->b]) & in->mask; VM_NEXT();
+    VM_CASE(ShlV)
+      f[in->dst] = f[in->b] >= 64 ? 0 : (f[in->a] << f[in->b]) & in->mask;
+      VM_NEXT();
+    VM_CASE(ShrV)
+      f[in->dst] = f[in->b] >= 64 ? 0 : (f[in->a] >> f[in->b]) & in->mask;
+      VM_NEXT();
+    VM_CASE(SarV) {
+      std::uint64_t sh = f[in->b] >= 63 ? 63 : f[in->b];
+      f[in->dst] = (std::uint64_t)(sx(f[in->a], in->aw) >> sh) & in->mask;
+      VM_NEXT();
+    }
+    VM_CASE(EqN) f[in->dst] = f[in->a] == f[in->b] ? 1 : 0; VM_NEXT();
+    VM_CASE(NeN) f[in->dst] = f[in->a] != f[in->b] ? 1 : 0; VM_NEXT();
+    VM_CASE(LtS)
+      f[in->dst] = sx(f[in->a], in->aw) < sx(f[in->b], in->bw) ? 1 : 0;
+      VM_NEXT();
+    VM_CASE(LeS)
+      f[in->dst] = sx(f[in->a], in->aw) <= sx(f[in->b], in->bw) ? 1 : 0;
+      VM_NEXT();
+    VM_CASE(GtS)
+      f[in->dst] = sx(f[in->a], in->aw) > sx(f[in->b], in->bw) ? 1 : 0;
+      VM_NEXT();
+    VM_CASE(GeS)
+      f[in->dst] = sx(f[in->a], in->aw) >= sx(f[in->b], in->bw) ? 1 : 0;
+      VM_NEXT();
+    VM_CASE(LtU) f[in->dst] = f[in->a] < f[in->b] ? 1 : 0; VM_NEXT();
+    VM_CASE(LeU) f[in->dst] = f[in->a] <= f[in->b] ? 1 : 0; VM_NEXT();
+    VM_CASE(GtU) f[in->dst] = f[in->a] > f[in->b] ? 1 : 0; VM_NEXT();
+    VM_CASE(GeU) f[in->dst] = f[in->a] >= f[in->b] ? 1 : 0; VM_NEXT();
+    VM_CASE(Sel)
+      f[in->dst] = f[in->a] ? f[in->b] & in->mask : f[in->c] & in->mask;
+      VM_NEXT();
+    VM_CASE(OutW)
+      f[in->dst] = f[in->a] & in->mask;
+      s.outWritten[(std::size_t)in->b] = 1;
+      VM_NEXT();
+    VM_CASE(FuRd)
+      MPHLS_CHECK(s.fuActive[(std::size_t)in->b],
+                  "read of inactive unit output");
+      f[in->dst] = f[in->a];
+      VM_NEXT();
+    VM_CASE(FuAct) s.fuActive[(std::size_t)in->a] = 1; VM_NEXT();
+    VM_CASE(FuIss)
+      MPHLS_CHECK(s.pendingDone[(std::size_t)in->a] < 0,
+                  "unit issued while busy");
+      s.pendingDone[(std::size_t)in->a] = cycle + in->imm;
+      s.pendingVal[(std::size_t)in->a] = f[in->b];
+      VM_NEXT();
+    VM_CASE(CycEnd) next = in->a; goto cycleDone;
+    VM_CASE(CycBr)
+      next = (f[in->a] & 1) ? in->b : in->c;
+      goto cycleDone;
+    // Behavioral-only opcodes and CycHalt (peeked before dispatch) can
+    // never be reached here.
+    VM_CASE(Enter)
+    VM_CASE(Jmp)
+    VM_CASE(Br)
+    VM_CASE(Ret)
+    VM_CASE(CycHalt)
+      MPHLS_CHECK(false, "vm: bad opcode in RTL cycle trace");
+      VM_NEXT();
+    VM_LOOP_END()
+
+  cycleDone:
+    if (observe) {
+      s.obsRegs.assign(f + p.regBase, f + p.regBase + p.numRegs);
+      s.obsOuts.assign(f + p.outBase,
+                       f + p.outBase + (std::int32_t)p.ports.size());
+      s.obsFuActive.assign(s.fuActive.begin(), s.fuActive.end());
+      SimCycle sc;
+      sc.cycle = cycle;
+      sc.state = (std::uint64_t)cur;
+      sc.nextState = (std::uint64_t)next;
+      sc.regs = &s.obsRegs;
+      sc.outs = &s.obsOuts;
+      sc.fuActive = &s.obsFuActive;
+      observe(sc);
+    }
+    cur = next;
+  }
+
+  for (std::size_t i = 0; i < p.ports.size(); ++i)
+    if (!p.ports[i].isInput && s.outWritten[i])
+      res.outputs[p.ports[i].name] = f[(std::size_t)p.outBase + i];
+  return res;
+}
+
+}  // namespace mphls::vm

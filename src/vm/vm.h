@@ -1,0 +1,196 @@
+// Compiled simulation: a register-based bytecode VM for both simulation
+// levels.
+//
+// The tree-walking interpreters (ir/interp.cpp, rtl/rtlsim.cpp) resolve
+// operand locations, widths and mux selections on every executed op or
+// cycle. The VM moves all of that to compile time: a Function or RtlDesign
+// is lowered once into a flat instruction buffer whose operands are
+// pre-resolved frame slots and whose width masks are baked into each
+// instruction, so execution is a computed-goto dispatch over straight-line
+// code. The interpreters remain the semantic oracle — see sim_engine.h for
+// the cross-checking engine façade — and every instruction below is defined
+// as "exactly what Interpreter::evalPure / RtlSimulator::run computes".
+//
+//   - Behavioral programs lower each basic block to an EnterBlock header
+//     (budget check + trace/ops bookkeeping) followed by one instruction
+//     per op, with terminators as patched Jmp/Br/Ret.
+//   - RTL programs lower each controller state to a straight-line trace:
+//     FU source gathering and evaluation, register/port source reads into
+//     temporaries, raw register commits, masked port commits, and a
+//     CycEnd/CycBr/CycHalt trailer carrying the transition — a simulated
+//     cycle is one indirect jump into the state's trace plus a linear
+//     sweep.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/interp.h"
+#include "rtl/design.h"
+#include "rtl/rtlsim.h"
+
+namespace mphls::vm {
+
+// One X-macro is the single source of truth for opcode identity: the enum,
+// the computed-goto label table and the switch fallback are all generated
+// from it, so they can never disagree on dispatch order.
+//
+// Arithmetic opcodes are width-specialized at compile time: `mask` is the
+// result-width mask, `aw`/`bw` the operand widths (consulted only by the
+// sign-extending forms). Suffix S/U = signed/unsigned, C = constant
+// amount, V = variable amount, N = plain ("no variant").
+#define MPHLS_VM_OPS(X)                                                   \
+  X(Nop)     /* no effect */                                              \
+  X(ConstK)  /* dst = imm (pre-truncated) */                              \
+  X(Move)    /* dst = f[a] & mask */                                      \
+  X(SExtN)   /* dst = sext(f[a], aw) & mask */                            \
+  X(NotN) X(NegN) X(IncN) X(DecN)                                         \
+  X(ShlC) X(ShrC) X(SarC)   /* shift by imm (pre-validated range) */      \
+  X(AddN) X(SubN) X(MulN)                                                 \
+  X(DivS) X(DivU) X(ModS) X(ModU)                                         \
+  X(AndN) X(OrN) X(XorN)                                                  \
+  X(ShlV) X(ShrV) X(SarV)   /* shift by f[b] */                           \
+  X(EqN) X(NeN)                                                           \
+  X(LtS) X(LeS) X(GtS) X(GeS)                                             \
+  X(LtU) X(LeU) X(GtU) X(GeU)                                             \
+  X(Sel)     /* dst = f[a] ? f[b] & mask : f[c] & mask */                 \
+  X(OutW)    /* dst = f[a] & mask; portWritten[b] = 1 */                  \
+  X(Enter)   /* block header: budget, trace, ops += imm (a = block) */    \
+  X(Jmp)     /* pc = a */                                                 \
+  X(Br)      /* pc = f[a] ? b : c */                                      \
+  X(Ret)     /* behavioral return */                                      \
+  X(FuRd)    /* dst = f[a], checking fuActive[b] */                       \
+  X(FuAct)   /* fuActive[a] = 1 (single-cycle result just computed) */    \
+  X(FuIss)   /* issue multicycle: pending[a] = f[b], done in imm cycles */\
+  X(CycEnd)  /* end of cycle trace; next state = a */                     \
+  X(CycBr)   /* end of cycle trace; next = (f[a] & 1) ? b : c */          \
+  X(CycHalt) /* state is the halt state */
+
+enum class BOp : std::uint8_t {
+#define MPHLS_VM_ENUM(name) name,
+  MPHLS_VM_OPS(MPHLS_VM_ENUM)
+#undef MPHLS_VM_ENUM
+      Count,
+};
+
+/// One fixed-width instruction. Slot indices are frame offsets resolved at
+/// compile time; `mask` is the result-width mask (all-ones when the write
+/// is raw), `aw`/`bw` the operand widths for the sign-extending opcodes.
+struct Insn {
+  BOp op = BOp::Nop;
+  std::uint8_t aw = 64;
+  std::uint8_t bw = 64;
+  std::int32_t dst = 0;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::int32_t c = 0;
+  std::int64_t imm = 0;
+  std::uint64_t mask = ~0ull;
+};
+
+/// Port metadata shared by both program kinds (indexed by PortId).
+struct PortInfo {
+  std::string name;
+  int width = 0;
+  bool isInput = false;
+};
+
+/// A compiled behavioral Function. Frame layout:
+/// [values | variables | ports], all zero-initialized per run.
+struct BehavProgram {
+  std::vector<Insn> code;
+  std::int32_t entryPc = 0;
+  std::int32_t numSlots = 0;
+  std::int32_t varBase = 0;
+  std::int32_t portBase = 0;
+  std::vector<PortInfo> ports;
+  /// Input-port indices sorted by port name: input loading is a single
+  /// merge pass against the (ordered) inputs map instead of a lookup per
+  /// port.
+  std::vector<std::int32_t> inOrder;
+};
+
+/// A compiled RTL design. Frame layout:
+/// [registers | input ports | output ports | FU outputs | temps | pool],
+/// where the pool holds constant-folded datapath sources (Const roots with
+/// their wiring transforms pre-applied).
+struct RtlProgram {
+  std::vector<Insn> code;
+  /// Per controller state: offset of its cycle trace in `code`.
+  std::vector<std::int32_t> stateStart;
+  std::int32_t initialState = 0;
+  std::int32_t numSlots = 0;
+  std::int32_t regBase = 0;
+  std::int32_t inBase = 0;
+  std::int32_t outBase = 0;
+  std::int32_t fuBase = 0;
+  std::int32_t numRegs = 0;
+  std::int32_t numFus = 0;
+  std::vector<std::pair<std::int32_t, std::uint64_t>> pool;
+  std::vector<PortInfo> ports;
+  /// Input-port indices sorted by port name (see BehavProgram::inOrder).
+  std::vector<std::int32_t> inOrder;
+  /// Whether any state issues a multicycle unit (FuIss); when false the
+  /// per-cycle completion-delivery sweep is skipped entirely.
+  bool hasMulticycle = false;
+};
+
+/// Reusable run state. Keeping it outside the program lets a caller (the
+/// SimEngine cache, the fuzzer's per-point loop, the benchmark) re-run a
+/// compiled program without reallocating; none of this is thread-safe to
+/// share, which matches the one-simulator-per-worker fuzz architecture.
+struct BehavScratch {
+  std::vector<std::uint64_t> frame;
+  std::vector<std::uint8_t> portWritten;
+  /// Block-trace length of the previous run, used as the reserve hint for
+  /// the next one (trial inputs on the same program usually trace within
+  /// the same order of magnitude, so repeated growth reallocations stop
+  /// after the first run).
+  std::size_t lastTraceLen = 0;
+};
+
+struct RtlScratch {
+  std::vector<std::uint64_t> frame;
+  std::vector<std::uint8_t> fuActive;
+  std::vector<std::uint8_t> outWritten;
+  std::vector<long> pendingDone;
+  std::vector<std::uint64_t> pendingVal;
+  // Observer staging, filled only when a SimObserver is attached.
+  std::vector<std::uint64_t> obsRegs;
+  std::vector<std::uint64_t> obsOuts;
+  std::vector<bool> obsFuActive;
+  /// Program this scratch was last sized and pool-primed for. While it
+  /// stays the same, runs skip re-sizing every vector and re-writing the
+  /// constant pool (the pool region of the frame is never clobbered by
+  /// execution, so priming once per program is sound).
+  const void* primedFor = nullptr;
+};
+
+/// Lower a behavioral function to bytecode. Pure metadata transformation:
+/// never executes the design.
+[[nodiscard]] BehavProgram compileBehavioral(const Function& fn);
+
+/// Lower a synthesized design's controller + datapath to per-state traces.
+/// Mux selections are validated here ("bad mux select" becomes a compile
+/// error instead of a runtime one).
+[[nodiscard]] RtlProgram compileRtl(const RtlDesign& d);
+
+/// Execute a compiled behavioral program. Bit-identical to
+/// Interpreter::run on every field of ExecResult (outputs, blockTrace,
+/// opsExecuted, finished).
+[[nodiscard]] ExecResult runBehavProgram(
+    const BehavProgram& p, BehavScratch& scratch,
+    const std::map<std::string, std::uint64_t>& inputs,
+    long maxBlockExecs = 100000);
+
+/// Execute a compiled RTL program. Bit-identical to RtlSimulator::run
+/// (outputs, cycles, finished), including the per-cycle SimCycle snapshots
+/// handed to `observe` — the VCD/coverage path runs on the VM natively.
+[[nodiscard]] RtlExecResult runRtlProgram(
+    const RtlProgram& p, RtlScratch& scratch,
+    const std::map<std::string, std::uint64_t>& inputs,
+    long maxCycles = 1000000, const SimObserver& observe = {});
+
+}  // namespace mphls::vm

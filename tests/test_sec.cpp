@@ -372,6 +372,22 @@ TEST(SecInject, SwappedBindingIsCaught) {
   EXPECT_GE(applicable, 1) << "no design offered a swappable binding";
 }
 
+TEST(SecInject, FailedProofReplaysWitnessOnVm) {
+  // A mismatch proof decodes its first SAT witness by replaying the
+  // input-port assignment through the bytecode co-sim and reports the
+  // outcome as a note alongside the error findings.
+  int replayed = 0;
+  for (const auto& d : designs::all()) {
+    Synthesizer synth(proveOptions(OptLevel::None, false));
+    SynthesisResult r = synth.synthesizeSource(d.source);
+    if (fuzz::injectSwappedBinding(r.design) == 0) continue;
+    CheckReport rep = sec::proveEquivalence(r.design);
+    if (rep.clean()) continue;
+    if (rep.has("sec.cex.replay")) ++replayed;
+  }
+  EXPECT_GE(replayed, 1) << "no failed proof produced a witness replay note";
+}
+
 // ------------------------------------------------- diagnostics determinism
 
 CheckReport scrambledReport() {
