@@ -1,7 +1,9 @@
 #!/bin/sh
 # Tier-1 verification: warnings-clean build, full test suite, a static lint
 # of the paper's square-root design, the semantic-lint gate over every
-# built-in design, a fixed-seed differential fuzz campaign (plus an
+# built-in design, a static-timing gate (path-level STA over every
+# built-in, cross-validated against the estimator, plus a must-fail
+# tight-clock run), a fixed-seed differential fuzz campaign (plus an
 # injected-miscompile round trip), the formal equivalence gate (`mphls
 # prove` over every built-in at every opt level, plus must-fail runs for
 # each injected bug class), a bytecode-VM oracle gate (200 seeds co-
@@ -9,7 +11,8 @@
 # tolerated), an AddressSanitizer+UBSan pass over the whole suite
 # (observability layer and VM dispatch loop included), a ThreadSanitizer
 # pass over the parallel-DSE layer, bench smoke runs with schema checks of
-# the emitted BENCH_dse.json and BENCH_sim.json, and an observability
+# the emitted BENCH_dse.json, BENCH_sim.json and BENCH_sta.json, and an
+# observability
 # smoke run validating the Chrome trace, metrics JSON, and VCD waveform
 # from `mphls profile`.
 set -eu
@@ -25,6 +28,19 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 # error-severity finding on any built-in design (warnings are allowed and
 # printed for review).
 ./build/src/cli/mphls analyze --builtins
+
+# --- Static-timing gate: every built-in must close timing at its own
+# estimated clock with the STA engine agreeing with the estimator (the
+# sta command exits 1 on any error-severity timing finding)...
+./build/src/cli/mphls sta --builtins
+
+# ...and an impossibly tight clock must be *reported* as negative slack
+# (exit 1), proving the slack math and the timing lint fire end to end.
+if ./build/src/cli/mphls sta --clock 2.0 examples/sqrt.bdl --quiet \
+    > /dev/null; then
+  echo "sta: negative slack at a 2ns clock was NOT reported" >&2
+  exit 1
+fi
 
 # --- Differential fuzz smoke: a fixed-seed campaign over the standard
 # scheduler/allocator/encoding matrix must co-simulate clean (any failure
@@ -157,6 +173,42 @@ for key in ("seeds", "matrix", "cosims", "interp_seconds", "vm_seconds",
 
 print("sim bench smoke: schema ok, "
       f"rtl geomean {sim['rtl_speedup_geomean']:.1f}x (single repeat)")
+EOF
+
+# --- STA bench smoke: the timing-analysis suite must run over every
+# built-in, close timing everywhere, and emit a report with the expected
+# schema.
+./build/src/cli/mphls bench --sta --repeats 1 --out "$BENCH_OUT" --quiet
+python3 - "$BENCH_OUT/BENCH_sta.json" << 'EOF'
+import json, sys
+
+sta = json.load(open(sys.argv[1]))
+need = {
+    "benchmark": str, "repeats": int, "designs": list,
+    "all_closed": bool, "worst_slack": (int, float),
+    "wall_seconds": (int, float),
+}
+for key, ty in need.items():
+    assert key in sta, f"BENCH_sta.json missing key: {key}"
+    assert isinstance(sta[key], ty), f"BENCH_sta.json bad type for {key}"
+assert sta["benchmark"] == "sta_analysis"
+assert sta["designs"], "BENCH_sta.json has no designs"
+assert sta["all_closed"], "a builtin failed to close timing"
+assert abs(sta["worst_slack"]) < 1e-6, "nonzero slack at estimated clock"
+for d in sta["designs"]:
+    for key in ("name", "states", "reachable_states", "endpoints",
+                "clock_ns", "cycle_time", "estimated_cycle_time",
+                "worst_slack", "critical_state", "critical_path_points",
+                "structural_cycle_time", "false_path_endpoints",
+                "analysis_seconds"):
+        assert key in d, f"BENCH_sta.json design missing {key}"
+    assert abs(d["cycle_time"] - d["estimated_cycle_time"]) < 1e-6, \
+        f"{d['name']}: STA diverged from the estimator"
+    assert d["structural_cycle_time"] >= d["cycle_time"] - 1e-9
+    assert d["critical_path_points"] >= 2, \
+        f"{d['name']}: critical path has no route"
+
+print("sta bench smoke: schema ok, all builtins close timing")
 EOF
 
 # --- Observability smoke: `mphls profile` must emit a well-formed Chrome

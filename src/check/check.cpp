@@ -17,6 +17,7 @@ CheckReport checkDesign(const RtlDesign& design, const CheckOptions& options) {
   if (options.controller)
     checkController(design.fn, design.sched, design.ctrl, design.ic,
                     design.binding, options.latencies, report);
+  if (options.timing) checkTiming(design, options.timingOptions, report);
   if (options.netlist && options.latencies.isUnit())
     lintVerilog(emitVerilog(design), report);
   return report;

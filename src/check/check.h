@@ -8,6 +8,7 @@
 #include "check/check_controller.h"
 #include "check/check_schedule.h"
 #include "check/check_semantics.h"
+#include "check/check_timing.h"
 #include "check/lint_verilog.h"
 #include "check/report.h"
 #include "rtl/design.h"
@@ -29,6 +30,10 @@ struct CheckOptions {
   /// Emit Verilog and lint the netlist. Skipped automatically for
   /// multicycle latency models (the emitter supports unit latency only).
   bool netlist = true;
+  /// Run the timing-closure lint (check_timing.h): negative slack at the
+  /// declared clock, STA-vs-estimator cross-validation, chain overruns.
+  bool timing = true;
+  TimingLintOptions timingOptions;
 };
 
 /// Run all enabled analyzers; findings accumulate in one report.

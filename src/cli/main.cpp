@@ -7,6 +7,8 @@
 //   mphls analyze --builtins
 //   mphls prove [--prove-passes] [--inject mul|sched|bind]
 //               [--format text|json] [options] design.bdl | --builtins
+//   mphls sta [--clock NS] [--paths K] [--format text|json]
+//             [options] design.bdl | --builtins
 //   mphls profile [options] design.bdl
 //   mphls bench [--jobs N] [--points N] [--repeats N] [--sched-ops N]
 //               [--out DIR] [--trace FILE] [--stats FILE] [--quiet]
@@ -34,6 +36,16 @@
 // *fails* on every design it applies to. `--builtins` proves every
 // built-in design (the CI gate). The plain synthesis path accepts
 // `--prove` to run the same proof as a pipeline stage.
+//
+// The `sta` subcommand runs the path-level static timing analysis engine
+// (src/sta/, DESIGN.md §13) on the synthesized design: per-state timing
+// graphs with arrival/required/slack against a target clock (--clock,
+// default: the estimated cycle time), the K worst named paths (--paths),
+// state-aware false-path pruning versus the structural analysis, and the
+// timing-closure lint (timing.* check ids). Exits 1 on any error-severity
+// finding — negative slack, STA-vs-estimator divergence, comb loops.
+// `--builtins` analyzes every built-in design (the CI gate); `--format
+// json` emits the machine-readable report.
 //
 // The `analyze` subcommand runs the abstract-interpretation dataflow engine
 // (value ranges + known bits) on the compiled behavior and prints the
@@ -106,6 +118,7 @@
 #include "fuzz/diff_runner.h"
 #include "sec/passes.h"
 #include "sec/prove.h"
+#include "sta/sta.h"
 #include "ir/dot.h"
 #include "lang/frontend.h"
 #include "obs/metrics.h"
@@ -136,6 +149,9 @@ struct CliArgs {
   bool analyze = false;
   bool profile = false;
   bool prove = false;        ///< `prove` subcommand
+  bool sta = false;          ///< `sta` subcommand
+  double staClock = 0;       ///< --clock: target period (0 = estimated)
+  int staPaths = 5;          ///< --paths: K worst paths to report
   bool provePasses = false;  ///< --prove-passes: per-pass validation
   bool jsonFormat = false;   ///< --format json (lint and prove)
   fuzz::InjectedBug inject = fuzz::InjectedBug::None;
@@ -152,6 +168,8 @@ void usage() {
       "       mphls prove [--prove-passes] [--inject mul|sched|bind]\n"
       "                   [--format text|json] [options] design.bdl |"
       " --builtins\n"
+      "       mphls sta [--clock NS] [--paths K] [--format text|json]\n"
+      "                 [options] design.bdl | --builtins\n"
       "       mphls profile [options] design.bdl\n"
       "  --top NAME  --scheduler serial|asap|list|force|freedom|bnb|transform\n"
       "  --fus N  --priority path|mobility|urgency|program\n"
@@ -161,7 +179,8 @@ void usage() {
       "  --verify a=1,b=2  --sweep N  --jobs N  --multicycle  --narrow\n"
       "  --trace FILE  --vcd FILE  --stats FILE\n"
       "  --check|--no-check  --prove  --quiet\n"
-      "       mphls bench [--sim] [--jobs N] [--points N] [--repeats N]\n"
+      "       mphls bench [--sim] [--sta] [--jobs N] [--points N]"
+      " [--repeats N]\n"
       "                   [--sched-ops N] [--out DIR] [--trace FILE]\n"
       "                   [--stats FILE] [--quiet]\n"
       "       mphls fuzz [--seeds N] [--seed-base S] [--jobs N]\n"
@@ -317,6 +336,17 @@ int runProfile(const CliArgs& a, const SynthesisResult& result) {
                 (unsigned long long)changes);
   }
 
+  // Timing closure at the estimated clock (DESIGN.md §13).
+  const sta::StaResult staRes = sta::runSta(d);
+  std::printf("\n%-20s %12s\n", "timing", "value");
+  std::printf("  %-18s %12.3f\n", "clock (estimated)", staRes.clockNs);
+  std::printf("  %-18s %12.3f\n", "cycle time", staRes.cycleTime);
+  std::printf("  %-18s %+12.3f\n", "worst slack", staRes.worstSlack);
+  std::printf("  %-18s %12.3f\n", "structural cycle", staRes.structuralCycleTime);
+  std::printf("  %-18s %12zu\n", "false-path endpts", staRes.falsePathEndpoints);
+  if (!staRes.paths.empty())
+    std::printf("  critical: %s\n", staRes.paths.front().describe().c_str());
+
   std::printf("\nsimulation: %ld cycles (%s)\n", sim->res.cycles,
               sim->res.finished ? "halted" : "did not halt");
   std::printf("  %-18s %zu/%zu visited (%.1f%%)\n", "fsm states",
@@ -458,6 +488,16 @@ std::optional<CliArgs> parseArgs(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       a.statsOut = v;
+    } else if (arg == "--clock") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.staClock = std::atof(v);
+      if (a.staClock <= 0) return std::nullopt;
+    } else if (arg == "--paths") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.staPaths = std::atoi(v);
+      if (a.staPaths < 0) return std::nullopt;
     } else if (arg == "--builtins") {
       a.builtins = true;
     } else if (arg == "--check") {
@@ -485,6 +525,8 @@ std::optional<CliArgs> parseArgs(int argc, char** argv) {
       a.analyze = true;
     } else if (arg == "prove" && a.file.empty() && !a.prove) {
       a.prove = true;
+    } else if (arg == "sta" && a.file.empty() && !a.sta) {
+      a.sta = true;
     } else if (arg == "profile" && a.file.empty() && !a.profile) {
       a.profile = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -494,7 +536,7 @@ std::optional<CliArgs> parseArgs(int argc, char** argv) {
     }
   }
   a.opts.resources = ResourceLimits::universalSet(fus);
-  if (a.builtins && !a.analyze && !a.prove) return std::nullopt;
+  if (a.builtins && !a.analyze && !a.prove && !a.sta) return std::nullopt;
   if (a.file.empty() && !a.builtins) return std::nullopt;
   if (a.inject != fuzz::InjectedBug::None && !a.prove) return std::nullopt;
   return a;
@@ -721,11 +763,119 @@ int runProve(const CliArgs& a, std::optional<Function> fileFn) {
   return ok ? rc : 1;
 }
 
+/// One sta report as a JsonValue: the StaResult plus the timing lint's
+/// findings in the lint/prove diagnostics convention (sorted/deduped).
+JsonValue staJsonOne(const std::string& key, const std::string& name,
+                     const sta::StaResult& r, const CheckReport& rep) {
+  JsonValue j = sta::staReportJson(key, name, r);
+  JsonValue diags = JsonValue::array();
+  for (const CheckDiag& dg : rep.sorted()) {
+    JsonValue o = JsonValue::object();
+    o["severity"] = std::string(checkSeverityName(dg.severity));
+    o["code"] = dg.id;
+    o["where"] = dg.where;
+    o["message"] = dg.message;
+    diags.push(std::move(o));
+  }
+  j["diagnostics"] = std::move(diags);
+  j["errors"] = rep.errorCount();
+  j["warnings"] = rep.warningCount();
+  j["clean"] = rep.clean();
+  return j;
+}
+
+/// `mphls sta`: path-level static timing analysis over one file or every
+/// built-in design. Prints the summary, the K worst named paths and the
+/// timing lint's findings; exits 1 on any error-severity finding.
+int runStaCmd(const CliArgs& a, std::optional<Function> fileFn) {
+  struct Target {
+    std::string name;
+    std::string source;
+  };
+  std::vector<Target> targets;
+  if (a.builtins) {
+    for (const auto& d : designs::all()) targets.push_back({d.name, d.source});
+  } else {
+    targets.push_back({a.file, ""});
+  }
+
+  // Like lint: the stage-exit throwing checks are disabled so the timing
+  // report below collects every finding instead of dying mid-pipeline.
+  SynthesisOptions so = a.opts;
+  so.check = false;
+  bool ok = true;
+  std::vector<JsonValue> reports;
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    std::optional<Function> compiled;
+    if (!a.builtins) {
+      compiled = std::move(fileFn);
+    } else {
+      DiagEngine diags;
+      auto fn = compileBdl(targets[t].source, diags);
+      if (!fn)
+        return fail("builtin '" + targets[t].name + "' failed to compile");
+      compiled = std::move(*fn);
+    }
+    Synthesizer synth(so);
+    std::optional<SynthesisResult> result;
+    try {
+      result = synth.synthesize(std::move(*compiled));
+    } catch (const InternalError& e) {
+      return fail("synthesis of '" + targets[t].name +
+                  "' failed before timing analysis: " + e.what());
+    }
+
+    sta::StaOptions sopt;
+    sopt.clockNs = a.staClock;
+    sopt.maxPaths = a.staPaths;
+    const sta::StaResult r = sta::runSta(result->design, sopt);
+    CheckReport rep;
+    TimingLintOptions topt;
+    topt.clockNs = a.staClock;
+    topt.maxReported = std::max(a.staPaths, 1);
+    checkTiming(result->design, topt, rep);
+    ok = ok && rep.clean();
+
+    if (a.jsonFormat) {
+      reports.push_back(staJsonOne(a.builtins ? "design" : "file",
+                                   targets[t].name, r, rep));
+      continue;
+    }
+    std::printf("%s: clock %.3f%s, cycle time %.3f, worst slack %+.3f,"
+                " critical state %d\n",
+                targets[t].name.c_str(), r.clockNs,
+                r.clockWasEstimated ? " (estimated)" : "", r.cycleTime,
+                r.worstSlack, r.criticalState);
+    std::printf("  %zu/%zu state(s) reachable, %zu endpoint(s); structural"
+                " cycle time %.3f, %zu false-path endpoint(s) pruned\n",
+                r.reachableStates, r.totalStates, r.endpointCount,
+                r.structuralCycleTime, r.falsePathEndpoints);
+    if (!a.quiet)
+      for (const sta::TimingPath& p : r.paths)
+        std::cout << "  " << p.describe() << "\n";
+    if (!rep.empty() && (!a.quiet || !rep.clean())) std::cout << rep.render();
+  }
+
+  if (a.jsonFormat) {
+    // One object for a file, an array for --builtins (prove convention).
+    if (a.builtins) {
+      JsonValue arr = JsonValue::array();
+      for (JsonValue& j : reports) arr.push(std::move(j));
+      std::cout << arr.dump();
+    } else {
+      std::cout << reports.front().dump();
+    }
+  }
+  const int rc = writeObsOutputs(a.traceOut, a.statsOut, a.quiet);
+  return ok ? rc : 1;
+}
+
 int runBench(int argc, char** argv) {
   BenchOptions b;
   b.jobs = 0;  // hardware concurrency unless --jobs given
   std::string traceOut, statsOut;
   bool simSuite = false;
+  bool staSuite = false;
   bool repeatsGiven = false;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -735,6 +885,8 @@ int runBench(int argc, char** argv) {
     };
     if (arg == "--sim") {
       simSuite = true;
+    } else if (arg == "--sta") {
+      staSuite = true;
     } else if (arg == "--jobs") {
       const char* v = next();
       if (!v || std::atoi(v) < 1) return (usage(), 2);
@@ -779,6 +931,9 @@ int runBench(int argc, char** argv) {
     sb.outDir = b.outDir;
     sb.quiet = b.quiet;
     rc = fuzz::runSimBenchSuite(sb);
+  } else if (staSuite) {
+    if (!repeatsGiven) b.repeats = 5;  // analysis is fast: best-of-5
+    rc = runStaBenchSuite(b);
   } else {
     rc = runBenchSuite(b);
   }
@@ -929,7 +1084,8 @@ int runFuzz(int argc, char** argv) {
     std::cout << "fuzz: " << r.failedPrograms << " failing programs ("
               << r.mismatches << " mismatches, " << r.checkFailures
               << " check findings, " << r.errors << " errors, "
-              << r.divergences << " vm divergences)\n";
+              << r.divergences << " vm divergences, " << r.staFailures
+              << " sta failures)\n";
   }
 
   if (outFile.empty() && !r.clean() && !c.corpusDir.empty())
@@ -959,6 +1115,7 @@ int main(int argc, char** argv) {
 
   if (a.analyze && a.builtins) return runAnalyzeBuiltins(a.quiet);
   if (a.prove && a.builtins) return runProve(a, std::nullopt);
+  if (a.sta && a.builtins) return runStaCmd(a, std::nullopt);
 
   std::ifstream in(a.file);
   if (!in) return fail("cannot open " + a.file);
@@ -990,6 +1147,7 @@ int main(int argc, char** argv) {
   }
 
   if (a.prove) return runProve(a, std::move(*fn));
+  if (a.sta) return runStaCmd(a, std::move(*fn));
 
   if (a.lint) {
     // Lint collects every finding in one pass, so the stage-exit throwing

@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "sched/force_directed.h"
 #include "sched/schedule.h"
+#include "sta/sta.h"
 
 namespace mphls {
 
@@ -273,6 +274,64 @@ int runBenchSuite(const BenchOptions& opts) {
   }
   if (!opts.quiet) std::printf("wrote %s\n", schedPath.c_str());
   return 0;
+}
+
+int runStaBenchSuite(const BenchOptions& opts) {
+  const std::string sep = opts.outDir.empty() || opts.outDir.back() == '/'
+                              ? ""
+                              : "/";
+  WallTimer timer;
+  BenchReporter rep("sta_analysis");
+  rep.root()["repeats"] = opts.repeats;
+  JsonValue& arr = rep.root()["designs"] = JsonValue::array();
+
+  double worstSlack = 0.0;
+  bool closed = true;
+  for (const auto& d : designs::all()) {
+    Synthesizer synth;
+    SynthesisResult res = synth.synthesizeSource(d.source);
+
+    sta::StaResult r = sta::runSta(res.design);
+    const double sec = BenchReporter::timeBest(
+        opts.repeats, [&] { (void)sta::runSta(res.design); });
+
+    JsonValue e = JsonValue::object();
+    e["name"] = d.name;
+    e["states"] = r.totalStates;
+    e["reachable_states"] = r.reachableStates;
+    e["endpoints"] = r.endpointCount;
+    e["clock_ns"] = r.clockNs;
+    e["cycle_time"] = r.cycleTime;
+    e["estimated_cycle_time"] = r.estimatedCycleTime;
+    e["worst_slack"] = r.worstSlack;
+    e["critical_state"] = r.criticalState;
+    e["critical_path_points"] =
+        r.paths.empty() ? (std::size_t)0 : r.paths.front().points.size();
+    e["structural_cycle_time"] = r.structuralCycleTime;
+    e["false_path_endpoints"] = r.falsePathEndpoints;
+    e["analysis_seconds"] = sec;
+    arr.push(std::move(e));
+
+    if (r.worstSlack < worstSlack) worstSlack = r.worstSlack;
+    // At its own estimated clock every builtin must close timing.
+    if (r.worstSlack < -1e-9 || r.combLoop) closed = false;
+    if (!opts.quiet)
+      std::printf("sta %-12s %2zu states, %3zu endpoints: cycle %.3f ns, "
+                  "slack %+.3f, %.2f us/run\n",
+                  d.name, r.reachableStates, r.endpointCount,
+                  r.cycleTime, r.worstSlack, sec * 1e6);
+  }
+  rep.root()["all_closed"] = closed;
+  rep.root()["worst_slack"] = worstSlack;
+  rep.root()["wall_seconds"] = timer.seconds();
+
+  const std::string staPath = opts.outDir + sep + "BENCH_sta.json";
+  if (!rep.writeFile(staPath)) {
+    std::fprintf(stderr, "mphls bench: cannot write %s\n", staPath.c_str());
+    return 1;
+  }
+  if (!opts.quiet) std::printf("wrote %s\n", staPath.c_str());
+  return closed ? 0 : 1;
 }
 
 }  // namespace mphls

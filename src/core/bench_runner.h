@@ -26,4 +26,12 @@ struct BenchOptions {
 /// are recorded in the JSON, and only I/O errors fail the run.
 int runBenchSuite(const BenchOptions& opts);
 
+/// `mphls bench --sta`: run the static timing engine over every builtin
+/// design and write outDir/BENCH_sta.json — analysis wall time (best of
+/// `repeats`), worst slack at the estimated clock, critical-path length,
+/// and the state-aware vs structural comparison per design. Fails (1) on
+/// I/O errors or if any builtin fails to close timing at its own
+/// estimated cycle time.
+int runStaBenchSuite(const BenchOptions& opts);
+
 }  // namespace mphls

@@ -6,6 +6,7 @@
 #include "check/check_binding.h"
 #include "check/check_controller.h"
 #include "check/check_schedule.h"
+#include "check/check_timing.h"
 #include "ir/interp.h"
 #include "ir/verify.h"
 #include "lang/frontend.h"
@@ -230,6 +231,18 @@ SynthesisResult Synthesizer::backend(Function fn, StageTimes st) {
     obs::TraceSpan span("stage.estimate", &st.estimate);
     result.area = estimateArea(result.design, result.fsm);
     result.timing = estimateTiming(result.design);
+  }
+  if (options_.check) {
+    obs::TraceSpan span("stage.check", "timing", &st.check);
+    // Stage exit: the STA engine must close timing at the estimated cycle
+    // time and agree with the estimator it cross-validates.
+    CheckReport rep;
+    TimingLintOptions topt;
+    topt.clockNs = result.timing.cycleTime;
+    checkTiming(result.design, topt, rep);
+    MPHLS_CHECK(rep.clean(), "timing closure check failed ("
+                                 << rep.errorCount()
+                                 << " finding(s)): " << rep.firstError());
   }
   if (options_.prove) {
     obs::TraceSpan span("stage.prove", &st.prove);

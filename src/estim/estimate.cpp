@@ -1,6 +1,7 @@
 #include "estim/estimate.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace mphls {
 
@@ -19,31 +20,153 @@ AreaEstimate estimateArea(const RtlDesign& d, const EncodedFsm& fsm,
   return a;
 }
 
+namespace {
+
+// Per-FU arrival memo sentinels.
+constexpr double kUnset = -1.0;
+constexpr double kInProgress = -2.0;
+
+double fuOutputArrival(const RtlDesign& d, const CtrlState& st, int f,
+                       std::vector<double>& memo);
+
+/// Arrival time of datapath source `s` at its consumer in state `st`.
+/// Registers, input ports and constants launch at the clock edge (0);
+/// free wiring transforms add nothing; a functional-unit output recurses
+/// through the operand legs the state actually selects.
+double sourceArrival(const RtlDesign& d, const CtrlState& st, const Source& s,
+                     std::vector<double>& memo) {
+  return s.kind == Source::Kind::Fu ? fuOutputArrival(d, st, s.id, memo) : 0.0;
+}
+
+/// Per-stage combinational delay of multicycle unit `f` delivering its
+/// result in state `st`: find the issue action in the same block whose
+/// span completes here. Falls back to the full component delay when no
+/// issue action matches (conservative; only possible on corrupt input).
+double completionStageDelay(const RtlDesign& d, const CtrlState& st, int f) {
+  const FuInstance& fu = d.binding.fus[(std::size_t)f];
+  const double full = d.lib.component(fu.comp).delay(fu.width);
+  for (const CtrlState& is : d.ctrl.states) {
+    if (is.block != st.block || is.step >= st.step) continue;
+    for (const FuAction& fa : is.fuActions)
+      if (fa.fu == f && fa.cycles > 1 && is.step + fa.cycles - 1 == st.step)
+        return full / fa.cycles;
+  }
+  return full;
+}
+
+/// Arrival time of functional-unit `f`'s output in state `st`. When the
+/// state issues an operation on `f`, that is the worst selected operand
+/// leg (source arrival + input-mux delay) plus the unit's combinational
+/// delay — spread over its span for a multicycle issue. When the state
+/// does not drive `f`, the unit is delivering a previously issued
+/// multicycle result and contributes only its final internal stage.
+double fuOutputArrival(const RtlDesign& d, const CtrlState& st, int f,
+                       std::vector<double>& memo) {
+  if (f < 0 || (std::size_t)f >= d.binding.fus.size()) return 0.0;
+  if (memo[(std::size_t)f] >= 0) return memo[(std::size_t)f];
+  // A combinational cycle through FU outputs cannot occur in a scheduled
+  // design (a consumer FU issues the step after delivery); cut the
+  // recursion defensively so corrupt inputs cannot loop.
+  if (memo[(std::size_t)f] == kInProgress) return 0.0;
+  memo[(std::size_t)f] = kInProgress;
+
+  const FuAction* act = nullptr;
+  for (const FuAction& fa : st.fuActions)
+    if (fa.fu == f) act = &fa;
+
+  double arrival;
+  if (act == nullptr) {
+    arrival = completionStageDelay(d, st, f);
+  } else {
+    const FuInstance& fu = d.binding.fus[(std::size_t)f];
+    double in = 0;
+    for (int p = 0; p < 3; ++p) {
+      if (act->muxSel[p] < 0) continue;
+      const MuxSpec& m = d.ic.fuInput[(std::size_t)f][(std::size_t)p];
+      if (act->muxSel[p] >= m.legs()) continue;  // corrupt; checked elsewhere
+      in = std::max(in,
+                    sourceArrival(d, st, m.sources[(std::size_t)act->muxSel[p]],
+                                  memo) +
+                        d.lib.muxDelay(m.legs()));
+    }
+    // A multicycle unit spreads its combinational depth over its span.
+    arrival = in + d.lib.component(fu.comp).delay(fu.width) /
+                       std::max(act->cycles, 1);
+  }
+  memo[(std::size_t)f] = arrival;
+  return arrival;
+}
+
+/// States reachable from the controller's initial state. Unreachable
+/// states never execute, so their (would-be) paths do not constrain the
+/// clock.
+std::vector<char> reachableStates(const Controller& ctrl) {
+  std::vector<char> seen(ctrl.states.size(), 0);
+  std::vector<std::size_t> work;
+  auto visit = [&](StateId s) {
+    if (s.valid() && s.index() < seen.size() && !seen[s.index()]) {
+      seen[s.index()] = 1;
+      work.push_back(s.index());
+    }
+  };
+  visit(ctrl.initial);
+  while (!work.empty()) {
+    const CtrlState& st = ctrl.states[work.back()];
+    work.pop_back();
+    visit(st.next);
+    visit(st.nextTaken);
+    visit(st.nextNot);
+  }
+  return seen;
+}
+
+}  // namespace
+
+// Path-accurate per-state register-to-register timing: for every capture
+// point the state enables (register load, output-port write, FSM
+// next-state logic, the internal stage boundary of a multicycle issue)
+// trace the actual source cone — launch, input mux, functional unit,
+// chained free wiring, destination mux, setup — rather than pairing the
+// worst FU path with the worst destination mux regardless of whether any
+// state connects them. The sta engine (src/sta/) re-derives the same
+// quantity over an explicit timing graph; check_timing cross-validates
+// the two on every checked synthesis.
 TimingEstimate estimateTiming(const RtlDesign& d) {
   TimingEstimate t;
+  const double setup = d.lib.registerSetupDelay();
+  const std::vector<char> reach = reachableStates(d.ctrl);
   for (const CtrlState& st : d.ctrl.states) {
-    double stateDelay = 0;
-    for (const FuAction& fa : st.fuActions) {
-      const FuInstance& fu = d.binding.fus[(std::size_t)fa.fu];
-      double inMux = 0;
-      for (int p = 0; p < 3; ++p) {
-        if (fa.muxSel[p] < 0) continue;
-        inMux = std::max(
-            inMux,
-            d.lib.muxDelay(
-                d.ic.fuInput[(std::size_t)fa.fu][(std::size_t)p].legs()));
-      }
-      // A multicycle unit spreads its combinational depth over its span.
-      double delay = inMux + d.lib.component(fu.comp).delay(fu.width) /
-                                 std::max(fa.cycles, 1);
-      stateDelay = std::max(stateDelay, delay);
+    if (!reach[st.id.index()]) continue;
+    std::vector<double> memo(d.binding.fus.size(), kUnset);
+    // The FSM state register itself loads every cycle.
+    double stateDelay = setup;
+    if (st.conditional)
+      stateDelay = std::max(stateDelay,
+                            sourceArrival(d, st, st.cond, memo) + setup);
+    for (const RegAction& ra : st.regActions) {
+      if (ra.reg < 0 || (std::size_t)ra.reg >= d.ic.regInput.size()) continue;
+      const MuxSpec& m = d.ic.regInput[(std::size_t)ra.reg];
+      if (ra.muxSel < 0 || ra.muxSel >= m.legs()) continue;
+      stateDelay = std::max(
+          stateDelay,
+          sourceArrival(d, st, m.sources[(std::size_t)ra.muxSel], memo) +
+              d.lib.muxDelay(m.legs()) + setup);
     }
-    // Destination mux in front of the written registers extends the path.
-    double destMux = 0;
-    for (const RegAction& ra : st.regActions)
-      destMux = std::max(
-          destMux, d.lib.muxDelay(d.ic.regInput[(std::size_t)ra.reg].legs()));
-    stateDelay += destMux + d.lib.registerSetupDelay();
+    for (const PortAction& pa : st.portActions) {
+      if (pa.port < 0 || (std::size_t)pa.port >= d.ic.outPortInput.size())
+        continue;
+      const MuxSpec& m = d.ic.outPortInput[(std::size_t)pa.port];
+      if (pa.muxSel < 0 || pa.muxSel >= m.legs()) continue;
+      stateDelay = std::max(
+          stateDelay,
+          sourceArrival(d, st, m.sources[(std::size_t)pa.muxSel], memo) +
+              d.lib.muxDelay(m.legs()) + setup);
+    }
+    // A multicycle issue latches its first internal stage this cycle.
+    for (const FuAction& fa : st.fuActions)
+      if (fa.cycles > 1)
+        stateDelay = std::max(stateDelay,
+                              fuOutputArrival(d, st, fa.fu, memo) + setup);
     if (stateDelay > t.cycleTime) {
       t.cycleTime = stateDelay;
       t.criticalState = (int)st.id.get();

@@ -7,9 +7,12 @@
 // The models are deliberately simple and library-driven: component areas
 // from the module library, storage and mux costs from the technology
 // parameters, a BUD-style wiring overhead factor, and a PLA model for the
-// controller. Cycle time is the worst per-state register-to-register path:
-// input mux, functional unit, wiring transforms (free), destination mux,
-// register setup.
+// controller. Cycle time is the worst per-state register-to-register path,
+// traced capture-point by capture-point through the sources each state
+// actually selects: input mux, functional unit, wiring transforms (free),
+// destination mux, register setup. The sta engine (src/sta/) re-derives
+// the same number over an explicit timing graph and the two are
+// cross-validated on every checked synthesis.
 #pragma once
 
 #include "ctrl/encode.h"

@@ -33,6 +33,7 @@ void countFailures(const ProgramVerdict& v, CampaignResult& r) {
     else if (f.kind == "error") ++r.errors;
     else if (f.kind == "vm-divergence" || f.kind == "vm-divergence-behav")
       ++r.divergences;
+    else if (f.kind.rfind("sta-", 0) == 0) ++r.staFailures;
     else ++r.other;
   }
 }
@@ -227,6 +228,7 @@ JsonValue campaignReport(const CampaignOptions& options,
   root["check_failures"] = result.checkFailures;
   root["errors"] = result.errors;
   root["vm_divergences"] = result.divergences;
+  root["sta_failures"] = result.staFailures;
   root["other_failures"] = result.other;
   root["reduced"] = options.reduce;
   root["engine"] = std::string(vm::engineKindName(options.diff.engine.kind));

@@ -60,6 +60,11 @@ struct CampaignResult {
   /// VM/interpreter disagreements ("vm-divergence*" failure kinds) —
   /// always 0 unless the bytecode VM itself miscompiles.
   long divergences = 0;
+  /// Static-timing oracle failures ("sta-crash", "sta-negative-slack",
+  /// "sta-divergence"): the STA engine crashed on a generated design,
+  /// reported negative slack at its own estimated clock, or disagreed
+  /// with estimateTiming.
+  long staFailures = 0;
   std::vector<FailureCase> failures;
   double wallSeconds = 0;
 

@@ -1,5 +1,6 @@
 #include "fuzz/diff_runner.h"
 
+#include <cmath>
 #include <exception>
 #include <sstream>
 
@@ -13,6 +14,7 @@
 #include "lang/frontend.h"
 #include "opt/pass.h"
 #include "rtl/rtlsim.h"
+#include "sta/sta.h"
 
 namespace mphls::fuzz {
 
@@ -365,12 +367,45 @@ ProgramVerdict runSource(const std::string& source, std::uint64_t seed,
       ++v.pointsRun;
 
       if (options.check) {
+        // STA oracle, before the structural checks so its failures keep
+        // their own kinds: the timing engine must not crash on any
+        // generated design, must close timing at its own estimated clock,
+        // and must agree with the estimator it cross-validates.
+        bool staFailed = false;
+        try {
+          sta::StaResult sr = sta::runSta(r.design);
+          if (std::fabs(sr.cycleTime - sr.estimatedCycleTime) > 1e-6) {
+            std::ostringstream oss;
+            oss << "STA cycle time " << sr.cycleTime
+                << " != estimateTiming " << sr.estimatedCycleTime;
+            fail("sta-divergence", oss.str());
+            staFailed = true;
+          } else if (sr.worstSlack < -1e-9 || sr.combLoop) {
+            fail("sta-negative-slack",
+                 sr.combLoop ? "combinational loop in timing graph"
+                             : sr.paths.empty()
+                                   ? "negative slack"
+                                   : sr.paths.front().describe());
+            staFailed = true;
+          }
+        } catch (const std::exception& e) {
+          fail("sta-crash", e.what());
+          staFailed = true;
+        }
+        if (staFailed) {
+          if (options.stopAtFirstFailure) return v;
+          continue;
+        }
+
         CheckOptions co;
         co.resources = p.resourceLimited()
                            ? ResourceLimits::universalSet(p.fus)
                            : ResourceLimits::unlimited();
         co.latencies = p.multicycle ? OpLatencyModel::multiCycle()
                                     : OpLatencyModel::unit();
+        // The oracle above already ran the timing lint's substance with
+        // per-kind reporting; skip the duplicate inside checkDesign.
+        co.timing = false;
         CheckReport rep = checkDesign(r.design, co);
         if (!rep.clean()) {
           fail("check", rep.firstError());
@@ -400,7 +435,13 @@ ProgramVerdict runSource(const std::string& source, std::uint64_t seed,
       fail("vm-divergence", e.what());
       if (options.stopAtFirstFailure) return v;
     } catch (const std::exception& e) {
-      fail("error", e.what());
+      // The synthesizer's own stage-exit timing check throws before this
+      // runner's oracle gets a look; keep the per-kind classification.
+      const std::string what = e.what();
+      fail(what.find("timing closure check failed") != std::string::npos
+               ? "sta-divergence"
+               : "error",
+           what);
       if (options.stopAtFirstFailure) return v;
     }
   }

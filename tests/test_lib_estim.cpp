@@ -117,6 +117,58 @@ TEST(Estimate, CycleTimeDominatedBySlowestUsedUnit) {
   EXPECT_GE(rDiv.timing.criticalState, 0);
 }
 
+TEST(Estimate, TotalAndTotalBusDirectMath) {
+  AreaEstimate a;
+  a.fuArea = 10;
+  a.regArea = 5;
+  a.muxArea = 3;
+  a.busArea = 2;
+  a.controlArea = 4;
+  a.wiringFactor = 0.15;
+  EXPECT_DOUBLE_EQ(a.total(), (10 + 5 + 3 + 4) * 1.15);
+  EXPECT_DOUBLE_EQ(a.totalBus(), (10 + 5 + 2 + 4) * 1.15);
+  // Zero wiring factor degenerates to the plain sums.
+  a.wiringFactor = 0;
+  EXPECT_DOUBLE_EQ(a.total(), 22.0);
+  EXPECT_DOUBLE_EQ(a.totalBus(), 21.0);
+}
+
+TEST(Estimate, PinnedBuiltinCycleTimes) {
+  // Regression pins for the path-accurate timing model (cross-validated
+  // against the STA engine on every checked synthesis): worst
+  // register-to-register delay at 2 universal FUs, list scheduling.
+  struct Pin {
+    const char* name;
+    const char* src;
+    double cycle;
+  };
+  const Pin pins[] = {
+      {"sqrt", designs::sqrtSource(), 43.7},
+      {"diffeq", designs::diffeqSource(), 25.9},
+      {"ewf", designs::ewfSource(), 25.9},
+      {"fir8", designs::fir8Source(), 25.9},
+      {"gcd", designs::gcdSource(), 23.7},
+  };
+  for (const Pin& p : pins) {
+    auto r = synth(p.src);
+    EXPECT_NEAR(r.timing.cycleTime, p.cycle, 1e-6) << p.name;
+    EXPECT_NEAR(estimateTiming(r.design).cycleTime, p.cycle, 1e-6)
+        << p.name;
+  }
+}
+
+TEST(Estimate, HandComputedSingleAddCycle) {
+  // One 16-bit add with single-leg (free) muxes: adder delay
+  // 1.0 + 0.35/bit plus the 0.5 capture setup.
+  auto r = synth(
+      "proc f(in a: uint<16>, in b: uint<16>, out y: uint<16>) {"
+      " y = a + b; }");
+  TimingEstimate t = estimateTiming(r.design);
+  EXPECT_NEAR(t.cycleTime, 1.0 + 0.35 * 16 + 0.5, 1e-9);
+  EXPECT_GE(t.busCycleTime, t.cycleTime - 1e-9);
+  EXPECT_GE(t.criticalState, 0);
+}
+
 TEST(Estimate, DesignPointArithmetic) {
   DesignPoint p{10, 2.5, 100.0};
   EXPECT_DOUBLE_EQ(p.executionTime(), 25.0);
