@@ -22,8 +22,12 @@ Function buildGraph() {
   Function fn("fig3");
   BlockId b = fn.addBlock("entry");
   std::vector<ValueId> v;
-  for (int i = 0; i < 6; ++i)
-    v.push_back(fn.emitRead(b, fn.addInput("p" + std::to_string(i), 8)));
+  for (int i = 0; i < 6; ++i) {
+    // Sequential append: GCC 12 -Wrestrict -O3 false positive (see vcd.cpp).
+    std::string pname = "p";
+    pname += std::to_string(i);
+    v.push_back(fn.emitRead(b, fn.addInput(pname, 8)));
+  }
   ValueId y1 = fn.emitBinary(b, OpKind::Add, v[0], v[1]);
   ValueId y2 = fn.emitBinary(b, OpKind::Add, v[2], v[3]);
   ValueId y3 = fn.emitBinary(b, OpKind::Add, v[4], v[5]);

@@ -45,11 +45,17 @@ class Rng {
 inline Function randomDfg(std::size_t n, std::uint64_t seed,
                           int mulPercent = 25, int width = 16) {
   Rng rng(seed);
-  Function fn("rand" + std::to_string(seed));
+  // Sequential appends: GCC 12 -Wrestrict -O3 false positive on the
+  // temporary chains (same story as obs/vcd.cpp).
+  std::string fname = "rand";
+  fname += std::to_string(seed);
+  Function fn(fname);
   BlockId b = fn.addBlock("entry");
   std::vector<ValueId> pool;
   for (int i = 0; i < 4; ++i) {
-    PortId p = fn.addInput("p" + std::to_string(i), width);
+    std::string pname = "p";
+    pname += std::to_string(i);
+    PortId p = fn.addInput(pname, width);
     pool.push_back(fn.emitRead(b, p));
   }
   std::vector<ValueId> results;

@@ -10,11 +10,15 @@
 # simulated on both the VM and the interpreters, zero divergences
 # tolerated), an AddressSanitizer+UBSan pass over the whole suite
 # (observability layer and VM dispatch loop included), a ThreadSanitizer
-# pass over the parallel-DSE layer, bench smoke runs with schema checks of
-# the emitted BENCH_dse.json, BENCH_sim.json and BENCH_sta.json, and an
+# pass over the parallel-DSE layer and the serve daemon, a Release (-O3
+# -Werror) build of the full tree, bench smoke runs with schema checks of
+# the emitted BENCH_dse.json, BENCH_sim.json and BENCH_sta.json, an
 # observability
 # smoke run validating the Chrome trace, metrics JSON, and VCD waveform
-# from `mphls profile`.
+# from `mphls profile`, and a serve smoke: daemon on an ephemeral port,
+# byte-diff of every endpoint against the offline CLI, a concurrent
+# loadgen run with a schema check of BENCH_serve.json, and a graceful
+# SIGTERM drain.
 set -eu
 
 cd "$(dirname "$0")"
@@ -23,6 +27,12 @@ cmake -B build -S . -DMPHLS_WERROR=ON
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 ./build/src/cli/mphls lint examples/sqrt.bdl
+
+# --- Release build gate: -O3 turns on optimizer-driven diagnostics that
+# RelWithDebInfo never sees (GCC 12's -Wrestrict insert-path analysis
+# among them); the tree must stay warnings-clean there too.
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release -DMPHLS_WERROR=ON
+cmake --build build-release -j"$(nproc)"
 
 # --- Semantic-lint gate: the abstract-interpretation lints must report no
 # error-severity finding on any built-in design (warnings are allowed and
@@ -92,13 +102,14 @@ cmake --build build-asan -j"$(nproc)" --target mphls_tests
 ./build-asan/tests/mphls_tests --gtest_brief=1
 
 # --- ThreadSanitizer: the concurrency layer (thread pool, frontend cache,
-# parallel sweeps) must be race-free, not merely deterministic.
+# parallel sweeps, and the serve daemon's loop/worker handoff) must be
+# race-free, not merely deterministic.
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan -j"$(nproc)" --target mphls_tests
-./build-tsan/tests/mphls_tests --gtest_filter='DseParallel*' \
+./build-tsan/tests/mphls_tests --gtest_filter='DseParallel*:Serve*' \
   --gtest_brief=1
 
 # --- Bench smoke: the suite must run, re-confirm determinism, and emit a
@@ -266,5 +277,116 @@ assert state_changes >= 2, "VCD replays no FSM state change"
 print("obs smoke: trace balanced, sqrt FSM coverage 100%, VCD has "
       f"{state_changes} state changes")
 EOF
+
+# --- Serve smoke: daemon on an ephemeral port, byte-diff of every JSON
+# endpoint against the offline CLI (the responses must be identical down
+# to the last byte), a concurrent loadgen campaign with a schema check of
+# BENCH_serve.json (zero errors tolerated), and a graceful SIGTERM drain.
+SERVE_OUT=build/serve-smoke
+mkdir -p "$SERVE_OUT"
+./build/src/cli/mphls serve --port 0 > "$SERVE_OUT/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$SERVE_OUT/serve.log" 2>/dev/null && break
+  sleep 0.1
+done
+SERVE_PORT=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+  "$SERVE_OUT/serve.log" | head -1)
+if [ -z "$SERVE_PORT" ]; then
+  echo "serve smoke: daemon did not start" >&2
+  cat "$SERVE_OUT/serve.log" >&2
+  exit 1
+fi
+
+python3 - "$SERVE_PORT" ./build/src/cli/mphls << 'EOF'
+import http.client, json, os, subprocess, sys, tempfile
+
+port, mphls = int(sys.argv[1]), sys.argv[2]
+conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+
+conn.request("GET", "/healthz")
+r = conn.getresponse()
+assert r.status == 200, f"/healthz status {r.status}"
+assert json.loads(r.read())["status"] == "ok", "/healthz body"
+
+conn.request("GET", "/designs")
+designs = json.loads(conn.getresponse().read())
+assert designs, "/designs is empty"
+
+# Golden differential: every endpoint's daemon bytes == the CLI's bytes.
+checked = 0
+for d in designs:
+    f = tempfile.NamedTemporaryFile(
+        mode="w", suffix=".bdl", delete=False)
+    f.write(d["source"])
+    f.close()
+    for ep, extra, cli in [
+        ("/synth", {}, ["synth"]),
+        ("/lint", {}, ["lint"]),
+        ("/analyze", {}, ["analyze"]),
+        ("/sta", {"clock": 10}, ["sta", "--clock", "10"]),
+        ("/prove", {}, ["prove"]),
+    ]:
+        body = {"source": d["source"], "name": f.name}
+        body.update(extra)
+        conn.request("POST", ep, json.dumps(body))
+        daemon = conn.getresponse().read()
+        offline = subprocess.run(
+            [mphls] + cli + ["--format", "json", f.name],
+            capture_output=True).stdout
+        assert daemon == offline, (
+            f"{d['name']}{ep}: daemon and CLI bytes differ\n"
+            f" daemon : {daemon[:160]!r}\n cli    : {offline[:160]!r}")
+        checked += 1
+    os.unlink(f.name)
+
+conn.request("GET", "/metrics")
+metrics = json.loads(conn.getresponse().read())
+assert metrics["counters"].get("serve.requests", 0) >= checked
+assert "serve.cache.hit_rate" in metrics["gauges"], "/metrics cache gauges"
+print(f"serve smoke: {checked} endpoint responses byte-identical to CLI")
+EOF
+
+./build/src/cli/mphls loadgen --url "http://127.0.0.1:$SERVE_PORT" \
+  --clients 6 --requests 60 --mix synth:lint:sim:sta --seed 7 \
+  --out "$SERVE_OUT/BENCH_serve.json"
+python3 - "$SERVE_OUT/BENCH_serve.json" << 'EOF'
+import json, sys
+
+bench = json.load(open(sys.argv[1]))
+need = {
+    "benchmark": str, "url": str, "clients": int, "requests": int,
+    "mix": str, "seed": (int, float), "wall_seconds": (int, float),
+    "requests_per_second": (int, float), "latency": dict, "errors": dict,
+    "cache": dict, "endpoints": dict,
+}
+for key, ty in need.items():
+    assert key in bench, f"BENCH_serve.json missing key: {key}"
+    assert isinstance(bench[key], ty), f"BENCH_serve.json bad type: {key}"
+for key in ("p50_ms", "p90_ms", "p99_ms", "max_ms", "mean_ms"):
+    assert key in bench["latency"], f"latency missing {key}"
+    assert bench["latency"][key] >= 0
+assert bench["latency"]["p50_ms"] <= bench["latency"]["p99_ms"] + 1e-9
+assert bench["clients"] >= 4, "serve smoke must run >= 4 clients"
+for key in ("transport", "http", "invalid_json"):
+    assert bench["errors"][key] == 0, f"loadgen saw {key} errors"
+assert bench["cache"]["hit_rate"] > 0, "frontend cache never hit"
+assert bench["endpoints"], "no per-endpoint latency recorded"
+total = sum(e["count"] for e in bench["endpoints"].values())
+assert total == bench["requests"], "request accounting mismatch"
+print(f"serve loadgen smoke: {bench['requests']} requests, "
+      f"{bench['requests_per_second']:.0f} req/s, zero errors, "
+      f"cache hit rate {100 * bench['cache']['hit_rate']:.0f}%")
+EOF
+
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+  echo "serve smoke: daemon exited nonzero after SIGTERM" >&2
+  exit 1
+fi
+grep -q "drained" "$SERVE_OUT/serve.log" || {
+  echo "serve smoke: daemon did not report a clean drain" >&2
+  exit 1
+}
 
 echo "ci: all checks passed"

@@ -106,7 +106,10 @@ LifetimeInfo computeLifetimes(const Function& fn, const Schedule& sched,
       item.value = ValueId(vid);
       item.width = fn.value(ValueId(vid)).width;
       item.live = {blockBase + ru.defStep, blockBase + ru.lastUse};
-      item.name = "t" + std::to_string(vid);
+      // Sequential append: GCC 12's -Wrestrict misfires on the temporary
+      // chain `"t" + std::to_string(...)` at -O3 (same story as obs/vcd.cpp).
+      item.name = "t";
+      item.name += std::to_string(vid);
       info.itemOfValue[item.value.index()] = (int)info.items.size();
       info.items.push_back(std::move(item));
     }

@@ -98,6 +98,8 @@
 //   --quiet                suppress the report
 #include <unistd.h>
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -105,7 +107,11 @@
 #include <sstream>
 #include <string_view>
 
+#include "common/thread_pool.h"
+#include "core/commands.h"
 #include "opt/pass.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
 #include "analysis/dataflow.h"
 #include "check/check.h"
 #include "common/bench_report.h"
@@ -150,6 +156,7 @@ struct CliArgs {
   bool profile = false;
   bool prove = false;        ///< `prove` subcommand
   bool sta = false;          ///< `sta` subcommand
+  bool synthCmd = false;     ///< explicit `synth` subcommand token
   double staClock = 0;       ///< --clock: target period (0 = estimated)
   int staPaths = 5;          ///< --paths: K worst paths to report
   bool provePasses = false;  ///< --prove-passes: per-pass validation
@@ -163,6 +170,7 @@ struct CliArgs {
 void usage() {
   std::cerr <<
       "usage: mphls [options] design.bdl\n"
+      "       mphls synth [--format text|json] [options] design.bdl\n"
       "       mphls lint [--format text|json] [options] design.bdl\n"
       "       mphls analyze [--dot-facts FILE] design.bdl | --builtins\n"
       "       mphls prove [--prove-passes] [--inject mul|sched|bind]\n"
@@ -190,7 +198,13 @@ void usage() {
       "                  [--replay DIR] [--inject mul|sched|bind]\n"
       "                  [--no-check]\n"
       "                  [--trace FILE] [--stats FILE]\n"
-      "                  [--out FILE] [--quiet]\n";
+      "                  [--out FILE] [--quiet]\n"
+      "       mphls serve [--port P] [--jobs N] [--max-connections N]"
+      " [--quiet]\n"
+      "       mphls loadgen [--url http://host:port] [--clients N]\n"
+      "                     [--requests M] [--mix synth:lint:sim]"
+      " [--seed S]\n"
+      "                     [--out FILE] [--quiet]\n";
 }
 
 bool parseInputs(const std::string& spec,
@@ -519,6 +533,8 @@ std::optional<CliArgs> parseArgs(int argc, char** argv) {
       if (!v || !fuzz::parseInjectedBug(v, a.inject)) return std::nullopt;
     } else if (arg == "--quiet") {
       a.quiet = true;
+    } else if (arg == "synth" && a.file.empty() && !a.synthCmd) {
+      a.synthCmd = true;
     } else if (arg == "lint" && a.file.empty() && !a.lint) {
       a.lint = true;
     } else if (arg == "analyze" && a.file.empty() && !a.analyze) {
@@ -605,17 +621,6 @@ int runAnalyzeBuiltins(bool quiet) {
     if (!report.clean()) ++failures;
   }
   return failures == 0 ? 0 : 1;
-}
-
-/// One machine-readable report object for lint/prove --format json.
-std::string reportJson(const std::string& key, const std::string& name,
-                       const CheckReport& rep) {
-  std::string out = "{\"" + key + "\":";
-  obs::appendJsonString(out, name);
-  out += ",";
-  // Splice the report object's fields in after the name.
-  out += rep.renderJson().substr(1);
-  return out;
 }
 
 /// Prove one already-compiled function: run the (optionally validated)
@@ -729,8 +734,8 @@ int runProve(const CliArgs& a, std::optional<Function> fileFn) {
 
     if (a.jsonFormat) {
       if (t > 0) json += ",";
-      json += reportJson(a.builtins ? "design" : "file", targets[t].name,
-                         rep);
+      json += cmd::reportJson(a.builtins ? "design" : "file", targets[t].name,
+                              rep);
       continue;
     }
     std::string verdict;
@@ -761,27 +766,6 @@ int runProve(const CliArgs& a, std::optional<Function> fileFn) {
   }
   int rc = writeObsOutputs(a.traceOut, a.statsOut, a.quiet);
   return ok ? rc : 1;
-}
-
-/// One sta report as a JsonValue: the StaResult plus the timing lint's
-/// findings in the lint/prove diagnostics convention (sorted/deduped).
-JsonValue staJsonOne(const std::string& key, const std::string& name,
-                     const sta::StaResult& r, const CheckReport& rep) {
-  JsonValue j = sta::staReportJson(key, name, r);
-  JsonValue diags = JsonValue::array();
-  for (const CheckDiag& dg : rep.sorted()) {
-    JsonValue o = JsonValue::object();
-    o["severity"] = std::string(checkSeverityName(dg.severity));
-    o["code"] = dg.id;
-    o["where"] = dg.where;
-    o["message"] = dg.message;
-    diags.push(std::move(o));
-  }
-  j["diagnostics"] = std::move(diags);
-  j["errors"] = rep.errorCount();
-  j["warnings"] = rep.warningCount();
-  j["clean"] = rep.clean();
-  return j;
 }
 
 /// `mphls sta`: path-level static timing analysis over one file or every
@@ -837,8 +821,8 @@ int runStaCmd(const CliArgs& a, std::optional<Function> fileFn) {
     ok = ok && rep.clean();
 
     if (a.jsonFormat) {
-      reports.push_back(staJsonOne(a.builtins ? "design" : "file",
-                                   targets[t].name, r, rep));
+      reports.push_back(cmd::staJsonValue(a.builtins ? "design" : "file",
+                                          targets[t].name, r, rep));
       continue;
     }
     std::printf("%s: clock %.3f%s, cycle time %.3f, worst slack %+.3f,"
@@ -1100,11 +1084,135 @@ int runFuzz(int argc, char** argv) {
   return r.clean() ? 0 : 1;
 }
 
+/// The running daemon, for the signal handlers. requestStop() is
+/// async-signal-safe (one write(2) down the self-pipe).
+std::atomic<serve::Server*> g_serveServer{nullptr};
+
+void serveSignalHandler(int) {
+  if (serve::Server* s = g_serveServer.load()) s->requestStop();
+}
+
+/// `mphls serve`: run the synthesis daemon until SIGTERM/SIGINT.
+int runServe(int argc, char** argv) {
+  serve::ServerOptions so;
+  so.port = 8080;
+  // Same baseline option vector as the offline CLI (universalSet(2) FUs):
+  // a daemon request with no "options" must produce the CLI's exact bytes.
+  so.service.defaults.resources = ResourceLimits::universalSet(2);
+  bool quiet = false;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 0 || std::atoi(v) > 65535) return (usage(), 2);
+      so.port = std::atoi(v);
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 1) return (usage(), 2);
+      so.jobs = std::atoi(v);
+    } else if (arg == "--max-connections") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 1) return (usage(), 2);
+      so.maxConnections = std::atoi(v);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  serve::Server server(so);
+  std::string err;
+  if (!server.start(err)) return fail("serve: " + err);
+  g_serveServer.store(&server);
+  std::signal(SIGTERM, serveSignalHandler);
+  std::signal(SIGINT, serveSignalHandler);
+  std::signal(SIGPIPE, SIG_IGN);
+  // One flushed line with the resolved port: scripts bind port 0 and read
+  // the real one from here.
+  std::cout << "mphls serve: listening on 127.0.0.1:" << server.port()
+            << " (jobs=" << resolveJobs(so.jobs) << ")" << std::endl;
+  server.run();
+  g_serveServer.store(nullptr);
+  if (!quiet)
+    std::cout << "mphls serve: drained " << server.sessionsOpened()
+              << " session(s), exiting\n";
+  return 0;
+}
+
+/// `mphls loadgen`: replay a deterministic request mix against a daemon.
+int runLoadgenCmd(int argc, char** argv) {
+  serve::LoadgenOptions lo;
+  bool quiet = false;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--url") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      lo.url = v;
+    } else if (arg == "--clients") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 1) return (usage(), 2);
+      lo.clients = std::atoi(v);
+    } else if (arg == "--requests") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 1) return (usage(), 2);
+      lo.requests = std::atoi(v);
+    } else if (arg == "--mix") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      lo.mix = v;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      lo.seed = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      lo.reportPath = v;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  std::signal(SIGPIPE, SIG_IGN);
+  const serve::LoadgenReport rep = serve::runLoadgen(lo);
+  if (!rep.error.empty()) return fail("loadgen: " + rep.error);
+  if (!quiet) {
+    std::printf("loadgen: %d requests from %d client(s) in %.3fs"
+                " (%.1f req/s)\n",
+                rep.requestsSent, lo.clients, rep.wallSeconds,
+                rep.requestsPerSecond);
+    std::printf("  latency p50 %.2fms, p99 %.2fms; errors: %d transport,"
+                " %d http, %d invalid-json\n",
+                rep.p50Ms, rep.p99Ms, rep.transportErrors, rep.httpErrors,
+                rep.invalidJson);
+    std::printf("  frontend cache hit rate %.1f%%\n",
+                100.0 * rep.cacheHitRate);
+    if (!lo.reportPath.empty())
+      std::printf("  wrote %s\n", lo.reportPath.c_str());
+  }
+  return rep.clean() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::string(argv[1]) == "bench") return runBench(argc, argv);
   if (argc > 1 && std::string(argv[1]) == "fuzz") return runFuzz(argc, argv);
+  if (argc > 1 && std::string(argv[1]) == "serve") return runServe(argc, argv);
+  if (argc > 1 && std::string(argv[1]) == "loadgen")
+    return runLoadgenCmd(argc, argv);
   auto parsed = parseArgs(argc, argv);
   if (!parsed) {
     usage();
@@ -1121,6 +1229,29 @@ int main(int argc, char** argv) {
   if (!in) return fail("cannot open " + a.file);
   std::stringstream buf;
   buf << in.rdbuf();
+
+  // Single-file --format json goes through the shared command layer
+  // (core/commands.h) — the exact functions behind the daemon's endpoints,
+  // so the offline reports and the served ones can never drift.
+  if (a.jsonFormat && a.inject == fuzz::InjectedBug::None &&
+      (a.synthCmd || a.lint || a.analyze || a.prove || a.sta)) {
+    cmd::Request req{a.file, buf.str(), a.top, a.opts};
+    cmd::Result r;
+    if (a.lint)
+      r = cmd::lintJson(req);
+    else if (a.analyze)
+      r = cmd::analyzeJson(req,
+                           a.optExplicit && a.opts.opt != OptLevel::None);
+    else if (a.prove)
+      r = cmd::proveJson(req, a.provePasses);
+    else if (a.sta)
+      r = cmd::staJson(req, a.staClock, a.staPaths);
+    else
+      r = cmd::synthJson(req);
+    std::cout << r.body;
+    const int rc = writeObsOutputs(a.traceOut, a.statsOut, a.quiet);
+    return r.ok ? rc : 1;
+  }
 
   DiagEngine diags;
   auto fn = compileBdl(buf.str(), diags, a.top);
@@ -1171,7 +1302,7 @@ int main(int argc, char** argv) {
     copts.latencies = a.opts.latencies;
     CheckReport report = checkDesign(result->design, copts);
     if (a.jsonFormat) {
-      std::cout << reportJson("file", a.file, report) << "\n";
+      std::cout << cmd::reportJson("file", a.file, report) << "\n";
       return report.clean() ? 0 : 1;
     }
     if (report.empty()) {

@@ -1,0 +1,309 @@
+#include "common/json_reader.h"
+
+#include <cstdlib>
+
+namespace mphls::json {
+
+namespace {
+
+/// Recursive-descent parser over the whole input. Depth is bounded so a
+/// hostile request body of 100k '[' cannot blow the stack.
+constexpr int kMaxDepth = 64;
+
+}  // namespace
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::unique_ptr<Node> run(ParseError& error) {
+    auto node = value(0);
+    skipWs();
+    if (node && pos_ != text_.size()) {
+      fail("trailing characters after JSON value");
+      node.reset();
+    }
+    if (!node) {
+      error.message = error_.empty() ? "invalid JSON" : error_;
+      error.offset = errorPos_;
+    }
+    return node;
+  }
+
+ private:
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skipWs() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  std::nullptr_t fail(const std::string& msg) {
+    if (error_.empty()) {
+      error_ = msg;
+      errorPos_ = pos_;
+    }
+    return nullptr;
+  }
+
+  bool expect(char c, const char* what) {
+    skipWs();
+    if (eof() || peek() != c) {
+      fail(std::string("expected ") + what);
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::unique_ptr<Node> value(int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skipWs();
+    if (eof()) return fail("unexpected end of input");
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return object(depth);
+      case '[':
+        return array(depth);
+      case '"':
+        return string();
+      case 't':
+        if (literal("true")) return make(Node::Kind::Bool, true);
+        return fail("bad literal");
+      case 'f':
+        if (literal("false")) return make(Node::Kind::Bool, false);
+        return fail("bad literal");
+      case 'n':
+        if (literal("null")) return std::make_unique<Node>();
+        return fail("bad literal");
+      default:
+        return number();
+    }
+  }
+
+  static std::unique_ptr<Node> make(Node::Kind k, bool b) {
+    auto n = std::make_unique<Node>();
+    n->kind_ = k;
+    n->bool_ = b;
+    return n;
+  }
+
+  std::unique_ptr<Node> object(int depth) {
+    ++pos_;  // '{'
+    auto n = std::make_unique<Node>();
+    n->kind_ = Node::Kind::Object;
+    skipWs();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return n;
+    }
+    for (;;) {
+      skipWs();
+      if (eof() || peek() != '"') return fail("expected object key");
+      auto key = string();
+      if (!key) return nullptr;
+      if (!expect(':', "':'")) return nullptr;
+      auto val = value(depth + 1);
+      if (!val) return nullptr;
+      n->members_.emplace_back(std::move(key->str_), std::move(val));
+      skipWs();
+      if (eof()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return n;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  std::unique_ptr<Node> array(int depth) {
+    ++pos_;  // '['
+    auto n = std::make_unique<Node>();
+    n->kind_ = Node::Kind::Array;
+    skipWs();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return n;
+    }
+    for (;;) {
+      auto val = value(depth + 1);
+      if (!val) return nullptr;
+      n->items_.push_back(std::move(val));
+      skipWs();
+      if (eof()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return n;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  /// Append one code point as UTF-8.
+  static void appendUtf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool hex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      out <<= 4;
+      if (c >= '0' && c <= '9') out |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') out |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') out |= static_cast<unsigned>(c - 'A' + 10);
+      else return false;
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  std::unique_ptr<Node> string() {
+    ++pos_;  // '"'
+    auto n = std::make_unique<Node>();
+    n->kind_ = Node::Kind::String;
+    std::string& out = n->str_;
+    while (!eof()) {
+      const char c = text_[pos_++];
+      if (c == '"') return n;
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!hex4(cp)) return fail("bad \\u escape");
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // Surrogate pair: the low half must follow immediately.
+            unsigned lo = 0;
+            if (!literal("\\u") || !hex4(lo) || lo < 0xDC00 || lo > 0xDFFF)
+              return fail("unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired surrogate");
+          }
+          appendUtf8(out, cp);
+          break;
+        }
+        default:
+          return fail("bad escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  std::unique_ptr<Node> number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    const std::size_t digits = pos_;
+    while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    if (pos_ == digits) return fail("invalid number");
+    // No leading zeros ("01"), per the RFC.
+    if (pos_ - digits > 1 && text_[digits] == '0')
+      return fail("leading zero in number");
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      const std::size_t frac = pos_;
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+      if (pos_ == frac) return fail("missing fraction digits");
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      const std::size_t exp = pos_;
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+      if (pos_ == exp) return fail("missing exponent digits");
+    }
+    auto n = std::make_unique<Node>();
+    n->kind_ = Node::Kind::Number;
+    n->num_ = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                          nullptr);
+    return n;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+  std::size_t errorPos_ = 0;
+};
+
+std::unique_ptr<Node> parseOrError(std::string_view text, ParseError& error) {
+  return Parser(text).run(error);
+}
+
+std::unique_ptr<Node> parse(std::string_view text) {
+  ParseError err;
+  return parseOrError(text, err);
+}
+
+bool valid(std::string_view text) { return parse(text) != nullptr; }
+
+const Node* Node::get(std::string_view key) const {
+  for (const auto& [k, v] : members_)
+    if (k == key) return v.get();
+  return nullptr;
+}
+
+std::string Node::getString(std::string_view key, std::string dflt) const {
+  const Node* n = get(key);
+  return n && n->isString() ? n->str_ : std::move(dflt);
+}
+
+double Node::getNumber(std::string_view key, double dflt) const {
+  const Node* n = get(key);
+  return n && n->isNumber() ? n->num_ : dflt;
+}
+
+bool Node::getBool(std::string_view key, bool dflt) const {
+  const Node* n = get(key);
+  return n && n->isBool() ? n->bool_ : dflt;
+}
+
+}  // namespace mphls::json

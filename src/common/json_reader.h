@@ -1,0 +1,104 @@
+// Minimal JSON reader: the parsing counterpart of the JsonValue builder in
+// bench_report.h. The serve daemon decodes request bodies with it, the
+// load generator reads the daemon's /metrics snapshot back, and the test
+// battery uses it to assert that every daemon response is well-formed
+// JSON. Zero-dependency (std only) by design, like everything under obs/
+// and common/.
+//
+// Scope: full RFC 8259 value grammar (null, bool, number, string with
+// \uXXXX escapes decoded to UTF-8, array, object), strict — trailing
+// garbage, unbalanced brackets, bad escapes and bare words all fail.
+// Numbers are held as double (the builder side emits doubles too), and
+// object members preserve insertion order with first-key-wins lookup.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mphls::json {
+
+class Node;
+
+/// Parse one complete JSON document. Returns nullptr on any syntax error
+/// (use parseOrError for the position and message).
+[[nodiscard]] std::unique_ptr<Node> parse(std::string_view text);
+
+/// Parse with diagnostics: on failure the returned node is null and
+/// `error` describes what went wrong and at which byte offset.
+struct ParseError {
+  std::string message;
+  std::size_t offset = 0;
+};
+[[nodiscard]] std::unique_ptr<Node> parseOrError(std::string_view text,
+                                                 ParseError& error);
+
+/// True iff `text` is one well-formed JSON document.
+[[nodiscard]] bool valid(std::string_view text);
+
+/// One parsed JSON value. Accessors are total: asking an object for a
+/// missing key or a number for its string returns a default instead of
+/// throwing, so response-shape checks read as straight-line code.
+class Node {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool isNull() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool isBool() const { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool isNumber() const { return kind_ == Kind::Number; }
+  [[nodiscard]] bool isString() const { return kind_ == Kind::String; }
+  [[nodiscard]] bool isArray() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool isObject() const { return kind_ == Kind::Object; }
+
+  [[nodiscard]] bool boolean(bool dflt = false) const {
+    return isBool() ? bool_ : dflt;
+  }
+  [[nodiscard]] double number(double dflt = 0) const {
+    return isNumber() ? num_ : dflt;
+  }
+  [[nodiscard]] const std::string& str() const { return str_; }
+
+  /// Array elements (empty for non-arrays).
+  [[nodiscard]] const std::vector<std::unique_ptr<Node>>& items() const {
+    return items_;
+  }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] const Node* at(std::size_t i) const {
+    return i < items_.size() ? items_[i].get() : nullptr;
+  }
+
+  /// Object members in document order (empty for non-objects).
+  [[nodiscard]] const std::vector<std::pair<std::string, std::unique_ptr<Node>>>&
+  members() const {
+    return members_;
+  }
+  /// First member named `key`, or nullptr (also for non-objects).
+  [[nodiscard]] const Node* get(std::string_view key) const;
+  [[nodiscard]] bool has(std::string_view key) const {
+    return get(key) != nullptr;
+  }
+
+  // Shape-checked conveniences: default when the member is missing or of
+  // the wrong kind.
+  [[nodiscard]] std::string getString(std::string_view key,
+                                      std::string dflt = "") const;
+  [[nodiscard]] double getNumber(std::string_view key, double dflt = 0) const;
+  [[nodiscard]] bool getBool(std::string_view key, bool dflt = false) const;
+
+ private:
+  friend std::unique_ptr<Node> parseOrError(std::string_view, ParseError&);
+  friend class Parser;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<std::unique_ptr<Node>> items_;
+  std::vector<std::pair<std::string, std::unique_ptr<Node>>> members_;
+};
+
+}  // namespace mphls::json

@@ -27,8 +27,13 @@ Function syntheticDfg(int numOps) {
   Function fn("bench_dfg");
   BlockId b = fn.addBlock("entry");
   std::vector<ValueId> pool;
-  for (int i = 0; i < 4; ++i)
-    pool.push_back(fn.emitRead(b, fn.addInput("p" + std::to_string(i), 16)));
+  for (int i = 0; i < 4; ++i) {
+    // Sequential append: GCC 12 -Wrestrict -O3 false positive on the
+    // temporary chain (same story as obs/vcd.cpp).
+    std::string pname = "p";
+    pname += std::to_string(i);
+    pool.push_back(fn.emitRead(b, fn.addInput(pname, 16)));
+  }
   std::uint64_t state = 0x9E3779B97F4A7C15ull;  // xorshift, fixed seed
   auto next = [&state] {
     state ^= state << 13;

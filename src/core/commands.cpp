@@ -1,0 +1,290 @@
+#include "core/commands.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "check/check.h"
+#include "common/bench_report.h"
+#include "common/diag.h"
+#include "core/frontend_cache.h"
+#include "obs/trace.h"
+#include "opt/pass.h"
+#include "sec/passes.h"
+#include "sec/prove.h"
+#include "sta/sta.h"
+#include "vm/sim_engine.h"
+
+namespace mphls::cmd {
+
+namespace {
+
+/// Compact single-line error report, same trailing-newline convention as
+/// the lint/prove renderers.
+Result errorResult(const std::string& name, const std::string& message,
+                   bool inputError) {
+  std::string body = "{\"file\":";
+  obs::appendJsonString(body, name);
+  body += ",\"error\":";
+  obs::appendJsonString(body, message);
+  body += "}\n";
+  return {std::move(body), false, inputError};
+}
+
+/// Compile through the shared frontend cache and clone for backend use.
+/// Applies the width-narrowing pass when the option vector asks for it —
+/// exactly what Synthesizer::synthesize does after its pipeline stage.
+/// On a parse/verify failure, fills `err` and returns nullopt.
+std::optional<Function> compileCached(const Request& req, OptLevel opt,
+                                      bool narrow, Result& err) {
+  std::shared_ptr<const Function> cached;
+  try {
+    cached = FrontendCache::global().get(req.source, req.top, opt);
+  } catch (const InternalError& e) {
+    err = errorResult(req.name, e.what(), true);
+    return std::nullopt;
+  }
+  Function fn = cached->clone();
+  if (narrow) {
+    PassManager pm;
+    pm.add(createNarrowWidthsPass());
+    pm.run(fn);
+  }
+  return fn;
+}
+
+}  // namespace
+
+std::string reportJson(const std::string& key, const std::string& name,
+                       const CheckReport& rep) {
+  std::string out = "{\"" + key + "\":";
+  obs::appendJsonString(out, name);
+  out += ",";
+  // Splice the report object's fields in after the name.
+  out += rep.renderJson().substr(1);
+  return out;
+}
+
+Result synthJson(const Request& req) {
+  Result err;
+  auto fn = compileCached(req, req.opts.opt, req.opts.narrow, err);
+  if (!fn) return err;
+  SynthesisOptions so = req.opts;
+  so.opt = OptLevel::None;  // pipeline already applied by the cache
+  so.narrow = false;
+  Synthesizer synth(so);
+  std::optional<SynthesisResult> res;
+  try {
+    res = synth.synthesizeOptimized(*fn);
+  } catch (const InternalError& e) {
+    return errorResult(req.name, e.what(), false);
+  }
+  const SynthesisResult& r = *res;
+  const RtlDesign& d = r.design;
+
+  JsonValue j = JsonValue::object();
+  j["file"] = req.name;
+  j["design"] = d.fn.name();
+  j["scheduler"] = std::string(schedulerName(req.opts.scheduler));
+  j["encoding"] = std::string(stateEncodingName(req.opts.encoding));
+  j["ops"] = d.fn.numLiveOps();
+  j["blocks"] = d.fn.numBlocks();
+  j["static_latency"] = r.staticLatency();
+  j["registers"] = d.regs.numRegs;
+  JsonValue fus = JsonValue::array();
+  for (int f = 0; f < d.binding.numFus(); ++f)
+    fus.push(d.lib.component(d.binding.fus[(std::size_t)f].comp).name);
+  j["fus"] = std::move(fus);
+  j["muxes"] = d.ic.mux2to1Count;
+  j["states"] = d.ctrl.numStates();
+  j["pla_terms"] = r.fsm.minimizedLogic.termCount();
+  j["microcode_word_encoded"] = r.microEncoded.wordWidth;
+  j["microcode_word_horizontal"] = r.microHorizontal.wordWidth;
+  j["area"] = r.area.total();
+  j["cycle_time"] = r.timing.cycleTime;
+  return {j.dump(), true, false};
+}
+
+Result lintJson(const Request& req) {
+  Result err;
+  auto fn = compileCached(req, req.opts.opt, req.opts.narrow, err);
+  if (!fn) return err;
+  // Lint collects every finding in one pass: the stage-exit throwing
+  // checks are disabled and checkDesign runs on the finished design.
+  SynthesisOptions so = req.opts;
+  so.check = false;
+  so.opt = OptLevel::None;
+  so.narrow = false;
+  Synthesizer synth(so);
+  std::optional<SynthesisResult> result;
+  try {
+    result = synth.synthesizeOptimized(*fn);
+  } catch (const InternalError& e) {
+    return errorResult(req.name,
+                       std::string("synthesis failed before checking: ") +
+                           e.what(),
+                       false);
+  }
+  CheckOptions copts;
+  const bool limited = req.opts.scheduler != SchedulerKind::ForceDirected &&
+                       req.opts.scheduler != SchedulerKind::Serial;
+  copts.resources =
+      limited ? req.opts.resources : ResourceLimits::unlimited();
+  copts.latencies = req.opts.latencies;
+  CheckReport report = checkDesign(result->design, copts);
+  return {reportJson("file", req.name, report) + "\n", report.clean(), false};
+}
+
+Result analyzeJson(const Request& req, bool postPipeline) {
+  Result err;
+  auto fn = compileCached(req, postPipeline ? req.opts.opt : OptLevel::None,
+                       req.opts.narrow, err);
+  if (!fn) return err;
+  CheckReport report;
+  checkSemantics(*fn, report);
+  return {reportJson("file", req.name, report) + "\n", report.clean(), false};
+}
+
+JsonValue staJsonValue(const std::string& key, const std::string& name,
+                       const sta::StaResult& r, const CheckReport& rep) {
+  JsonValue j = sta::staReportJson(key, name, r);
+  JsonValue diags = JsonValue::array();
+  for (const CheckDiag& dg : rep.sorted()) {
+    JsonValue o = JsonValue::object();
+    o["severity"] = std::string(checkSeverityName(dg.severity));
+    o["code"] = dg.id;
+    o["where"] = dg.where;
+    o["message"] = dg.message;
+    diags.push(std::move(o));
+  }
+  j["diagnostics"] = std::move(diags);
+  j["errors"] = rep.errorCount();
+  j["warnings"] = rep.warningCount();
+  j["clean"] = rep.clean();
+  return j;
+}
+
+Result staJson(const Request& req, double clockNs, int maxPaths) {
+  Result err;
+  auto fn = compileCached(req, req.opts.opt, req.opts.narrow, err);
+  if (!fn) return err;
+  // Like lint: stage-exit throwing checks off so the timing report below
+  // collects every finding instead of dying mid-pipeline.
+  SynthesisOptions so = req.opts;
+  so.check = false;
+  so.opt = OptLevel::None;
+  so.narrow = false;
+  Synthesizer synth(so);
+  std::optional<SynthesisResult> result;
+  try {
+    result = synth.synthesizeOptimized(*fn);
+  } catch (const InternalError& e) {
+    return errorResult(req.name,
+                       std::string("synthesis failed before timing"
+                                   " analysis: ") +
+                           e.what(),
+                       false);
+  }
+  sta::StaOptions sopt;
+  sopt.clockNs = clockNs;
+  sopt.maxPaths = maxPaths;
+  const sta::StaResult r = sta::runSta(result->design, sopt);
+  CheckReport rep;
+  TimingLintOptions topt;
+  topt.clockNs = clockNs;
+  topt.maxReported = std::max(maxPaths, 1);
+  checkTiming(result->design, topt, rep);
+  return {staJsonValue("file", req.name, r, rep).dump(), rep.clean(), false};
+}
+
+Result proveJson(const Request& req, bool provePasses) {
+  Result err;
+  auto fn = compileCached(req, OptLevel::None, false, err);
+  if (!fn) return err;
+  CheckReport rep;
+  auto runPipe = [&](PassManager& pm) {
+    if (provePasses)
+      sec::runPipelineValidated(pm, *fn, rep);
+    else
+      pm.run(*fn);
+  };
+  switch (req.opts.opt) {
+    case OptLevel::None:
+      break;
+    case OptLevel::Standard: {
+      auto pm = PassManager::standardPipeline();
+      runPipe(pm);
+      break;
+    }
+    case OptLevel::Aggressive: {
+      auto pm = PassManager::aggressivePipeline();
+      runPipe(pm);
+      break;
+    }
+  }
+  if (req.opts.narrow) {
+    PassManager pm;
+    pm.add(createNarrowWidthsPass());
+    runPipe(pm);
+  }
+  SynthesisOptions so = req.opts;
+  so.prove = false;  // the proof runs below, reporting instead of throwing
+  so.narrow = false;
+  so.opt = OptLevel::None;  // pipeline already applied above
+  Synthesizer synth(so);
+  try {
+    SynthesisResult r = synth.synthesizeOptimized(*fn);
+    rep.merge(sec::proveEquivalence(r.design));
+  } catch (const InternalError& e) {
+    return errorResult(req.name, e.what(), false);
+  }
+  // One-element array: the prove CLI prints an array even for one file.
+  // Sequential append: GCC 12 -Wrestrict -O3 false positive on the
+  // temporary chain (same story as obs/vcd.cpp).
+  std::string body = "[";
+  body += reportJson("file", req.name, rep);
+  body += "]\n";
+  return {std::move(body), rep.clean(), false};
+}
+
+Result simJson(const Request& req,
+               const std::map<std::string, std::uint64_t>& inputs) {
+  Result err;
+  auto fn = compileCached(req, req.opts.opt, req.opts.narrow, err);
+  if (!fn) return err;
+  SynthesisOptions so = req.opts;
+  so.opt = OptLevel::None;
+  so.narrow = false;
+  Synthesizer synth(so);
+  std::optional<SynthesisResult> result;
+  try {
+    result = synth.synthesizeOptimized(*fn);
+  } catch (const InternalError& e) {
+    return errorResult(req.name, e.what(), false);
+  }
+  const RtlDesign& d = result->design;
+  std::map<std::string, std::uint64_t> in = inputs;
+  for (const auto& p : d.fn.ports())
+    if (p.isInput && in.find(p.name) == in.end()) in[p.name] = 0;
+
+  vm::RtlSim sim(d);
+  RtlExecResult res;
+  try {
+    res = sim.run(in);
+  } catch (const std::exception& e) {
+    return errorResult(req.name, e.what(), false);
+  }
+  JsonValue j = JsonValue::object();
+  j["file"] = req.name;
+  j["design"] = d.fn.name();
+  JsonValue jin = JsonValue::object();
+  for (const auto& [k, v] : in) jin[k] = (double)v;
+  j["inputs"] = std::move(jin);
+  JsonValue jout = JsonValue::object();
+  for (const auto& [k, v] : res.outputs) jout[k] = (double)v;
+  j["outputs"] = std::move(jout);
+  j["cycles"] = (long)res.cycles;
+  j["finished"] = res.finished;
+  return {j.dump(), res.finished, false};
+}
+
+}  // namespace mphls::cmd

@@ -1,0 +1,94 @@
+// Shared machine-readable command layer: one implementation of every JSON
+// report the system can produce, used verbatim by the CLI (`mphls
+// synth/lint/analyze/sta/prove --format json`) and by the serve daemon's
+// POST endpoints. The daemon can never drift from the offline tool because
+// both render their responses through these functions; the golden
+// differential test (tests/test_serve.cpp) and the ci.sh serve smoke
+// assert byte equality end to end.
+//
+// Every command compiles through the process-wide FrontendCache, so repeat
+// traffic (a daemon serving the same source many times, a DSE sweep, the
+// test battery) pays the frontend once per (source, top, opt) key.
+//
+// Reports are deterministic by construction: they carry no wall-clock
+// times, no machine identity, and no iteration-order-dependent fields.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "check/report.h"
+#include "common/bench_report.h"
+#include "core/synthesizer.h"
+#include "sta/sta.h"
+
+namespace mphls::cmd {
+
+/// One command invocation: the report key (`name` — the file path when the
+/// CLI runs it, the client-supplied name under the daemon), the BDL source
+/// to operate on, and the synthesis option vector.
+struct Request {
+  std::string name;
+  std::string source;
+  std::string top;
+  SynthesisOptions opts;
+};
+
+/// Outcome of one command. `body` is the exact text the CLI prints on
+/// stdout (trailing newline included) and the exact HTTP response body the
+/// daemon returns. `ok` carries the CLI exit-0 semantics (lint findings,
+/// failed proofs and negative slack make it false while the body is still
+/// a well-formed report). `inputError` is set when the source itself was
+/// rejected (parse/verify failure) — the daemon maps it to 422.
+struct Result {
+  std::string body;
+  bool ok = true;
+  bool inputError = false;
+};
+
+/// Synthesis summary report: design shape, scheduler, latency, datapath
+/// and controller structure, area/cycle-time estimates.
+[[nodiscard]] Result synthJson(const Request& req);
+
+/// Full static verification report over the synthesized design
+/// (checkDesign), exactly what `mphls lint --format json` prints.
+[[nodiscard]] Result lintJson(const Request& req);
+
+/// Semantic lint report over the behavioral IR (checkSemantics). With
+/// `postPipeline` the configured pass pipeline (and, per opts.narrow, the
+/// narrowing pass) runs first, mirroring `mphls analyze --opt ...`.
+[[nodiscard]] Result analyzeJson(const Request& req, bool postPipeline);
+
+/// Path-level static timing analysis report plus the timing lint,
+/// exactly what `mphls sta --format json` prints for one file.
+/// `clockNs` <= 0 means "at the estimated clock".
+[[nodiscard]] Result staJson(const Request& req, double clockNs,
+                             int maxPaths);
+
+/// Formal equivalence report (one-element array, the prove CLI
+/// convention). With `provePasses` each optimization pass application is
+/// additionally translation-validated.
+[[nodiscard]] Result proveJson(const Request& req, bool provePasses);
+
+/// Simulate the synthesized RTL on `inputs` (unset input ports default to
+/// zero) and report outputs, cycle count and halt status.
+[[nodiscard]] Result simJson(const Request& req,
+                             const std::map<std::string, std::uint64_t>& inputs);
+
+/// {"file":<name>, ...} splice of a CheckReport, shared by the lint,
+/// analyze and prove renderers (and the CLI's text-mode prove).
+[[nodiscard]] std::string reportJson(const std::string& key,
+                                     const std::string& name,
+                                     const CheckReport& rep);
+
+/// One sta report as a JsonValue: the StaResult plus the timing lint's
+/// findings in the lint/prove diagnostics convention (sorted/deduped).
+/// Exposed so the CLI's `sta --builtins --format json` array uses the
+/// same element renderer as staJson.
+[[nodiscard]] JsonValue staJsonValue(const std::string& key,
+                                     const std::string& name,
+                                     const sta::StaResult& r,
+                                     const CheckReport& rep);
+
+}  // namespace mphls::cmd

@@ -41,13 +41,20 @@ SignalLayout layoutSignals(const InterconnectResult& ic,
     L.total += bits;
     return at;
   };
+  // Sequential appends: GCC 12's -Wrestrict misfires on the temporary chain
+  // `"r" + std::to_string(i) + "_en"` at -O3 (same story as obs/vcd.cpp).
+  auto sig = [](const char* prefix, std::size_t i, const char* suffix) {
+    std::string s = prefix;
+    s += std::to_string(i);
+    s += suffix;
+    return s;
+  };
 
   for (std::size_t r = 0; r < ic.regInput.size(); ++r) {
-    L.regEn.push_back(alloc("r" + std::to_string(r) + "_en", 1));
+    L.regEn.push_back(alloc(sig("r", r, "_en"), 1));
     int legs = ic.regInput[r].legs();
     int w = legs > 1 ? bitsForStates((std::uint64_t)legs) : 0;
-    L.regSel.push_back(w > 0 ? alloc("r" + std::to_string(r) + "_sel", w)
-                             : -1);
+    L.regSel.push_back(w > 0 ? alloc(sig("r", r, "_sel"), w) : -1);
     L.regSelW.push_back(w);
   }
   for (std::size_t p = 0; p < ic.outPortInput.size(); ++p) {
@@ -57,17 +64,16 @@ SignalLayout layoutSignals(const InterconnectResult& ic,
       L.portSelW.push_back(0);
       continue;
     }
-    L.portEn.push_back(alloc("p" + std::to_string(p) + "_en", 1));
+    L.portEn.push_back(alloc(sig("p", p, "_en"), 1));
     int legs = ic.outPortInput[p].legs();
     int w = legs > 1 ? bitsForStates((std::uint64_t)legs) : 0;
-    L.portSel.push_back(w > 0 ? alloc("p" + std::to_string(p) + "_sel", w)
-                              : -1);
+    L.portSel.push_back(w > 0 ? alloc(sig("p", p, "_sel"), w) : -1);
     L.portSelW.push_back(w);
   }
   for (std::size_t f = 0; f < binding.fus.size(); ++f) {
     int nk = (int)binding.fus[f].kinds.size();
     int w = nk > 1 ? bitsForStates((std::uint64_t)nk) : 0;
-    L.fuOp.push_back(w > 0 ? alloc("fu" + std::to_string(f) + "_op", w) : -1);
+    L.fuOp.push_back(w > 0 ? alloc(sig("fu", f, "_op"), w) : -1);
     L.fuOpW.push_back(w);
     std::array<int, 3> mux{-1, -1, -1};
     std::array<int, 3> muxw{0, 0, 0};
@@ -75,9 +81,9 @@ SignalLayout layoutSignals(const InterconnectResult& ic,
       int legs = ic.fuInput[f][(std::size_t)q].legs();
       if (legs > 1) {
         muxw[(std::size_t)q] = bitsForStates((std::uint64_t)legs);
-        mux[(std::size_t)q] =
-            alloc("fu" + std::to_string(f) + "_m" + std::to_string(q),
-                  muxw[(std::size_t)q]);
+        std::string m = sig("fu", f, "_m");
+        m += std::to_string(q);
+        mux[(std::size_t)q] = alloc(m, muxw[(std::size_t)q]);
       }
     }
     L.fuMux.push_back(mux);

@@ -46,14 +46,22 @@ Microprogram buildMicrocode(const Controller& ctrl,
     return idx;
   };
 
+  // Sequential appends: GCC 12's -Wrestrict misfires on the temporary chain
+  // `"r" + std::to_string(i) + "_en"` at -O3 (same story as obs/vcd.cpp).
+  auto sig = [](const char* prefix, std::size_t i, const char* suffix) {
+    std::string s = prefix;
+    s += std::to_string(i);
+    s += suffix;
+    return s;
+  };
+
   // Datapath fields.
   std::vector<int> regEnF, regSelF, portEnF, portSelF, fuOpF;
   std::vector<std::array<int, 3>> fuMuxF;
   for (std::size_t r = 0; r < ic.regInput.size(); ++r) {
-    regEnF.push_back(addField("r" + std::to_string(r) + "_en", 1));
+    regEnF.push_back(addField(sig("r", r, "_en"), 1));
     int w = selWidth(ic.regInput[r].legs());
-    regSelF.push_back(w > 0 ? addField("r" + std::to_string(r) + "_sel", w)
-                            : -1);
+    regSelF.push_back(w > 0 ? addField(sig("r", r, "_sel"), w) : -1);
   }
   for (std::size_t p = 0; p < ic.outPortInput.size(); ++p) {
     if (ic.outPortInput[p].legs() == 0) {
@@ -61,22 +69,22 @@ Microprogram buildMicrocode(const Controller& ctrl,
       portSelF.push_back(-1);
       continue;
     }
-    portEnF.push_back(addField("p" + std::to_string(p) + "_en", 1));
+    portEnF.push_back(addField(sig("p", p, "_en"), 1));
     int w = selWidth(ic.outPortInput[p].legs());
-    portSelF.push_back(w > 0 ? addField("p" + std::to_string(p) + "_sel", w)
-                             : -1);
+    portSelF.push_back(w > 0 ? addField(sig("p", p, "_sel"), w) : -1);
   }
   for (std::size_t f = 0; f < binding.fus.size(); ++f) {
     int nk = (int)binding.fus[f].kinds.size();
     int w = nk <= 1 ? 0 : (horizontal ? nk : bitsForStates((std::uint64_t)nk));
-    fuOpF.push_back(w > 0 ? addField("fu" + std::to_string(f) + "_op", w)
-                          : -1);
+    fuOpF.push_back(w > 0 ? addField(sig("fu", f, "_op"), w) : -1);
     std::array<int, 3> mf{-1, -1, -1};
     for (int q = 0; q < 3; ++q) {
       int wq = selWidth(ic.fuInput[f][(std::size_t)q].legs());
-      if (wq > 0)
-        mf[(std::size_t)q] = addField(
-            "fu" + std::to_string(f) + "_m" + std::to_string(q), wq);
+      if (wq > 0) {
+        std::string m = sig("fu", f, "_m");
+        m += std::to_string(q);
+        mf[(std::size_t)q] = addField(m, wq);
+      }
     }
     fuMuxF.push_back(mf);
   }

@@ -87,7 +87,11 @@ std::string VcdWriter::render() const {
   const std::uint64_t t0 = changes_.empty() ? 0 : changes_.front().t;
   std::size_t i = 0;
   std::vector<bool> inDump(wires_.size(), false);
-  out += "#" + std::to_string(t0) + "\n$dumpvars\n";
+  // Sequential appends: `"#" + std::to_string(...)` trips a GCC 12
+  // -Wrestrict false positive at -O3 (the operator+ insert path).
+  out += '#';
+  out += std::to_string(t0);
+  out += "\n$dumpvars\n";
   while (i < changes_.size() && changes_[i].t == t0) {
     const Change& c = changes_[i];
     const Wire& w = wires_[static_cast<std::size_t>(c.wire)];
@@ -110,7 +114,9 @@ std::string VcdWriter::render() const {
     const Change& c = changes_[i];
     if (c.t != cur) {
       cur = c.t;
-      out += "#" + std::to_string(cur) + "\n";
+      out += '#';
+      out += std::to_string(cur);
+      out += '\n';
     }
     const Wire& w = wires_[static_cast<std::size_t>(c.wire)];
     appendChange(out, w.code, w.width, c.value);

@@ -38,26 +38,36 @@ RtlExecResult MicrocodeSimulator::run(
       if (mp_.fields[i].name == name) return (int)i;
     return -1;
   };
+  // Sequential appends: GCC 12's -Wrestrict misfires on the temporary chain
+  // `"r" + std::to_string(i) + "_en"` at -O3 (same story as obs/vcd.cpp).
+  auto sig = [](const char* prefix, int i, const char* suffix) {
+    std::string s = prefix;
+    s += std::to_string(i);
+    s += suffix;
+    return s;
+  };
   const int nRegs = d_.regs.numRegs;
   const int nFus = d_.binding.numFus();
   std::vector<int> regEnF((std::size_t)nRegs), regSelF((std::size_t)nRegs);
   for (int r = 0; r < nRegs; ++r) {
-    regEnF[(std::size_t)r] = fieldIndex("r" + std::to_string(r) + "_en");
-    regSelF[(std::size_t)r] = fieldIndex("r" + std::to_string(r) + "_sel");
+    regEnF[(std::size_t)r] = fieldIndex(sig("r", r, "_en"));
+    regSelF[(std::size_t)r] = fieldIndex(sig("r", r, "_sel"));
   }
   std::vector<int> portEnF(d_.fn.ports().size(), -1),
       portSelF(d_.fn.ports().size(), -1);
   for (std::size_t p = 0; p < d_.fn.ports().size(); ++p) {
-    portEnF[p] = fieldIndex("p" + std::to_string(p) + "_en");
-    portSelF[p] = fieldIndex("p" + std::to_string(p) + "_sel");
+    portEnF[p] = fieldIndex(sig("p", (int)p, "_en"));
+    portSelF[p] = fieldIndex(sig("p", (int)p, "_sel"));
   }
   std::vector<int> fuOpF((std::size_t)nFus);
   std::vector<std::array<int, 3>> fuMuxF((std::size_t)nFus);
   for (int f = 0; f < nFus; ++f) {
-    fuOpF[(std::size_t)f] = fieldIndex("fu" + std::to_string(f) + "_op");
-    for (int q = 0; q < 3; ++q)
-      fuMuxF[(std::size_t)f][(std::size_t)q] =
-          fieldIndex("fu" + std::to_string(f) + "_m" + std::to_string(q));
+    fuOpF[(std::size_t)f] = fieldIndex(sig("fu", f, "_op"));
+    for (int q = 0; q < 3; ++q) {
+      std::string m = sig("fu", f, "_m");
+      m += std::to_string(q);
+      fuMuxF[(std::size_t)f][(std::size_t)q] = fieldIndex(m);
+    }
   }
   const int condF = fieldIndex("useq_cond");
   const int condSelF = fieldIndex("useq_condsel");

@@ -11,13 +11,22 @@ SimTraceRecorder::SimTraceRecorder(const RtlDesign& design)
       std::max(1, bitsForStates((std::uint64_t)d_.ctrl.numStates()));
   stateW_ = vcd_.addWire("fsm_state", stateBits);
   regW_.reserve((std::size_t)d_.regs.numRegs);
-  for (int r = 0; r < d_.regs.numRegs; ++r)
-    regW_.push_back(vcd_.addWire(
-        "r" + std::to_string(r),
-        std::max(1, d_.regs.regWidth[(std::size_t)r])));
+  for (int r = 0; r < d_.regs.numRegs; ++r) {
+    // Sequential append: GCC 12 -Wrestrict -O3 false positive (see below).
+    std::string w = "r";
+    w += std::to_string(r);
+    regW_.push_back(
+        vcd_.addWire(w, std::max(1, d_.regs.regWidth[(std::size_t)r])));
+  }
   fuW_.reserve((std::size_t)d_.binding.numFus());
-  for (int f = 0; f < d_.binding.numFus(); ++f)
-    fuW_.push_back(vcd_.addWire("fu" + std::to_string(f) + "_busy", 1));
+  for (int f = 0; f < d_.binding.numFus(); ++f) {
+    // Sequential append: GCC 12's -Wrestrict misfires on the temporary
+    // chain `"fu" + std::to_string(f) + "_busy"` at -O3 (see obs/vcd.cpp).
+    std::string w = "fu";
+    w += std::to_string(f);
+    w += "_busy";
+    fuW_.push_back(vcd_.addWire(w, 1));
+  }
   portW_.assign(d_.fn.ports().size(), -1);
   for (const auto& p : d_.fn.ports())
     portW_[p.id.index()] =

@@ -117,8 +117,13 @@ void proveBlock(const RtlDesign& d, const Block& blk, const VarLiveness& lv,
   for (const Port& p : fn.ports())
     if (p.isInput) portIn[p.id.index()] = ctx.mkVar(p.name, p.width);
   std::vector<int> regIn((std::size_t)d.regs.numRegs);
-  for (int r = 0; r < d.regs.numRegs; ++r)
-    regIn[(std::size_t)r] = ctx.mkVar("r" + std::to_string(r), 64);
+  for (int r = 0; r < d.regs.numRegs; ++r) {
+    // Sequential append: GCC 12 -Wrestrict -O3 false positive on the
+    // temporary chain (same story as obs/vcd.cpp).
+    std::string name = "r";
+    name += std::to_string(r);
+    regIn[(std::size_t)r] = ctx.mkVar(name, 64);
+  }
 
   // Behavioral entry state under the correspondence invariant.
   SymState entry;

@@ -1,0 +1,213 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mphls::serve {
+
+namespace {
+
+[[nodiscard]] std::string toLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out)
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  return out;
+}
+
+bool sendAll(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += (std::size_t)n;
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* ClientResponse::header(std::string_view nameLower) const {
+  for (const auto& [k, v] : headers)
+    if (k == nameLower) return &v;
+  return nullptr;
+}
+
+HttpClient::HttpClient(std::string host, int port)
+    : host_(std::move(host)), port_(port) {}
+
+HttpClient::~HttpClient() { disconnect(); }
+
+void HttpClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool HttpClient::connectFd(std::string& error) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    error = "bad host: " + host_;
+    disconnect();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    error = std::string("connect: ") + std::strerror(errno);
+    disconnect();
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return true;
+}
+
+ClientResponse HttpClient::readResponse() {
+  ClientResponse r;
+  std::string buf;
+  // Head: read until the blank line.
+  std::size_t headEnd = std::string::npos;
+  while (headEnd == std::string::npos) {
+    char chunk[8192];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      r.error = n == 0 ? "connection closed mid-response"
+                       : std::string("recv: ") + std::strerror(errno);
+      disconnect();
+      return r;
+    }
+    buf.append(chunk, (std::size_t)n);
+    headEnd = buf.find("\r\n\r\n");
+    if (buf.size() > 1024 * 1024 && headEnd == std::string::npos) {
+      r.error = "response header section too large";
+      disconnect();
+      return r;
+    }
+  }
+  const std::string_view head = std::string_view(buf).substr(0, headEnd);
+
+  // Status line: HTTP/1.1 NNN reason.
+  const std::size_t eol = head.find("\r\n");
+  const std::string_view statusLine = head.substr(0, eol);
+  const std::size_t sp = statusLine.find(' ');
+  if (sp == std::string_view::npos || statusLine.size() < sp + 4) {
+    r.error = "malformed status line";
+    disconnect();
+    return r;
+  }
+  r.status = 0;
+  for (std::size_t i = sp + 1; i < sp + 4 && i < statusLine.size(); ++i) {
+    const char c = statusLine[i];
+    if (c < '0' || c > '9') {
+      r.error = "malformed status code";
+      disconnect();
+      return r;
+    }
+    r.status = r.status * 10 + (c - '0');
+  }
+
+  // Headers.
+  std::size_t contentLength = 0;
+  bool closeAfter = false;
+  std::size_t cursor = eol == std::string_view::npos ? head.size() : eol + 2;
+  while (cursor < head.size()) {
+    std::size_t end = head.find("\r\n", cursor);
+    if (end == std::string_view::npos) end = head.size();
+    const std::string_view h = head.substr(cursor, end - cursor);
+    cursor = end + 2;
+    const std::size_t colon = h.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string name = toLower(h.substr(0, colon));
+    std::string_view val = h.substr(colon + 1);
+    while (!val.empty() && (val.front() == ' ' || val.front() == '\t'))
+      val.remove_prefix(1);
+    if (name == "content-length") contentLength = (std::size_t)std::stoul(std::string(val));
+    if (name == "connection" && toLower(val) == "close") closeAfter = true;
+    r.headers.emplace_back(std::move(name), std::string(val));
+  }
+
+  // Body: Content-Length bytes past the blank line.
+  std::string body = buf.substr(headEnd + 4);
+  while (body.size() < contentLength) {
+    char chunk[16 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      r.error = "connection closed mid-body";
+      disconnect();
+      return r;
+    }
+    body.append(chunk, (std::size_t)n);
+  }
+  r.body = body.substr(0, contentLength);
+  r.ok = true;
+  if (closeAfter) disconnect();
+  return r;
+}
+
+ClientResponse HttpClient::roundTrip(const std::string& wire, bool retryOnce) {
+  ClientResponse r;
+  const bool hadConnection = fd_ >= 0;
+  if (fd_ < 0 && !connectFd(r.error)) return r;
+  if (!sendAll(fd_, wire)) {
+    disconnect();
+    if (retryOnce && hadConnection) return roundTrip(wire, false);
+    r.error = "send failed";
+    return r;
+  }
+  ClientResponse resp = readResponse();
+  // A reused keep-alive connection may have been closed by the server
+  // between requests; one clean retry on a fresh connection.
+  if (!resp.ok && retryOnce && hadConnection) return roundTrip(wire, false);
+  return resp;
+}
+
+ClientResponse HttpClient::get(const std::string& target) {
+  return roundTrip("GET " + target + " HTTP/1.1\r\nHost: " + host_ +
+                       "\r\n\r\n",
+                   true);
+}
+
+ClientResponse HttpClient::post(const std::string& target,
+                                const std::string& body) {
+  return roundTrip("POST " + target + " HTTP/1.1\r\nHost: " + host_ +
+                       "\r\nContent-Type: application/json\r\nContent-Length: " +
+                       std::to_string(body.size()) + "\r\n\r\n" + body,
+                   true);
+}
+
+ClientResponse HttpClient::raw(const std::string& bytes) {
+  disconnect();
+  ClientResponse r;
+  if (!connectFd(r.error)) return r;
+  if (!sendAll(fd_, bytes)) {
+    disconnect();
+    r.error = "send failed";
+    return r;
+  }
+  // Half-close so a server waiting for more bytes (e.g. a lying
+  // Content-Length) sees EOF instead of deadlocking the test.
+  ::shutdown(fd_, SHUT_WR);
+  ClientResponse resp = readResponse();
+  disconnect();
+  return resp;
+}
+
+}  // namespace mphls::serve

@@ -1,0 +1,58 @@
+// Minimal blocking HTTP/1.1 client for the load generator and the serve
+// test battery. Persistent (keep-alive) connection with one transparent
+// reconnect when the server closed it between requests; Content-Length
+// framing only — the counterpart of the daemon's parser scope.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mphls::serve {
+
+struct ClientResponse {
+  bool ok = false;      ///< transport-level success (any status counts)
+  int status = 0;
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> headers;  ///< lowercased
+  std::string error;    ///< transport failure description when !ok
+
+  [[nodiscard]] const std::string* header(std::string_view nameLower) const;
+};
+
+class HttpClient {
+ public:
+  HttpClient(std::string host, int port);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// One request over the persistent connection. GET sends no body.
+  [[nodiscard]] ClientResponse get(const std::string& target);
+  [[nodiscard]] ClientResponse post(const std::string& target,
+                                    const std::string& body);
+
+  /// Send raw bytes and read one response — for protocol tests that need
+  /// malformed or hand-fragmented requests. Closes the connection after.
+  [[nodiscard]] ClientResponse raw(const std::string& bytes);
+
+  /// Drop the persistent connection (next request reconnects).
+  void disconnect();
+
+  /// True while the persistent connection is up (keep-alive observable).
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+ private:
+  [[nodiscard]] bool connectFd(std::string& error);
+  [[nodiscard]] ClientResponse roundTrip(const std::string& wire,
+                                         bool retryOnce);
+  [[nodiscard]] ClientResponse readResponse();
+
+  std::string host_;
+  int port_;
+  int fd_ = -1;
+};
+
+}  // namespace mphls::serve

@@ -1,0 +1,54 @@
+// Deterministic load generator for the serve daemon. Replays a seeded
+// request mix from N concurrent clients over keep-alive connections and
+// writes BENCH_serve.json (p50/p99 latency, throughput, error counts,
+// frontend-cache hit rate). The same seed always produces the same
+// request schedule — the soak test and the CI smoke depend on that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mphls::serve {
+
+struct LoadgenOptions {
+  std::string url = "http://127.0.0.1:8080";
+  int clients = 4;
+  /// Total requests across all clients (split round-robin).
+  int requests = 100;
+  /// Colon-separated endpoint names; repeats weight the draw
+  /// ("synth:lint:sim", "synth:synth:lint").
+  std::string mix = "synth:lint:sim";
+  std::uint64_t seed = 1;
+  /// Report path; empty skips the write (in-process tests).
+  std::string reportPath = "BENCH_serve.json";
+};
+
+struct LoadgenReport {
+  int requestsSent = 0;
+  int transportErrors = 0;  ///< connect/send/recv failures
+  int httpErrors = 0;       ///< responses with status >= 400
+  int invalidJson = 0;      ///< 2xx bodies that fail to parse as JSON
+  double wallSeconds = 0;
+  double requestsPerSecond = 0;
+  double p50Ms = 0;
+  double p99Ms = 0;
+  double cacheHitRate = 0;  ///< from the daemon's /metrics snapshot
+  std::string error;        ///< non-empty: the run could not start
+
+  [[nodiscard]] bool clean() const {
+    return error.empty() && transportErrors == 0 && httpErrors == 0 &&
+           invalidJson == 0;
+  }
+};
+
+/// Split "http://host:port" (the only accepted scheme). Returns false on
+/// anything else.
+[[nodiscard]] bool parseUrl(const std::string& url, std::string& host,
+                            int& port);
+
+/// Run the campaign. Returns the report; report.error is set when the
+/// options are invalid or the daemon is unreachable.
+[[nodiscard]] LoadgenReport runLoadgen(const LoadgenOptions& opts);
+
+}  // namespace mphls::serve

@@ -1,0 +1,301 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace mphls::serve {
+
+namespace {
+
+void setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// One client session. The loop thread owns fd/parser/readClosed; outbuf,
+/// busy and closeAfter are the worker handoff surface, guarded by `m`.
+struct Conn {
+  int fd = -1;
+  std::uint64_t id = 0;
+  HttpParser parser;
+  bool readClosed = false;  ///< peer half-closed; drain then close
+
+  std::mutex m;
+  std::string outbuf;       ///< wire bytes awaiting write (guarded by m)
+  bool busy = false;        ///< a worker holds this session (guarded by m)
+  bool closeAfter = false;  ///< close once outbuf drains (guarded by m)
+
+  explicit Conn(HttpLimits limits) : parser(limits) {}
+};
+
+}  // namespace
+
+struct Server::Impl {
+  std::vector<std::shared_ptr<Conn>> conns;
+  std::unique_ptr<ThreadPool> pool;
+  std::atomic<bool> stopping{false};
+};
+
+Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
+  impl_ = new Impl();
+}
+
+Server::~Server() {
+  // Joining the pool first guarantees no worker touches a Conn after the
+  // connection list is torn down.
+  impl_->pool.reset();
+  for (auto& c : impl_->conns)
+    if (c->fd >= 0) ::close(c->fd);
+  if (listenFd_ >= 0) ::close(listenFd_);
+  if (wakeRead_ >= 0) ::close(wakeRead_);
+  if (wakeWrite_ >= 0) ::close(wakeWrite_);
+  delete impl_;
+}
+
+bool Server::start(std::string& error) {
+  listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listenFd_ < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+  if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    error = std::string("bind: ") + std::strerror(errno);
+    return false;
+  }
+  if (::listen(listenFd_, 128) < 0) {
+    error = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    error = std::string("getsockname: ") + std::strerror(errno);
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  setNonBlocking(listenFd_);
+
+  int pipeFds[2];
+  if (::pipe(pipeFds) < 0) {
+    error = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  wakeRead_ = pipeFds[0];
+  wakeWrite_ = pipeFds[1];
+  setNonBlocking(wakeRead_);
+  setNonBlocking(wakeWrite_);
+
+  impl_->pool = std::make_unique<ThreadPool>(resolveJobs(opts_.jobs), "serve");
+  return true;
+}
+
+void Server::requestStop() {
+  // Async-signal-safe: write(2) only. 's' = stop.
+  const char b = 's';
+  [[maybe_unused]] ssize_t n = ::write(wakeWrite_, &b, 1);
+}
+
+void Server::run() {
+  auto& mr = obs::MetricsRegistry::global();
+  Service service(opts_.service);
+  auto& conns = impl_->conns;
+
+  // Pull parsed requests out of a connection and hand them to the pool.
+  // Loop thread only. Stops at the first incomplete request, protocol
+  // error, or while a worker holds the session.
+  auto pump = [&](const std::shared_ptr<Conn>& c) {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lk(c->m);
+        if (c->busy || c->closeAfter) return;
+      }
+      HttpRequest req;
+      const HttpParser::Status st = c->parser.next(req);
+      if (st == HttpParser::Status::NeedMore) return;
+      if (st == HttpParser::Status::Error) {
+        // The byte stream is unsynchronized: answer and close.
+        std::lock_guard<std::mutex> lk(c->m);
+        c->outbuf += renderErrorResponse(c->parser.errorCode(),
+                                         c->parser.errorReason(), false);
+        c->closeAfter = true;
+        mr.counter("serve.protocol_errors").add();
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lk(c->m);
+        c->busy = true;
+      }
+      impl_->pool->submit([this, &service, c, req = std::move(req)] {
+        const ServiceResponse resp = service.handle(req, c->id);
+        const bool keep = req.keepAlive && !impl_->stopping.load();
+        std::string wire = renderResponse(resp.status, resp.body, keep);
+        {
+          std::lock_guard<std::mutex> lk(c->m);
+          c->outbuf += wire;
+          c->busy = false;
+          if (!keep) c->closeAfter = true;
+        }
+        const char b = 'w';  // wake: response ready to flush
+        [[maybe_unused]] ssize_t n = ::write(wakeWrite_, &b, 1);
+      });
+    }
+  };
+
+  std::vector<pollfd> fds;
+  while (true) {
+    // Rebuild the poll set each pass (session counts are small).
+    fds.clear();
+    fds.push_back({wakeRead_, POLLIN, 0});
+    const bool accepting =
+        !impl_->stopping.load() &&
+        (int)conns.size() < opts_.maxConnections;
+    if (listenFd_ >= 0 && accepting) fds.push_back({listenFd_, POLLIN, 0});
+    for (auto& c : conns) {
+      short ev = 0;
+      bool wantWrite = false;
+      bool busy = false;
+      {
+        std::lock_guard<std::mutex> lk(c->m);
+        wantWrite = !c->outbuf.empty();
+        busy = c->busy;
+      }
+      if (!c->readClosed && !busy) ev |= POLLIN;
+      if (wantWrite) ev |= POLLOUT;
+      // poll() skips negative fds: a busy session with nothing to write
+      // is parked so a peer hangup cannot spin the loop mid-synthesis.
+      fds.push_back({ev == 0 ? -1 : c->fd, ev, 0});
+    }
+
+    if (::poll(fds.data(), (nfds_t)fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    // Drain the self-pipe; a stop byte flips the drain mode.
+    if (fds[0].revents & POLLIN) {
+      char buf[64];
+      ssize_t n;
+      while ((n = ::read(wakeRead_, buf, sizeof buf)) > 0)
+        for (ssize_t i = 0; i < n; ++i)
+          if (buf[i] == 's' && !impl_->stopping.exchange(true))
+            mr.counter("serve.stop_requests").add();
+    }
+
+    // New sessions.
+    const std::size_t listenSlot = accepting ? 1 : 0;
+    if (listenSlot && (fds[listenSlot].revents & POLLIN)) {
+      for (;;) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) break;
+        setNonBlocking(fd);
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        auto c = std::make_shared<Conn>(opts_.limits);
+        c->fd = fd;
+        c->id = ++nextSession_;
+        mr.counter("serve.sessions").add();
+        if ((int)conns.size() >= opts_.maxConnections) {
+          // Backpressure: reject instead of queueing unboundedly.
+          c->outbuf = renderErrorResponse(503, "server at capacity", false);
+          c->closeAfter = true;
+          mr.counter("serve.rejected_sessions").add();
+        }
+        conns.push_back(std::move(c));
+      }
+    }
+
+    // Per-session I/O. Slots after the self-pipe (+ listen) are conns, in
+    // order; but conns may have been appended above, so map by index.
+    const std::size_t firstConn = 1 + (listenSlot ? 1 : 0);
+    for (std::size_t i = 0; firstConn + i < fds.size(); ++i) {
+      auto& c = conns[i];
+      const short re = fds[firstConn + i].revents;
+      if (re & POLLIN) {
+        char buf[16 * 1024];
+        for (;;) {
+          const ssize_t n = ::recv(c->fd, buf, sizeof buf, 0);
+          if (n > 0) {
+            c->parser.feed(std::string_view(buf, (std::size_t)n));
+            if ((ssize_t)sizeof buf != n) break;
+          } else if (n == 0) {
+            c->readClosed = true;
+            break;
+          } else {
+            if (errno != EAGAIN && errno != EWOULDBLOCK) c->readClosed = true;
+            break;
+          }
+        }
+      }
+      if (re & (POLLERR | POLLHUP)) c->readClosed = true;
+    }
+
+    // Dispatch, flush, reap. Every conn is visited every pass: a worker
+    // wake must flush sessions regardless of which fd had events.
+    for (auto& c : conns) {
+      pump(c);
+      std::lock_guard<std::mutex> lk(c->m);
+      while (!c->outbuf.empty()) {
+        const ssize_t n = ::send(c->fd, c->outbuf.data(), c->outbuf.size(),
+                                 MSG_NOSIGNAL);
+        if (n > 0) {
+          c->outbuf.erase(0, (std::size_t)n);
+        } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          break;
+        } else {
+          c->outbuf.clear();  // peer gone; nothing left to deliver
+          c->closeAfter = true;
+          break;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < conns.size();) {
+      auto& c = conns[i];
+      bool close = false;
+      {
+        std::lock_guard<std::mutex> lk(c->m);
+        const bool drained = c->outbuf.empty() && !c->busy;
+        close = drained && (c->closeAfter || c->readClosed ||
+                            impl_->stopping.load());
+      }
+      if (close) {
+        ::close(c->fd);
+        conns.erase(conns.begin() + (std::ptrdiff_t)i);
+      } else {
+        ++i;
+      }
+    }
+
+    if (impl_->stopping.load() && conns.empty()) break;
+  }
+
+  // Drain complete: join the workers before returning so the caller can
+  // destroy the Server immediately.
+  impl_->pool.reset();
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+}
+
+}  // namespace mphls::serve

@@ -1,0 +1,282 @@
+#include "serve/service.h"
+
+#include "common/json_reader.h"
+#include "core/commands.h"
+#include "core/designs.h"
+#include "core/frontend_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mphls::serve {
+
+namespace {
+
+/// Decode the "options" object into a SynthesisOptions vector, mirroring
+/// the CLI flag grammar exactly. Returns "" on success, else the error.
+std::string parseOptions(const json::Node& o, SynthesisOptions& opts) {
+  for (const auto& [key, val] : o.members()) {
+    const json::Node& v = *val;
+    if (key == "scheduler") {
+      const std::string s = v.str();
+      if (s == "serial") opts.scheduler = SchedulerKind::Serial;
+      else if (s == "asap") opts.scheduler = SchedulerKind::Asap;
+      else if (s == "list") opts.scheduler = SchedulerKind::List;
+      else if (s == "force") opts.scheduler = SchedulerKind::ForceDirected;
+      else if (s == "freedom") opts.scheduler = SchedulerKind::Freedom;
+      else if (s == "bnb") opts.scheduler = SchedulerKind::BranchBound;
+      else if (s == "transform") opts.scheduler = SchedulerKind::Transform;
+      else return "bad scheduler: " + s;
+    } else if (key == "fus") {
+      if (!v.isNumber() || v.number() < 1) return "bad fus";
+      opts.resources = ResourceLimits::universalSet((int)v.number());
+    } else if (key == "priority") {
+      const std::string s = v.str();
+      if (s == "path") opts.listPriority = ListPriority::PathLength;
+      else if (s == "mobility") opts.listPriority = ListPriority::Mobility;
+      else if (s == "urgency") opts.listPriority = ListPriority::Urgency;
+      else if (s == "program") opts.listPriority = ListPriority::ProgramOrder;
+      else return "bad priority: " + s;
+    } else if (key == "opt") {
+      const std::string s = v.str();
+      if (s == "none") opts.opt = OptLevel::None;
+      else if (s == "standard") opts.opt = OptLevel::Standard;
+      else if (s == "aggressive") opts.opt = OptLevel::Aggressive;
+      else return "bad opt level: " + s;
+    } else if (key == "fu_alloc") {
+      const std::string s = v.str();
+      if (s == "greedy") opts.fuMethod = FuAllocMethod::GreedyLocal;
+      else if (s == "global") opts.fuMethod = FuAllocMethod::GreedyGlobal;
+      else if (s == "blind") opts.fuMethod = FuAllocMethod::InterconnectBlind;
+      else if (s == "clique") opts.fuMethod = FuAllocMethod::Clique;
+      else return "bad fu_alloc: " + s;
+    } else if (key == "reg_alloc") {
+      const std::string s = v.str();
+      if (s == "leftedge") opts.regMethod = RegAllocMethod::LeftEdge;
+      else if (s == "clique") opts.regMethod = RegAllocMethod::Clique;
+      else if (s == "naive") opts.regMethod = RegAllocMethod::Naive;
+      else return "bad reg_alloc: " + s;
+    } else if (key == "encoding") {
+      const std::string s = v.str();
+      if (s == "binary") opts.encoding = StateEncoding::Binary;
+      else if (s == "gray") opts.encoding = StateEncoding::Gray;
+      else if (s == "onehot") opts.encoding = StateEncoding::OneHot;
+      else return "bad encoding: " + s;
+    } else if (key == "time_constraint") {
+      if (!v.isNumber()) return "bad time_constraint";
+      opts.timeConstraint = (int)v.number();
+    } else if (key == "narrow") {
+      if (!v.isBool()) return "bad narrow";
+      opts.narrow = v.boolean();
+    } else if (key == "multicycle") {
+      if (!v.isBool()) return "bad multicycle";
+      opts.latencies =
+          v.boolean() ? OpLatencyModel::multiCycle() : OpLatencyModel::unit();
+    } else if (key == "check") {
+      if (!v.isBool()) return "bad check";
+      opts.check = v.boolean();
+    } else {
+      return "unknown option: " + key;
+    }
+  }
+  return "";
+}
+
+/// Shared POST-body decode: name/source/design/top/options.
+struct DecodedBody {
+  std::unique_ptr<json::Node> doc;  ///< keeps route-extra nodes alive
+  cmd::Request req;
+  std::string error;  ///< non-empty: reject with 400
+};
+
+DecodedBody decodeBody(const HttpRequest& http, const SynthesisOptions& base) {
+  DecodedBody d;
+  d.req.opts = base;
+  json::ParseError perr;
+  d.doc = json::parseOrError(http.body, perr);
+  if (!d.doc) {
+    d.error = "invalid JSON body: " + perr.message + " at offset " +
+              std::to_string(perr.offset);
+    return d;
+  }
+  if (!d.doc->isObject()) {
+    d.error = "request body must be a JSON object";
+    return d;
+  }
+  const json::Node& o = *d.doc;
+  d.req.top = o.getString("top");
+  if (const json::Node* design = o.get("design")) {
+    if (!design->isString()) {
+      d.error = "\"design\" must be a string";
+      return d;
+    }
+    for (const auto& b : designs::all())
+      if (design->str() == b.name) d.req.source = b.source;
+    if (d.req.source.empty()) {
+      d.error = "unknown builtin design: " + design->str();
+      return d;
+    }
+    d.req.name = o.getString("name", design->str());
+  } else if (const json::Node* source = o.get("source")) {
+    if (!source->isString()) {
+      d.error = "\"source\" must be a string";
+      return d;
+    }
+    d.req.source = source->str();
+    d.req.name = o.getString("name", "request");
+  } else {
+    d.error = "request needs \"source\" or \"design\"";
+    return d;
+  }
+  if (const json::Node* opts = o.get("options")) {
+    if (!opts->isObject()) {
+      d.error = "\"options\" must be an object";
+      return d;
+    }
+    d.error = parseOptions(*opts, d.req.opts);
+  }
+  return d;
+}
+
+ServiceResponse fromResult(cmd::Result r) {
+  return {r.inputError ? 422 : 200, std::move(r.body)};
+}
+
+ServiceResponse errorResponse(int status, const std::string& reason) {
+  std::string body = "{\"error\":";
+  obs::appendJsonString(body, reason);
+  body += "}\n";
+  return {status, std::move(body)};
+}
+
+ServiceResponse handleMetrics() {
+  // Surface the frontend cache through the snapshot: the loadgen reads
+  // its hit rate from here, and `serve.cache.*` keeps the naming parallel
+  // with the serve.* request instruments.
+  auto& mr = obs::MetricsRegistry::global();
+  const FrontendCache& cache = FrontendCache::global();
+  const double hits = (double)cache.hits();
+  const double misses = (double)cache.misses();
+  mr.gauge("serve.cache.hits").set(hits);
+  mr.gauge("serve.cache.misses").set(misses);
+  mr.gauge("serve.cache.entries").set((double)cache.size());
+  mr.gauge("serve.cache.hit_rate")
+      .set(hits + misses > 0 ? hits / (hits + misses) : 0.0);
+  return {200, mr.toJson()};
+}
+
+ServiceResponse handleDesigns() {
+  JsonValue arr = JsonValue::array();
+  for (const auto& d : designs::all()) {
+    JsonValue o = JsonValue::object();
+    o["name"] = std::string(d.name);
+    o["source"] = std::string(d.source);
+    JsonValue in = JsonValue::object();
+    for (const auto& [k, v] : d.sampleInputs) in[k] = (double)v;
+    o["sample_inputs"] = std::move(in);
+    arr.push(std::move(o));
+  }
+  return {200, arr.dump()};
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions opts) : opts_(std::move(opts)) {}
+
+std::uint64_t Service::requestCount() const {
+  return obs::MetricsRegistry::global().counter("serve.requests").value();
+}
+
+ServiceResponse Service::handle(const HttpRequest& req,
+                                std::uint64_t sessionId) const {
+  auto& mr = obs::MetricsRegistry::global();
+  mr.counter("serve.requests").add();
+
+  // Route match before method match: a POST to /healthz must say 405, not
+  // 404. The route name keys the per-endpoint latency histogram.
+  static constexpr std::string_view kGetRoutes[] = {"/healthz", "/metrics",
+                                                    "/designs"};
+  static constexpr std::string_view kPostRoutes[] = {
+      "/synth", "/lint", "/analyze", "/sta", "/prove", "/sim"};
+  bool isGet = false, isPost = false;
+  for (std::string_view r : kGetRoutes) isGet |= req.target == r;
+  for (std::string_view r : kPostRoutes) isPost |= req.target == r;
+
+  ServiceResponse resp;
+  if (!isGet && !isPost) {
+    resp = errorResponse(404, "no such endpoint: " + req.target);
+  } else if ((isGet && req.method != "GET") ||
+             (isPost && req.method != "POST")) {
+    resp = errorResponse(405, req.method + " not allowed on " + req.target);
+  } else {
+    WallTimer timer;
+    obs::TraceSpan span("serve" + req.target,
+                        "session " + std::to_string(sessionId));
+    try {
+      if (req.target == "/healthz") {
+        resp = {200, "{\"status\":\"ok\"}\n"};
+      } else if (req.target == "/metrics") {
+        resp = handleMetrics();
+      } else if (req.target == "/designs") {
+        resp = handleDesigns();
+      } else {
+        DecodedBody d = decodeBody(req, opts_.defaults);
+        if (!d.error.empty()) {
+          resp = errorResponse(400, d.error);
+        } else if (req.target == "/synth") {
+          resp = fromResult(cmd::synthJson(d.req));
+        } else if (req.target == "/lint") {
+          resp = fromResult(cmd::lintJson(d.req));
+        } else if (req.target == "/analyze") {
+          const bool post = d.doc->getBool(
+              "post_pipeline", d.doc->get("options") != nullptr &&
+                                   d.doc->get("options")->has("opt"));
+          resp = fromResult(cmd::analyzeJson(d.req, post));
+        } else if (req.target == "/sta") {
+          const double clock = d.doc->getNumber("clock", 0);
+          const int paths = (int)d.doc->getNumber("paths", 5);
+          if (paths < 0) {
+            resp = errorResponse(400, "\"paths\" must be >= 0");
+          } else if (clock < 0) {
+            resp = errorResponse(400, "\"clock\" must be > 0");
+          } else {
+            resp = fromResult(cmd::staJson(d.req, clock, paths));
+          }
+        } else if (req.target == "/prove") {
+          resp = fromResult(
+              cmd::proveJson(d.req, d.doc->getBool("prove_passes")));
+        } else {  // "/sim"
+          std::map<std::string, std::uint64_t> inputs;
+          bool badInputs = false;
+          if (const json::Node* in = d.doc->get("inputs")) {
+            if (!in->isObject()) {
+              badInputs = true;
+            } else {
+              for (const auto& [k, v] : in->members()) {
+                if (!v->isNumber() || v->number() < 0) {
+                  badInputs = true;
+                  break;
+                }
+                inputs[k] = (std::uint64_t)v->number();
+              }
+            }
+          }
+          resp = badInputs ? errorResponse(
+                                 400, "\"inputs\" must map ports to numbers")
+                           : fromResult(cmd::simJson(d.req, inputs));
+        }
+      }
+    } catch (const std::exception& e) {
+      resp = errorResponse(500, e.what());
+    } catch (...) {
+      resp = errorResponse(500, "unknown internal error");
+    }
+    // One latency histogram per endpoint ("serve./synth.seconds").
+    mr.histogram("serve." + req.target + ".seconds").observe(timer.seconds());
+  }
+
+  if (resp.status >= 400) mr.counter("serve.errors").add();
+  mr.counter("serve.status." + std::to_string(resp.status)).add();
+  return resp;
+}
+
+}  // namespace mphls::serve

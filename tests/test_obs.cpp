@@ -270,7 +270,9 @@ TEST(SimTrace, VcdFinalValuesMatchSimulatorEndState) {
   // Every register wire's final VCD value equals the simulator end state.
   ASSERT_EQ((int)rec.finalRegs().size(), d.regs.numRegs);
   for (int i = 0; i < d.regs.numRegs; ++i) {
-    const std::string name = "r" + std::to_string(i);
+    // Sequential append: GCC 12 -Wrestrict -O3 false positive (see vcd.cpp).
+    std::string name = "r";
+    name += std::to_string(i);
     ASSERT_TRUE(last.count(name)) << name << " missing from VCD";
     EXPECT_EQ(last.at(name), rec.finalRegs()[(std::size_t)i]) << name;
   }

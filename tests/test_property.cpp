@@ -213,7 +213,9 @@ TEST_P(FuzzStructures, LeftEdgeOptimalOnRandomIntervals) {
     item.width = 8;
     int b = (int)rng.below(35);
     item.live = {b, b + 1 + (int)rng.below(8)};
-    item.name = "i" + std::to_string(i);
+    // Sequential append: GCC 12 -Wrestrict -O3 false positive (see vcd.cpp).
+    item.name = "i";
+    item.name += std::to_string(i);
     lt.items.push_back(item);
   }
   auto regs = allocateRegisters(lt, RegAllocMethod::LeftEdge);

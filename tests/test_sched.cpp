@@ -46,7 +46,10 @@ Function buildFig34() {
   PortId p[6];
   ValueId v[6];
   for (int i = 0; i < 6; ++i) {
-    p[i] = fn.addInput("p" + std::to_string(i), 8);
+    // Sequential append: GCC 12 -Wrestrict -O3 false positive (see vcd.cpp).
+    std::string pname = "p";
+    pname += std::to_string(i);
+    p[i] = fn.addInput(pname, 8);
     v[i] = fn.emitRead(b, p[i]);
   }
   PortId q0 = fn.addOutput("q0", 8);

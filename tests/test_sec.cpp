@@ -183,7 +183,10 @@ void crossCheck(OpKind op, int width, std::int64_t imm,
   for (std::size_t i = 0; i < vals.size(); ++i)
     vals[i] = truncBits(vals[i], widths[i]);
   for (std::size_t i = 0; i < vals.size(); ++i) {
-    int v = ctx.mkVar("v" + std::to_string(i), widths[i]);
+    // Sequential append: GCC 12 -Wrestrict -O3 false positive (see vcd.cpp).
+    std::string vname = "v";
+    vname += std::to_string(i);
+    int v = ctx.mkVar(vname, widths[i]);
     vars.push_back(v);
     assumptions.push_back(ctx.mkOp(
         OpKind::Eq, 1, 0, {v, ctx.mkConst(vals[i], widths[i])}));
