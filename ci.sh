@@ -17,8 +17,12 @@
 # smoke run validating the Chrome trace, metrics JSON, and VCD waveform
 # from `mphls profile`, and a serve smoke: daemon on an ephemeral port,
 # byte-diff of every endpoint against the offline CLI, a concurrent
-# loadgen run with a schema check of BENCH_serve.json, and a graceful
-# SIGTERM drain.
+# loadgen run with a schema check of BENCH_serve.json, a Prometheus
+# text-exposition gate (TYPE lines, cumulative buckets, _sum/_count
+# consistency), a SIGQUIT flight-recorder dump smoke against the live
+# daemon, a structured access-log schema check, a graceful SIGTERM
+# drain, and a bench --check regression gate comparing every smoke
+# report against the committed bench/baselines.
 set -eu
 
 cd "$(dirname "$0")"
@@ -109,7 +113,8 @@ cmake -B build-tsan -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan -j"$(nproc)" --target mphls_tests
-./build-tsan/tests/mphls_tests --gtest_filter='DseParallel*:Serve*' \
+./build-tsan/tests/mphls_tests \
+  --gtest_filter='DseParallel*:Serve*:ObsConcurrency*' \
   --gtest_brief=1
 
 # --- Bench smoke: the suite must run, re-confirm determinism, and emit a
@@ -284,7 +289,9 @@ EOF
 # BENCH_serve.json (zero errors tolerated), and a graceful SIGTERM drain.
 SERVE_OUT=build/serve-smoke
 mkdir -p "$SERVE_OUT"
-./build/src/cli/mphls serve --port 0 > "$SERVE_OUT/serve.log" 2>&1 &
+./build/src/cli/mphls serve --port 0 \
+  --log-file "$SERVE_OUT/access.jsonl" --log-level info \
+  --flight-dump "$SERVE_OUT/flight.dump" > "$SERVE_OUT/serve.log" 2>&1 &
 SERVE_PID=$!
 for _ in $(seq 1 100); do
   grep -q "listening on" "$SERVE_OUT/serve.log" 2>/dev/null && break
@@ -347,6 +354,93 @@ assert "serve.cache.hit_rate" in metrics["gauges"], "/metrics cache gauges"
 print(f"serve smoke: {checked} endpoint responses byte-identical to CLI")
 EOF
 
+# --- Prometheus exposition gate: /metrics?format=prometheus must be a
+# well-formed text-format scrape — every sample named by a TYPE line,
+# histogram buckets cumulative and monotone, _count equal to the +Inf
+# bucket, and _sum/_count present for every histogram.
+python3 - "$SERVE_PORT" << 'EOF'
+import http.client, math, sys
+
+conn = http.client.HTTPConnection("127.0.0.1", int(sys.argv[1]), timeout=60)
+conn.request("GET", "/metrics?format=prometheus")
+r = conn.getresponse()
+assert r.status == 200, f"prometheus status {r.status}"
+ctype = r.getheader("Content-Type", "")
+assert ctype.startswith("text/plain; version=0.0.4"), f"content type {ctype}"
+text = r.read().decode()
+
+types = {}       # metric family -> declared type
+samples = []     # (name, labels, value)
+for line in text.splitlines():
+    if not line:
+        continue
+    if line.startswith("# TYPE "):
+        _, _, fam, ty = line.split(" ", 3)
+        assert fam not in types, f"duplicate TYPE for {fam}"
+        assert ty in ("counter", "gauge", "histogram"), f"bad type {ty}"
+        types[fam] = ty
+        continue
+    assert not line.startswith("#"), f"unexpected comment: {line}"
+    body, val = line.rsplit(" ", 1)
+    name, labels = body, {}
+    if "{" in body:
+        name, rest = body.split("{", 1)
+        for pair in rest.rstrip("}").split(","):
+            k, v = pair.split("=", 1)
+            labels[k] = v.strip('"')
+    v = float(val)
+    assert not math.isnan(v), f"NaN sample: {line}"
+    assert name.startswith("mphls_"), f"unprefixed metric: {name}"
+    for c in name:
+        assert c.isalnum() or c == "_", f"bad metric name char: {name}"
+    samples.append((name, labels, v))
+assert types, "no TYPE lines"
+assert samples, "no samples"
+
+def family(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return name
+
+hist = {}
+for name, labels, v in samples:
+    fam = family(name)
+    assert fam in types, f"sample {name} has no TYPE line"
+    if types[fam] == "histogram":
+        hist.setdefault(fam, {"buckets": [], "sum": None, "count": None})
+        if name.endswith("_bucket"):
+            le = labels.get("le")
+            assert le is not None, f"{name} bucket without le"
+            hist[fam]["buckets"].append((float(le), v))
+        elif name.endswith("_sum"):
+            hist[fam]["sum"] = v
+        elif name.endswith("_count"):
+            hist[fam]["count"] = v
+    elif types[fam] == "counter":
+        # Text format 0.0.4: _total is part of the family name itself.
+        assert name == fam and name.endswith("_total"), f"counter {name}"
+        assert v >= 0, f"negative counter {name}"
+
+assert hist, "no histograms exposed"
+for fam, h in hist.items():
+    assert h["sum"] is not None, f"{fam} missing _sum"
+    assert h["count"] is not None, f"{fam} missing _count"
+    assert h["buckets"], f"{fam} has no buckets"
+    les = [le for le, _ in h["buckets"]]
+    assert les == sorted(les), f"{fam} buckets out of order"
+    assert les[-1] == math.inf, f"{fam} missing +Inf bucket"
+    last = -1.0
+    for le, v in h["buckets"]:
+        assert v >= last, f"{fam} bucket le={le} not cumulative"
+        last = v
+    assert h["buckets"][-1][1] == h["count"], f"{fam} _count != +Inf bucket"
+    if h["count"] > 0:
+        assert h["sum"] >= 0 or min(les) < 0, f"{fam} sum/bucket mismatch"
+
+print(f"prometheus gate: {len(samples)} samples, {len(hist)} histograms ok")
+EOF
+
 ./build/src/cli/mphls loadgen --url "http://127.0.0.1:$SERVE_PORT" \
   --clients 6 --requests 60 --mix synth:lint:sim:sta --seed 7 \
   --out "$SERVE_OUT/BENCH_serve.json"
@@ -379,6 +473,60 @@ print(f"serve loadgen smoke: {bench['requests']} requests, "
       f"cache hit rate {100 * bench['cache']['hit_rate']:.0f}%")
 EOF
 
+# --- Flight-recorder smoke: send one deterministic request, SIGQUIT the
+# live daemon, and require the dump's newest serve access event to name
+# that request — proving the ring records, the handler dumps from signal
+# context, and the process keeps serving afterwards.
+python3 - "$SERVE_PORT" << 'EOF'
+import http.client, json, sys
+
+conn = http.client.HTTPConnection("127.0.0.1", int(sys.argv[1]), timeout=60)
+conn.request("POST", "/synth", json.dumps({"design": "sqrt"}))
+assert conn.getresponse().status == 200, "marker /synth request failed"
+EOF
+rm -f "$SERVE_OUT/flight.dump"
+kill -QUIT "$SERVE_PID"
+for _ in $(seq 1 100); do
+  [ -s "$SERVE_OUT/flight.dump" ] && break
+  sleep 0.1
+done
+python3 - "$SERVE_OUT/flight.dump" << 'EOF'
+import json, sys
+
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "flight dump is empty"
+meta = json.loads(lines[0])["flight_recorder"]
+assert meta["total_recorded"] >= 1, "flight dump recorded nothing"
+events = [json.loads(l) for l in lines[1:]]
+assert events, "flight dump has no events"
+access = [e for e in events
+          if e["component"] == "serve" and e["msg"].startswith("request")]
+assert access, "flight dump has no serve access events"
+newest = max(access, key=lambda e: e["seq"])
+assert "endpoint=/synth" in newest["msg"], (
+    f"newest access event is not the marker request: {newest['msg']}")
+print(f"flight smoke: {len(events)} events dumped on SIGQUIT, newest "
+      "access event is the marker /synth request")
+EOF
+
+# The SIGQUIT dump must not have killed the daemon.
+python3 - "$SERVE_PORT" << 'EOF'
+import http.client, json, sys
+
+conn = http.client.HTTPConnection("127.0.0.1", int(sys.argv[1]), timeout=60)
+conn.request("GET", "/healthz")
+r = conn.getresponse()
+assert r.status == 200, "daemon died after SIGQUIT"
+r.read()
+conn.request("GET", "/debug/flight")
+r = conn.getresponse()
+assert r.status == 200, f"/debug/flight status {r.status}"
+doc = json.loads(r.read())
+assert doc["flight_recorder"]["total_recorded"] >= 1
+assert doc["events"], "/debug/flight has no events"
+print("flight smoke: daemon alive after SIGQUIT, /debug/flight ok")
+EOF
+
 kill -TERM "$SERVE_PID"
 if ! wait "$SERVE_PID"; then
   echo "serve smoke: daemon exited nonzero after SIGTERM" >&2
@@ -388,5 +536,28 @@ grep -q "drained" "$SERVE_OUT/serve.log" || {
   echo "serve smoke: daemon did not report a clean drain" >&2
   exit 1
 }
+
+# The structured access log must hold one parseable JSONL record per
+# dispatched request, including the marker /synth.
+python3 - "$SERVE_OUT/access.jsonl" << 'EOF'
+import json, sys
+
+recs = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert recs, "access log is empty"
+access = [r for r in recs if r.get("msg") == "request"]
+assert access, "access log has no request records"
+for r in access:
+    for key in ("ts", "level", "component", "session", "method", "endpoint",
+                "status", "ms", "cache_hit"):
+        assert key in r, f"access record missing {key}: {r}"
+assert any(r["endpoint"] == "/synth" for r in access)
+print(f"access log: {len(access)} request records, all well-formed")
+EOF
+
+# --- Bench regression gate: every smoke report is compared against the
+# committed baselines with tolerance bands (see src/core/bench_check.cpp
+# for the rules; loose on wall time, exact on invariants).
+./build/src/cli/mphls bench --check --in "$BENCH_OUT" --in "$SERVE_OUT" \
+  --out build/BENCH_check.json
 
 echo "ci: all checks passed"

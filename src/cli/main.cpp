@@ -98,9 +98,11 @@
 //   --quiet                suppress the report
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <vector>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -115,6 +117,8 @@
 #include "analysis/dataflow.h"
 #include "check/check.h"
 #include "common/bench_report.h"
+#include "common/json_reader.h"
+#include "core/bench_check.h"
 #include "core/bench_runner.h"
 #include "fuzz/campaign.h"
 #include "fuzz/sim_bench.h"
@@ -127,6 +131,8 @@
 #include "sta/sta.h"
 #include "ir/dot.h"
 #include "lang/frontend.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rtl/rtlsim.h"
@@ -149,6 +155,9 @@ struct CliArgs {
   std::string traceOut;  ///< --trace: Chrome trace_event JSON
   std::string vcdOut;    ///< --vcd: simulation waveform
   std::string statsOut;  ///< --stats: metrics registry JSON
+  std::string logFile;   ///< --log-file: JSONL structured log sink
+  std::string logLevel;  ///< --log-level: debug|info|warn|error
+  std::string flightIn;  ///< profile --flight: decode a flight dump
   int sweep = 0;
   bool quiet = false;
   bool lint = false;
@@ -178,7 +187,7 @@ void usage() {
       " --builtins\n"
       "       mphls sta [--clock NS] [--paths K] [--format text|json]\n"
       "                 [options] design.bdl | --builtins\n"
-      "       mphls profile [options] design.bdl\n"
+      "       mphls profile [options] design.bdl | --flight DUMP\n"
       "  --top NAME  --scheduler serial|asap|list|force|freedom|bnb|transform\n"
       "  --fus N  --priority path|mobility|urgency|program\n"
       "  --opt none|standard|aggressive  --fu-alloc greedy|global|blind|clique\n"
@@ -186,11 +195,14 @@ void usage() {
       "  --time-constraint N  --verilog FILE  --dot FILE\n"
       "  --verify a=1,b=2  --sweep N  --jobs N  --multicycle  --narrow\n"
       "  --trace FILE  --vcd FILE  --stats FILE\n"
+      "  --log-file FILE  --log-level debug|info|warn|error\n"
       "  --check|--no-check  --prove  --quiet\n"
       "       mphls bench [--sim] [--sta] [--jobs N] [--points N]"
       " [--repeats N]\n"
       "                   [--sched-ops N] [--out DIR] [--trace FILE]\n"
       "                   [--stats FILE] [--quiet]\n"
+      "       mphls bench --check [--baseline-dir DIR] [--in DIR ...]\n"
+      "                   [--out FILE] [--quiet]\n"
       "       mphls fuzz [--seeds N] [--seed-base S] [--jobs N]\n"
       "                  [--matrix quick|standard|full] [--trials N]\n"
       "                  [--engine interp|vm|both] [--cross-check RATE]\n"
@@ -199,8 +211,9 @@ void usage() {
       "                  [--no-check]\n"
       "                  [--trace FILE] [--stats FILE]\n"
       "                  [--out FILE] [--quiet]\n"
-      "       mphls serve [--port P] [--jobs N] [--max-connections N]"
-      " [--quiet]\n"
+      "       mphls serve [--port P] [--jobs N] [--max-connections N]\n"
+      "                   [--log-file FILE] [--log-level LEVEL]\n"
+      "                   [--flight-dump PATH] [--quiet]\n"
       "       mphls loadgen [--url http://host:port] [--clients N]\n"
       "                     [--requests M] [--mix synth:lint:sim]"
       " [--seed S]\n"
@@ -231,6 +244,31 @@ void enableTracing(const std::string& traceOut) {
   if (traceOut.empty()) return;
   obs::Tracer::global().setThreadName("main");
   obs::Tracer::global().enable();
+}
+
+/// Configure the structured logger from --log-file/--log-level. A file
+/// with no explicit level defaults to info; no file routes to stderr.
+/// Returns false (after reporting) when the file cannot be opened or
+/// the level is unknown. With neither flag the logger stays on its
+/// null-sink fast path.
+bool applyLogging(const std::string& logFile, const std::string& logLevel) {
+  if (logFile.empty() && logLevel.empty()) return true;
+  auto& lg = obs::Logger::global();
+  if (!logFile.empty() && !lg.openFile(logFile)) {
+    fail("cannot open log file " + logFile);
+    return false;
+  }
+  obs::LogLevel level = obs::LogLevel::Info;
+  if (!logLevel.empty()) {
+    level = obs::parseLogLevel(logLevel);
+    if (level == obs::LogLevel::Off) {
+      fail("bad --log-level " + logLevel +
+           " (want debug|info|warn|error)");
+      return false;
+    }
+  }
+  lg.setLevel(level);
+  return true;
 }
 
 /// Write the --trace / --stats artifacts at command exit.
@@ -310,6 +348,68 @@ std::map<std::string, std::uint64_t> simInputs(const CliArgs& a,
   for (const auto& p : d.fn.ports())
     if (p.isInput && inputs.find(p.name) == inputs.end()) inputs[p.name] = 0;
   return inputs;
+}
+
+/// `mphls profile --flight DUMP`: decode a flight-recorder dump (the
+/// JSONL file a crashed/SIGQUIT'd daemon wrote) into a human-readable
+/// timeline. Events are recorded per thread, so the dump is unordered;
+/// the decoder sorts by the global sequence number.
+int runProfileFlight(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return fail("cannot open " + path);
+
+  struct Row {
+    std::uint64_t seq = 0;
+    double tUs = 0;
+    std::uint64_t thread = 0;
+    std::string kind, level, component, msg;
+  };
+  std::vector<Row> rows;
+  std::string meta;
+  std::string line;
+  std::size_t badLines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto doc = json::parse(line);
+    if (!doc || !doc->isObject()) {
+      ++badLines;  // torn event from a mid-write crash: skip, keep rest
+      continue;
+    }
+    if (const json::Node* fr = doc->get("flight_recorder")) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "threads %d, capacity/thread %d, total recorded %.0f",
+                    (int)fr->getNumber("threads"),
+                    (int)fr->getNumber("capacity_per_thread"),
+                    fr->getNumber("total_recorded"));
+      meta = buf;
+      continue;
+    }
+    Row r;
+    r.seq = (std::uint64_t)doc->getNumber("seq");
+    r.tUs = doc->getNumber("t_us");
+    r.thread = (std::uint64_t)doc->getNumber("thread");
+    r.kind = doc->getString("kind");
+    r.level = doc->getString("level");
+    r.component = doc->getString("component");
+    r.msg = doc->getString("msg");
+    rows.push_back(std::move(r));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.seq < b.seq; });
+
+  std::printf("flight recorder dump '%s'\n", path.c_str());
+  if (!meta.empty()) std::printf("  %s\n", meta.c_str());
+  std::printf("  %zu event(s) retained", rows.size());
+  if (badLines > 0) std::printf(", %zu unparseable line(s)", badLines);
+  std::printf("\n\n%8s %14s %6s %-10s %-5s %-16s %s\n", "seq", "t(ms)",
+              "thr", "kind", "lvl", "component", "message");
+  for (const Row& r : rows)
+    std::printf("%8llu %14.3f %6llu %-10s %-5s %-16s %s\n",
+                (unsigned long long)r.seq, r.tUs / 1e3,
+                (unsigned long long)r.thread, r.kind.c_str(),
+                r.level.c_str(), r.component.c_str(), r.msg.c_str());
+  return 0;
 }
 
 /// `mphls profile design.bdl`: run the flow once, simulate it with the
@@ -502,6 +602,19 @@ std::optional<CliArgs> parseArgs(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       a.statsOut = v;
+    } else if (arg == "--log-file") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.logFile = v;
+    } else if (arg == "--log-level") {
+      const char* v = next();
+      if (!v || obs::parseLogLevel(v) == obs::LogLevel::Off)
+        return std::nullopt;
+      a.logLevel = v;
+    } else if (arg == "--flight") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.flightIn = v;
     } else if (arg == "--clock") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -553,7 +666,10 @@ std::optional<CliArgs> parseArgs(int argc, char** argv) {
   }
   a.opts.resources = ResourceLimits::universalSet(fus);
   if (a.builtins && !a.analyze && !a.prove && !a.sta) return std::nullopt;
-  if (a.file.empty() && !a.builtins) return std::nullopt;
+  if (!a.flightIn.empty() && !a.profile) return std::nullopt;
+  // `profile --flight DUMP` decodes a recorder file; no design needed.
+  const bool flightDecode = a.profile && !a.flightIn.empty();
+  if (a.file.empty() && !a.builtins && !flightDecode) return std::nullopt;
   if (a.inject != fuzz::InjectedBug::None && !a.prove) return std::nullopt;
   return a;
 }
@@ -857,10 +973,13 @@ int runStaCmd(const CliArgs& a, std::optional<Function> fileFn) {
 int runBench(int argc, char** argv) {
   BenchOptions b;
   b.jobs = 0;  // hardware concurrency unless --jobs given
-  std::string traceOut, statsOut;
+  std::string traceOut, statsOut, logFile, logLevel;
   bool simSuite = false;
   bool staSuite = false;
   bool repeatsGiven = false;
+  bool check = false;
+  BenchCheckOptions cc;
+  cc.inDirs.clear();
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -871,6 +990,24 @@ int runBench(int argc, char** argv) {
       simSuite = true;
     } else if (arg == "--sta") {
       staSuite = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--baseline-dir") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      cc.baselineDir = v;
+    } else if (arg == "--in") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      cc.inDirs.push_back(v);
+    } else if (arg == "--log-file") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      logFile = v;
+    } else if (arg == "--log-level") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      logLevel = v;
     } else if (arg == "--jobs") {
       const char* v = next();
       if (!v || std::atoi(v) < 1) return (usage(), 2);
@@ -907,6 +1044,13 @@ int runBench(int argc, char** argv) {
       return 2;
     }
   }
+  if (!applyLogging(logFile, logLevel)) return 1;
+  if (check) {
+    if (cc.inDirs.empty()) cc.inDirs.push_back(".");
+    if (b.outDir != "." && !b.outDir.empty()) cc.outFile = b.outDir;
+    cc.quiet = b.quiet;
+    return runBenchCheck(cc);
+  }
   enableTracing(traceOut);
   int rc;
   if (simSuite) {
@@ -932,7 +1076,7 @@ int runFuzz(int argc, char** argv) {
   std::string matrixName = "standard";
   std::string replayDir;
   std::string outFile;
-  std::string traceOut, statsOut;
+  std::string traceOut, statsOut, logFile, logLevel;
   bool save = true;
   bool quiet = false;
   c.corpusDir = "fuzz-corpus";
@@ -1002,6 +1146,14 @@ int runFuzz(int argc, char** argv) {
       const char* v = next();
       if (!v) return (usage(), 2);
       statsOut = v;
+    } else if (arg == "--log-file") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      logFile = v;
+    } else if (arg == "--log-level") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      logLevel = v;
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -1009,6 +1161,7 @@ int runFuzz(int argc, char** argv) {
       return 2;
     }
   }
+  if (!applyLogging(logFile, logLevel)) return 1;
   fuzz::FuzzMatrix matrix;
   if (!fuzz::FuzzMatrix::parse(matrixName, matrix)) return (usage(), 2);
   c.diff.points = matrix.points();
@@ -1100,6 +1253,8 @@ int runServe(int argc, char** argv) {
   // a daemon request with no "options" must produce the CLI's exact bytes.
   so.service.defaults.resources = ResourceLimits::universalSet(2);
   bool quiet = false;
+  std::string logFile, logLevel;
+  std::string flightDump = "mphls-flight.dump";
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -1118,6 +1273,18 @@ int runServe(int argc, char** argv) {
       const char* v = next();
       if (!v || std::atoi(v) < 1) return (usage(), 2);
       so.maxConnections = std::atoi(v);
+    } else if (arg == "--log-file") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      logFile = v;
+    } else if (arg == "--log-level") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      logLevel = v;
+    } else if (arg == "--flight-dump") {
+      const char* v = next();
+      if (!v) return (usage(), 2);
+      flightDump = v;
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -1125,6 +1292,12 @@ int runServe(int argc, char** argv) {
       return 2;
     }
   }
+  // The daemon always records: the flight ring is cheap (a few MB, no
+  // locks), and the whole point is having history when a crash arrives
+  // unannounced. SIGQUIT dumps and keeps running; fatal signals dump and
+  // re-raise.
+  obs::FlightRecorder::installCrashHandlers(flightDump.c_str());
+  if (!applyLogging(logFile, logLevel)) return 1;
   serve::Server server(so);
   std::string err;
   if (!server.start(err)) return fail("serve: " + err);
@@ -1220,7 +1393,9 @@ int main(int argc, char** argv) {
   }
   CliArgs& a = *parsed;
   enableTracing(a.traceOut);
+  if (!applyLogging(a.logFile, a.logLevel)) return 1;
 
+  if (a.profile && !a.flightIn.empty()) return runProfileFlight(a.flightIn);
   if (a.analyze && a.builtins) return runAnalyzeBuiltins(a.quiet);
   if (a.prove && a.builtins) return runProve(a, std::nullopt);
   if (a.sta && a.builtins) return runStaCmd(a, std::nullopt);

@@ -1,0 +1,37 @@
+// `mphls bench --check`: baseline regression tracking for BENCH_*.json.
+//
+// Every bench suite in the repo emits a machine-readable report
+// (BENCH_dse/BENCH_sched/BENCH_sim/BENCH_sta/BENCH_serve). This module
+// compares fresh reports against committed baselines under
+// `bench/baselines/` using a fixed per-metric rule table: boolean
+// invariants must hold outright, error counts must be zero, and timing
+// or throughput numbers must stay within a tolerance band of the
+// baseline (bands are wide — CI wall time on a shared 1-CPU container
+// is noisy — so the gate catches order-of-magnitude regressions, not
+// single-digit drift). The verdict is written as BENCH_check.json and
+// summarized on stdout; any failed check fails the run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mphls {
+
+struct BenchCheckOptions {
+  /// Directories searched (in order) for fresh BENCH_*.json reports;
+  /// the first directory containing a given file wins.
+  std::vector<std::string> inDirs = {"."};
+  /// Directory holding the committed baseline BENCH_*.json files.
+  std::string baselineDir = "bench/baselines";
+  /// Where to write the machine-readable verdict ("" = no file).
+  std::string outFile = "BENCH_check.json";
+  bool quiet = false;
+};
+
+/// Compare every known BENCH_*.json found in `inDirs` against its
+/// baseline. Returns 0 when every executed check passed (missing
+/// baselines warn and skip), 1 when any check failed or when no report
+/// file was found at all.
+int runBenchCheck(const BenchCheckOptions& opts);
+
+}  // namespace mphls

@@ -10,6 +10,7 @@
 
 #include "common/thread_pool.h"
 #include "core/frontend_cache.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rtl/verilog.h"
@@ -118,6 +119,8 @@ std::vector<DsePoint> exploreResourceSweep(const std::string& source,
   const std::size_t count = static_cast<std::size_t>(maxUniversalFus);
   std::vector<DsePoint> points(count);
   auto pool = makePool(base.jobs, count);
+  obs::Logger::global().debug("dse", "resource sweep start",
+                              {{"points", count}, {"jobs", base.jobs}});
   parallelFor(pool.get(), count, [&](std::size_t idx, int worker) {
     const int n = static_cast<int>(idx) + 1;
     SynthesisOptions opts = base;
@@ -127,6 +130,8 @@ std::vector<DsePoint> exploreResourceSweep(const std::string& source,
                                   worker);
   });
   markPareto(points);
+  obs::Logger::global().info("dse", "resource sweep done",
+                             {{"points", count}, {"jobs", base.jobs}});
   return points;
 }
 
@@ -160,6 +165,8 @@ std::vector<DsePoint> exploreTimeSweep(const std::string& source,
         opts.timeConstraint, worker);
   });
   markPareto(points);
+  obs::Logger::global().info("dse", "time sweep done",
+                             {{"points", count}, {"jobs", base.jobs}});
   return points;
 }
 
@@ -206,6 +213,12 @@ std::vector<DsePoint> chippeIterate(const std::string& source,
     if (inflight) ready = inflight->get();
   }
   markPareto(points);
+  if (!points.empty())
+    obs::Logger::global().info(
+        "dse", "chippe iteration done",
+        {{"points", points.size()},
+         {"target_latency", targetLatency},
+         {"met", points.back().latencySteps <= targetLatency}});
   return points;
 }
 

@@ -14,6 +14,9 @@ namespace mphls {
 
 namespace {
 
+thread_local bool tlsSawHit = false;
+thread_local bool tlsSawMiss = false;
+
 std::string keyOf(const std::string& source, const std::string& top,
                   OptLevel opt) {
   // '\x1f' cannot appear in BDL identifiers, so the key is unambiguous.
@@ -61,10 +64,12 @@ std::shared_ptr<const Function> FrontendCache::get(const std::string& source,
     if (it != im.index.end()) {
       im.lru.splice(im.lru.begin(), im.lru, it->second);
       ++im.hits;
+      tlsSawHit = true;
       obs::MetricsRegistry::global().counter("frontend_cache.hits").add();
       return im.lru.front().fn;
     }
     ++im.misses;
+    tlsSawMiss = true;
   }
   obs::MetricsRegistry::global().counter("frontend_cache.misses").add();
 
@@ -106,6 +111,10 @@ std::shared_ptr<const Function> FrontendCache::get(const std::string& source,
   }
   return shared;
 }
+
+void FrontendCache::clearThreadStats() { tlsSawHit = tlsSawMiss = false; }
+bool FrontendCache::threadSawHit() { return tlsSawHit; }
+bool FrontendCache::threadSawMiss() { return tlsSawMiss; }
 
 void FrontendCache::clear() {
   Impl& im = impl();

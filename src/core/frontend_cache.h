@@ -36,6 +36,14 @@ class FrontendCache {
   /// Evict everything (tests; also bench runs that want cold-cache timings).
   void clear();
 
+  /// Per-thread hit/miss tracking for request-scoped attribution (the
+  /// serve access log): clear before dispatching a request, then ask
+  /// whether this thread hit the cache while handling it. A serve
+  /// worker handles one request at a time, so the flags are exact.
+  static void clearThreadStats();
+  [[nodiscard]] static bool threadSawHit();
+  [[nodiscard]] static bool threadSawMiss();
+
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t hits() const;
   [[nodiscard]] std::size_t misses() const;

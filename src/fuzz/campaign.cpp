@@ -11,6 +11,7 @@
 
 #include "common/thread_pool.h"
 #include "fuzz/corpus.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 
 namespace mphls::fuzz {
@@ -45,6 +46,11 @@ CampaignResult runCampaign(const CampaignOptions& options) {
   CampaignResult result;
   result.seeds = options.seeds;
   result.pointsPerProgram = (int)options.diff.points.size();
+  obs::Logger::global().info(
+      "fuzz", "campaign start",
+      {{"seeds", options.seeds},
+       {"points", result.pointsPerProgram},
+       {"seed_base", (unsigned long long)options.seedBase}});
 
   const std::size_t n = (std::size_t)std::max(options.seeds, 0);
   std::vector<std::string> sources(n);
@@ -133,6 +139,12 @@ CampaignResult runCampaign(const CampaignOptions& options) {
 
     ++result.failedPrograms;
     countFailures(v, result);
+    obs::Logger::global().warn(
+        "fuzz", "failing seed",
+        {{"seed", (unsigned long long)(options.seedBase + i)},
+         {"kind", v.failures.front().kind},
+         {"point", v.failures.front().pointLabel()},
+         {"failing_points", v.failingPoints().size()}});
 
     FailureCase fc;
     fc.source = sources[i];
@@ -185,6 +197,13 @@ CampaignResult runCampaign(const CampaignOptions& options) {
   gCosimRate.set(result.wallSeconds > 0
                      ? (double)result.simulations / result.wallSeconds
                      : 0.0);
+  obs::Logger::global().info(
+      "fuzz", "campaign done",
+      {{"seeds", options.seeds},
+       {"simulations", (unsigned long long)result.simulations},
+       {"failing_programs", result.failedPrograms},
+       {"mismatches", result.mismatches},
+       {"wall_s", result.wallSeconds}});
   return result;
 }
 

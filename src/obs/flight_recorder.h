@@ -1,0 +1,124 @@
+// Flight recorder: fixed-size lock-free per-thread rings of recent
+// log/span events, dumpable from a signal handler for post-mortems.
+//
+// Memory layout: a static pool of kMaxThreads rings, each a fixed
+// array of POD FlightEvent slots (inline char buffers, no pointers)
+// plus an atomic head counter. A thread claims a ring on first record
+// and keeps it for life; only the owner writes, so recording is one
+// slot memcpy plus a release store of head — no locks, no allocation,
+// wait-free. Writers overwrite the oldest slot when the ring is full;
+// the most recent events always survive.
+//
+// Signal-safety argument for dumpTo(): the dumper reads POD slots and
+// atomic counters, formats into stack buffers with hand-rolled
+// integer/float printers (no snprintf, no locale), and calls only
+// async-signal-safe syscalls (open/write/close). It never takes a
+// lock and never allocates. A slot being overwritten concurrently can
+// yield one torn event (mixed old/new bytes) — tolerable in a crash
+// dump, and impossible in the single-threaded post-SIGSEGV case. The
+// global() instance is materialized by enable()/installCrashHandlers()
+// at startup so the handler never runs a static initializer.
+//
+// Zero-dependency (std + POSIX only) — see trace.h for layering.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/log.h"
+
+namespace mphls::obs {
+
+/// One recorded event. POD with inline storage: safe to read from a
+/// signal handler, torn reads yield garbage text but never a fault.
+/// `kind`: 'L' log, 'B' span begin, 'E' span end, 'i' instant.
+struct FlightEvent {
+  double tsMicros = 0;   ///< tracer-epoch timestamp (Tracer::nowMicros)
+  std::uint64_t seq = 0; ///< global order (rings are per-thread)
+  std::uint32_t thread = 0;  ///< tracer track id of the recording thread
+  char kind = 'L';
+  char level = 'I';  ///< 'D','I','W','E' (logs); 'I' for span events
+  char component[18] = {};  ///< NUL-padded, truncated
+  char message[96] = {};    ///< NUL-padded, truncated
+};
+
+/// Process-wide recorder. enable() is idempotent (first capacity wins);
+/// recording before enable() is a near-free no-op (one relaxed load).
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kMaxThreads = 64;
+  static constexpr std::size_t kDefaultEventsPerThread = 256;
+
+  [[nodiscard]] static FlightRecorder& global();
+
+  /// Allocate the rings and start recording. Idempotent; the first
+  /// call's capacity sticks. Refreshes the Logger threshold so log
+  /// records start forwarding here.
+  void enable(std::size_t eventsPerThread = kDefaultEventsPerThread);
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t capacityPerThread() const;
+  /// Total events ever recorded (monotonic, includes overwritten ones).
+  [[nodiscard]] std::uint64_t totalRecorded() const;
+
+  /// Record one event on the calling thread's ring. No-op when
+  /// disabled. `component`/`message` are truncated to the inline
+  /// capacity; bytes unsafe for the dump format are sanitized there,
+  /// not here.
+  void record(char kind, LogLevel level, std::string_view component,
+              std::string_view message);
+
+  /// Async-signal-safe dump of every ring to `fd` as JSONL: one
+  /// {"flight_recorder": {...}} meta line, then one event object per
+  /// line. Events are NOT globally sorted (per-thread rings); decoders
+  /// sort by "seq".
+  void dumpTo(int fd) const;
+  /// open(path, O_CREAT|O_WRONLY|O_TRUNC) + dumpTo + close. Returns
+  /// false if the open fails. Async-signal-safe.
+  bool dumpToFile(const char* path) const;
+
+  /// Normal-path decode for `GET /debug/flight`: same records as
+  /// dumpTo but sorted by seq, as {"flight_recorder": {...},
+  /// "events": [...]}.
+  [[nodiscard]] std::string toJson() const;
+
+  /// Install SIGSEGV/SIGABRT/SIGQUIT handlers that dump to `path`.
+  /// On SIGQUIT the process continues (poll loops see EINTR); on fatal
+  /// signals the default disposition is restored and the signal
+  /// re-raised so the exit status is preserved. `path` is copied into
+  /// static storage. Also calls enable() with the default capacity.
+  static void installCrashHandlers(const char* path);
+  /// Path registered by installCrashHandlers (empty if none).
+  [[nodiscard]] static const char* crashDumpPath();
+
+  /// Test hook: drop all recorded events (keeps rings + enable state).
+  void clearForTest();
+
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+ private:
+  struct Ring {
+    std::atomic<std::uint64_t> head{0};  ///< slots written (monotonic)
+    /// capacity_ events as raw 64-bit words. Slot bytes are copied in
+    /// and out with relaxed word-size atomics so a concurrent reader
+    /// (dump/toJson) sees at worst a torn *event*, never a data race.
+    std::uint64_t* slots = nullptr;
+    std::atomic<bool> claimed{false};
+  };
+
+  Ring* claimRing();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> seq_{0};
+  std::size_t capacity_ = 0;     ///< events per ring; set once by enable()
+  Ring rings_[kMaxThreads];
+  std::atomic<std::size_t> ringsClaimed_{0};
+};
+
+}  // namespace mphls::obs

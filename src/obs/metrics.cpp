@@ -7,26 +7,75 @@
 
 namespace mphls::obs {
 
-void Histogram::observe(double v) {
-  std::lock_guard<std::mutex> lk(m_);
-  if (s_.count == 0) {
-    s_.min = s_.max = v;
-  } else {
-    if (v < s_.min) s_.min = v;
-    if (v > s_.max) s_.max = v;
+namespace {
+
+// CAS loops on the double's bit pattern: lock-free accumulation with
+// exact (not lossy) min/max. Relaxed ordering — metric values are
+// independent statistics, not synchronization edges.
+
+void atomicAddDouble(std::atomic<std::uint64_t>& bits, double v) {
+  std::uint64_t cur = bits.load(std::memory_order_relaxed);
+  while (!bits.compare_exchange_weak(
+      cur, std::bit_cast<std::uint64_t>(std::bit_cast<double>(cur) + v),
+      std::memory_order_relaxed)) {
   }
-  ++s_.count;
-  s_.sum += v;
+}
+
+void atomicMinDouble(std::atomic<std::uint64_t>& bits, double v) {
+  std::uint64_t cur = bits.load(std::memory_order_relaxed);
+  while (v < std::bit_cast<double>(cur) &&
+         !bits.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(v),
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void atomicMaxDouble(std::atomic<std::uint64_t>& bits, double v) {
+  std::uint64_t cur = bits.load(std::memory_order_relaxed);
+  while (v > std::bit_cast<double>(cur) &&
+         !bits.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(v),
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t bucketIndex(double v) {
+  for (std::size_t i = 0; i < Histogram::kBucketBounds.size(); ++i)
+    if (v <= Histogram::kBucketBounds[i]) return i;
+  return Histogram::kNumBuckets - 1;  // +Inf overflow bucket
+}
+
+}  // namespace
+
+void Histogram::observe(double v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomicAddDouble(sumBits_, v);
+  atomicMinDouble(minBits_, v);
+  atomicMaxDouble(maxBits_, v);
+  buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
 }
 
 Histogram::Stats Histogram::stats() const {
-  std::lock_guard<std::mutex> lk(m_);
-  return s_;
+  Stats s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = std::bit_cast<double>(sumBits_.load(std::memory_order_relaxed));
+  const double mn =
+      std::bit_cast<double>(minBits_.load(std::memory_order_relaxed));
+  const double mx =
+      std::bit_cast<double>(maxBits_.load(std::memory_order_relaxed));
+  // No (complete) observation yet: report 0, never +-Inf, so JSON
+  // exports stay parseable.
+  s.min = mn == std::numeric_limits<double>::infinity() ? 0 : mn;
+  s.max = mx == -std::numeric_limits<double>::infinity() ? 0 : mx;
+  for (std::size_t i = 0; i < kNumBuckets; ++i)
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  return s;
 }
 
 void Histogram::reset() {
-  std::lock_guard<std::mutex> lk(m_);
-  s_ = Stats{};
+  count_.store(0, std::memory_order_relaxed);
+  sumBits_.store(0, std::memory_order_relaxed);
+  minBits_.store(kPosInfBits, std::memory_order_relaxed);
+  maxBits_.store(kNegInfBits, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
 }
 
 struct MetricsRegistry::Impl {
@@ -125,6 +174,65 @@ std::string MetricsRegistry::toJson() const {
   }
   out += first ? "}" : "\n  }";
   out += "\n}\n";
+  return out;
+}
+
+namespace {
+
+/// Sanitize a registry name for Prometheus: `mphls_` prefix, every
+/// byte outside [a-zA-Z0-9_] becomes '_', runs collapsed, trailing
+/// '_' trimmed ("serve./synth.seconds" -> "mphls_serve_synth_seconds").
+std::string promName(const std::string& name) {
+  std::string out = "mphls_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    const char mapped = ok ? c : '_';
+    if (mapped == '_' && !out.empty() && out.back() == '_') continue;
+    out += mapped;
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::toPrometheus() const {
+  const Snapshot s = snapshot();
+  std::string out;
+  char buf[40];
+  for (const auto& [name, v] : s.counters) {
+    const std::string n = promName(name) + "_total";
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : s.gauges) {
+    const std::string n = promName(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " ";
+    appendNumber(out, v);
+    out += "\n";
+  }
+  for (const auto& [name, h] : s.histograms) {
+    const std::string n = promName(name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < Histogram::kBucketBounds.size(); ++i) {
+      cum += h.buckets[i];
+      std::snprintf(buf, sizeof buf, "%g", Histogram::kBucketBounds[i]);
+      out += n + "_bucket{le=\"";
+      out += buf;
+      out += "\"} " + std::to_string(cum) + "\n";
+    }
+    cum += h.buckets[Histogram::kNumBuckets - 1];
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(cum) + "\n";
+    out += n + "_sum ";
+    appendNumber(out, h.sum);
+    out += "\n";
+    // Derived from the bucket array, not count_, so it matches +Inf
+    // even when observations race the scrape.
+    out += n + "_count " + std::to_string(cum) + "\n";
+  }
   return out;
 }
 

@@ -1,7 +1,10 @@
 #include "obs/trace.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+
+#include "obs/flight_recorder.h"
 
 namespace mphls::obs {
 
@@ -59,12 +62,16 @@ int Tracer::setThreadName(const std::string& name) {
 
 void Tracer::beginSpanAt(std::string name, double tsMicros,
                          std::string arg) {
+  FlightRecorder& fr = FlightRecorder::global();
+  if (fr.enabled()) fr.record('B', LogLevel::Info, "trace", name);
   ThreadBuf& b = localBuf();
   std::lock_guard<std::mutex> lk(b.m);
   b.events.push_back({std::move(name), std::move(arg), 'B', tsMicros});
 }
 
 void Tracer::endSpanAt(std::string name, double tsMicros) {
+  FlightRecorder& fr = FlightRecorder::global();
+  if (fr.enabled()) fr.record('E', LogLevel::Info, "trace", name);
   ThreadBuf& b = localBuf();
   std::lock_guard<std::mutex> lk(b.m);
   b.events.push_back({std::move(name), std::string(), 'E', tsMicros});
@@ -72,6 +79,8 @@ void Tracer::endSpanAt(std::string name, double tsMicros) {
 
 void Tracer::instant(std::string name, std::string arg) {
   if (!enabled()) return;
+  FlightRecorder& fr = FlightRecorder::global();
+  if (fr.enabled()) fr.record('i', LogLevel::Info, "trace", name);
   ThreadBuf& b = localBuf();
   const double ts = nowMicros();
   std::lock_guard<std::mutex> lk(b.m);
@@ -111,23 +120,67 @@ void Tracer::clear() {
   }
 }
 
-void appendJsonString(std::string& out, const std::string& s) {
+namespace {
+
+/// Length of the valid UTF-8 sequence starting at s[i], or 0 if the
+/// bytes there are not well-formed (overlong forms, surrogates, and
+/// code points above U+10FFFF all count as invalid).
+std::size_t utf8SequenceLength(std::string_view s, std::size_t i) {
+  const auto b0 = static_cast<unsigned char>(s[i]);
+  if (b0 < 0x80) return 1;
+  std::size_t len = 0;
+  if ((b0 & 0xe0) == 0xc0) len = 2;
+  else if ((b0 & 0xf0) == 0xe0) len = 3;
+  else if ((b0 & 0xf8) == 0xf0) len = 4;
+  else return 0;
+  if (i + len > s.size()) return 0;
+  std::uint32_t cp = b0 & (0x7f >> len);
+  for (std::size_t k = 1; k < len; ++k) {
+    const auto b = static_cast<unsigned char>(s[i + k]);
+    if ((b & 0xc0) != 0x80) return 0;
+    cp = (cp << 6) | (b & 0x3f);
+  }
+  static constexpr std::uint32_t kMinForLen[5] = {0, 0, 0x80, 0x800,
+                                                  0x10000};
+  if (cp < kMinForLen[len]) return 0;                // overlong encoding
+  if (cp >= 0xd800 && cp <= 0xdfff) return 0;       // UTF-16 surrogate
+  if (cp > 0x10ffff) return 0;                      // beyond Unicode
+  return len;
+}
+
+}  // namespace
+
+void appendJsonString(std::string& out, std::string_view s) {
   out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
+  for (std::size_t i = 0; i < s.size();) {
+    const char c = s[i];
+    const auto u = static_cast<unsigned char>(c);
+    if (u < 0x80) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (u < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+      ++i;
+      continue;
+    }
+    const std::size_t len = utf8SequenceLength(s, i);
+    if (len == 0) {
+      out += "\xef\xbf\xbd";  // U+FFFD per invalid byte
+      ++i;
+    } else {
+      out.append(s.data() + i, len);
+      i += len;
     }
   }
   out += '"';

@@ -24,6 +24,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace mphls::obs {
@@ -147,8 +148,10 @@ class TraceSpan {
   double startMicros_ = 0;
 };
 
-/// Append a minimally escaped JSON string literal (quotes included).
-/// Shared by the trace and metrics exporters.
-void appendJsonString(std::string& out, const std::string& s);
+/// Append a JSON string literal (quotes included), escaping control
+/// characters and validating UTF-8: every byte of an invalid sequence
+/// is replaced by U+FFFD so the output is always valid JSON/UTF-8.
+/// Shared by the trace, metrics, and log exporters.
+void appendJsonString(std::string& out, std::string_view s);
 
 }  // namespace mphls::obs

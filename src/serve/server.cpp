@@ -149,7 +149,8 @@ void Server::run() {
       impl_->pool->submit([this, &service, c, req = std::move(req)] {
         const ServiceResponse resp = service.handle(req, c->id);
         const bool keep = req.keepAlive && !impl_->stopping.load();
-        std::string wire = renderResponse(resp.status, resp.body, keep);
+        std::string wire =
+            renderResponse(resp.status, resp.body, keep, resp.contentType);
         {
           std::lock_guard<std::mutex> lk(c->m);
           c->outbuf += wire;

@@ -4,6 +4,8 @@
 #include "core/commands.h"
 #include "core/designs.h"
 #include "core/frontend_cache.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -148,7 +150,23 @@ ServiceResponse errorResponse(int status, const std::string& reason) {
   return {status, std::move(body)};
 }
 
-ServiceResponse handleMetrics() {
+/// Value of `key` in an application/x-www-form-urlencoded query string
+/// ("a=1&b=2"). No %-decoding — our parameter values never need it.
+std::string queryParam(const std::string& query, std::string_view key) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        std::string_view(query).substr(pos, eq - pos) == key)
+      return query.substr(eq + 1, amp - eq - 1);
+    pos = amp + 1;
+  }
+  return "";
+}
+
+ServiceResponse handleMetrics(const std::string& query) {
   // Surface the frontend cache through the snapshot: the loadgen reads
   // its hit rate from here, and `serve.cache.*` keeps the naming parallel
   // with the serve.* request instruments.
@@ -161,6 +179,12 @@ ServiceResponse handleMetrics() {
   mr.gauge("serve.cache.entries").set((double)cache.size());
   mr.gauge("serve.cache.hit_rate")
       .set(hits + misses > 0 ? hits / (hits + misses) : 0.0);
+  const std::string format = queryParam(query, "format");
+  if (format == "prometheus")
+    return {200, mr.toPrometheus(),
+            "text/plain; version=0.0.4; charset=utf-8"};
+  if (!format.empty() && format != "json")
+    return errorResponse(400, "unknown metrics format: " + format);
   return {200, mr.toJson()};
 }
 
@@ -190,48 +214,61 @@ ServiceResponse Service::handle(const HttpRequest& req,
                                 std::uint64_t sessionId) const {
   auto& mr = obs::MetricsRegistry::global();
   mr.counter("serve.requests").add();
+  WallTimer wallTimer;
+  FrontendCache::clearThreadStats();
+
+  // The route is the target's path; the query string selects variants
+  // of an endpoint (e.g. /metrics?format=prometheus) and must not leak
+  // into route matching or per-endpoint metric names.
+  const std::size_t qpos = req.target.find('?');
+  const std::string path =
+      qpos == std::string::npos ? req.target : req.target.substr(0, qpos);
+  const std::string query =
+      qpos == std::string::npos ? "" : req.target.substr(qpos + 1);
 
   // Route match before method match: a POST to /healthz must say 405, not
   // 404. The route name keys the per-endpoint latency histogram.
-  static constexpr std::string_view kGetRoutes[] = {"/healthz", "/metrics",
-                                                    "/designs"};
+  static constexpr std::string_view kGetRoutes[] = {
+      "/healthz", "/metrics", "/designs", "/debug/flight"};
   static constexpr std::string_view kPostRoutes[] = {
       "/synth", "/lint", "/analyze", "/sta", "/prove", "/sim"};
   bool isGet = false, isPost = false;
-  for (std::string_view r : kGetRoutes) isGet |= req.target == r;
-  for (std::string_view r : kPostRoutes) isPost |= req.target == r;
+  for (std::string_view r : kGetRoutes) isGet |= path == r;
+  for (std::string_view r : kPostRoutes) isPost |= path == r;
 
   ServiceResponse resp;
   if (!isGet && !isPost) {
-    resp = errorResponse(404, "no such endpoint: " + req.target);
+    resp = errorResponse(404, "no such endpoint: " + path);
   } else if ((isGet && req.method != "GET") ||
              (isPost && req.method != "POST")) {
-    resp = errorResponse(405, req.method + " not allowed on " + req.target);
+    resp = errorResponse(405, req.method + " not allowed on " + path);
   } else {
     WallTimer timer;
-    obs::TraceSpan span("serve" + req.target,
+    obs::TraceSpan span("serve" + path,
                         "session " + std::to_string(sessionId));
     try {
-      if (req.target == "/healthz") {
+      if (path == "/healthz") {
         resp = {200, "{\"status\":\"ok\"}\n"};
-      } else if (req.target == "/metrics") {
-        resp = handleMetrics();
-      } else if (req.target == "/designs") {
+      } else if (path == "/metrics") {
+        resp = handleMetrics(query);
+      } else if (path == "/designs") {
         resp = handleDesigns();
+      } else if (path == "/debug/flight") {
+        resp = {200, obs::FlightRecorder::global().toJson()};
       } else {
         DecodedBody d = decodeBody(req, opts_.defaults);
         if (!d.error.empty()) {
           resp = errorResponse(400, d.error);
-        } else if (req.target == "/synth") {
+        } else if (path == "/synth") {
           resp = fromResult(cmd::synthJson(d.req));
-        } else if (req.target == "/lint") {
+        } else if (path == "/lint") {
           resp = fromResult(cmd::lintJson(d.req));
-        } else if (req.target == "/analyze") {
+        } else if (path == "/analyze") {
           const bool post = d.doc->getBool(
               "post_pipeline", d.doc->get("options") != nullptr &&
                                    d.doc->get("options")->has("opt"));
           resp = fromResult(cmd::analyzeJson(d.req, post));
-        } else if (req.target == "/sta") {
+        } else if (path == "/sta") {
           const double clock = d.doc->getNumber("clock", 0);
           const int paths = (int)d.doc->getNumber("paths", 5);
           if (paths < 0) {
@@ -241,7 +278,7 @@ ServiceResponse Service::handle(const HttpRequest& req,
           } else {
             resp = fromResult(cmd::staJson(d.req, clock, paths));
           }
-        } else if (req.target == "/prove") {
+        } else if (path == "/prove") {
           resp = fromResult(
               cmd::proveJson(d.req, d.doc->getBool("prove_passes")));
         } else {  // "/sim"
@@ -271,11 +308,26 @@ ServiceResponse Service::handle(const HttpRequest& req,
       resp = errorResponse(500, "unknown internal error");
     }
     // One latency histogram per endpoint ("serve./synth.seconds").
-    mr.histogram("serve." + req.target + ".seconds").observe(timer.seconds());
+    mr.histogram("serve." + path + ".seconds").observe(timer.seconds());
   }
 
   if (resp.status >= 400) mr.counter("serve.errors").add();
   mr.counter("serve.status." + std::to_string(resp.status)).add();
+
+  // Access log: one structured record per request, every status
+  // included, so the flight recorder's last events name the request
+  // that preceded a crash.
+  auto& lg = obs::Logger::global();
+  if (lg.enabled(obs::LogLevel::Info)) {
+    lg.info("serve", "request",
+            {{"session", sessionId},
+             {"method", req.method},
+             {"endpoint", path},
+             {"status", resp.status},
+             {"ms", wallTimer.seconds() * 1e3},
+             {"cache_hit", FrontendCache::threadSawHit() &&
+                               !FrontendCache::threadSawMiss()}});
+  }
   return resp;
 }
 

@@ -12,8 +12,10 @@
 //   POST /prove    formal equivalence report       cmd::proveJson
 //   POST /sim      RTL simulation result           cmd::simJson
 //   GET  /healthz  liveness probe
-//   GET  /metrics  obs registry snapshot (JSON)
+//   GET  /metrics  obs registry snapshot (JSON; ?format=prometheus for
+//                  text exposition)
 //   GET  /designs  built-in designs with sources
+//   GET  /debug/flight  flight-recorder ring decode (post-mortem aid)
 //
 // POST bodies are JSON: {"name": str?, "source": str | "design": builtin,
 // "top": str?, "options": {...}} plus per-route extras ("clock"/"paths"
@@ -38,6 +40,7 @@ struct ServiceOptions {
 struct ServiceResponse {
   int status = 200;
   std::string body;
+  std::string contentType = "application/json";
 };
 
 class Service {

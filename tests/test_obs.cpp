@@ -127,6 +127,61 @@ TEST(Tracer, AppendJsonStringEscapes) {
   EXPECT_EQ(out, "\"a\\\"b\\\\c\\n\\t\\u0001\"");
 }
 
+TEST(Tracer, AppendJsonStringControlChars) {
+  // Every byte below 0x20 must leave the output as an escape, never raw.
+  for (int c = 1; c < 0x20; ++c) {
+    std::string out;
+    obs::appendJsonString(out, std::string(1, static_cast<char>(c)));
+    for (char b : out) EXPECT_GE(static_cast<unsigned char>(b), 0x20u)
+        << "raw control byte " << c << " in " << out;
+  }
+  std::string nul;
+  obs::appendJsonString(nul, std::string_view("a\0b", 3));
+  EXPECT_EQ(nul, "\"a\\u0000b\"");
+}
+
+TEST(Tracer, AppendJsonStringValidUtf8PassesThrough) {
+  std::string out;
+  obs::appendJsonString(out, "caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x99\x82");
+  EXPECT_EQ(out, "\"caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x99\x82\"");
+}
+
+TEST(Tracer, AppendJsonStringInvalidUtf8BecomesReplacement) {
+  const char* kRepl = "\xef\xbf\xbd";  // U+FFFD
+  struct Case {
+    std::string in;
+    int replacements;  ///< how many U+FFFD the output must contain
+  } cases[] = {
+      {"\xff", 1},                  // invalid lead byte
+      {"\xc3", 1},                  // truncated 2-byte sequence
+      {"\xc3(", 1},                 // bad continuation ('(' survives)
+      {"\xe2\x82", 2},              // truncated 3-byte sequence
+      {"\xc0\xaf", 2},              // overlong encoding of '/'
+      {"\xed\xa0\x80", 3},          // UTF-16 surrogate half
+      {"\xf4\x90\x80\x80", 4},      // above U+10FFFF
+      {"ok\x80も", 1},              // stray continuation amid valid text
+  };
+  for (const auto& c : cases) {
+    std::string out;
+    obs::appendJsonString(out, c.in);
+    int found = 0;
+    for (std::size_t p = out.find(kRepl); p != std::string::npos;
+         p = out.find(kRepl, p + 3))
+      ++found;
+    EXPECT_EQ(found, c.replacements) << "input bytes: " << c.in.size();
+    // The result must itself be valid UTF-8/JSON: re-escaping an already
+    // escaped string must not introduce more replacements.
+    std::string again;
+    obs::appendJsonString(again, out);
+    EXPECT_EQ(again.find(kRepl) != std::string::npos,
+              out.find(kRepl) != std::string::npos);
+  }
+  // '(' after the bad lead byte is kept as data.
+  std::string out;
+  obs::appendJsonString(out, "\xc3(");
+  EXPECT_NE(out.find('('), std::string::npos);
+}
+
 // ------------------------------------------------------------ metrics
 
 TEST(Metrics, CountersGaugesHistograms) {
